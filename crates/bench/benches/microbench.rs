@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks for the hot paths underneath the
+//! experiment suite: logical clocks, CRDT merges, the storage substrate,
+//! workload generation, and raw simulator event throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use clocks::{LamportTimestamp, VectorClock};
+use crdt::{CvRdt, GCounter, OrSet, Rga};
+use kvstore::{MvStore, Value, Wal};
+use simnet::{Actor, Context, Duration, NodeId, Sim, SimConfig, SimRng, SimTime};
+use workload::ZipfSampler;
+
+fn clocks_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clocks");
+    let a = VectorClock::from_pairs((0..16).map(|i| (i, i * 3 + 1)));
+    let b = VectorClock::from_pairs((8..24).map(|i| (i, i * 2 + 5)));
+    g.bench_function("vector_clock_merge_16", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.merge(black_box(&b));
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("vector_clock_compare_16", |bch| {
+        bch.iter(|| black_box(&a).compare(black_box(&b)))
+    });
+    g.finish();
+}
+
+fn crdt_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crdt");
+    let mut set_a = OrSet::new();
+    let mut set_b = OrSet::new();
+    for i in 0..200u32 {
+        set_a.insert(0, i);
+        set_b.insert(1, i + 100);
+    }
+    g.bench_function("orset_merge_200", |bch| {
+        bch.iter_batched(
+            || set_a.clone(),
+            |mut x| {
+                x.merge(black_box(&set_b));
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut ctr_a = GCounter::new();
+    let mut ctr_b = GCounter::new();
+    for i in 0..32 {
+        ctr_a.increment(i, i + 1);
+        ctr_b.increment(i + 16, i + 1);
+    }
+    g.bench_function("gcounter_merge_32", |bch| {
+        bch.iter_batched(
+            || ctr_a.clone(),
+            |mut x| {
+                x.merge(black_box(&ctr_b));
+                x
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut rga = Rga::new();
+    for i in 0..100u32 {
+        rga.push(0, i);
+    }
+    g.bench_function("rga_materialize_100", |bch| bch.iter(|| black_box(&rga).to_vec()));
+    g.finish();
+}
+
+fn kvstore_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kvstore");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("mvstore_put", |bch| {
+        let mut store = MvStore::new();
+        let mut i = 0u64;
+        bch.iter(|| {
+            i += 1;
+            store.put(i % 1024, Value::from_u64(i), LamportTimestamp::new(i, 0), i)
+        })
+    });
+    let mut store = MvStore::new();
+    for i in 0..100_000u64 {
+        store.put(i % 1024, Value::from_u64(i), LamportTimestamp::new(i, 0), i);
+    }
+    g.bench_function("mvstore_get_hot", |bch| {
+        let mut i = 0u64;
+        bch.iter(|| {
+            i += 1;
+            black_box(store.get(i % 1024))
+        })
+    });
+    let mut wal = Wal::new();
+    for i in 1..=10_000u64 {
+        wal.append(i % 64, Value::from_u64(i), LamportTimestamp::new(i, 0), i);
+    }
+    g.bench_function("wal_recover_10k", |bch| bch.iter(|| black_box(&wal).recover(None)));
+    g.finish();
+}
+
+fn workload_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("zipf_sample_1m_keys", |bch| {
+        let mut z = ZipfSampler::new(1_000_000, 0.99);
+        let mut rng = SimRng::new(1);
+        bch.iter(|| black_box(z.sample(&mut rng)))
+    });
+    g.finish();
+}
+
+/// A ping-pong pair measuring raw simulator event throughput.
+struct Pinger {
+    peer: NodeId,
+}
+impl Actor<u64> for Pinger {
+    fn on_start(&mut self, ctx: &mut Context<u64>) {
+        if ctx.self_id().0 == 0 {
+            ctx.send(self.peer, 0);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<u64>, from: NodeId, msg: u64) {
+        ctx.send(from, msg + 1);
+    }
+}
+
+fn simnet_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simnet");
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("event_loop_20k_messages", |bch| {
+        bch.iter(|| {
+            let mut sim: Sim<u64> = Sim::new(
+                SimConfig::default()
+                    .seed(7)
+                    .latency(simnet::LatencyModel::Constant(Duration::from_micros(50))),
+            );
+            sim.add_node(Box::new(Pinger { peer: NodeId(1) }));
+            sim.add_node(Box::new(Pinger { peer: NodeId(0) }));
+            // 20k messages at 50us each = 1s of virtual time.
+            sim.run_until(SimTime::from_secs(1));
+            black_box(sim.delivered_messages)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    clocks_benches,
+    crdt_benches,
+    kvstore_benches,
+    workload_benches,
+    simnet_benches
+);
+criterion_main!(benches);

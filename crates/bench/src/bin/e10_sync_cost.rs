@@ -1,0 +1,79 @@
+//! E10 (Table): the throughput/latency price of synchrony on a
+//! write-heavy workload.
+//!
+//! Write-only closed-loop clients against each propagation mode in a LAN.
+//! Expected shape (who wins): async primary acknowledges after one round
+//! trip (fastest); majority quorum adds a parallel quorum wait; sync
+//! primary waits for *all* backups (slowest of the primary family); Paxos
+//! pays leader + majority round trips. Closed-loop throughput is the
+//! mirror image of latency.
+
+use bench::{f1, print_table, save_json};
+use rec_core::metrics::{latency_summary, throughput_ops_per_sec};
+use rec_core::{Experiment, Scheme};
+use serde::Serialize;
+use simnet::{Duration, LatencyModel, SimTime};
+use workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
+
+#[derive(Serialize)]
+struct Row {
+    scheme: String,
+    write_p50_ms: f64,
+    write_p99_ms: f64,
+    ops_per_sec: f64,
+    availability: f64,
+}
+
+fn main() {
+    let workload = WorkloadSpec {
+        keys: 100,
+        distribution: KeyDistribution::Uniform,
+        mix: OpMix::write_only(),
+        arrival: Arrival::Closed { think_us: 1_000 },
+        sessions: 8,
+        ops_per_session: 200,
+    };
+    let schemes = vec![
+        Scheme::eventual(3),
+        Scheme::PrimaryAsync { replicas: 3, ship_interval: Duration::from_millis(50) },
+        Scheme::quorum(3, 2, 2),
+        Scheme::PrimarySync { replicas: 3 },
+        Scheme::Paxos { nodes: 3 },
+    ];
+    let mut rows = Vec::new();
+    for scheme in schemes {
+        let label = scheme.label();
+        let res = Experiment::new(scheme)
+            .latency(LatencyModel::lan())
+            .workload(workload.clone())
+            .seed(3)
+            .horizon(SimTime::from_secs(120))
+            .run();
+        let lat = latency_summary(&res.trace);
+        rows.push(Row {
+            scheme: label,
+            write_p50_ms: lat.writes.p50,
+            write_p99_ms: lat.writes.p99,
+            ops_per_sec: throughput_ops_per_sec(&res.trace),
+            availability: res.trace.success_rate(),
+        });
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|x| {
+            vec![
+                x.scheme.clone(),
+                f1(x.write_p50_ms),
+                f1(x.write_p99_ms),
+                f1(x.ops_per_sec),
+                format!("{:.3}", x.availability),
+            ]
+        })
+        .collect();
+    print_table(
+        "E10: cost of synchrony (write-only, LAN, 8 closed-loop clients)",
+        &["scheme", "write p50", "write p99", "ops/s", "avail"],
+        &table,
+    );
+    save_json("e10_sync_cost", &rows);
+}

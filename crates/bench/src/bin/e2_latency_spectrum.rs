@@ -1,0 +1,83 @@
+//! E2 (Figure): operation latency across the consistency spectrum in a
+//! five-region geo deployment.
+//!
+//! One series per scheme: read and write p50/p99 under identical
+//! workloads. Expected shape (who wins): eventual/causal serve locally
+//! (sub-ms to few-ms), quorum pays one WAN quorum round trip, primary-sync
+//! pays the farthest-backup round trip on writes, Paxos pays a majority
+//! round trip on *every* op (reads go through the log).
+
+use bench::{f1, print_table, save_json};
+use rec_core::metrics::latency_summary;
+use rec_core::{Experiment, Scheme};
+use serde::Serialize;
+use simnet::{Duration, LatencyModel};
+use workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
+
+#[derive(Serialize)]
+struct Row {
+    scheme: String,
+    read_p50_ms: f64,
+    read_p99_ms: f64,
+    write_p50_ms: f64,
+    write_p99_ms: f64,
+    availability: f64,
+}
+
+fn main() {
+    let workload = WorkloadSpec {
+        keys: 50,
+        distribution: KeyDistribution::Uniform,
+        mix: OpMix::ycsb_a(),
+        arrival: Arrival::Closed { think_us: 20_000 },
+        sessions: 10,
+        ops_per_session: 80,
+    };
+    let schemes = vec![
+        Scheme::eventual(5),
+        Scheme::Causal { replicas: 5 },
+        Scheme::quorum(5, 2, 2),
+        Scheme::quorum(5, 3, 3),
+        Scheme::PrimaryAsync { replicas: 5, ship_interval: Duration::from_millis(100) },
+        Scheme::PrimarySync { replicas: 5 },
+        Scheme::Paxos { nodes: 5 },
+    ];
+    let mut rows = Vec::new();
+    for scheme in schemes {
+        let label = scheme.label();
+        let res = Experiment::new(scheme)
+            .latency(LatencyModel::geo_five_regions(5))
+            .workload(workload.clone())
+            .seed(1234)
+            .horizon(simnet::SimTime::from_secs(300))
+            .run();
+        let lat = latency_summary(&res.trace);
+        rows.push(Row {
+            scheme: label,
+            read_p50_ms: lat.reads.p50,
+            read_p99_ms: lat.reads.p99,
+            write_p50_ms: lat.writes.p50,
+            write_p99_ms: lat.writes.p99,
+            availability: res.trace.success_rate(),
+        });
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|x| {
+            vec![
+                x.scheme.clone(),
+                f1(x.read_p50_ms),
+                f1(x.read_p99_ms),
+                f1(x.write_p50_ms),
+                f1(x.write_p99_ms),
+                format!("{:.3}", x.availability),
+            ]
+        })
+        .collect();
+    print_table(
+        "E2: latency across the consistency spectrum (5-region geo)",
+        &["scheme", "read p50", "read p99", "write p50", "write p99", "avail"],
+        &table,
+    );
+    save_json("e2_latency_spectrum", &rows);
+}

@@ -1,0 +1,105 @@
+//! E3 (Table): session guarantees — violation rates without enforcement,
+//! latency cost with enforcement.
+//!
+//! Clients bounce between replicas (random anycast) of a gossip-only
+//! eventual store. Without guarantees, RYW/MR violations appear at rates
+//! governed by the anti-entropy lag; enabling the guarantees drives the
+//! violation rate to zero at the cost of read retries (RYW/MR) and
+//! nothing measurable for MW/WFR (Lamport piggyback is free).
+
+use bench::{f1, pct, print_table, save_json};
+use consistency::check_session_guarantees;
+use rec_core::metrics::latency_summary;
+use rec_core::scheme::ClientPlacement;
+use rec_core::{Experiment, Scheme};
+use replication::common::Guarantees;
+use replication::eventual::ConflictMode;
+use serde::Serialize;
+use simnet::{Duration, LatencyModel};
+use workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    gossip_ms: u64,
+    ryw_rate: f64,
+    mr_rate: f64,
+    mw_rate: f64,
+    wfr_rate: f64,
+    read_p50_ms: f64,
+    read_p99_ms: f64,
+}
+
+fn run(guarantees: Guarantees, label: &str, gossip_ms: u64, seed: u64) -> Row {
+    let workload = WorkloadSpec {
+        keys: 10,
+        distribution: KeyDistribution::Zipfian { theta: 0.9 },
+        mix: OpMix::ycsb_a(),
+        arrival: Arrival::Closed { think_us: 5_000 },
+        sessions: 8,
+        ops_per_session: 120,
+    };
+    let scheme = Scheme::Eventual {
+        replicas: 3,
+        eager: false, // gossip-only: propagation lag is the story
+        gossip: Some((Duration::from_millis(gossip_ms), 1)),
+        mode: ConflictMode::Lww,
+        guarantees,
+        placement: ClientPlacement::Random,
+    };
+    let res = Experiment::new(scheme)
+        .latency(LatencyModel::Uniform {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(10),
+        })
+        .workload(workload)
+        .seed(seed)
+        .horizon(simnet::SimTime::from_secs(600))
+        .run();
+    let rep = check_session_guarantees(&res.trace);
+    let lat = latency_summary(&res.trace);
+    Row {
+        config: label.to_string(),
+        gossip_ms,
+        ryw_rate: rep.ryw_rate(),
+        mr_rate: rep.mr_rate(),
+        mw_rate: rep.mw_rate(),
+        wfr_rate: rep.wfr_rate(),
+        read_p50_ms: lat.reads.p50,
+        read_p99_ms: lat.reads.p99,
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for gossip_ms in [20u64, 100, 400] {
+        rows.push(run(Guarantees::none(), "none", gossip_ms, 7));
+    }
+    let ryw = Guarantees { read_your_writes: true, ..Guarantees::none() };
+    let mr = Guarantees { monotonic_reads: true, ..Guarantees::none() };
+    rows.push(run(ryw, "RYW enforced", 100, 7));
+    rows.push(run(mr, "MR enforced", 100, 7));
+    rows.push(run(Guarantees::all(), "all enforced", 100, 7));
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|x| {
+            vec![
+                x.config.clone(),
+                x.gossip_ms.to_string(),
+                pct(x.ryw_rate),
+                pct(x.mr_rate),
+                pct(x.mw_rate),
+                pct(x.wfr_rate),
+                f1(x.read_p50_ms),
+                f1(x.read_p99_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "E3: session-guarantee violations and enforcement cost",
+        &["config", "gossip", "RYW", "MR", "MW", "WFR", "read p50", "read p99"],
+        &table,
+    );
+    save_json("e3_session_guarantees", &rows);
+}

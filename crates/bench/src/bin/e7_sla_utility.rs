@@ -1,0 +1,160 @@
+//! E7 (Table): delivered utility of consistency SLAs (Pileus).
+//!
+//! A two-region deployment: the primary far away (~110 ms RTT), a local
+//! backup (~4 ms RTT) that lags by a replication window. A read stream is
+//! served under three portfolios (password / shopping-cart / web-app) and
+//! two fixed baselines (always-primary, always-local). Expected shape:
+//! the SLA-driven chooser dominates both baselines on every portfolio —
+//! it goes local when the lag permits and pays the WAN only when
+//! consistency demands it — reproducing Pileus's headline result.
+
+use bench::{f3, print_table, save_json};
+use serde::Serialize;
+use simnet::{Duration, NodeId, SimRng, SimTime};
+use sla::{choose, delivered_utility, Consistency, Monitor, SessionState, Sla};
+
+#[derive(Serialize)]
+struct Row {
+    portfolio: String,
+    strategy: String,
+    mean_utility: f64,
+    primary_fraction: f64,
+    mean_latency_ms: f64,
+}
+
+struct World {
+    rng: SimRng,
+    /// Primary RTT distribution (log-normal median ms, sigma).
+    primary_rtt: (f64, f64),
+    /// Local backup RTT distribution.
+    local_rtt: (f64, f64),
+    /// Replication lag: local high_ts trails now by up to this many ms.
+    lag_ms: f64,
+}
+
+impl World {
+    fn sample_rtt(&mut self, replica: NodeId) -> Duration {
+        let (median, sigma) =
+            if replica == NodeId(0) { self.primary_rtt } else { self.local_rtt };
+        Duration::from_millis_f64(self.rng.log_normal(median, sigma))
+    }
+
+    fn local_lag(&mut self) -> Duration {
+        Duration::from_millis_f64(self.rng.unit() * self.lag_ms)
+    }
+}
+
+/// Simulate `n_reads` reads under a strategy; returns the row.
+fn run(
+    portfolio: &str,
+    sla: &Sla,
+    strategy: &str,
+    fixed: Option<NodeId>,
+    seed: u64,
+) -> Row {
+    let mut world = World {
+        rng: SimRng::new(seed),
+        primary_rtt: (55.0, 0.2), // one-way ~55ms => ~110ms RTT
+        local_rtt: (2.0, 0.3),
+        lag_ms: 150.0,
+    };
+    let mut monitor = Monitor::new(2, NodeId(0));
+    let mut session = SessionState::default();
+    // The local replica's applied high-timestamp: monotone, trailing `now`
+    // by a sawtooth lag (log shipping applies in batches).
+    let mut local_high = SimTime::ZERO;
+    let n_reads = 2_000u64;
+    let mut total_utility = 0.0;
+    let mut primary_hits = 0u64;
+    let mut total_latency = 0.0;
+    // Writes happen continuously: the session writes every ~20 reads.
+    for i in 0..n_reads {
+        let now = SimTime::from_millis(100 + i * 10);
+        // Refresh the monitor's view of replica lag (Pileus piggybacks
+        // high timestamps on every response; we refresh each round).
+        let lag = world.local_lag();
+        local_high = local_high
+            .max(SimTime::from_micros(now.as_micros().saturating_sub(lag.as_micros())));
+        // Pileus monitors piggyback on background traffic: both replicas
+        // get an RTT observation each round, not just the chosen one.
+        let probe0 = world.sample_rtt(NodeId(0));
+        let probe1 = world.sample_rtt(NodeId(1));
+        monitor.observe(NodeId(0), probe0, now);
+        monitor.observe(NodeId(1), probe1, local_high);
+
+        if i % 20 == 10 {
+            session.last_write_ts = Some(now);
+        }
+
+        let target = match fixed {
+            Some(t) => t,
+            None => choose(&monitor, sla, &session, now).replica,
+        };
+        let rtt = world.sample_rtt(target);
+        monitor.observe(target, rtt, if target == NodeId(0) { now } else { local_high });
+        if target == NodeId(0) {
+            primary_hits += 1;
+        }
+        total_latency += rtt.as_millis_f64();
+
+        // Score what was achieved.
+        let served_high = if target == NodeId(0) { now } else { local_high };
+        let achieved = |c: Consistency| -> bool {
+            match c {
+                Consistency::Strong => target == NodeId(0),
+                Consistency::ReadMyWrites => {
+                    session.last_write_ts.map(|w| served_high >= w).unwrap_or(true)
+                }
+                Consistency::MonotonicReads => {
+                    session.last_read_ts.map(|r| served_high >= r).unwrap_or(true)
+                }
+                Consistency::Bounded(b) => {
+                    served_high.as_micros() + b.as_micros() >= now.as_micros()
+                }
+                Consistency::Eventual => true,
+            }
+        };
+        total_utility += delivered_utility(sla, rtt, &achieved);
+        session.last_read_ts =
+            Some(session.last_read_ts.map_or(served_high, |p| p.max(served_high)));
+    }
+    Row {
+        portfolio: portfolio.to_string(),
+        strategy: strategy.to_string(),
+        mean_utility: total_utility / n_reads as f64,
+        primary_fraction: primary_hits as f64 / n_reads as f64,
+        mean_latency_ms: total_latency / n_reads as f64,
+    }
+}
+
+fn main() {
+    let portfolios: Vec<(&str, Sla)> = vec![
+        ("password", Sla::password()),
+        ("shopping-cart", Sla::shopping_cart()),
+        ("web-app", Sla::web_app()),
+    ];
+    let mut rows = Vec::new();
+    for (name, sla) in &portfolios {
+        rows.push(run(name, sla, "sla-driven", None, 31));
+        rows.push(run(name, sla, "always-primary", Some(NodeId(0)), 31));
+        rows.push(run(name, sla, "always-local", Some(NodeId(1)), 31));
+    }
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|x| {
+            vec![
+                x.portfolio.clone(),
+                x.strategy.clone(),
+                f3(x.mean_utility),
+                f3(x.primary_fraction),
+                format!("{:.1}", x.mean_latency_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "E7: delivered utility of consistency SLAs (Pileus)",
+        &["portfolio", "strategy", "mean utility", "primary frac", "mean lat ms"],
+        &table,
+    );
+    save_json("e7_sla_utility", &rows);
+}

@@ -1,0 +1,104 @@
+//! Shared plumbing for the experiment harnesses (E1–E10).
+//!
+//! Each `src/bin/e*_*.rs` binary regenerates one table or figure from
+//! `EXPERIMENTS.md`: it sweeps its parameters, prints the rows to stdout,
+//! and drops a machine-readable copy under `results/<name>.json` so the
+//! recorded numbers are diffable across runs.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Print a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Where results land (`results/` at the workspace root, or the current
+/// directory as a fallback when run from elsewhere).
+pub fn results_dir() -> PathBuf {
+    // The harnesses are run from the workspace root via `cargo run`; walk
+    // up from the manifest dir so `cargo run -p bench` also works.
+    let candidates = [
+        PathBuf::from("results"),
+        PathBuf::from("../../results"),
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"),
+    ];
+    for c in &candidates {
+        if c.is_dir() {
+            return c.clone();
+        }
+    }
+    let fallback = candidates[2].clone();
+    let _ = fs::create_dir_all(&fallback);
+    fallback
+}
+
+/// Save a serializable result set as JSON.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn results_dir_exists_or_is_created() {
+        let d = results_dir();
+        assert!(d.is_dir() || fs::create_dir_all(&d).is_ok());
+    }
+}

@@ -1,0 +1,101 @@
+//! Causal (partial) ordering between clock values.
+
+use std::cmp::Ordering;
+
+/// The outcome of comparing two events under happens-before.
+///
+/// Unlike [`std::cmp::Ordering`], a fourth case — [`CausalOrd::Concurrent`]
+/// — captures events neither of which happened before the other. This case
+/// is exactly where eventual consistency earns its keep: concurrent writes
+/// are the ones that need convergent conflict resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CausalOrd {
+    /// The two clock values are identical.
+    Equal,
+    /// Left happened before right.
+    Before,
+    /// Right happened before left.
+    After,
+    /// Neither happened before the other.
+    Concurrent,
+}
+
+impl CausalOrd {
+    /// Build from element-wise dominance flags: does the left have any
+    /// component greater than the right (`l_gt`), and vice versa (`r_gt`)?
+    pub fn from_dominance(l_gt: bool, r_gt: bool) -> CausalOrd {
+        match (l_gt, r_gt) {
+            (false, false) => CausalOrd::Equal,
+            (false, true) => CausalOrd::Before,
+            (true, false) => CausalOrd::After,
+            (true, true) => CausalOrd::Concurrent,
+        }
+    }
+
+    /// Convert to a total order when possible (`None` for concurrent).
+    pub fn to_total(self) -> Option<Ordering> {
+        match self {
+            CausalOrd::Equal => Some(Ordering::Equal),
+            CausalOrd::Before => Some(Ordering::Less),
+            CausalOrd::After => Some(Ordering::Greater),
+            CausalOrd::Concurrent => None,
+        }
+    }
+
+    /// Reverse the direction of the comparison.
+    pub fn reverse(self) -> CausalOrd {
+        match self {
+            CausalOrd::Before => CausalOrd::After,
+            CausalOrd::After => CausalOrd::Before,
+            other => other,
+        }
+    }
+
+    /// True if the left value is dominated by (or equal to) the right.
+    pub fn is_descendant_or_equal(self) -> bool {
+        matches!(self, CausalOrd::Equal | CausalOrd::Before)
+    }
+
+    /// True if the two events are concurrent.
+    pub fn is_concurrent(self) -> bool {
+        matches!(self, CausalOrd::Concurrent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_dominance_covers_all_cases() {
+        assert_eq!(CausalOrd::from_dominance(false, false), CausalOrd::Equal);
+        assert_eq!(CausalOrd::from_dominance(false, true), CausalOrd::Before);
+        assert_eq!(CausalOrd::from_dominance(true, false), CausalOrd::After);
+        assert_eq!(CausalOrd::from_dominance(true, true), CausalOrd::Concurrent);
+    }
+
+    #[test]
+    fn to_total_maps_concurrent_to_none() {
+        assert_eq!(CausalOrd::Equal.to_total(), Some(Ordering::Equal));
+        assert_eq!(CausalOrd::Before.to_total(), Some(Ordering::Less));
+        assert_eq!(CausalOrd::After.to_total(), Some(Ordering::Greater));
+        assert_eq!(CausalOrd::Concurrent.to_total(), None);
+    }
+
+    #[test]
+    fn reverse_is_involutive() {
+        for o in [CausalOrd::Equal, CausalOrd::Before, CausalOrd::After, CausalOrd::Concurrent] {
+            assert_eq!(o.reverse().reverse(), o);
+        }
+        assert_eq!(CausalOrd::Before.reverse(), CausalOrd::After);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(CausalOrd::Equal.is_descendant_or_equal());
+        assert!(CausalOrd::Before.is_descendant_or_equal());
+        assert!(!CausalOrd::After.is_descendant_or_equal());
+        assert!(CausalOrd::Concurrent.is_concurrent());
+        assert!(!CausalOrd::Before.is_concurrent());
+    }
+}

@@ -1,0 +1,192 @@
+//! Convergence checking — "eventual" made falsifiable.
+//!
+//! Eventual consistency promises that once writes stop, replicas agree.
+//! Over a black-box trace that becomes: after the last acknowledged write
+//! (plus a caller-supplied grace period for propagation), all successful
+//! reads of a key must return the same value set, regardless of which
+//! replica served them. The checker reports disagreeing keys and the
+//! replicas involved, and separately reports keys that were never read
+//! after quiescence (unverifiable, not necessarily diverged).
+
+use serde::{Deserialize, Serialize};
+use simnet::{Duration, OpKind, OpTrace, SimTime};
+use std::collections::BTreeMap;
+
+/// One key's post-quiescence disagreement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// The key.
+    pub key: u64,
+    /// The distinct value sets observed (sorted), with an example replica
+    /// that served each.
+    pub views: Vec<(Vec<u64>, usize)>,
+}
+
+/// Result of the convergence check.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    /// Keys read after quiescence that agreed everywhere.
+    pub converged_keys: u64,
+    /// Keys read after quiescence with disagreeing views.
+    pub diverged: Vec<Divergence>,
+    /// Keys with writes but no post-quiescence read (unverifiable).
+    pub unverified_keys: u64,
+    /// The quiescence point used (last write ack + grace).
+    pub quiescence_at: SimTime,
+}
+
+impl ConvergenceReport {
+    /// True if no key disagreed.
+    pub fn converged(&self) -> bool {
+        self.diverged.is_empty()
+    }
+}
+
+/// Check convergence over a trace: after the last acknowledged write plus
+/// `grace`, every successful read of a key must return the same value
+/// set. Returns `None` if the trace contains no acknowledged writes
+/// (nothing to converge on).
+pub fn check_convergence(trace: &OpTrace, grace: Duration) -> Option<ConvergenceReport> {
+    let last_write_ack = trace
+        .successful()
+        .filter(|r| r.kind == OpKind::Write)
+        .map(|r| r.completed)
+        .max()?;
+    let quiescence_at = last_write_ack + grace;
+
+    // Keys that were ever written (only these can diverge meaningfully).
+    let mut written: Vec<u64> = trace
+        .successful()
+        .filter(|r| r.kind == OpKind::Write)
+        .map(|r| r.key)
+        .collect();
+    written.sort_unstable();
+    written.dedup();
+
+    // Post-quiescence views per key: sorted value set -> example replica.
+    let mut views: BTreeMap<u64, BTreeMap<Vec<u64>, usize>> = BTreeMap::new();
+    for r in trace.successful() {
+        if r.kind == OpKind::Read && r.invoked >= quiescence_at {
+            let mut vals = r.value_read.clone();
+            vals.sort_unstable();
+            views.entry(r.key).or_default().entry(vals).or_insert(r.replica.0);
+        }
+    }
+
+    let mut report = ConvergenceReport { quiescence_at, ..Default::default() };
+    for key in written {
+        match views.get(&key) {
+            None => report.unverified_keys += 1,
+            Some(v) if v.len() == 1 => report.converged_keys += 1,
+            Some(v) => report.diverged.push(Divergence {
+                key,
+                views: v.iter().map(|(vals, rep)| (vals.clone(), *rep)).collect(),
+            }),
+        }
+    }
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{NodeId, OpRecord};
+
+    fn write(key: u64, completed_ms: u64) -> OpRecord {
+        OpRecord {
+            session: 1,
+            op_id: completed_ms,
+            key,
+            kind: OpKind::Write,
+            value_written: Some(completed_ms),
+            value_read: vec![],
+            invoked: SimTime::from_millis(completed_ms - 1),
+            completed: SimTime::from_millis(completed_ms),
+            replica: NodeId(0),
+            ok: true,
+            version_ts: None,
+            stamp: None,
+        }
+    }
+
+    fn read(key: u64, values: Vec<u64>, invoked_ms: u64, replica: usize) -> OpRecord {
+        OpRecord {
+            session: 2 + replica as u64,
+            op_id: invoked_ms,
+            key,
+            kind: OpKind::Read,
+            value_written: None,
+            value_read: values,
+            invoked: SimTime::from_millis(invoked_ms),
+            completed: SimTime::from_millis(invoked_ms + 1),
+            replica: NodeId(replica),
+            ok: true,
+            version_ts: None,
+            stamp: None,
+        }
+    }
+
+    #[test]
+    fn empty_trace_has_nothing_to_converge() {
+        assert!(check_convergence(&OpTrace::new(), Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn agreeing_replicas_converge() {
+        let mut t = OpTrace::new();
+        t.push(write(1, 10));
+        t.push(read(1, vec![10], 100, 0));
+        t.push(read(1, vec![10], 110, 1));
+        let r = check_convergence(&t, Duration::from_millis(20)).unwrap();
+        assert!(r.converged());
+        assert_eq!(r.converged_keys, 1);
+        assert_eq!(r.quiescence_at, SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn disagreeing_replicas_flagged() {
+        let mut t = OpTrace::new();
+        t.push(write(1, 10));
+        t.push(read(1, vec![10], 100, 0));
+        t.push(read(1, vec![], 110, 2)); // replica 2 still empty
+        let r = check_convergence(&t, Duration::from_millis(20)).unwrap();
+        assert!(!r.converged());
+        assert_eq!(r.diverged.len(), 1);
+        assert_eq!(r.diverged[0].key, 1);
+        assert_eq!(r.diverged[0].views.len(), 2);
+    }
+
+    #[test]
+    fn reads_inside_grace_window_do_not_count() {
+        let mut t = OpTrace::new();
+        t.push(write(1, 10));
+        // A stale read at 15ms is within grace (quiescence at 30ms).
+        t.push(read(1, vec![], 15, 2));
+        t.push(read(1, vec![10], 100, 0));
+        let r = check_convergence(&t, Duration::from_millis(20)).unwrap();
+        assert!(r.converged(), "pre-quiescence staleness is not divergence");
+    }
+
+    #[test]
+    fn unread_keys_are_unverified_not_converged() {
+        let mut t = OpTrace::new();
+        t.push(write(1, 10));
+        t.push(write(2, 20));
+        t.push(read(1, vec![10], 100, 0));
+        let r = check_convergence(&t, Duration::from_millis(20)).unwrap();
+        assert_eq!(r.converged_keys, 1);
+        assert_eq!(r.unverified_keys, 1);
+        assert!(r.converged());
+    }
+
+    #[test]
+    fn sibling_sets_compare_as_sets() {
+        // Two replicas returning the same siblings in different orders agree.
+        let mut t = OpTrace::new();
+        t.push(write(1, 10));
+        t.push(read(1, vec![7, 10], 100, 0));
+        t.push(read(1, vec![10, 7], 110, 1));
+        let r = check_convergence(&t, Duration::from_millis(20)).unwrap();
+        assert!(r.converged());
+    }
+}

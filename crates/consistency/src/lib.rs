@@ -1,0 +1,38 @@
+//! # consistency — what did the clients actually observe?
+//!
+//! The tutorial's taxonomy only means something if each guarantee can be
+//! *checked*. This crate consumes the operation traces recorded by
+//! `simnet`/`replication` — never protocol internals, so a buggy protocol
+//! cannot hide from its checker — and answers:
+//!
+//! * [`session`] — how often were the four Bayou session guarantees
+//!   (read-your-writes, monotonic reads, monotonic writes,
+//!   writes-follow-reads) violated?
+//! * [`staleness`] — how stale were reads, in time and in versions
+//!   (k-staleness), PBS-style? Plus bounded-staleness accounting.
+//! * [`linearizability`] — is the per-key register history linearizable
+//!   (Wing & Gong search with memoization)?
+//! * [`causal`] — did any client observe a write without its causal
+//!   dependencies (the COPS photo-ACL anomaly)?
+//! * [`convergence`] — once writes stopped, did replicas actually agree
+//!   ("eventual" made falsifiable)?
+//!
+//! Conventions shared by all checkers: every write carries a globally
+//! unique value, so a read unambiguously identifies the write it observed;
+//! logical version order is the Lamport `(counter, actor)` stamp recorded
+//! in the trace.
+
+pub mod causal;
+pub mod convergence;
+pub mod linearizability;
+pub mod session;
+pub mod staleness;
+
+pub use causal::{check_causal, CausalReport};
+pub use convergence::{check_convergence, ConvergenceReport, Divergence};
+pub use linearizability::{
+    check_linearizable_register_bounded, check_trace_linearizable, Interval, LinCheckError,
+    RegOp,
+};
+pub use session::{check_session_guarantees, SessionReport};
+pub use staleness::{measure_staleness, StalenessReport};

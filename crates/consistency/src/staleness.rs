@@ -1,0 +1,249 @@
+//! Staleness measurement (PBS-style).
+//!
+//! A read is **stale** if, at the moment it was invoked, some write to the
+//! same key had already been *acknowledged* (completed at its client) and
+//! carries a stamp newer than the version the read returned. For each
+//! stale read we record:
+//!
+//! * **k-staleness** — how many acknowledged-newer writes it missed, and
+//! * **t-staleness** — how long before the read's invocation the oldest
+//!   missed write was acknowledged (how far in the past the read's view
+//!   is, in milliseconds).
+//!
+//! `probability of staleness = stale / (stale + fresh)` is the quantity
+//! the PBS paper plots against (N, R, W); experiment E1 regenerates that
+//! table on the quorum protocol.
+
+use serde::{Deserialize, Serialize};
+use simnet::{OpKind, OpTrace, SimTime};
+use std::collections::BTreeMap;
+
+/// An acknowledged write: completion time and version stamp.
+type AckedWrite = (SimTime, (u64, u64));
+
+/// Staleness metrics for one trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StalenessReport {
+    /// Reads that reflected the newest acknowledged write.
+    pub fresh_reads: u64,
+    /// Reads that missed at least one acknowledged write.
+    pub stale_reads: u64,
+    /// Reads with no acknowledged prior write (not classifiable).
+    pub unclassified_reads: u64,
+    /// k-staleness per stale read (number of missed acked writes).
+    pub k_staleness: Vec<u64>,
+    /// t-staleness per stale read, in milliseconds.
+    pub t_staleness_ms: Vec<f64>,
+}
+
+impl StalenessReport {
+    /// Probability a classifiable read was stale.
+    pub fn p_stale(&self) -> f64 {
+        let total = self.fresh_reads + self.stale_reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.stale_reads as f64 / total as f64
+        }
+    }
+
+    /// Mean k-staleness over stale reads (0 if none).
+    pub fn mean_k(&self) -> f64 {
+        if self.k_staleness.is_empty() {
+            0.0
+        } else {
+            self.k_staleness.iter().sum::<u64>() as f64 / self.k_staleness.len() as f64
+        }
+    }
+
+    /// Fraction of classifiable reads whose t-staleness exceeds `bound_ms`
+    /// (fresh reads count as staleness 0).
+    pub fn p_staler_than(&self, bound_ms: f64) -> f64 {
+        let total = self.fresh_reads + self.stale_reads;
+        if total == 0 {
+            return 0.0;
+        }
+        let over = self.t_staleness_ms.iter().filter(|&&t| t > bound_ms).count();
+        over as f64 / total as f64
+    }
+}
+
+/// Measure staleness over a trace.
+pub fn measure_staleness(trace: &OpTrace) -> StalenessReport {
+    // Index acknowledged writes per key: (completed, stamp).
+    let mut writes_per_key: BTreeMap<u64, Vec<AckedWrite>> = BTreeMap::new();
+    for r in trace.successful() {
+        if r.kind == OpKind::Write {
+            if let Some(s) = r.stamp {
+                writes_per_key.entry(r.key).or_default().push((r.completed, s));
+            }
+        }
+    }
+    for ws in writes_per_key.values_mut() {
+        ws.sort_unstable();
+    }
+
+    let mut report = StalenessReport::default();
+    for r in trace.successful() {
+        if r.kind != OpKind::Read {
+            continue;
+        }
+        let Some(ws) = writes_per_key.get(&r.key) else {
+            report.unclassified_reads += 1;
+            continue;
+        };
+        // Writes acknowledged strictly before the read was invoked.
+        let acked: Vec<&AckedWrite> =
+            ws.iter().take_while(|(c, _)| *c < r.invoked).collect();
+        if acked.is_empty() {
+            report.unclassified_reads += 1;
+            continue;
+        }
+        let returned = r.stamp.unwrap_or((0, 0));
+        let missed: Vec<&&AckedWrite> =
+            acked.iter().filter(|(_, s)| *s > returned).collect();
+        if missed.is_empty() {
+            report.fresh_reads += 1;
+        } else {
+            report.stale_reads += 1;
+            report.k_staleness.push(missed.len() as u64);
+            let oldest_missed_ack = missed.iter().map(|(c, _)| *c).min().expect("non-empty");
+            report
+                .t_staleness_ms
+                .push(r.invoked.saturating_since(oldest_missed_ack).as_millis_f64());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{NodeId, OpRecord};
+
+    fn write(key: u64, stamp: (u64, u64), completed_ms: u64) -> OpRecord {
+        OpRecord {
+            session: 1,
+            op_id: stamp.0,
+            key,
+            kind: OpKind::Write,
+            value_written: Some(stamp.0),
+            value_read: vec![],
+            invoked: SimTime::from_millis(completed_ms.saturating_sub(1)),
+            completed: SimTime::from_millis(completed_ms),
+            replica: NodeId(0),
+            ok: true,
+            version_ts: None,
+            stamp: Some(stamp),
+        }
+    }
+
+    fn read(key: u64, stamp: Option<(u64, u64)>, invoked_ms: u64) -> OpRecord {
+        OpRecord {
+            session: 2,
+            op_id: 100 + invoked_ms,
+            key,
+            kind: OpKind::Read,
+            value_written: None,
+            value_read: stamp.map(|s| s.0).into_iter().collect(),
+            invoked: SimTime::from_millis(invoked_ms),
+            completed: SimTime::from_millis(invoked_ms + 1),
+            replica: NodeId(0),
+            ok: true,
+            version_ts: None,
+            stamp,
+        }
+    }
+
+    #[test]
+    fn fresh_read_counts_fresh() {
+        let mut t = OpTrace::new();
+        t.push(write(1, (1, 0), 10));
+        t.push(read(1, Some((1, 0)), 20));
+        let r = measure_staleness(&t);
+        assert_eq!(r.fresh_reads, 1);
+        assert_eq!(r.stale_reads, 0);
+        assert_eq!(r.p_stale(), 0.0);
+    }
+
+    #[test]
+    fn stale_read_records_k_and_t() {
+        let mut t = OpTrace::new();
+        t.push(write(1, (1, 0), 10));
+        t.push(write(1, (2, 0), 30));
+        t.push(write(1, (3, 0), 50));
+        // Read at 100 returns version (1,0): missed 2 acked writes, the
+        // oldest of which was acked at 30 → t-staleness = 70ms.
+        t.push(read(1, Some((1, 0)), 100));
+        let r = measure_staleness(&t);
+        assert_eq!(r.stale_reads, 1);
+        assert_eq!(r.k_staleness, vec![2]);
+        assert_eq!(r.t_staleness_ms, vec![70.0]);
+        assert_eq!(r.mean_k(), 2.0);
+    }
+
+    #[test]
+    fn empty_read_with_acked_writes_is_maximally_stale() {
+        let mut t = OpTrace::new();
+        t.push(write(1, (1, 0), 10));
+        t.push(read(1, None, 100));
+        let r = measure_staleness(&t);
+        assert_eq!(r.stale_reads, 1);
+        assert_eq!(r.k_staleness, vec![1]);
+    }
+
+    #[test]
+    fn read_before_any_ack_is_unclassified() {
+        let mut t = OpTrace::new();
+        t.push(write(1, (1, 0), 50));
+        t.push(read(1, None, 20)); // write not yet acked at read time
+        let r = measure_staleness(&t);
+        assert_eq!(r.unclassified_reads, 1);
+        assert_eq!(r.stale_reads, 0);
+    }
+
+    #[test]
+    fn in_flight_write_does_not_make_read_stale() {
+        let mut t = OpTrace::new();
+        t.push(write(1, (1, 0), 10));
+        t.push(write(1, (2, 0), 200)); // acked after the read
+        t.push(read(1, Some((1, 0)), 100));
+        let r = measure_staleness(&t);
+        assert_eq!(r.fresh_reads, 1);
+        assert_eq!(r.stale_reads, 0);
+    }
+
+    #[test]
+    fn read_of_newer_than_acked_is_fresh() {
+        // A read can return a version newer than every *acked* write
+        // (the write is still in flight): that is fresh, not stale.
+        let mut t = OpTrace::new();
+        t.push(write(1, (1, 0), 10));
+        t.push(write(1, (5, 0), 500));
+        t.push(read(1, Some((5, 0)), 100)); // read sees the in-flight write
+        let r = measure_staleness(&t);
+        assert_eq!(r.fresh_reads, 1);
+    }
+
+    #[test]
+    fn p_staler_than_counts_fresh_as_zero() {
+        let mut t = OpTrace::new();
+        t.push(write(1, (1, 0), 10));
+        t.push(write(1, (2, 0), 20));
+        t.push(read(1, Some((2, 0)), 50)); // fresh
+        t.push(read(1, Some((1, 0)), 100)); // stale by 80ms
+        let r = measure_staleness(&t);
+        assert_eq!(r.p_stale(), 0.5);
+        assert_eq!(r.p_staler_than(50.0), 0.5);
+        assert_eq!(r.p_staler_than(100.0), 0.0);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut t = OpTrace::new();
+        t.push(write(1, (1, 0), 10));
+        t.push(read(2, None, 100)); // different key: nothing to miss
+        let r = measure_staleness(&t);
+        assert_eq!(r.unclassified_reads, 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! # crdt — convergent conflict resolution
+//!
+//! The tutorial's answer to "what happens when concurrent writes meet?" is
+//! *convergent merge functions*: if replica states form a join-semilattice
+//! and updates are inflations, replicas that have seen the same updates are
+//! in the same state regardless of delivery order — eventual consistency by
+//! construction rather than by timestamp arbitration.
+//!
+//! This crate provides the classic menagerie, in two flavours:
+//!
+//! **State-based (CvRDTs)** — ship your whole state; receiver joins:
+//! * [`GCounter`], [`PnCounter`] — grow-only / increment-decrement counters
+//! * [`LwwRegister`] — last-writer-wins register (the "lossy" baseline the
+//!   E6 experiment quantifies)
+//! * [`MvRegister`] — multi-value register keeping concurrent siblings
+//! * [`GSet`], [`TwoPSet`], [`OrSet`] — sets with increasingly useful
+//!   remove semantics (add-wins observed-remove for [`OrSet`])
+//! * [`OrMap`] — add-wins map composing any nested CvRDT value
+//! * [`Rga`] — a replicated growable array (ordered sequence) for the
+//!   collaborative-list example
+//!
+//! **Op-based (CmRDTs)** — ship operations; requires causal, exactly-once
+//! delivery, which the `replication` crate's causal broadcast provides:
+//! * [`OpCounter`] — commutative increments
+//! * [`OpOrSet`] — observed-remove set as operations (O(1) messages)
+//!
+//! Every state-based type satisfies the semilattice laws (commutativity,
+//! associativity, idempotence) and update inflation; `proptest` suites in
+//! each module check them, and integration tests check *convergence*: any
+//! permutation of pairwise merges reaches the same state.
+
+pub mod counter;
+pub mod map;
+pub mod opset;
+pub mod register;
+pub mod rga;
+pub mod set;
+
+pub use counter::{GCounter, OpCounter, PnCounter};
+pub use map::OrMap;
+pub use opset::{OpOrSet, SetOp};
+pub use register::{LwwRegister, MvRegister};
+pub use rga::Rga;
+pub use set::{GSet, OrSet, TwoPSet};
+
+/// A state-based (convergent) replicated data type.
+///
+/// `merge` must be a join: commutative, associative, idempotent, and an
+/// upper bound of both inputs. Local mutators must be inflations (the new
+/// state merged with the old equals the new state).
+pub trait CvRdt: Clone {
+    /// Join `other` into `self`.
+    fn merge(&mut self, other: &Self);
+
+    /// Join, returning the result.
+    fn merged(mut self, other: &Self) -> Self
+    where
+        Self: Sized,
+    {
+        self.merge(other);
+        self
+    }
+}
+
+/// An operation-based (commutative) replicated data type.
+///
+/// `apply` consumes downstream operations. Correctness requires the
+/// delivery layer to provide causal order and exactly-once delivery; the
+/// type itself only promises that *concurrent* operations commute.
+pub trait CmRdt {
+    /// The operation type shipped between replicas.
+    type Op: Clone;
+
+    /// Apply a (locally generated or remotely received) operation.
+    fn apply(&mut self, op: &Self::Op);
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::CvRdt;
+
+    /// Merge a slice of replica states in the given order, starting from a
+    /// seed state. Used by convergence tests to compare permutations.
+    pub fn merge_all<T: CvRdt>(seed: T, states: &[T], order: &[usize]) -> T {
+        let mut acc = seed;
+        for &i in order {
+            acc.merge(&states[i]);
+        }
+        acc
+    }
+}

@@ -1,0 +1,220 @@
+//! An op-based (CmRDT) observed-remove set.
+//!
+//! Where the state-based [`crate::OrSet`] ships whole states, this
+//! variant ships *operations* and relies on the delivery layer for causal
+//! order and exactly-once delivery (the `replication::causal` protocol
+//! provides exactly that). The payoff is bandwidth: an op is O(1), a
+//! state is O(set).
+//!
+//! Correctness contract, in types: a remove can only be *prepared* against
+//! the local state (it captures the tags it observed), and causal delivery
+//! guarantees every replica applies those adds before the remove — so
+//! concurrent adds (unobserved tags) survive, giving add-wins semantics.
+
+use crate::CmRdt;
+use clocks::{ActorId, Dot};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Downstream operations shipped between replicas.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SetOp<T> {
+    /// Add `item` with a globally unique tag.
+    Add {
+        /// The element.
+        item: T,
+        /// The fresh tag minted by the adder.
+        tag: Dot,
+    },
+    /// Remove exactly the observed `tags` of `item`.
+    Remove {
+        /// The element.
+        item: T,
+        /// The tags the remover had observed.
+        tags: BTreeSet<Dot>,
+    },
+}
+
+/// An op-based observed-remove set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpOrSet<T: Ord> {
+    actor: ActorId,
+    counter: u64,
+    entries: BTreeMap<T, BTreeSet<Dot>>,
+}
+
+impl<T: Ord + Clone> OpOrSet<T> {
+    /// A replica owned by `actor` (tags are minted under this id; each
+    /// replica must use a distinct actor id).
+    pub fn new(actor: ActorId) -> Self {
+        OpOrSet { actor, counter: 0, entries: BTreeMap::new() }
+    }
+
+    /// Prepare-and-apply an add locally; returns the op to broadcast.
+    pub fn add(&mut self, item: T) -> SetOp<T> {
+        self.counter += 1;
+        let op = SetOp::Add { item, tag: Dot::new(self.actor, self.counter) };
+        self.apply(&op);
+        op
+    }
+
+    /// Prepare-and-apply a remove locally; returns the op to broadcast,
+    /// or `None` if the element is not present (nothing observed).
+    pub fn remove(&mut self, item: &T) -> Option<SetOp<T>> {
+        let tags = self.entries.get(item)?.clone();
+        let op = SetOp::Remove { item: item.clone(), tags };
+        self.apply(&op);
+        Some(op)
+    }
+
+    /// Membership.
+    pub fn contains(&self, item: &T) -> bool {
+        self.entries.contains_key(item)
+    }
+
+    /// Live element count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.keys()
+    }
+}
+
+impl<T: Ord + Clone> CmRdt for OpOrSet<T> {
+    type Op = SetOp<T>;
+
+    fn apply(&mut self, op: &SetOp<T>) {
+        match op {
+            SetOp::Add { item, tag } => {
+                self.entries.entry(item.clone()).or_default().insert(*tag);
+            }
+            SetOp::Remove { item, tags } => {
+                if let Some(live) = self.entries.get_mut(item) {
+                    for t in tags {
+                        live.remove(t);
+                    }
+                    if live.is_empty() {
+                        self.entries.remove(item);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_then_remove_round_trip() {
+        let mut a = OpOrSet::new(1);
+        let add = a.add("x");
+        assert!(a.contains(&"x"));
+        let rem = a.remove(&"x").expect("present");
+        assert!(!a.contains(&"x"));
+        // A second replica applying both ops in causal order converges.
+        let mut b = OpOrSet::new(2);
+        b.apply(&add);
+        b.apply(&rem);
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_of_absent_prepares_nothing() {
+        let mut a: OpOrSet<&str> = OpOrSet::new(1);
+        assert!(a.remove(&"ghost").is_none());
+    }
+
+    #[test]
+    fn concurrent_add_survives_remove() {
+        // a and b both hold {"x"}; a removes it while b concurrently
+        // re-adds it. Causal delivery lets the ops arrive in either order
+        // at a third replica — both orders converge with "x" present.
+        let mut a = OpOrSet::new(1);
+        let mut b = OpOrSet::new(2);
+        let seed = a.add("x");
+        b.apply(&seed);
+
+        let rem = a.remove(&"x").unwrap(); // observed only the seed tag
+        let add = b.add("x"); // concurrent: a fresh tag
+
+        // Order 1: remove then add.
+        let mut c1 = OpOrSet::new(3);
+        c1.apply(&seed);
+        c1.apply(&rem);
+        c1.apply(&add);
+        // Order 2: add then remove.
+        let mut c2 = OpOrSet::new(4);
+        c2.apply(&seed);
+        c2.apply(&add);
+        c2.apply(&rem);
+
+        assert!(c1.contains(&"x"), "add-wins under order 1");
+        assert!(c2.contains(&"x"), "add-wins under order 2");
+        assert_eq!(c1.entries, c2.entries, "concurrent ops commute");
+    }
+
+    #[test]
+    fn removes_only_touch_observed_tags() {
+        let mut a = OpOrSet::new(1);
+        let add1 = a.add("x");
+        let mut b = OpOrSet::new(2);
+        b.apply(&add1);
+        let add2 = b.add("x"); // second tag, unseen by a
+        let rem = a.remove(&"x").unwrap(); // removes only add1's tag
+        b.apply(&rem);
+        assert!(b.contains(&"x"), "b's own tag survives");
+        a.apply(&add2);
+        assert!(a.contains(&"x"));
+        assert_eq!(a.entries, b.entries);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Concurrent (causally unrelated) ops commute: applying any
+        /// interleaving of two replicas' independently prepared op streams
+        /// to a fresh replica yields the same state.
+        #[test]
+        fn concurrent_ops_commute(
+            adds_a in proptest::collection::vec(0u8..5, 0..8),
+            adds_b in proptest::collection::vec(0u8..5, 0..8),
+            interleave in proptest::collection::vec(proptest::bool::ANY, 0..16),
+        ) {
+            let mut a = OpOrSet::new(1);
+            let mut b = OpOrSet::new(2);
+            let ops_a: Vec<_> = adds_a.iter().map(|&x| a.add(x)).collect();
+            let ops_b: Vec<_> = adds_b.iter().map(|&x| b.add(x)).collect();
+            // Two interleavings at fresh replicas.
+            let apply_order = |first_a: bool| {
+                let mut c = OpOrSet::new(9);
+                let (mut ia, mut ib) = (ops_a.iter(), ops_b.iter());
+                for &pick_a in &interleave {
+                    let next = if pick_a == first_a { ia.next() } else { ib.next() };
+                    if let Some(op) = next {
+                        c.apply(op);
+                    }
+                }
+                for op in ia { c.apply(op); }
+                for op in ib { c.apply(op); }
+                c
+            };
+            let c1 = apply_order(true);
+            let c2 = apply_order(false);
+            prop_assert_eq!(c1.entries, c2.entries);
+        }
+    }
+}

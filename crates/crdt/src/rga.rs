@@ -1,0 +1,314 @@
+//! A replicated growable array (ordered sequence).
+//!
+//! RGA (Roh et al.) assigns every inserted element a unique, totally
+//! ordered id and links it after its insertion predecessor. Concurrent
+//! inserts at the same position are ordered newest-id-first, which keeps
+//! all replicas' materialized sequences identical. Deletion tombstones the
+//! element (ids must remain addressable by concurrent inserts).
+//!
+//! This is the state-based formulation: merge unions the node graphs, so
+//! it composes with any anti-entropy protocol in the `replication` crate.
+
+use crate::CvRdt;
+use clocks::{ActorId, Dot};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Node<T> {
+    value: T,
+    /// Insertion predecessor (`None` = head of sequence).
+    parent: Option<Dot>,
+    /// Tombstone flag; tombstoned nodes keep their position but are
+    /// invisible in [`Rga::to_vec`].
+    removed: bool,
+}
+
+/// A replicated growable array.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rga<T> {
+    nodes: BTreeMap<Dot, Node<T>>,
+}
+
+impl<T: Clone + PartialEq> Rga<T> {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        Rga { nodes: BTreeMap::new() }
+    }
+
+    /// The Lamport-style counter for the next insert: one past the largest
+    /// counter of any node seen (local or merged), so ids of causally later
+    /// inserts are larger.
+    fn next_counter(&self) -> u64 {
+        self.nodes.keys().map(|d| d.counter).max().unwrap_or(0) + 1
+    }
+
+    /// Insert `value` after node `parent` (or at the head when `None`).
+    /// Returns the new element's id.
+    ///
+    /// # Panics
+    /// If `parent` names an id this replica has never seen.
+    pub fn insert_after(&mut self, actor: ActorId, parent: Option<Dot>, value: T) -> Dot {
+        if let Some(p) = parent {
+            assert!(self.nodes.contains_key(&p), "unknown parent {p}");
+        }
+        let id = Dot::new(actor, self.next_counter());
+        self.nodes.insert(id, Node { value, parent, removed: false });
+        id
+    }
+
+    /// Insert at the visible index `idx` (0 = head) as `actor`.
+    ///
+    /// # Panics
+    /// If `idx` exceeds the current visible length.
+    pub fn insert_at(&mut self, actor: ActorId, idx: usize, value: T) -> Dot {
+        let visible = self.visible_ids();
+        assert!(idx <= visible.len(), "index {idx} out of bounds");
+        let parent = if idx == 0 { None } else { Some(visible[idx - 1]) };
+        self.insert_after(actor, parent, value)
+    }
+
+    /// Append at the end of the sequence.
+    pub fn push(&mut self, actor: ActorId, value: T) -> Dot {
+        let parent = self.visible_ids().last().copied();
+        self.insert_after(actor, parent, value)
+    }
+
+    /// Tombstone the element with id `id`. Removing an unknown or already
+    /// removed id is a no-op (removal is idempotent).
+    pub fn remove(&mut self, id: Dot) {
+        if let Some(n) = self.nodes.get_mut(&id) {
+            n.removed = true;
+        }
+    }
+
+    /// Remove the element at visible index `idx`, returning its id.
+    ///
+    /// # Panics
+    /// If `idx` is out of bounds.
+    pub fn remove_at(&mut self, idx: usize) -> Dot {
+        let id = self.visible_ids()[idx];
+        self.remove(id);
+        id
+    }
+
+    /// The visible sequence, in order.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.ordered_ids()
+            .into_iter()
+            .filter_map(|id| {
+                let n = &self.nodes[&id];
+                (!n.removed).then(|| n.value.clone())
+            })
+            .collect()
+    }
+
+    /// Ids of visible elements, in sequence order.
+    pub fn visible_ids(&self) -> Vec<Dot> {
+        self.ordered_ids()
+            .into_iter()
+            .filter(|id| !self.nodes[id].removed)
+            .collect()
+    }
+
+    /// Number of visible elements.
+    pub fn len(&self) -> usize {
+        self.nodes.values().filter(|n| !n.removed).count()
+    }
+
+    /// True if no visible elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total nodes including tombstones (metadata-overhead metric).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All ids (including tombstones) in materialized order: depth-first
+    /// from the virtual root, children ordered newest-id-first.
+    fn ordered_ids(&self) -> Vec<Dot> {
+        // parent -> children (children sorted descending by (counter, actor))
+        let mut children: BTreeMap<Option<Dot>, Vec<Dot>> = BTreeMap::new();
+        for (&id, node) in &self.nodes {
+            children.entry(node.parent).or_default().push(id);
+        }
+        for kids in children.values_mut() {
+            kids.sort_by_key(|k| std::cmp::Reverse((k.counter, k.actor)));
+        }
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack: Vec<Dot> = children.get(&None).cloned().unwrap_or_default();
+        stack.reverse(); // pop order = sorted order
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            if let Some(kids) = children.get(&Some(id)) {
+                for &k in kids.iter().rev() {
+                    stack.push(k);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<T: Clone + PartialEq> CvRdt for Rga<T> {
+    fn merge(&mut self, other: &Self) {
+        for (&id, node) in &other.nodes {
+            match self.nodes.get_mut(&id) {
+                Some(existing) => existing.removed |= node.removed,
+                None => {
+                    self.nodes.insert(id, node.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_builds_sequence() {
+        let mut r = Rga::new();
+        r.push(1, 'a');
+        r.push(1, 'b');
+        r.push(1, 'c');
+        assert_eq!(r.to_vec(), vec!['a', 'b', 'c']);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn insert_at_positions() {
+        let mut r = Rga::new();
+        r.push(1, 'b');
+        r.insert_at(1, 0, 'a');
+        r.insert_at(1, 2, 'c');
+        assert_eq!(r.to_vec(), vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn remove_tombstones_but_keeps_position() {
+        let mut r = Rga::new();
+        r.push(1, 'a');
+        let b = r.push(1, 'b');
+        r.push(1, 'c');
+        r.remove(b);
+        assert_eq!(r.to_vec(), vec!['a', 'c']);
+        assert_eq!(r.node_count(), 3);
+        // Insert after the tombstone's predecessor still works.
+        r.insert_at(1, 1, 'x');
+        assert_eq!(r.to_vec(), vec!['a', 'x', 'c']);
+    }
+
+    #[test]
+    fn concurrent_inserts_same_position_converge() {
+        let mut base = Rga::new();
+        base.push(0, 'a');
+        let mut alice = base.clone();
+        let mut bob = base.clone();
+        alice.insert_at(1, 1, 'X');
+        bob.insert_at(2, 1, 'Y');
+        let m1 = alice.clone().merged(&bob);
+        let m2 = bob.clone().merged(&alice);
+        assert_eq!(m1.to_vec(), m2.to_vec());
+        assert_eq!(m1.len(), 3);
+        assert_eq!(m1.to_vec()[0], 'a');
+    }
+
+    #[test]
+    fn concurrent_insert_and_remove_converge() {
+        let mut base = Rga::new();
+        let a = base.push(0, 'a');
+        base.push(0, 'b');
+        let mut alice = base.clone();
+        let mut bob = base.clone();
+        alice.remove(a);
+        bob.insert_after(2, Some(a), 'Z'); // insert after the removed node
+        let m1 = alice.clone().merged(&bob);
+        let m2 = bob.clone().merged(&alice);
+        assert_eq!(m1.to_vec(), m2.to_vec());
+        assert_eq!(m1.to_vec(), vec!['Z', 'b']);
+    }
+
+    #[test]
+    fn remove_unknown_is_noop() {
+        let mut r: Rga<char> = Rga::new();
+        r.remove(Dot::new(9, 9));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn interleaved_editing_session() {
+        // Two replicas collaboratively build "hello" and converge.
+        let mut a = Rga::new();
+        let h = a.push(1, 'h');
+        let mut b = a.clone();
+        let e = a.insert_after(1, Some(h), 'e');
+        a.insert_after(1, Some(e), 'l');
+        let o = b.insert_after(2, Some(h), 'o');
+        b.insert_after(2, Some(o), '!');
+        let merged = a.clone().merged(&b);
+        let merged2 = b.merged(&a);
+        assert_eq!(merged.to_vec(), merged2.to_vec());
+        assert_eq!(merged.to_vec()[0], 'h');
+        assert_eq!(merged.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn insert_after_unknown_parent_panics() {
+        let mut r = Rga::new();
+        r.insert_after(1, Some(Dot::new(5, 5)), 'x');
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // Replay a random edit script on two replicas with a final merge; the
+    // merged sequences must be identical regardless of merge direction.
+    proptest! {
+        #[test]
+        fn merge_converges(
+            script in proptest::collection::vec((0usize..2, 0u8..26, proptest::bool::ANY), 1..20)
+        ) {
+            let mut reps = [Rga::new(), Rga::new()];
+            for (r, ch, is_remove) in script {
+                let rep = &mut reps[r];
+                if is_remove && !rep.is_empty() {
+                    let idx = (ch as usize) % rep.len();
+                    rep.remove_at(idx);
+                } else {
+                    let idx = if rep.is_empty() { 0 } else { (ch as usize) % (rep.len() + 1) };
+                    rep.insert_at(r as u64, idx, (b'a' + ch) as char);
+                }
+            }
+            let [a, b] = reps;
+            let m1 = a.clone().merged(&b);
+            let m2 = b.clone().merged(&a);
+            prop_assert_eq!(m1.to_vec(), m2.to_vec());
+            // Idempotence.
+            let m3 = m1.clone().merged(&m1);
+            prop_assert_eq!(m3.to_vec(), m1.to_vec());
+        }
+
+        #[test]
+        fn three_way_merge_associative(
+            edits in proptest::collection::vec((0usize..3, 0u8..26), 1..15)
+        ) {
+            let mut reps = [Rga::new(), Rga::new(), Rga::new()];
+            for (r, ch) in edits {
+                let idx = if reps[r].is_empty() { 0 } else { (ch as usize) % (reps[r].len() + 1) };
+                reps[r].insert_at(r as u64, idx, ch);
+            }
+            let [a, b, c] = reps;
+            let l = a.clone().merged(&b).merged(&c);
+            let r = a.clone().merged(&b.clone().merged(&c));
+            prop_assert_eq!(l.to_vec(), r.to_vec());
+        }
+    }
+}

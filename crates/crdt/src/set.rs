@@ -1,0 +1,390 @@
+//! Replicated sets: grow-only, two-phase, and observed-remove.
+
+use crate::CvRdt;
+use clocks::{ActorId, Dot};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A grow-only set: add only, merge = union.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GSet<T: Ord> {
+    items: BTreeSet<T>,
+}
+
+impl<T: Ord> Default for GSet<T> {
+    fn default() -> Self {
+        GSet { items: BTreeSet::new() }
+    }
+}
+
+impl<T: Ord + Clone> GSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        GSet { items: BTreeSet::new() }
+    }
+
+    /// Insert an element.
+    pub fn insert(&mut self, item: T) {
+        self.items.insert(item);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, item: &T) -> bool {
+        self.items.contains(item)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+impl<T: Ord + Clone> CvRdt for GSet<T> {
+    fn merge(&mut self, other: &Self) {
+        self.items.extend(other.items.iter().cloned());
+    }
+}
+
+/// A two-phase set: removed elements can never be re-added (the tombstone
+/// wins forever). Simple, but usually the wrong tool — see [`OrSet`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoPSet<T: Ord> {
+    added: BTreeSet<T>,
+    removed: BTreeSet<T>,
+}
+
+impl<T: Ord> Default for TwoPSet<T> {
+    fn default() -> Self {
+        TwoPSet { added: BTreeSet::new(), removed: BTreeSet::new() }
+    }
+}
+
+impl<T: Ord + Clone> TwoPSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an element. Re-adding a removed element has no effect.
+    pub fn insert(&mut self, item: T) {
+        self.added.insert(item);
+    }
+
+    /// Remove an element (permanently).
+    pub fn remove(&mut self, item: &T) {
+        if self.added.contains(item) {
+            self.removed.insert(item.clone());
+        }
+    }
+
+    /// Membership: added and not removed.
+    pub fn contains(&self, item: &T) -> bool {
+        self.added.contains(item) && !self.removed.contains(item)
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        self.added.iter().filter(|i| !self.removed.contains(i)).count()
+    }
+
+    /// True if no live elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate live elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.added.iter().filter(|i| !self.removed.contains(*i))
+    }
+}
+
+impl<T: Ord + Clone> CvRdt for TwoPSet<T> {
+    fn merge(&mut self, other: &Self) {
+        self.added.extend(other.added.iter().cloned());
+        self.removed.extend(other.removed.iter().cloned());
+    }
+}
+
+/// An observed-remove set with add-wins semantics.
+///
+/// Every add is tagged with a unique [`Dot`]; remove deletes exactly the
+/// tags it has *observed*. A concurrent add therefore survives a remove —
+/// the semantics Dynamo's shopping cart wanted, and the resolution of the
+/// tutorial's "re-appearing item" anomaly. Tombstones record removed dots
+/// so merges cannot resurrect them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrSet<T: Ord> {
+    /// Live element → tags supporting it.
+    entries: BTreeMap<T, BTreeSet<Dot>>,
+    /// All dots ever removed (tombstones).
+    removed: BTreeSet<Dot>,
+    /// Per-actor dot counters (for tag generation).
+    counters: BTreeMap<ActorId, u64>,
+}
+
+impl<T: Ord> Default for OrSet<T> {
+    fn default() -> Self {
+        OrSet { entries: BTreeMap::new(), removed: BTreeSet::new(), counters: BTreeMap::new() }
+    }
+}
+
+impl<T: Ord + Clone> OrSet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `item` as `actor`, returning the fresh tag.
+    pub fn insert(&mut self, actor: ActorId, item: T) -> Dot {
+        let c = self.counters.entry(actor).or_insert(0);
+        *c += 1;
+        let dot = Dot::new(actor, *c);
+        self.entries.entry(item).or_default().insert(dot);
+        dot
+    }
+
+    /// Remove `item`, deleting exactly the tags currently observed here.
+    pub fn remove(&mut self, item: &T) {
+        if let Some(tags) = self.entries.remove(item) {
+            self.removed.extend(tags);
+        }
+    }
+
+    /// Membership: at least one live tag.
+    pub fn contains(&self, item: &T) -> bool {
+        self.entries.contains_key(item)
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no live elements.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate live elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.keys()
+    }
+
+    /// Number of tombstoned dots (for the metadata-overhead ablation).
+    pub fn tombstone_count(&self) -> usize {
+        self.removed.len()
+    }
+}
+
+impl<T: Ord + Clone> CvRdt for OrSet<T> {
+    fn merge(&mut self, other: &Self) {
+        // Union tombstones first so incoming tags can be filtered by them.
+        self.removed.extend(other.removed.iter().copied());
+        // Union live tags from the other side.
+        for (item, tags) in &other.entries {
+            let entry = self.entries.entry(item.clone()).or_default();
+            entry.extend(tags.iter().copied());
+        }
+        // Drop any tag that is tombstoned anywhere; drop emptied items.
+        let removed = &self.removed;
+        self.entries.retain(|_, tags| {
+            tags.retain(|d| !removed.contains(d));
+            !tags.is_empty()
+        });
+        // Advance tag counters so future local adds stay unique.
+        for (&a, &c) in &other.counters {
+            let e = self.counters.entry(a).or_insert(0);
+            *e = (*e).max(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gset_union() {
+        let mut a = GSet::new();
+        let mut b = GSet::new();
+        a.insert(1);
+        b.insert(2);
+        let m = a.merged(&b);
+        assert!(m.contains(&1) && m.contains(&2));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn twopset_remove_is_permanent() {
+        let mut s = TwoPSet::new();
+        s.insert("x");
+        s.remove(&"x");
+        s.insert("x"); // too late: tombstone wins
+        assert!(!s.contains(&"x"));
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn twopset_remove_of_unseen_is_noop() {
+        let mut s: TwoPSet<&str> = TwoPSet::new();
+        s.remove(&"ghost");
+        s.insert("ghost");
+        assert!(s.contains(&"ghost"));
+    }
+
+    #[test]
+    fn twopset_merge_propagates_removal() {
+        let mut a = TwoPSet::new();
+        a.insert("x");
+        let mut b = a.clone();
+        b.remove(&"x");
+        let m = a.merged(&b);
+        assert!(!m.contains(&"x"));
+    }
+
+    #[test]
+    fn orset_add_remove_add() {
+        let mut s = OrSet::new();
+        s.insert(1, "x");
+        s.remove(&"x");
+        assert!(!s.contains(&"x"));
+        s.insert(1, "x"); // fresh tag: element is back
+        assert!(s.contains(&"x"));
+    }
+
+    #[test]
+    fn orset_concurrent_add_survives_remove() {
+        // The shopping-cart anomaly, resolved: replica A removes the item
+        // while replica B concurrently re-adds it; add wins.
+        let mut base = OrSet::new();
+        base.insert(0, "beer");
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.remove(&"beer");
+        b.insert(1, "beer"); // concurrent add with a new tag
+        let m1 = a.clone().merged(&b);
+        let m2 = b.clone().merged(&a);
+        assert!(m1.contains(&"beer"));
+        assert!(m2.contains(&"beer"));
+        assert_eq!(
+            m1.iter().collect::<Vec<_>>(),
+            m2.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn orset_observed_remove_removes_all_seen_tags() {
+        let mut a = OrSet::new();
+        a.insert(0, "x");
+        let mut b = a.clone();
+        b.insert(1, "x"); // second tag for same element
+        let mut merged = a.clone().merged(&b);
+        merged.remove(&"x"); // observed both tags
+        let back = merged.merged(&b);
+        assert!(!back.contains(&"x"), "remove observed both tags; nothing survives");
+    }
+
+    #[test]
+    fn orset_merge_does_not_resurrect() {
+        let mut a = OrSet::new();
+        a.insert(0, "x");
+        let stale = a.clone();
+        a.remove(&"x");
+        let m = a.merged(&stale);
+        assert!(!m.contains(&"x"));
+        assert_eq!(m.tombstone_count(), 1);
+    }
+
+    #[test]
+    fn orset_counter_advance_after_merge_keeps_tags_unique() {
+        let mut a = OrSet::new();
+        let d1 = a.insert(0, "x");
+        let mut b = OrSet::new();
+        b.merge(&a);
+        let d2 = b.insert(0, "y"); // same actor id used on another replica copy
+        assert_ne!(d1, d2, "merged counters must prevent tag reuse");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A random ORSet built from a script of adds/removes on 3 replicas
+    /// with occasional pairwise merges.
+    fn arb_orset() -> impl Strategy<Value = OrSet<u8>> {
+        proptest::collection::vec((0usize..3, 0u8..5, proptest::bool::ANY, proptest::bool::ANY), 0..15)
+            .prop_map(|script| {
+                let mut reps = [OrSet::new(), OrSet::new(), OrSet::new()];
+                for (r, item, is_remove, sync) in script {
+                    if is_remove {
+                        reps[r].remove(&item);
+                    } else {
+                        // Each replica uses a distinct actor id for tags.
+                        reps[r].insert(r as u64, item);
+                    }
+                    if sync {
+                        let src = reps[(r + 1) % 3].clone();
+                        reps[r].merge(&src);
+                    }
+                }
+                let [a, b, c] = reps;
+                a.merged(&b).merged(&c)
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn orset_lattice_laws(a in arb_orset(), b in arb_orset(), c in arb_orset()) {
+            let ab = a.clone().merged(&b);
+            let ba = b.clone().merged(&a);
+            prop_assert_eq!(ab.iter().collect::<Vec<_>>(), ba.iter().collect::<Vec<_>>());
+            let abc1 = a.clone().merged(&b).merged(&c);
+            let abc2 = a.clone().merged(&b.clone().merged(&c));
+            prop_assert_eq!(abc1.iter().collect::<Vec<_>>(), abc2.iter().collect::<Vec<_>>());
+            let aa = a.clone().merged(&a);
+            prop_assert_eq!(aa.iter().collect::<Vec<_>>(), a.iter().collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn gset_lattice_laws(
+            a in proptest::collection::btree_set(0u8..20, 0..10),
+            b in proptest::collection::btree_set(0u8..20, 0..10),
+        ) {
+            let mk = |s: &std::collections::BTreeSet<u8>| {
+                let mut g = GSet::new();
+                for &x in s { g.insert(x); }
+                g
+            };
+            let (ga, gb) = (mk(&a), mk(&b));
+            prop_assert_eq!(ga.clone().merged(&gb), gb.clone().merged(&ga));
+            prop_assert_eq!(ga.clone().merged(&ga), ga);
+        }
+
+        #[test]
+        fn twopset_lattice_laws(
+            adds in proptest::collection::vec(0u8..10, 0..10),
+            rems in proptest::collection::vec(0u8..10, 0..10),
+        ) {
+            let mut a = TwoPSet::new();
+            for x in &adds { a.insert(*x); }
+            for x in &rems { a.remove(x); }
+            let mut b = TwoPSet::new();
+            for x in &rems { b.insert(*x); }
+            prop_assert_eq!(a.clone().merged(&b), b.clone().merged(&a));
+            prop_assert_eq!(a.clone().merged(&a), a);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The multi-version store.
+
+use crate::value::{Key, Value};
+use clocks::LamportTimestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::ops::RangeBounds;
+
+/// One version of a key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Version {
+    /// The value.
+    pub value: Value,
+    /// Totally ordered write timestamp (LWW arbitration & snapshot reads).
+    pub ts: LamportTimestamp,
+    /// Simulation time (microseconds) when the write was originally issued
+    /// by a client — carried through replication so staleness is measured
+    /// against the *origin* write time, not the local apply time.
+    pub written_at: u64,
+}
+
+/// A multi-version key-value store.
+///
+/// Each key holds a version chain ordered by timestamp. `put` is
+/// idempotent per `(key, ts)` — replaying a log or receiving a replicated
+/// write twice leaves the chain unchanged — which is what lets anti-entropy
+/// protocols push the same write along multiple paths.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MvStore {
+    chains: BTreeMap<Key, Vec<Version>>, // each Vec sorted ascending by ts
+    /// Number of versions across all keys (cheap len bookkeeping).
+    version_count: usize,
+}
+
+impl MvStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a version. Returns `true` if the version was new (not a
+    /// duplicate `(key, ts)` pair).
+    pub fn put(&mut self, key: Key, value: Value, ts: LamportTimestamp, written_at: u64) -> bool {
+        let chain = self.chains.entry(key).or_default();
+        match chain.binary_search_by(|v| v.ts.cmp(&ts)) {
+            Ok(_) => false, // duplicate timestamp: idempotent no-op
+            Err(pos) => {
+                chain.insert(pos, Version { value, ts, written_at });
+                self.version_count += 1;
+                true
+            }
+        }
+    }
+
+    /// The latest version of `key`.
+    pub fn get(&self, key: Key) -> Option<&Version> {
+        self.chains.get(&key).and_then(|c| c.last())
+    }
+
+    /// The latest version with `ts <= at` (snapshot read).
+    pub fn get_at(&self, key: Key, at: LamportTimestamp) -> Option<&Version> {
+        let chain = self.chains.get(&key)?;
+        let idx = chain.partition_point(|v| v.ts <= at);
+        idx.checked_sub(1).map(|i| &chain[i])
+    }
+
+    /// All versions of `key`, oldest first.
+    pub fn versions(&self, key: Key) -> &[Version] {
+        self.chains.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Latest versions for all keys in `range`, ascending by key.
+    pub fn scan<R: RangeBounds<Key>>(&self, range: R) -> impl Iterator<Item = (Key, &Version)> {
+        self.chains
+            .range(range)
+            .filter_map(|(&k, c)| c.last().map(|v| (k, v)))
+    }
+
+    /// Drop all versions strictly older than the latest for every key,
+    /// keeping at most `keep` recent versions. Returns versions dropped.
+    pub fn compact(&mut self, keep: usize) -> usize {
+        let keep = keep.max(1);
+        let mut dropped = 0;
+        for chain in self.chains.values_mut() {
+            if chain.len() > keep {
+                dropped += chain.len() - keep;
+                chain.drain(..chain.len() - keep);
+            }
+        }
+        self.version_count -= dropped;
+        dropped
+    }
+
+    /// Number of keys present.
+    pub fn key_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Total number of versions.
+    pub fn version_count(&self) -> usize {
+        self.version_count
+    }
+
+    /// True if no keys.
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// The maximum timestamp stored anywhere (the store's "high-water
+    /// mark"); `None` when empty. Used by replicas to seed Lamport clocks
+    /// on recovery.
+    pub fn max_ts(&self) -> Option<LamportTimestamp> {
+        self.chains.values().filter_map(|c| c.last()).map(|v| v.ts).max()
+    }
+
+    /// Latest-version equality with another store (ignores history depth):
+    /// the convergence predicate anti-entropy experiments check.
+    pub fn same_latest(&self, other: &MvStore) -> bool {
+        if self.chains.len() != other.chains.len() {
+            return false;
+        }
+        self.chains.iter().all(|(&k, c)| {
+            matches!((c.last(), other.get(k)), (Some(a), Some(b)) if a == b)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(c: u64, a: u64) -> LamportTimestamp {
+        LamportTimestamp::new(c, a)
+    }
+
+    #[test]
+    fn put_get_latest() {
+        let mut s = MvStore::new();
+        assert!(s.put(1, Value::from_u64(10), ts(1, 0), 100));
+        assert!(s.put(1, Value::from_u64(20), ts(2, 0), 200));
+        let v = s.get(1).unwrap();
+        assert_eq!(v.value.as_u64(), Some(20));
+        assert_eq!(v.written_at, 200);
+        assert_eq!(s.get(2), None);
+    }
+
+    #[test]
+    fn out_of_order_arrival_keeps_latest() {
+        // Replicated writes can arrive in any order; the chain stays sorted.
+        let mut s = MvStore::new();
+        s.put(1, Value::from_u64(20), ts(2, 0), 200);
+        s.put(1, Value::from_u64(10), ts(1, 0), 100);
+        assert_eq!(s.get(1).unwrap().value.as_u64(), Some(20));
+        assert_eq!(s.versions(1).len(), 2);
+        assert!(s.versions(1).windows(2).all(|w| w[0].ts < w[1].ts));
+    }
+
+    #[test]
+    fn put_is_idempotent_per_timestamp() {
+        let mut s = MvStore::new();
+        assert!(s.put(1, Value::from_u64(10), ts(1, 0), 100));
+        assert!(!s.put(1, Value::from_u64(10), ts(1, 0), 100));
+        assert_eq!(s.versions(1).len(), 1);
+        assert_eq!(s.version_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_read_at_timestamp() {
+        let mut s = MvStore::new();
+        s.put(1, Value::from_u64(10), ts(1, 0), 0);
+        s.put(1, Value::from_u64(20), ts(5, 0), 0);
+        assert_eq!(s.get_at(1, ts(0, 9)), None);
+        assert_eq!(s.get_at(1, ts(1, 0)).unwrap().value.as_u64(), Some(10));
+        assert_eq!(s.get_at(1, ts(4, 9)).unwrap().value.as_u64(), Some(10));
+        assert_eq!(s.get_at(1, ts(5, 0)).unwrap().value.as_u64(), Some(20));
+        assert_eq!(s.get_at(1, ts(99, 0)).unwrap().value.as_u64(), Some(20));
+    }
+
+    #[test]
+    fn scan_returns_latest_per_key_in_order() {
+        let mut s = MvStore::new();
+        s.put(3, Value::from_u64(3), ts(1, 0), 0);
+        s.put(1, Value::from_u64(1), ts(1, 1), 0);
+        s.put(2, Value::from_u64(2), ts(1, 2), 0);
+        s.put(2, Value::from_u64(22), ts(2, 2), 0);
+        let got: Vec<(Key, u64)> =
+            s.scan(1..3).map(|(k, v)| (k, v.value.as_u64().unwrap())).collect();
+        assert_eq!(got, vec![(1, 1), (2, 22)]);
+    }
+
+    #[test]
+    fn compact_keeps_recent_versions() {
+        let mut s = MvStore::new();
+        for i in 1..=5 {
+            s.put(1, Value::from_u64(i), ts(i, 0), 0);
+        }
+        let dropped = s.compact(2);
+        assert_eq!(dropped, 3);
+        assert_eq!(s.versions(1).len(), 2);
+        assert_eq!(s.get(1).unwrap().value.as_u64(), Some(5));
+        assert_eq!(s.version_count(), 2);
+        // keep=0 clamps to 1.
+        s.compact(0);
+        assert_eq!(s.versions(1).len(), 1);
+    }
+
+    #[test]
+    fn max_ts_and_counts() {
+        let mut s = MvStore::new();
+        assert_eq!(s.max_ts(), None);
+        assert!(s.is_empty());
+        s.put(1, Value::from_u64(1), ts(3, 1), 0);
+        s.put(2, Value::from_u64(2), ts(7, 0), 0);
+        assert_eq!(s.max_ts(), Some(ts(7, 0)));
+        assert_eq!(s.key_count(), 2);
+        assert_eq!(s.version_count(), 2);
+    }
+
+    #[test]
+    fn same_latest_ignores_history_depth() {
+        let mut a = MvStore::new();
+        let mut b = MvStore::new();
+        a.put(1, Value::from_u64(1), ts(1, 0), 0);
+        a.put(1, Value::from_u64(2), ts(2, 0), 0);
+        b.put(1, Value::from_u64(2), ts(2, 0), 0);
+        assert!(a.same_latest(&b));
+        b.put(2, Value::from_u64(9), ts(3, 0), 0);
+        assert!(!a.same_latest(&b));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The latest version after any sequence of puts is the one with
+        /// the maximum timestamp, regardless of arrival order.
+        #[test]
+        fn latest_is_max_timestamp(
+            mut writes in proptest::collection::vec((1u64..100, 0u64..4, 0u64..1000), 1..40)
+        ) {
+            // Deduplicate (counter, actor) pairs: duplicate stamps are
+            // idempotent no-ops whose value would be arbitrary.
+            writes.sort_by_key(|w| (w.0, w.1));
+            writes.dedup_by_key(|w| (w.0, w.1));
+            let mut s = MvStore::new();
+            for &(c, a, v) in &writes {
+                s.put(7, Value::from_u64(v), LamportTimestamp::new(c, a), 0);
+            }
+            let max = writes.iter().max_by_key(|w| (w.0, w.1)).unwrap();
+            prop_assert_eq!(s.get(7).unwrap().value.as_u64(), Some(max.2));
+            prop_assert_eq!(s.versions(7).len(), writes.len());
+        }
+
+        /// Chains are always sorted and snapshot reads respect them.
+        #[test]
+        fn chains_sorted_and_snapshots_consistent(
+            writes in proptest::collection::vec((1u64..50, 0u64..3), 1..30),
+            probe in 0u64..60,
+        ) {
+            let mut s = MvStore::new();
+            for &(c, a) in &writes {
+                s.put(1, Value::from_u64(c * 10 + a), LamportTimestamp::new(c, a), 0);
+            }
+            let chain = s.versions(1);
+            prop_assert!(chain.windows(2).all(|w| w[0].ts < w[1].ts));
+            let at = LamportTimestamp::new(probe, u64::MAX);
+            if let Some(v) = s.get_at(1, at) {
+                prop_assert!(v.ts <= at);
+                // No later version also satisfies the bound.
+                prop_assert!(chain.iter().all(|w| w.ts <= at || w.ts > v.ts));
+            } else {
+                prop_assert!(chain.iter().all(|w| w.ts > at));
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Keys and values.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A key. Experiments use dense `u64` key spaces; applications that want
+/// string keys hash them into this space.
+pub type Key = u64;
+
+/// An immutable value: a cheaply clonable byte string.
+///
+/// The experiment suite encodes a globally unique `u64` write id in every
+/// value so that consistency checkers can identify which write a read
+/// observed; [`Value::from_u64`] / [`Value::as_u64`] implement that
+/// convention (little-endian, exactly 8 bytes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Value(Bytes);
+
+impl Value {
+    /// An empty value.
+    pub fn empty() -> Self {
+        Value(Bytes::new())
+    }
+
+    /// Wrap raw bytes.
+    pub fn from_bytes(b: impl Into<Bytes>) -> Self {
+        Value(b.into())
+    }
+
+    /// Encode a `u64` write id.
+    pub fn from_u64(x: u64) -> Self {
+        Value(Bytes::copy_from_slice(&x.to_le_bytes()))
+    }
+
+    /// Decode a `u64` write id; `None` if the value is not 8 bytes.
+    pub fn as_u64(&self) -> Option<u64> {
+        let arr: [u8; 8] = self.0.as_ref().try_into().ok()?;
+        Some(u64::from_le_bytes(arr))
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.as_u64() {
+            Some(x) => write!(f, "#{x}"),
+            None => write!(f, "{}b", self.0.len()),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(x: u64) -> Self {
+        Value::from_u64(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip() {
+        for x in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(Value::from_u64(x).as_u64(), Some(x));
+        }
+    }
+
+    #[test]
+    fn non_u64_values_decode_to_none() {
+        assert_eq!(Value::from("hi").as_u64(), None);
+        assert_eq!(Value::empty().as_u64(), None);
+        assert_eq!(Value::from("exactly8!").as_u64(), None); // 9 bytes
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Value::from_u64(7)), "#7");
+        assert_eq!(format!("{}", Value::from("abc")), "3b");
+    }
+
+    #[test]
+    fn emptiness_and_len() {
+        assert!(Value::empty().is_empty());
+        assert_eq!(Value::from("xyz").len(), 3);
+        assert_eq!(Value::from("xyz").as_bytes(), b"xyz");
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let v = Value::from_u64(9);
+        let w = v.clone();
+        assert_eq!(v, w);
+    }
+}

@@ -1,0 +1,139 @@
+//! Trace metrics shared by the experiment harnesses.
+
+use serde::{Deserialize, Serialize};
+use simnet::stats::{summarize, Summary};
+use simnet::{Duration, OpKind, OpTrace, SimTime};
+
+/// Read and write latency summaries (milliseconds, successful ops only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Read latencies.
+    pub reads: Summary,
+    /// Write latencies.
+    pub writes: Summary,
+}
+
+/// Summarize operation latencies.
+pub fn latency_summary(trace: &OpTrace) -> LatencySummary {
+    let collect = |kind: OpKind| -> Vec<f64> {
+        trace
+            .successful()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.latency().as_millis_f64())
+            .collect()
+    };
+    LatencySummary {
+        reads: summarize(&collect(OpKind::Read)),
+        writes: summarize(&collect(OpKind::Write)),
+    }
+}
+
+/// Overall success rate (1.0 for an empty trace).
+pub fn availability(trace: &OpTrace) -> f64 {
+    trace.success_rate()
+}
+
+/// Successful operations per second of virtual time spanned by the trace.
+pub fn throughput_ops_per_sec(trace: &OpTrace) -> f64 {
+    let records = trace.records();
+    if records.is_empty() {
+        return 0.0;
+    }
+    let start = records.iter().map(|r| r.invoked).min().expect("non-empty");
+    let end = records.iter().map(|r| r.completed).max().expect("non-empty");
+    let span = end.saturating_since(start).as_secs_f64();
+    if span <= 0.0 {
+        return 0.0;
+    }
+    trace.successful().count() as f64 / span
+}
+
+/// Success rate in consecutive windows: `(window start ms, rate)` pairs.
+/// Operations are binned by invocation time. Windows with no operations
+/// are omitted.
+pub fn availability_timeline(trace: &OpTrace, window: Duration) -> Vec<(f64, f64)> {
+    let records = trace.records();
+    if records.is_empty() {
+        return Vec::new();
+    }
+    let end = records.iter().map(|r| r.invoked).max().expect("non-empty");
+    let w = window.as_micros().max(1);
+    let bins = (end.as_micros() / w) as usize + 1;
+    let mut ok = vec![0u64; bins];
+    let mut total = vec![0u64; bins];
+    for r in records {
+        let b = (r.invoked.as_micros() / w) as usize;
+        total[b] += 1;
+        if r.ok {
+            ok[b] += 1;
+        }
+    }
+    (0..bins)
+        .filter(|&b| total[b] > 0)
+        .map(|b| {
+            (
+                SimTime::from_micros(b as u64 * w).as_millis_f64(),
+                ok[b] as f64 / total[b] as f64,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{NodeId, OpRecord};
+
+    fn rec(kind: OpKind, invoked_ms: u64, latency_ms: u64, ok: bool) -> OpRecord {
+        OpRecord {
+            session: 1,
+            op_id: invoked_ms,
+            key: 1,
+            kind,
+            value_written: None,
+            value_read: vec![],
+            invoked: SimTime::from_millis(invoked_ms),
+            completed: SimTime::from_millis(invoked_ms + latency_ms),
+            replica: NodeId(0),
+            ok,
+            version_ts: None,
+            stamp: None,
+        }
+    }
+
+    #[test]
+    fn latency_summary_splits_by_kind() {
+        let mut t = OpTrace::new();
+        t.push(rec(OpKind::Read, 0, 10, true));
+        t.push(rec(OpKind::Read, 20, 30, true));
+        t.push(rec(OpKind::Write, 50, 100, true));
+        t.push(rec(OpKind::Read, 60, 999, false)); // failed: excluded
+        let s = latency_summary(&t);
+        assert_eq!(s.reads.count, 2);
+        assert_eq!(s.writes.count, 1);
+        assert_eq!(s.reads.min, 10.0);
+        assert_eq!(s.writes.max, 100.0);
+    }
+
+    #[test]
+    fn throughput_spans_trace() {
+        let mut t = OpTrace::new();
+        t.push(rec(OpKind::Read, 0, 10, true));
+        t.push(rec(OpKind::Read, 990, 10, true)); // spans exactly 1s
+        assert!((throughput_ops_per_sec(&t) - 2.0).abs() < 1e-9);
+        assert_eq!(throughput_ops_per_sec(&OpTrace::new()), 0.0);
+    }
+
+    #[test]
+    fn availability_timeline_bins_by_invocation() {
+        let mut t = OpTrace::new();
+        t.push(rec(OpKind::Read, 0, 1, true));
+        t.push(rec(OpKind::Read, 10, 1, true));
+        t.push(rec(OpKind::Read, 150, 1, false));
+        t.push(rec(OpKind::Read, 160, 1, true));
+        let tl = availability_timeline(&t, Duration::from_millis(100));
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0], (0.0, 1.0));
+        assert_eq!(tl[1], (100.0, 0.5));
+    }
+}

@@ -1,0 +1,183 @@
+//! Points in the replication design space.
+
+use replication::common::Guarantees;
+use replication::eventual::ConflictMode;
+use simnet::Duration;
+
+/// How client sessions attach to replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientPlacement {
+    /// Session `i` sticks to replica `i % n` (geo-local client).
+    Sticky,
+    /// Every operation goes to a uniformly random replica (load-balanced
+    /// anycast; the setting where session anomalies surface).
+    Random,
+}
+
+/// A replication scheme — one point in the tutorial's taxonomy.
+#[derive(Debug, Clone)]
+pub enum Scheme {
+    /// Asynchronous multi-master (anti-entropy + optional eager push).
+    Eventual {
+        /// Replica count.
+        replicas: usize,
+        /// Eagerly broadcast each write.
+        eager: bool,
+        /// Gossip `(interval, fanout)`; `None` disables anti-entropy.
+        gossip: Option<(Duration, usize)>,
+        /// Conflict policy.
+        mode: ConflictMode,
+        /// Session guarantees enforced client-side.
+        guarantees: Guarantees,
+        /// Client attachment.
+        placement: ClientPlacement,
+    },
+    /// Dynamo-style N/R/W quorums with sloppy writes: unreachable home
+    /// replicas are covered by hint-holding spares (hinted handoff).
+    SloppyQuorum {
+        /// Home replica count.
+        n: usize,
+        /// Read quorum.
+        r: usize,
+        /// Write quorum.
+        w: usize,
+        /// Spare (hint-holding) node count.
+        spares: usize,
+    },
+    /// Dynamo-style N/R/W quorums.
+    Quorum {
+        /// Replica count.
+        n: usize,
+        /// Read quorum.
+        r: usize,
+        /// Write quorum.
+        w: usize,
+        /// Read repair on stale replicas.
+        read_repair: bool,
+        /// Client attachment (coordinator choice).
+        placement: ClientPlacement,
+    },
+    /// Primary copy with async shipping *and* view-change failover.
+    PrimaryAsyncFailover {
+        /// Replica count (node 0 leads view 0).
+        replicas: usize,
+        /// Shipping interval.
+        ship_interval: Duration,
+    },
+    /// Primary copy with synchronous backup acks.
+    PrimarySync {
+        /// Replica count (node 0 is primary).
+        replicas: usize,
+    },
+    /// Primary copy with asynchronous log shipping.
+    PrimaryAsync {
+        /// Replica count (node 0 is primary).
+        replicas: usize,
+        /// Shipping interval (replication lag knob).
+        ship_interval: Duration,
+    },
+    /// Multi-Paxos replicated log (linearizable).
+    Paxos {
+        /// Node count.
+        nodes: usize,
+    },
+    /// COPS-style causal+ multi-master.
+    Causal {
+        /// Replica count.
+        replicas: usize,
+    },
+}
+
+impl Scheme {
+    /// Default eventual configuration: eager + 50 ms gossip, LWW, no
+    /// session guarantees, sticky clients.
+    pub fn eventual(replicas: usize) -> Self {
+        Scheme::Eventual {
+            replicas,
+            eager: true,
+            gossip: Some((Duration::from_millis(50), 1)),
+            mode: ConflictMode::Lww,
+            guarantees: Guarantees::none(),
+            placement: ClientPlacement::Sticky,
+        }
+    }
+
+    /// Quorum with explicit R/W, read repair on, random coordinators.
+    pub fn quorum(n: usize, r: usize, w: usize) -> Self {
+        Scheme::Quorum { n, r, w, read_repair: true, placement: ClientPlacement::Random }
+    }
+
+    /// Number of replica (server) nodes the scheme deploys.
+    pub fn replica_count(&self) -> usize {
+        match *self {
+            Scheme::Eventual { replicas, .. } => replicas,
+            Scheme::Quorum { n, .. } => n,
+            Scheme::SloppyQuorum { n, .. } => n,
+            Scheme::PrimarySync { replicas } => replicas,
+            Scheme::PrimaryAsync { replicas, .. } => replicas,
+            Scheme::PrimaryAsyncFailover { replicas, .. } => replicas,
+            Scheme::Paxos { nodes } => nodes,
+            Scheme::Causal { replicas } => replicas,
+        }
+    }
+
+    /// Total server nodes deployed (replicas + any spares); client actors
+    /// get node ids starting at this offset.
+    pub fn server_node_count(&self) -> usize {
+        match *self {
+            Scheme::SloppyQuorum { n, spares, .. } => n + spares,
+            _ => self.replica_count(),
+        }
+    }
+
+    /// A short label for table rows.
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Eventual { eager, gossip, mode, .. } => format!(
+                "eventual({}{}{:?})",
+                if *eager { "eager+" } else { "" },
+                if gossip.is_some() { "gossip," } else { "no-gossip," },
+                mode
+            ),
+            Scheme::Quorum { n, r, w, .. } => format!("quorum(N={n},R={r},W={w})"),
+            Scheme::SloppyQuorum { n, r, w, spares } => {
+                format!("sloppy-quorum(N={n},R={r},W={w},+{spares})")
+            }
+            Scheme::PrimarySync { .. } => "primary-sync".to_string(),
+            Scheme::PrimaryAsync { ship_interval, .. } => {
+                format!("primary-async({}ms)", ship_interval.as_millis_f64())
+            }
+            Scheme::PrimaryAsyncFailover { ship_interval, .. } => {
+                format!("primary-async-failover({}ms)", ship_interval.as_millis_f64())
+            }
+            Scheme::Paxos { .. } => "paxos".to_string(),
+            Scheme::Causal { .. } => "causal".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_counts() {
+        assert_eq!(Scheme::eventual(3).replica_count(), 3);
+        assert_eq!(Scheme::quorum(5, 2, 3).replica_count(), 5);
+        assert_eq!(Scheme::Paxos { nodes: 7 }.replica_count(), 7);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(Scheme::quorum(3, 1, 1).label(), "quorum(N=3,R=1,W=1)");
+        assert!(Scheme::eventual(3).label().starts_with("eventual("));
+        assert_eq!(
+            Scheme::PrimaryAsync {
+                replicas: 2,
+                ship_interval: Duration::from_millis(100)
+            }
+            .label(),
+            "primary-async(100ms)"
+        );
+    }
+}

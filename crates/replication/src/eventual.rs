@@ -1,0 +1,970 @@
+//! Asynchronous multi-master replication ("eventual consistency proper").
+//!
+//! Every replica accepts reads and writes locally and propagates updates
+//! asynchronously, by eager one-way broadcast ([`EventualConfig::eager`])
+//! and/or periodic push-pull anti-entropy gossip
+//! ([`EventualConfig::gossip`]). Conflicts are resolved by the configured
+//! [`ConflictMode`]:
+//!
+//! * [`ConflictMode::Lww`] — last-writer-wins on Lamport stamps (loses one
+//!   of two concurrent writes; experiment E6 counts how many).
+//! * [`ConflictMode::Siblings`] — dotted-version-vector siblings exposed to
+//!   the client (the Dynamo model).
+//! * [`ConflictMode::Counter`] — values are PN-counters merged as CRDTs
+//!   (writes are increments; nothing is ever lost).
+//!
+//! Clients are scripted sessions ([`EventualClient`]) that can enforce the
+//! four Bayou session guarantees client-side (see
+//! [`crate::common::Guarantees`]): read floors with bounded retries for
+//! RYW/MR, Lamport-stamp piggybacking for MW/WFR.
+
+use crate::common::{ClientCore, Guarantees, IssueOp, OpOutcome, ScriptOp, TimerAction};
+use clocks::{LamportClock, LamportTimestamp, VersionVector};
+use crdt::{CvRdt, PnCounter};
+use kvstore::{siblings::Sibling, Key, MvStore, SiblingStore, Value};
+use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
+use std::collections::BTreeMap;
+
+/// Conflict-resolution policy for the replicated store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictMode {
+    /// Last-writer-wins on `(Lamport counter, replica)` stamps.
+    Lww,
+    /// Keep concurrent siblings (dotted version vectors).
+    Siblings,
+    /// Values are PN-counters; a write of `v` means "increment by v".
+    Counter,
+}
+
+/// Gossip (anti-entropy) configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Interval between gossip rounds.
+    pub interval: Duration,
+    /// Number of peers contacted per round.
+    pub fanout: usize,
+}
+
+/// Configuration for one eventual-consistency deployment.
+#[derive(Debug, Clone)]
+pub struct EventualConfig {
+    /// Number of replicas (node ids `0..replicas`).
+    pub replicas: usize,
+    /// Eagerly broadcast each write to all peers (asynchronously).
+    pub eager: bool,
+    /// Periodic anti-entropy; `None` disables gossip.
+    pub gossip: Option<GossipConfig>,
+    /// Conflict policy.
+    pub mode: ConflictMode,
+}
+
+impl EventualConfig {
+    /// Eager broadcast + gossip every 50 ms, LWW: a sensible default.
+    pub fn default_lww(replicas: usize) -> Self {
+        EventualConfig {
+            replicas,
+            eager: true,
+            gossip: Some(GossipConfig { interval: Duration::from_millis(50), fanout: 1 }),
+            mode: ConflictMode::Lww,
+        }
+    }
+}
+
+/// One replicated data item in flight.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// An LWW version.
+    Lww {
+        /// Key.
+        key: Key,
+        /// Unique write id.
+        value: u64,
+        /// LWW stamp.
+        ts: LamportTimestamp,
+        /// Origin write time (µs).
+        written_at: u64,
+    },
+    /// A DVV sibling.
+    Sib {
+        /// Key.
+        key: Key,
+        /// The sibling (value + dotted version vector).
+        sibling: Sibling,
+    },
+    /// Full CRDT counter state for a key.
+    Counter {
+        /// Key.
+        key: Key,
+        /// Counter state.
+        state: PnCounter,
+    },
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Client read request.
+    Get {
+        /// Client op id.
+        op_id: u64,
+        /// Key.
+        key: Key,
+    },
+    /// Read response.
+    GetResp {
+        /// Client op id.
+        op_id: u64,
+        /// Observed values (unique write ids); empty if key absent.
+        values: Vec<u64>,
+        /// Max stamp across returned versions (LWW/sibling modes).
+        stamp: Option<(u64, u64)>,
+        /// Origin write time of the newest returned version (µs).
+        version_ts: Option<u64>,
+        /// Causal context (sibling mode; empty otherwise).
+        ctx: VersionVector,
+    },
+    /// Client write request.
+    Put {
+        /// Client op id.
+        op_id: u64,
+        /// Key.
+        key: Key,
+        /// Unique write id (or increment amount in counter mode).
+        value: u64,
+        /// Highest stamp the session has observed (MW/WFR piggyback).
+        observed: (u64, u64),
+        /// Client causal context (sibling mode).
+        ctx: VersionVector,
+    },
+    /// Write acknowledgement.
+    PutResp {
+        /// Client op id.
+        op_id: u64,
+        /// Stamp the replica assigned.
+        stamp: (u64, u64),
+    },
+    /// Eager asynchronous replication of fresh writes.
+    Replicate {
+        /// Items to apply.
+        items: Vec<Item>,
+    },
+    /// Gossip round 1: the initiator's digest.
+    SyncReq {
+        /// `(key, latest stamp)` for LWW; `(key, context summary)` is
+        /// carried via `vv_digest` for sibling mode.
+        digest: Vec<(Key, LamportTimestamp)>,
+        /// Sibling-mode digest: per-key joint event sets.
+        vv_digest: Vec<(Key, VersionVector)>,
+    },
+    /// Gossip round 2: items the responder has that the initiator lacks,
+    /// plus the responder's digest for the reverse fill.
+    SyncResp {
+        /// Items newer at the responder.
+        items: Vec<Item>,
+        /// Responder's digest.
+        digest: Vec<(Key, LamportTimestamp)>,
+        /// Responder's sibling-mode digest.
+        vv_digest: Vec<(Key, VersionVector)>,
+    },
+    /// Gossip round 3: reverse fill.
+    SyncPush {
+        /// Items newer at the initiator.
+        items: Vec<Item>,
+    },
+}
+
+/// LWW and sibling-mode gossip digests, paired.
+type Digests = (Vec<(Key, LamportTimestamp)>, Vec<(Key, VersionVector)>);
+
+/// Replica-side storage, by conflict mode.
+#[derive(Debug)]
+enum Store {
+    Lww(MvStore),
+    Sib(SiblingStore),
+    Counter(BTreeMap<Key, PnCounter>),
+}
+
+const TAG_GOSSIP: u64 = 1;
+
+/// A replica actor.
+pub struct EventualReplica {
+    cfg: EventualConfig,
+    store: Store,
+    clock: LamportClock,
+}
+
+impl EventualReplica {
+    /// Create a replica (its node id is assigned by the simulator; the
+    /// replica learns it from the context on first callback).
+    pub fn new(cfg: EventualConfig) -> Self {
+        let store = match cfg.mode {
+            ConflictMode::Lww => Store::Lww(MvStore::new()),
+            // Actor id is patched on first use; 0 placeholder is safe
+            // because `SiblingStore::new` only fixes the dot-minting id.
+            ConflictMode::Siblings => Store::Sib(SiblingStore::new(u64::MAX)),
+            ConflictMode::Counter => Store::Counter(BTreeMap::new()),
+        };
+        EventualReplica { cfg, store, clock: LamportClock::new() }
+    }
+
+    /// Read access to the LWW store (experiments check convergence).
+    pub fn lww_store(&self) -> Option<&MvStore> {
+        match &self.store {
+            Store::Lww(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Read access to the sibling store.
+    pub fn sibling_store(&self) -> Option<&SiblingStore> {
+        match &self.store {
+            Store::Sib(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Counter value for `key` (counter mode).
+    pub fn counter_value(&self, key: Key) -> Option<i64> {
+        match &self.store {
+            Store::Counter(m) => m.get(&key).map(|c| c.value()),
+            _ => None,
+        }
+    }
+
+    fn ensure_sib_actor(&mut self, me: NodeId) {
+        if let Store::Sib(s) = &mut self.store {
+            if s.key_count() == 0 {
+                // Re-key the store to this node id before first write.
+                *s = SiblingStore::new(me.0 as u64);
+            }
+        }
+    }
+
+    fn peers(&self, me: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.cfg.replicas).map(NodeId).filter(move |&n| n != me)
+    }
+
+    fn digest(&self) -> Digests {
+        match &self.store {
+            Store::Lww(s) => (
+                s.scan(..).map(|(k, v)| (k, v.ts)).collect(),
+                Vec::new(),
+            ),
+            Store::Sib(s) => (
+                Vec::new(),
+                s.keys().map(|k| (k, s.read(k).context)).collect(),
+            ),
+            // Counters have no cheap digest; gossip ships full state.
+            Store::Counter(_) => (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Items this replica has that the remote digest lacks.
+    fn missing_at_remote(
+        &self,
+        digest: &[(Key, LamportTimestamp)],
+        vv_digest: &[(Key, VersionVector)],
+    ) -> Vec<Item> {
+        match &self.store {
+            Store::Lww(s) => {
+                let remote: BTreeMap<Key, LamportTimestamp> = digest.iter().copied().collect();
+                s.scan(..)
+                    .filter(|(k, v)| remote.get(k).map(|&ts| v.ts > ts).unwrap_or(true))
+                    .map(|(k, v)| Item::Lww {
+                        key: k,
+                        value: v.value.as_u64().unwrap_or(0),
+                        ts: v.ts,
+                        written_at: v.written_at,
+                    })
+                    .collect()
+            }
+            Store::Sib(s) => {
+                let remote: BTreeMap<Key, &VersionVector> =
+                    vv_digest.iter().map(|(k, vv)| (*k, vv)).collect();
+                let mut items = Vec::new();
+                for k in s.keys().collect::<Vec<_>>() {
+                    for sib in s.siblings(k) {
+                        let unseen = remote
+                            .get(&k)
+                            .map(|vv| !sib.dvv.covered_by(vv))
+                            .unwrap_or(true);
+                        if unseen {
+                            items.push(Item::Sib { key: k, sibling: sib.clone() });
+                        }
+                    }
+                }
+                items
+            }
+            Store::Counter(m) => m
+                .iter()
+                .map(|(&k, c)| Item::Counter { key: k, state: c.clone() })
+                .collect(),
+        }
+    }
+
+    /// Apply replicated items; returns how many changed local state.
+    // A guard with a side effect (clippy's collapse suggestion) would be
+    // worse than the nested `if`.
+    #[allow(clippy::collapsible_match)]
+    fn apply_items(&mut self, items: Vec<Item>) -> usize {
+        let mut changed = 0;
+        for item in items {
+            match (&mut self.store, item) {
+                (Store::Lww(s), Item::Lww { key, value, ts, written_at }) => {
+                    // Keep the Lamport clock ahead of everything stored.
+                    self.clock.observe(ts, 0);
+                    if s.put(key, Value::from_u64(value), ts, written_at) {
+                        changed += 1;
+                    }
+                }
+                (Store::Sib(s), Item::Sib { key, sibling }) => {
+                    if s.apply_remote(key, sibling) {
+                        changed += 1;
+                    }
+                }
+                (Store::Counter(m), Item::Counter { key, state }) => {
+                    let e = m.entry(key).or_default();
+                    let before = e.clone();
+                    e.merge(&state);
+                    if *e != before {
+                        changed += 1;
+                    }
+                }
+                // Mode mismatch: a deployment bug; drop the item.
+                _ => {}
+            }
+        }
+        changed
+    }
+
+    fn handle_get(&mut self, ctx: &mut Context<Msg>, from: NodeId, op_id: u64, key: Key) {
+        let resp = match &self.store {
+            Store::Lww(s) => match s.get(key) {
+                Some(v) => Msg::GetResp {
+                    op_id,
+                    values: v.value.as_u64().into_iter().collect(),
+                    stamp: Some((v.ts.counter, v.ts.actor)),
+                    version_ts: Some(v.written_at),
+                    ctx: VersionVector::new(),
+                },
+                None => Msg::GetResp {
+                    op_id,
+                    values: vec![],
+                    stamp: None,
+                    version_ts: None,
+                    ctx: VersionVector::new(),
+                },
+            },
+            Store::Sib(s) => {
+                let r = s.read(key);
+                let newest = s.siblings(key).iter().map(|x| x.written_at).max();
+                Msg::GetResp {
+                    op_id,
+                    values: r.values.iter().filter_map(|v| v.as_u64()).collect(),
+                    stamp: Some((r.context.total(), 0)),
+                    version_ts: newest,
+                    ctx: r.context,
+                }
+            }
+            Store::Counter(m) => {
+                let v = m.get(&key).map(|c| c.value()).unwrap_or(0);
+                Msg::GetResp {
+                    op_id,
+                    values: vec![v as u64],
+                    stamp: None,
+                    version_ts: None,
+                    ctx: VersionVector::new(),
+                }
+            }
+        };
+        ctx.send(from, resp);
+    }
+
+    #[allow(clippy::too_many_arguments)] // one parameter per wire field
+    fn handle_put(
+        &mut self,
+        ctx: &mut Context<Msg>,
+        from: NodeId,
+        op_id: u64,
+        key: Key,
+        value: u64,
+        observed: (u64, u64),
+        client_ctx: VersionVector,
+    ) {
+        let me = ctx.self_id();
+        self.ensure_sib_actor(me);
+        let now_us = ctx.now().as_micros();
+        let (stamp, items) = match &mut self.store {
+            Store::Lww(s) => {
+                // Piggybacked session stamp keeps MW/WFR ordering: tick past
+                // everything the session has observed.
+                self.clock
+                    .observe(LamportTimestamp::new(observed.0, observed.1), me.0 as u64);
+                let ts = self.clock.tick(me.0 as u64);
+                s.put(key, Value::from_u64(value), ts, now_us);
+                (
+                    (ts.counter, ts.actor),
+                    vec![Item::Lww { key, value, ts, written_at: now_us }],
+                )
+            }
+            Store::Sib(s) => {
+                s.write(key, Value::from_u64(value), &client_ctx, now_us);
+                let sib = s.siblings(key).last().expect("just wrote").clone();
+                ((s.read(key).context.total(), 0), vec![Item::Sib { key, sibling: sib }])
+            }
+            Store::Counter(m) => {
+                let c = m.entry(key).or_default();
+                c.increment(me.0 as u64, value);
+                ((0, 0), vec![Item::Counter { key, state: c.clone() }])
+            }
+        };
+        ctx.send(from, Msg::PutResp { op_id, stamp });
+        if self.cfg.eager {
+            let peers: Vec<NodeId> = self.peers(me).collect();
+            for p in peers {
+                ctx.send(p, Msg::Replicate { items: items.clone() });
+            }
+        }
+    }
+
+    fn start_gossip_round(&mut self, ctx: &mut Context<Msg>) {
+        let me = ctx.self_id();
+        let peers: Vec<NodeId> = self.peers(me).collect();
+        if peers.is_empty() {
+            return;
+        }
+        let fanout = self.cfg.gossip.map(|g| g.fanout).unwrap_or(1).min(peers.len());
+        let (digest, vv_digest) = self.digest();
+        // Choose `fanout` distinct peers.
+        let mut idxs: Vec<usize> = (0..peers.len()).collect();
+        ctx.rng().shuffle(&mut idxs);
+        for &i in idxs.iter().take(fanout) {
+            ctx.send(
+                peers[i],
+                Msg::SyncReq { digest: digest.clone(), vv_digest: vv_digest.clone() },
+            );
+        }
+    }
+}
+
+impl Actor<Msg> for EventualReplica {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        if let Some(g) = self.cfg.gossip {
+            // Desynchronize replicas' rounds.
+            let jitter = ctx.rng().below(g.interval.as_micros().max(1));
+            ctx.set_timer(Duration::from_micros(jitter), TAG_GOSSIP);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, _id: u64, tag: u64) {
+        if tag == TAG_GOSSIP {
+            if let Some(g) = self.cfg.gossip {
+                self.start_gossip_round(ctx);
+                ctx.set_timer(g.interval, TAG_GOSSIP);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Get { op_id, key } => self.handle_get(ctx, from, op_id, key),
+            Msg::Put { op_id, key, value, observed, ctx: client_ctx } => {
+                self.handle_put(ctx, from, op_id, key, value, observed, client_ctx)
+            }
+            Msg::Replicate { items } => {
+                self.apply_items(items);
+            }
+            Msg::SyncReq { digest, vv_digest } => {
+                let items = self.missing_at_remote(&digest, &vv_digest);
+                let (my_digest, my_vv) = self.digest();
+                ctx.send(from, Msg::SyncResp { items, digest: my_digest, vv_digest: my_vv });
+            }
+            Msg::SyncResp { items, digest, vv_digest } => {
+                self.apply_items(items);
+                let back = self.missing_at_remote(&digest, &vv_digest);
+                if !back.is_empty() {
+                    ctx.send(from, Msg::SyncPush { items: back });
+                }
+            }
+            Msg::SyncPush { items } => {
+                self.apply_items(items);
+            }
+            // Responses are client-side messages; a replica ignores them.
+            Msg::GetResp { .. } | Msg::PutResp { .. } => {}
+        }
+    }
+}
+
+/// Which replica a client targets per operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetPolicy {
+    /// Always the same ("home" / nearest) replica.
+    Sticky(NodeId),
+    /// A uniformly random replica per operation (load-balanced anycast —
+    /// the setting where session-guarantee violations show up).
+    Random,
+}
+
+const TAG_RETRY: u64 = 2;
+
+/// A scripted client session for the eventual protocol.
+pub struct EventualClient {
+    core: ClientCore,
+    replicas: usize,
+    policy: TargetPolicy,
+    guarantees: Guarantees,
+    mode: ConflictMode,
+    /// Per-key stamp floors for RYW/MR retries.
+    floors: BTreeMap<Key, (u64, u64)>,
+    /// Highest stamp observed (MW/WFR piggyback).
+    observed: (u64, u64),
+    /// Per-key causal contexts (sibling mode).
+    contexts: BTreeMap<Key, VersionVector>,
+    /// Bounded retries per read for guarantee enforcement.
+    max_retries: u32,
+    /// Count of guarantee-driven retries performed (exported metric).
+    pub guarantee_retries: u64,
+    current_target: NodeId,
+}
+
+impl EventualClient {
+    /// Create a client session.
+    #[allow(clippy::too_many_arguments)] // deployment parameters, named at the call site
+    pub fn new(
+        session: u64,
+        script: Vec<ScriptOp>,
+        trace: SharedTrace,
+        replicas: usize,
+        policy: TargetPolicy,
+        guarantees: Guarantees,
+        mode: ConflictMode,
+    ) -> Self {
+        let start_target = match policy {
+            TargetPolicy::Sticky(n) => n,
+            TargetPolicy::Random => NodeId(0),
+        };
+        EventualClient {
+            core: ClientCore::new(session, script, trace, Duration::from_millis(500)),
+            replicas,
+            policy,
+            guarantees,
+            mode,
+            floors: BTreeMap::new(),
+            observed: (0, 0),
+            contexts: BTreeMap::new(),
+            max_retries: 20,
+            guarantee_retries: 0,
+            current_target: start_target,
+        }
+    }
+
+    fn pick_target(&mut self, ctx: &mut Context<Msg>) -> NodeId {
+        match self.policy {
+            TargetPolicy::Sticky(n) => n,
+            TargetPolicy::Random => NodeId(ctx.rng().index(self.replicas)),
+        }
+    }
+
+    fn send_op(&mut self, ctx: &mut Context<Msg>, op: IssueOp, target: NodeId) {
+        self.current_target = target;
+        let msg = match op.kind {
+            OpKind::Read => Msg::Get { op_id: op.op_id, key: op.key },
+            OpKind::Write => Msg::Put {
+                op_id: op.op_id,
+                key: op.key,
+                value: op.value.expect("write without value"),
+                observed: self.observed,
+                ctx: self.contexts.get(&op.key).cloned().unwrap_or_default(),
+            },
+        };
+        ctx.send(target, msg);
+    }
+
+    /// Does `stamp` satisfy the session's floor for `key`?
+    fn floor_met(&self, key: Key, stamp: Option<(u64, u64)>) -> bool {
+        match self.floors.get(&key) {
+            None => true,
+            Some(&floor) => stamp.map(|s| s >= floor).unwrap_or(false),
+        }
+    }
+}
+
+impl Actor<Msg> for EventualClient {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        self.core.start(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, _id: u64, tag: u64) {
+        if tag == TAG_RETRY {
+            let target = self.pick_target(ctx);
+            if let Some(op) = self.core.retry(ctx, target) {
+                self.send_op(ctx, op, target);
+            }
+            return;
+        }
+        let target = self.pick_target(ctx);
+        match self.core.handle_timer(ctx, tag, target) {
+            TimerAction::Issue(op) => self.send_op(ctx, op, target),
+            TimerAction::TimedOut(_) | TimerAction::None => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::GetResp { op_id, values, stamp, version_ts, ctx: read_ctx } => {
+                if self.core.pending_op() != Some(op_id) {
+                    return; // late response for a timed-out op
+                }
+                let key = self.core.pending_key().expect("pending read has a key");
+                // Guarantee enforcement: retry while below the floor.
+                if self.guarantees.any_read_guarantee()
+                    && self.mode == ConflictMode::Lww
+                    && !self.floor_met(key, stamp)
+                    && self.core.pending_retries() < self.max_retries
+                {
+                    self.guarantee_retries += 1;
+                    ctx.set_timer(Duration::from_millis(2), TAG_RETRY);
+                    return;
+                }
+                if self.mode == ConflictMode::Siblings {
+                    self.contexts.insert(key, read_ctx);
+                }
+                if let Some(s) = stamp {
+                    if self.guarantees.monotonic_reads {
+                        let f = self.floors.entry(key).or_insert((0, 0));
+                        *f = (*f).max(s);
+                    }
+                    if self.guarantees.writes_follow_reads {
+                        self.observed = self.observed.max(s);
+                    }
+                }
+                self.core.complete(
+                    ctx,
+                    op_id,
+                    OpOutcome {
+                        ok: true,
+                        values,
+                        stamp,
+                        version_ts: version_ts.map(SimTime::from_micros),
+                    },
+                );
+            }
+            Msg::PutResp { op_id, stamp } => {
+                if self.core.pending_op() != Some(op_id) {
+                    return;
+                }
+                let key = self.core.pending_key().expect("pending write has a key");
+                if self.guarantees.read_your_writes {
+                    let f = self.floors.entry(key).or_insert((0, 0));
+                    *f = (*f).max(stamp);
+                }
+                if self.guarantees.monotonic_writes {
+                    self.observed = self.observed.max(stamp);
+                }
+                self.core.complete(
+                    ctx,
+                    op_id,
+                    OpOutcome { ok: true, values: vec![], stamp: Some(stamp), version_ts: None },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{optrace, LatencyModel, Sim, SimConfig};
+
+    fn build_sim(
+        cfg: EventualConfig,
+        clients: Vec<EventualClient>,
+        seed: u64,
+    ) -> Sim<Msg> {
+        let mut sim = Sim::new(
+            SimConfig::default()
+                .seed(seed)
+                .latency(LatencyModel::Constant(Duration::from_millis(5))),
+        );
+        for _ in 0..cfg.replicas {
+            sim.add_node(Box::new(EventualReplica::new(cfg.clone())));
+        }
+        for c in clients {
+            sim.add_node(Box::new(c));
+        }
+        sim
+    }
+
+    fn script(ops: &[(OpKind, Key)]) -> Vec<ScriptOp> {
+        ops.iter()
+            .map(|&(kind, key)| ScriptOp { gap_us: 1_000, kind, key })
+            .collect()
+    }
+
+    #[test]
+    fn write_then_read_same_replica() {
+        let trace = optrace::shared_trace();
+        let cfg = EventualConfig::default_lww(3);
+        let client = EventualClient::new(
+            1,
+            script(&[(OpKind::Write, 7), (OpKind::Read, 7)]),
+            trace.clone(),
+            3,
+            TargetPolicy::Sticky(NodeId(0)),
+            Guarantees::none(),
+            ConflictMode::Lww,
+        );
+        let mut sim = build_sim(cfg, vec![client], 1);
+        sim.run_until(SimTime::from_secs(2));
+        let t = trace.borrow();
+        assert_eq!(t.len(), 2);
+        let read = &t.records()[1];
+        assert!(read.ok);
+        assert_eq!(read.value_read, vec![ClientCore::unique_value(1, 1)]);
+        assert!(read.stamp.is_some());
+    }
+
+    #[test]
+    fn eager_broadcast_converges_replicas() {
+        // Eager-only (no gossip): a write at replica 0 must be readable at
+        // every other replica shortly after one network delay.
+        let trace = optrace::shared_trace();
+        let cfg = EventualConfig { gossip: None, ..EventualConfig::default_lww(3) };
+        let writer = EventualClient::new(
+            1,
+            script(&[(OpKind::Write, 1)]),
+            trace.clone(),
+            3,
+            TargetPolicy::Sticky(NodeId(0)),
+            Guarantees::none(),
+            ConflictMode::Lww,
+        );
+        let mut clients = vec![writer];
+        for (s, replica) in [(2u64, 1usize), (3, 2)] {
+            clients.push(EventualClient::new(
+                s,
+                vec![ScriptOp { gap_us: 100_000, kind: OpKind::Read, key: 1 }],
+                trace.clone(),
+                3,
+                TargetPolicy::Sticky(NodeId(replica)),
+                Guarantees::none(),
+                ConflictMode::Lww,
+            ));
+        }
+        let mut sim = build_sim(cfg, clients, 2);
+        sim.run_until(SimTime::from_secs(1));
+        let t = trace.borrow();
+        let reads: Vec<_> = t.records().iter().filter(|r| r.kind == OpKind::Read).collect();
+        assert_eq!(reads.len(), 2);
+        for r in reads {
+            assert_eq!(
+                r.value_read,
+                vec![ClientCore::unique_value(1, 1)],
+                "replica {} did not receive the eager broadcast",
+                r.replica
+            );
+        }
+    }
+
+    #[test]
+    fn gossip_propagates_without_eager() {
+        let trace = optrace::shared_trace();
+        let cfg = EventualConfig {
+            eager: false,
+            gossip: Some(GossipConfig { interval: Duration::from_millis(20), fanout: 2 }),
+            ..EventualConfig::default_lww(3)
+        };
+        // Writer writes at replica 0; reader reads key at replica 2 after
+        // plenty of gossip rounds.
+        let writer = EventualClient::new(
+            1,
+            script(&[(OpKind::Write, 5)]),
+            trace.clone(),
+            3,
+            TargetPolicy::Sticky(NodeId(0)),
+            Guarantees::none(),
+            ConflictMode::Lww,
+        );
+        let mut reader_script = vec![ScriptOp { gap_us: 500_000, kind: OpKind::Read, key: 5 }];
+        reader_script.push(ScriptOp { gap_us: 1_000, kind: OpKind::Read, key: 5 });
+        let reader = EventualClient::new(
+            2,
+            reader_script,
+            trace.clone(),
+            3,
+            TargetPolicy::Sticky(NodeId(2)),
+            Guarantees::none(),
+            ConflictMode::Lww,
+        );
+        let mut sim = build_sim(cfg, vec![writer, reader], 3);
+        sim.run_until(SimTime::from_secs(2));
+        let t = trace.borrow();
+        let reads: Vec<_> = t.records().iter().filter(|r| r.kind == OpKind::Read).collect();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(
+            reads[0].value_read,
+            vec![ClientCore::unique_value(1, 1)],
+            "gossip must have propagated the write within 500ms"
+        );
+    }
+
+    #[test]
+    fn floor_mechanism() {
+        // Unit-level check of the RYW/MR floor predicate.
+        let trace = optrace::shared_trace();
+        let mut c = EventualClient::new(
+            1,
+            vec![],
+            trace,
+            2,
+            TargetPolicy::Sticky(NodeId(0)),
+            Guarantees::all(),
+            ConflictMode::Lww,
+        );
+        assert!(c.floor_met(1, None));
+        c.floors.insert(1, (5, 0));
+        assert!(!c.floor_met(1, Some((4, 9))));
+        assert!(c.floor_met(1, Some((5, 0))));
+        assert!(c.floor_met(1, Some((6, 0))));
+        assert!(!c.floor_met(1, None));
+    }
+
+    #[test]
+    fn ryw_enforcement_retries_until_fresh() {
+        // A session with Random targets writes then reads many times with
+        // gossip-only propagation. With RYW on, every read that follows a
+        // write of the same key must return a stamp >= the write's stamp.
+        let trace = optrace::shared_trace();
+        let cfg = EventualConfig {
+            eager: false,
+            gossip: Some(GossipConfig { interval: Duration::from_millis(10), fanout: 1 }),
+            ..EventualConfig::default_lww(3)
+        };
+        let mut ops = Vec::new();
+        for _ in 0..10 {
+            ops.push((OpKind::Write, 7));
+            ops.push((OpKind::Read, 7));
+        }
+        let client = EventualClient::new(
+            1,
+            script(&ops),
+            trace.clone(),
+            3,
+            TargetPolicy::Random,
+            Guarantees { read_your_writes: true, ..Guarantees::none() },
+            ConflictMode::Lww,
+        );
+        let mut sim = build_sim(cfg, vec![client], 11);
+        sim.run_until(SimTime::from_secs(10));
+        let t = trace.borrow();
+        assert_eq!(t.len(), 20, "all ops completed");
+        let mut last_write_stamp: Option<(u64, u64)> = None;
+        for r in t.records() {
+            match r.kind {
+                OpKind::Write => last_write_stamp = r.stamp,
+                OpKind::Read => {
+                    if let Some(w) = last_write_stamp {
+                        let s = r.stamp.expect("read returned a stamp");
+                        assert!(s >= w, "RYW violated: read {s:?} < write {w:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counter_mode_sums_concurrent_increments() {
+        let trace = optrace::shared_trace();
+        let cfg = EventualConfig {
+            eager: true,
+            gossip: Some(GossipConfig { interval: Duration::from_millis(10), fanout: 2 }),
+            mode: ConflictMode::Counter,
+            replicas: 3,
+        };
+        // Three sessions increment the same counter key at three replicas;
+        // a final read must see the sum (increment amount = the unique
+        // value, so expected sum = sum of unique values).
+        let mut clients = Vec::new();
+        let mut expected: i64 = 0;
+        for s in 1..=3u64 {
+            expected += ClientCore::unique_value(s, 1) as i64;
+            clients.push(EventualClient::new(
+                s,
+                script(&[(OpKind::Write, 9)]),
+                trace.clone(),
+                3,
+                TargetPolicy::Sticky(NodeId((s - 1) as usize)),
+                Guarantees::none(),
+                ConflictMode::Counter,
+            ));
+        }
+        clients.push(EventualClient::new(
+            4,
+            vec![ScriptOp { gap_us: 300_000, kind: OpKind::Read, key: 9 }],
+            trace.clone(),
+            3,
+            TargetPolicy::Sticky(NodeId(1)),
+            Guarantees::none(),
+            ConflictMode::Counter,
+        ));
+        let mut sim = build_sim(cfg, clients, 5);
+        sim.run_until(SimTime::from_secs(2));
+        let t = trace.borrow();
+        let read = t
+            .records()
+            .iter()
+            .find(|r| r.kind == OpKind::Read)
+            .expect("read recorded");
+        assert_eq!(read.value_read, vec![expected as u64]);
+    }
+
+    #[test]
+    fn sibling_mode_exposes_concurrent_writes() {
+        let trace = optrace::shared_trace();
+        let cfg = EventualConfig {
+            eager: true,
+            gossip: Some(GossipConfig { interval: Duration::from_millis(10), fanout: 2 }),
+            mode: ConflictMode::Siblings,
+            replicas: 2,
+        };
+        let w1 = EventualClient::new(
+            1,
+            script(&[(OpKind::Write, 4)]),
+            trace.clone(),
+            2,
+            TargetPolicy::Sticky(NodeId(0)),
+            Guarantees::none(),
+            ConflictMode::Siblings,
+        );
+        let w2 = EventualClient::new(
+            2,
+            script(&[(OpKind::Write, 4)]),
+            trace.clone(),
+            2,
+            TargetPolicy::Sticky(NodeId(1)),
+            Guarantees::none(),
+            ConflictMode::Siblings,
+        );
+        let reader = EventualClient::new(
+            3,
+            vec![ScriptOp { gap_us: 200_000, kind: OpKind::Read, key: 4 }],
+            trace.clone(),
+            2,
+            TargetPolicy::Sticky(NodeId(0)),
+            Guarantees::none(),
+            ConflictMode::Siblings,
+        );
+        let mut sim = build_sim(cfg, vec![w1, w2, reader], 6);
+        sim.run_until(SimTime::from_secs(2));
+        let t = trace.borrow();
+        let read = t.records().iter().find(|r| r.kind == OpKind::Read).unwrap();
+        let mut vals = read.value_read.clone();
+        vals.sort_unstable();
+        assert_eq!(
+            vals,
+            vec![ClientCore::unique_value(1, 1), ClientCore::unique_value(2, 1)],
+            "both concurrent writes must surface as siblings"
+        );
+    }
+}

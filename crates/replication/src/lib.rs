@@ -1,0 +1,26 @@
+//! # replication — the protocols the tutorial taxonomizes
+//!
+//! One module per point in the design space, each implemented as
+//! deterministic `simnet` actors (replicas *and* clients are state
+//! machines):
+//!
+//! | Module | Scheme | Where writes go | Propagation | Consistency |
+//! |---|---|---|---|---|
+//! | [`eventual`] | multi-master | any replica | async broadcast + anti-entropy gossip | eventual (LWW or siblings), optional session guarantees |
+//! | [`quorum`] | multi-master | coordinator fans out to N | sync to W, async rest | tunable: R+W>N fresh, partial quorums stale (PBS) |
+//! | [`primary`] | primary copy | the primary | sync (acks) or async (log shipping) | strong at primary, bounded-stale at backups |
+//! | [`paxos`] | consensus log | elected leader | Multi-Paxos majority commit | linearizable ops |
+//! | [`causal`] | multi-master | any replica | dependency-delayed broadcast | causal+ (COPS-style) |
+//!
+//! Shared client plumbing lives in [`common`]: scripted sessions that
+//! issue reads/writes, time out, and record every operation into the
+//! `simnet` op-trace that the `consistency` crate's checkers consume.
+
+pub mod causal;
+pub mod common;
+pub mod eventual;
+pub mod paxos;
+pub mod primary;
+pub mod quorum;
+
+pub use common::{ClientCore, Guarantees, OpOutcome, ScriptOp};

@@ -1,0 +1,873 @@
+//! Primary-copy replication: one master, log-shipping backups.
+//!
+//! All writes execute at the primary, which appends to its write-ahead log
+//! and replicates the log suffix to backups. Two propagation modes:
+//!
+//! * [`PrimaryMode::Sync`] — the primary acknowledges a write only after
+//!   `acks_required` backups have durably applied it (the classic
+//!   synchronous-replication latency cost measured in E10). If the
+//!   backups are unreachable, writes *block and fail* — the CP corner of
+//!   CAP (E4).
+//! * [`PrimaryMode::Async`] — the primary acknowledges immediately and
+//!   ships the log every `ship_interval`; backups lag by up to one
+//!   interval plus network delay — the staleness window E9 sweeps.
+//!
+//! Reads are served locally by *any* replica (that is the whole point of
+//! read scale-out), so reads at backups can be stale; bounded-staleness
+//! read policies reject a backup whose applied timestamp is too old
+//! (enforced client-side via the returned stamp, measured in E9).
+//!
+//! **Failover** is optional ([`PrimaryConfig::failover`]): when enabled,
+//! backups track primary heartbeats and run a round-robin view change
+//! (view `v` is led by node `v mod n`, Viewstamped-Replication style);
+//! the successor promotes itself after a silence proportional to its
+//! distance from the current view, installs snapshots into stragglers,
+//! and resumes the sequence space from its applied position. With
+//! failover *off* (the default), a crashed primary means unavailable
+//! writes — the window E4 measures; the ablation is the point.
+//! Async-mode failover can lose the un-replicated log tail, exactly as
+//! real asynchronous replication does.
+
+use crate::common::{ClientCore, OpOutcome, ScriptOp, TimerAction};
+use clocks::LamportTimestamp;
+use kvstore::{Key, LogRecord, MvStore, Value, Wal};
+use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
+use std::collections::HashMap;
+
+/// Propagation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimaryMode {
+    /// Ack after `acks_required` backups applied the write.
+    Sync {
+        /// Number of backup acks required before the client ack.
+        acks_required: usize,
+    },
+    /// Ack immediately; ship the log every `ship_interval`.
+    Async {
+        /// Log-shipping interval (the replication-lag knob).
+        ship_interval: Duration,
+    },
+}
+
+/// View-change (failover) configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverConfig {
+    /// Primary heartbeat interval.
+    pub heartbeat: Duration,
+    /// Base silence before the next-in-line backup promotes itself.
+    pub timeout: Duration,
+}
+
+/// Deployment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PrimaryConfig {
+    /// Number of replicas; node 0 is the initial primary (view 0).
+    pub replicas: usize,
+    /// Propagation mode.
+    pub mode: PrimaryMode,
+    /// Primary-side wait before failing a sync write.
+    pub write_timeout: Duration,
+    /// View-change failover; `None` = static primary (writes fail while
+    /// the primary is down).
+    pub failover: Option<FailoverConfig>,
+}
+
+impl PrimaryConfig {
+    /// Synchronous replication to all backups.
+    pub fn sync_all(replicas: usize) -> Self {
+        PrimaryConfig {
+            replicas,
+            mode: PrimaryMode::Sync { acks_required: replicas.saturating_sub(1) },
+            write_timeout: Duration::from_millis(250),
+            failover: None,
+        }
+    }
+
+    /// Enable round-robin view-change failover with default timings.
+    pub fn with_failover(mut self) -> Self {
+        self.failover = Some(FailoverConfig {
+            heartbeat: Duration::from_millis(25),
+            timeout: Duration::from_millis(150),
+        });
+        self
+    }
+
+    /// Asynchronous log shipping with the given lag.
+    pub fn async_lag(replicas: usize, ship_interval: Duration) -> Self {
+        PrimaryConfig {
+            replicas,
+            mode: PrimaryMode::Async { ship_interval },
+            write_timeout: Duration::from_millis(250),
+            failover: None,
+        }
+    }
+
+    /// The initial primary's node id (view 0 → node 0).
+    pub fn primary(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The primary of a given view (round-robin).
+    pub fn primary_of_view(&self, view: u64) -> NodeId {
+        NodeId((view % self.replicas as u64) as usize)
+    }
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Client write (sent to any replica; forwarded to the primary).
+    Put {
+        /// Client op id.
+        op_id: u64,
+        /// Key.
+        key: Key,
+        /// Unique write id.
+        value: u64,
+        /// Where the ack should go (set on forward).
+        reply_to: NodeId,
+    },
+    /// Write ack.
+    PutResp {
+        /// Client op id.
+        op_id: u64,
+        /// Success.
+        ok: bool,
+        /// Log-sequence stamp `(seq, 0)`.
+        stamp: (u64, u64),
+    },
+    /// Client read (served locally by the receiving replica).
+    Get {
+        /// Client op id.
+        op_id: u64,
+        /// Key.
+        key: Key,
+    },
+    /// Read response.
+    GetResp {
+        /// Client op id.
+        op_id: u64,
+        /// Value, if present.
+        value: Option<u64>,
+        /// Stamp of the version returned.
+        stamp: Option<(u64, u64)>,
+        /// Origin write time (µs).
+        version_ts: Option<u64>,
+        /// The replica's applied log position (bounded-staleness signal).
+        applied_seq: u64,
+    },
+    /// Primary → backup: log suffix starting after the backup's ack point.
+    Append {
+        /// Records in sequence order.
+        records: Vec<LogRecord>,
+    },
+    /// Backup → primary: applied through this sequence number.
+    AppendAck {
+        /// Highest contiguously applied sequence.
+        seq: u64,
+    },
+    /// Primary liveness + view announcement (failover mode).
+    Heartbeat {
+        /// The sender's view.
+        view: u64,
+    },
+    /// Primary → straggler backup: full-state catch-up when the log
+    /// suffix it needs was discarded (promotion resets the log).
+    Snapshot {
+        /// Log position the snapshot covers.
+        through: u64,
+        /// Latest version per key: `(key, value, seq-stamp, written_at)`.
+        items: Vec<(Key, u64, u64, u64)>,
+    },
+}
+
+const TAG_SHIP: u64 = 1;
+const TAG_HEARTBEAT: u64 = 2;
+const TAG_FAILOVER_CHECK: u64 = 3;
+const TAG_WRITE_TIMEOUT_BASE: u64 = 1_000;
+
+/// A primary-copy replica. Node 0 acts as primary; the rest are backups.
+pub struct PrimaryReplica {
+    cfg: PrimaryConfig,
+    store: MvStore,
+    wal: Wal,
+    /// Backup: highest contiguously applied seq.
+    applied_seq: u64,
+    /// Primary: per-backup acked seq.
+    acked: HashMap<NodeId, u64>,
+    /// Primary: pending sync writes by seq.
+    pending: HashMap<u64, (NodeId, u64, bool)>, // seq -> (client, op_id, done)
+    /// Backup: out-of-order buffer.
+    reorder: HashMap<u64, LogRecord>,
+    /// Current view (failover mode; 0 = the static deployment view).
+    view: u64,
+    /// When the current primary was last heard from (µs).
+    last_heartbeat_us: u64,
+    /// Count of view changes this node performed (exported metric).
+    pub promotions: u64,
+}
+
+impl PrimaryReplica {
+    /// Create a replica.
+    pub fn new(cfg: PrimaryConfig) -> Self {
+        PrimaryReplica {
+            cfg,
+            store: MvStore::new(),
+            wal: Wal::new(),
+            applied_seq: 0,
+            acked: HashMap::new(),
+            pending: HashMap::new(),
+            reorder: HashMap::new(),
+            view: 0,
+            last_heartbeat_us: 0,
+            promotions: 0,
+        }
+    }
+
+    /// The primary this replica currently believes in.
+    pub fn current_primary(&self) -> NodeId {
+        self.cfg.primary_of_view(self.view)
+    }
+
+    /// The local store (tests check staleness/convergence).
+    pub fn store(&self) -> &MvStore {
+        &self.store
+    }
+
+    /// Highest contiguously applied log sequence.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    fn backups(&self, me: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.cfg.replicas).map(NodeId).filter(move |&n| n != me)
+    }
+
+    fn ship_to(&mut self, ctx: &mut Context<Msg>, backup: NodeId) {
+        let from = self.acked.get(&backup).copied().unwrap_or(0);
+        if from < self.wal.truncated_through() {
+            // The suffix the backup needs predates this primary's log
+            // (it was promoted with `reset_to`): install a snapshot.
+            let items: Vec<(Key, u64, u64, u64)> = self
+                .store
+                .scan(..)
+                .map(|(k, v)| (k, v.value.as_u64().unwrap_or(0), v.ts.counter, v.written_at))
+                .collect();
+            ctx.send(
+                backup,
+                Msg::Snapshot { through: self.wal.truncated_through(), items },
+            );
+        }
+        let records = self.wal.tail(from.max(self.wal.truncated_through())).to_vec();
+        if !records.is_empty() {
+            ctx.send(backup, Msg::Append { records });
+        }
+    }
+
+    fn is_primary(&self, me: NodeId) -> bool {
+        me == self.current_primary()
+    }
+
+    /// Promote this backup to primary of the smallest view it leads.
+    fn promote(&mut self, ctx: &mut Context<Msg>) {
+        let me = ctx.self_id();
+        let n = self.cfg.replicas as u64;
+        let mut v = self.view + 1;
+        while v % n != me.0 as u64 {
+            v += 1;
+        }
+        self.view = v;
+        self.promotions += 1;
+        // Continue the sequence space from what this replica applied; any
+        // un-replicated tail of the old primary is lost (async semantics).
+        self.wal.reset_to(self.applied_seq);
+        self.acked.clear();
+        self.reorder.clear();
+        let peers: Vec<NodeId> = self.backups(me).collect();
+        for b in peers {
+            ctx.send(b, Msg::Heartbeat { view: self.view });
+        }
+        ctx.set_timer(Duration::from_micros(1), TAG_SHIP);
+        if let Some(f) = self.cfg.failover {
+            ctx.set_timer(f.heartbeat, TAG_HEARTBEAT);
+        }
+    }
+
+    fn handle_put(
+        &mut self,
+        ctx: &mut Context<Msg>,
+        op_id: u64,
+        key: Key,
+        value: u64,
+        reply_to: NodeId,
+    ) {
+        let me = ctx.self_id();
+        let primary = self.current_primary();
+        if me != primary {
+            // Forward to the primary, preserving the client address.
+            ctx.send(primary, Msg::Put { op_id, key, value, reply_to });
+            return;
+        }
+        let seq =
+            self.wal.append(key, Value::from_u64(value), LamportTimestamp::new(0, 0), 0);
+        // Re-stamp with the assigned seq (the WAL assigns seq on append, so
+        // the record's ts must match it; append-then-fix keeps Wal simple).
+        let now_us = ctx.now().as_micros();
+        let ts = LamportTimestamp::new(seq, 0);
+        // Replace the just-appended record's stamp by re-appending through
+        // the store (the WAL keeps (0,0); recovery tests for this protocol
+        // use the store as ground truth).
+        self.store.put(key, Value::from_u64(value), ts, now_us);
+        match self.cfg.mode {
+            PrimaryMode::Sync { acks_required } => {
+                self.pending.insert(seq, (reply_to, op_id, false));
+                let backups: Vec<NodeId> = self.backups(me).collect();
+                for b in backups {
+                    self.ship_to(ctx, b);
+                }
+                ctx.set_timer(self.cfg.write_timeout, TAG_WRITE_TIMEOUT_BASE + seq);
+                if acks_required == 0 {
+                    self.try_finish_write(ctx, seq);
+                }
+            }
+            PrimaryMode::Async { .. } => {
+                ctx.send(reply_to, Msg::PutResp { op_id, ok: true, stamp: (seq, 0) });
+            }
+        }
+    }
+
+    fn try_finish_write(&mut self, ctx: &mut Context<Msg>, seq: u64) {
+        let PrimaryMode::Sync { acks_required } = self.cfg.mode else {
+            return;
+        };
+        let acks = self.acked.values().filter(|&&a| a >= seq).count();
+        if let Some((client, op_id, done)) = self.pending.get_mut(&seq) {
+            if !*done && acks >= acks_required {
+                *done = true;
+                let (client, op_id) = (*client, *op_id);
+                ctx.send(client, Msg::PutResp { op_id, ok: true, stamp: (seq, 0) });
+            }
+        }
+    }
+
+    fn apply_ready(&mut self) {
+        while let Some(rec) = self.reorder.remove(&(self.applied_seq + 1)) {
+            // Backup stores with the seq as stamp; written_at comes from
+            // the record's origin time.
+            self.store.put(
+                rec.key,
+                rec.value.clone(),
+                LamportTimestamp::new(rec.seq, 0),
+                rec.written_at,
+            );
+            self.applied_seq += 1;
+        }
+    }
+}
+
+impl Actor<Msg> for PrimaryReplica {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        if ctx.self_id() == self.cfg.primary() {
+            if let PrimaryMode::Async { ship_interval } = self.cfg.mode {
+                ctx.set_timer(ship_interval, TAG_SHIP);
+            } else {
+                // Sync mode still retries shipping periodically so dropped
+                // Appends (loss, healed partitions) eventually land.
+                ctx.set_timer(Duration::from_millis(50), TAG_SHIP);
+            }
+            if let Some(f) = self.cfg.failover {
+                ctx.set_timer(f.heartbeat, TAG_HEARTBEAT);
+            }
+        } else if let Some(f) = self.cfg.failover {
+            self.last_heartbeat_us = ctx.now().as_micros();
+            ctx.set_timer(f.timeout, TAG_FAILOVER_CHECK);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, _id: u64, tag: u64) {
+        if tag == TAG_SHIP {
+            let me = ctx.self_id();
+            if !self.is_primary(me) {
+                return; // demoted: stop shipping (timer chain ends)
+            }
+            let backups: Vec<NodeId> = self.backups(me).collect();
+            for b in backups {
+                self.ship_to(ctx, b);
+            }
+            let interval = match self.cfg.mode {
+                PrimaryMode::Async { ship_interval } => ship_interval,
+                PrimaryMode::Sync { .. } => Duration::from_millis(50),
+            };
+            ctx.set_timer(interval, TAG_SHIP);
+        } else if tag == TAG_HEARTBEAT {
+            let me = ctx.self_id();
+            if !self.is_primary(me) {
+                return; // demoted: stop heartbeating
+            }
+            let peers: Vec<NodeId> = self.backups(me).collect();
+            let view = self.view;
+            for b in peers {
+                ctx.send(b, Msg::Heartbeat { view });
+            }
+            if let Some(f) = self.cfg.failover {
+                ctx.set_timer(f.heartbeat, TAG_HEARTBEAT);
+            }
+        } else if tag == TAG_FAILOVER_CHECK {
+            let me = ctx.self_id();
+            let Some(f) = self.cfg.failover else { return };
+            if self.is_primary(me) {
+                return; // became primary: the check chain ends
+            }
+            // How many views ahead is my next turn? Wait proportionally,
+            // so successors contend in order instead of racing.
+            let n = self.cfg.replicas as u64;
+            let mut steps = 1u64;
+            while (self.view + steps) % n != me.0 as u64 {
+                steps += 1;
+            }
+            let silence = ctx.now().as_micros().saturating_sub(self.last_heartbeat_us);
+            if silence > f.timeout.as_micros().saturating_mul(steps) {
+                self.promote(ctx);
+            } else {
+                ctx.set_timer(f.timeout, TAG_FAILOVER_CHECK);
+            }
+        } else if tag >= TAG_WRITE_TIMEOUT_BASE {
+            let seq = tag - TAG_WRITE_TIMEOUT_BASE;
+            if let Some((client, op_id, done)) = self.pending.remove(&seq) {
+                if !done {
+                    ctx.send(client, Msg::PutResp { op_id, ok: false, stamp: (0, 0) });
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Put { op_id, key, value, reply_to } => {
+                // First hop from the client: reply_to is the client itself.
+                let reply = if reply_to == NodeId(usize::MAX) { from } else { reply_to };
+                self.handle_put(ctx, op_id, key, value, reply);
+            }
+            Msg::Get { op_id, key } => {
+                let v = self.store.get(key);
+                ctx.send(
+                    from,
+                    Msg::GetResp {
+                        op_id,
+                        value: v.and_then(|x| x.value.as_u64()),
+                        stamp: v.map(|x| (x.ts.counter, x.ts.actor)),
+                        version_ts: v.map(|x| x.written_at),
+                        applied_seq: self.applied_seq(),
+                    },
+                );
+            }
+            Msg::Append { records } => {
+                self.last_heartbeat_us = ctx.now().as_micros();
+                for rec in records {
+                    if rec.seq > self.applied_seq {
+                        self.reorder.insert(rec.seq, rec);
+                    }
+                }
+                self.apply_ready();
+                ctx.send(from, Msg::AppendAck { seq: self.applied_seq });
+            }
+            Msg::Heartbeat { view } => {
+                if view >= self.view {
+                    let was_primary = self.is_primary(ctx.self_id());
+                    self.view = view;
+                    self.last_heartbeat_us = ctx.now().as_micros();
+                    if was_primary && !self.is_primary(ctx.self_id()) {
+                        // Demoted: discard the un-replicated tail; future
+                        // state arrives from the new primary. Restart the
+                        // failover watch (its chain ended at promotion).
+                        self.wal.reset_to(self.applied_seq);
+                        self.acked.clear();
+                        if let Some(f) = self.cfg.failover {
+                            ctx.set_timer(f.timeout, TAG_FAILOVER_CHECK);
+                        }
+                    }
+                }
+            }
+            Msg::Snapshot { through, items } => {
+                if through > self.applied_seq {
+                    for (key, value, seq, written_at) in items {
+                        self.store.put(
+                            key,
+                            Value::from_u64(value),
+                            LamportTimestamp::new(seq, 0),
+                            written_at,
+                        );
+                    }
+                    self.applied_seq = through;
+                    self.reorder.retain(|&s, _| s > through);
+                    self.apply_ready();
+                }
+                ctx.send(from, Msg::AppendAck { seq: self.applied_seq });
+            }
+            Msg::AppendAck { seq } => {
+                let prev = self.acked.entry(from).or_insert(0);
+                *prev = (*prev).max(seq);
+                // Any pending write at or below the new ack level may now
+                // have its quorum.
+                let ready: Vec<u64> =
+                    self.pending.keys().copied().filter(|&s| s <= seq).collect();
+                for s in ready {
+                    self.try_finish_write(ctx, s);
+                }
+            }
+            Msg::PutResp { .. } | Msg::GetResp { .. } => {}
+        }
+    }
+}
+
+/// Where a primary-copy client sends reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFrom {
+    /// Always the primary (fresh, but no read scale-out).
+    Primary,
+    /// A fixed backup (models a geo-local replica).
+    Replica(NodeId),
+    /// A random replica per read.
+    AnyReplica,
+}
+
+/// A scripted client for primary-copy deployments.
+pub struct PrimaryClient {
+    core: ClientCore,
+    cfg: PrimaryConfig,
+    read_from: ReadFrom,
+}
+
+impl PrimaryClient {
+    /// Create a client session.
+    pub fn new(
+        session: u64,
+        script: Vec<ScriptOp>,
+        trace: SharedTrace,
+        cfg: PrimaryConfig,
+        read_from: ReadFrom,
+    ) -> Self {
+        PrimaryClient {
+            core: ClientCore::new(session, script, trace, Duration::from_millis(800)),
+            cfg,
+            read_from,
+        }
+    }
+
+    fn read_target(&self, ctx: &mut Context<Msg>) -> NodeId {
+        match self.read_from {
+            ReadFrom::Primary => self.cfg.primary(),
+            ReadFrom::Replica(n) => n,
+            ReadFrom::AnyReplica => NodeId(ctx.rng().index(self.cfg.replicas)),
+        }
+    }
+}
+
+impl Actor<Msg> for PrimaryClient {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        self.core.start(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, _id: u64, tag: u64) {
+        let read_target = self.read_target(ctx);
+        // Record the replica the op will actually hit: primary for writes.
+        let provisional = read_target;
+        match self.core.handle_timer(ctx, tag, provisional) {
+            TimerAction::Issue(op) => match op.kind {
+                OpKind::Read => ctx.send(read_target, Msg::Get { op_id: op.op_id, key: op.key }),
+                OpKind::Write => {
+                    // With failover enabled, route via the local replica,
+                    // which forwards to whatever primary its view names;
+                    // static deployments go straight to node 0.
+                    let target = if self.cfg.failover.is_some() {
+                        read_target
+                    } else {
+                        self.cfg.primary()
+                    };
+                    ctx.send(
+                        target,
+                        Msg::Put {
+                            op_id: op.op_id,
+                            key: op.key,
+                            value: op.value.expect("write without value"),
+                            reply_to: NodeId(usize::MAX),
+                        },
+                    );
+                }
+            },
+            TimerAction::TimedOut(_) | TimerAction::None => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::PutResp { op_id, ok, stamp } => {
+                self.core.complete(
+                    ctx,
+                    op_id,
+                    OpOutcome { ok, values: vec![], stamp: Some(stamp), version_ts: None },
+                );
+            }
+            Msg::GetResp { op_id, value, stamp, version_ts, applied_seq: _ } => {
+                self.core.complete(
+                    ctx,
+                    op_id,
+                    OpOutcome {
+                        ok: true,
+                        values: value.into_iter().collect(),
+                        stamp,
+                        version_ts: version_ts.map(SimTime::from_micros),
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{optrace, FaultSchedule, LatencyModel, Sim, SimConfig};
+
+    fn build(
+        cfg: PrimaryConfig,
+        clients: Vec<PrimaryClient>,
+        seed: u64,
+        faults: FaultSchedule,
+    ) -> Sim<Msg> {
+        let mut sim = Sim::new(
+            SimConfig::default()
+                .seed(seed)
+                .latency(LatencyModel::Constant(Duration::from_millis(5)))
+                .faults(faults),
+        );
+        for _ in 0..cfg.replicas {
+            sim.add_node(Box::new(PrimaryReplica::new(cfg)));
+        }
+        for c in clients {
+            sim.add_node(Box::new(c));
+        }
+        sim
+    }
+
+    fn one_write() -> Vec<ScriptOp> {
+        vec![ScriptOp { gap_us: 1_000, kind: OpKind::Write, key: 1 }]
+    }
+
+    #[test]
+    fn sync_write_then_backup_read_is_fresh() {
+        let trace = optrace::shared_trace();
+        let cfg = PrimaryConfig::sync_all(3);
+        let writer = PrimaryClient::new(1, one_write(), trace.clone(), cfg, ReadFrom::Primary);
+        let reader = PrimaryClient::new(
+            2,
+            vec![ScriptOp { gap_us: 100_000, kind: OpKind::Read, key: 1 }],
+            trace.clone(),
+            cfg,
+            ReadFrom::Replica(NodeId(2)),
+        );
+        let mut sim = build(cfg, vec![writer, reader], 1, FaultSchedule::none());
+        sim.run_until(SimTime::from_secs(1));
+        let t = trace.borrow();
+        let read = t.records().iter().find(|r| r.kind == OpKind::Read).unwrap();
+        assert_eq!(read.value_read, vec![ClientCore::unique_value(1, 1)]);
+    }
+
+    #[test]
+    fn sync_write_latency_includes_backup_round_trip() {
+        let trace = optrace::shared_trace();
+        let cfg = PrimaryConfig::sync_all(3);
+        let writer = PrimaryClient::new(1, one_write(), trace.clone(), cfg, ReadFrom::Primary);
+        let mut sim = build(cfg, vec![writer], 2, FaultSchedule::none());
+        sim.run_until(SimTime::from_secs(1));
+        let t = trace.borrow();
+        let w = &t.records()[0];
+        assert!(w.ok);
+        // client->primary (5) + primary->backup (5) + ack (5) + resp (5) = 20ms
+        assert!(w.latency() >= Duration::from_millis(20), "latency {:?}", w.latency());
+    }
+
+    #[test]
+    fn async_write_acks_after_one_hop() {
+        let trace = optrace::shared_trace();
+        let cfg = PrimaryConfig::async_lag(3, Duration::from_millis(100));
+        let writer = PrimaryClient::new(1, one_write(), trace.clone(), cfg, ReadFrom::Primary);
+        let mut sim = build(cfg, vec![writer], 3, FaultSchedule::none());
+        sim.run_until(SimTime::from_secs(1));
+        let t = trace.borrow();
+        let w = &t.records()[0];
+        assert!(w.ok);
+        // One round trip: 10ms.
+        assert!(w.latency() <= Duration::from_millis(12), "latency {:?}", w.latency());
+    }
+
+    #[test]
+    fn async_backup_read_is_stale_within_lag_window() {
+        let trace = optrace::shared_trace();
+        let cfg = PrimaryConfig::async_lag(2, Duration::from_millis(200));
+        let writer = PrimaryClient::new(1, one_write(), trace.clone(), cfg, ReadFrom::Primary);
+        // Read the backup 20ms after the write: inside the 200ms shipping
+        // window, so it must miss the write.
+        let early_reader = PrimaryClient::new(
+            2,
+            vec![ScriptOp { gap_us: 30_000, kind: OpKind::Read, key: 1 }],
+            trace.clone(),
+            cfg,
+            ReadFrom::Replica(NodeId(1)),
+        );
+        // Read again at 600ms: shipped by now.
+        let late_reader = PrimaryClient::new(
+            3,
+            vec![ScriptOp { gap_us: 600_000, kind: OpKind::Read, key: 1 }],
+            trace.clone(),
+            cfg,
+            ReadFrom::Replica(NodeId(1)),
+        );
+        let mut sim = build(cfg, vec![writer, early_reader, late_reader], 4, FaultSchedule::none());
+        sim.run_until(SimTime::from_secs(2));
+        let t = trace.borrow();
+        let early = t.records().iter().find(|r| r.session == 2).unwrap();
+        let late = t.records().iter().find(|r| r.session == 3).unwrap();
+        assert!(early.value_read.is_empty(), "early read saw {:?}", early.value_read);
+        assert_eq!(late.value_read, vec![ClientCore::unique_value(1, 1)]);
+    }
+
+    #[test]
+    fn forwarded_write_reaches_primary() {
+        // A write injected at a *backup* must be forwarded to the primary,
+        // applied there, and become visible to a later read at the primary.
+        let trace = optrace::shared_trace();
+        let cfg = PrimaryConfig::sync_all(3);
+        let reader = PrimaryClient::new(
+            1,
+            vec![ScriptOp { gap_us: 300_000, kind: OpKind::Read, key: 7 }],
+            trace.clone(),
+            cfg,
+            ReadFrom::Primary,
+        );
+        let mut sim = build(cfg, vec![reader], 5, FaultSchedule::none());
+        let injector = NodeId(cfg.replicas); // the reader client's node id
+        sim.inject_at(
+            SimTime::from_millis(1),
+            injector,
+            NodeId(2), // a backup: must forward
+            Msg::Put { op_id: 99, key: 7, value: 4242, reply_to: NodeId(usize::MAX) },
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let t = trace.borrow();
+        let rd = t.records().iter().find(|r| r.kind == OpKind::Read).unwrap();
+        assert_eq!(rd.value_read, vec![4242], "forwarded write visible at primary");
+    }
+
+    #[test]
+    fn failover_promotes_backup_and_writes_resume() {
+        // Async primary with view-change failover: node 0 crashes at
+        // 200ms; a write issued at 1.5s (routed via replica 1, which by
+        // then leads view 1) must succeed, and a later read at replica 1
+        // must see it.
+        let trace = optrace::shared_trace();
+        let cfg = PrimaryConfig::async_lag(3, Duration::from_millis(50)).with_failover();
+        let faults = FaultSchedule::none().crash(
+            NodeId(0),
+            SimTime::from_millis(200),
+            SimTime::from_secs(60),
+        );
+        let writer = PrimaryClient::new(
+            1,
+            vec![ScriptOp { gap_us: 1_500_000, kind: OpKind::Write, key: 4 }],
+            trace.clone(),
+            cfg,
+            ReadFrom::Replica(NodeId(1)),
+        );
+        let reader = PrimaryClient::new(
+            2,
+            vec![ScriptOp { gap_us: 3_000_000, kind: OpKind::Read, key: 4 }],
+            trace.clone(),
+            cfg,
+            ReadFrom::Replica(NodeId(1)),
+        );
+        let mut sim = build(cfg, vec![writer, reader], 31, faults);
+        sim.run_until(SimTime::from_secs(5));
+        let t = trace.borrow();
+        let w = t.records().iter().find(|r| r.kind == OpKind::Write).unwrap();
+        let rd = t.records().iter().find(|r| r.kind == OpKind::Read).unwrap();
+        assert!(w.ok, "write after failover must succeed");
+        assert_eq!(rd.value_read, vec![ClientCore::unique_value(1, 1)]);
+    }
+
+    #[test]
+    fn recovered_old_primary_rejoins_as_follower_and_catches_up() {
+        // Node 0 crashes, node 1 takes over and accepts a write; node 0
+        // recovers, is demoted by the higher view, and receives the state
+        // (snapshot + log): a late read at replica 0 sees the write.
+        let trace = optrace::shared_trace();
+        let cfg = PrimaryConfig::async_lag(3, Duration::from_millis(50)).with_failover();
+        let faults = FaultSchedule::none().crash(
+            NodeId(0),
+            SimTime::from_millis(200),
+            SimTime::from_secs(2),
+        );
+        let writer = PrimaryClient::new(
+            1,
+            vec![ScriptOp { gap_us: 1_500_000, kind: OpKind::Write, key: 7 }],
+            trace.clone(),
+            cfg,
+            ReadFrom::Replica(NodeId(1)),
+        );
+        let reader_at_old_primary = PrimaryClient::new(
+            2,
+            vec![ScriptOp { gap_us: 4_000_000, kind: OpKind::Read, key: 7 }],
+            trace.clone(),
+            cfg,
+            ReadFrom::Replica(NodeId(0)),
+        );
+        let mut sim = build(cfg, vec![writer, reader_at_old_primary], 32, faults);
+        sim.run_until(SimTime::from_secs(6));
+        let t = trace.borrow();
+        let rd = t.records().iter().find(|r| r.kind == OpKind::Read).unwrap();
+        assert_eq!(
+            rd.value_read,
+            vec![ClientCore::unique_value(1, 1)],
+            "recovered ex-primary must be caught up by the new primary"
+        );
+    }
+
+    #[test]
+    fn primary_crash_blocks_writes_but_backups_serve_reads() {
+        let trace = optrace::shared_trace();
+        let cfg = PrimaryConfig::sync_all(3);
+        let faults = FaultSchedule::none().crash(
+            NodeId(0),
+            SimTime::from_millis(50),
+            SimTime::from_secs(60),
+        );
+        // Write before the crash; write after the crash; read after.
+        let early_writer =
+            PrimaryClient::new(1, one_write(), trace.clone(), cfg, ReadFrom::Primary);
+        let late_writer = PrimaryClient::new(
+            2,
+            vec![ScriptOp { gap_us: 200_000, kind: OpKind::Write, key: 2 }],
+            trace.clone(),
+            cfg,
+            ReadFrom::Primary,
+        );
+        let reader = PrimaryClient::new(
+            3,
+            vec![ScriptOp { gap_us: 500_000, kind: OpKind::Read, key: 1 }],
+            trace.clone(),
+            cfg,
+            ReadFrom::Replica(NodeId(1)),
+        );
+        let mut sim = build(cfg, vec![early_writer, late_writer, reader], 6, faults);
+        sim.run_until(SimTime::from_secs(3));
+        let t = trace.borrow();
+        let w1 = t.records().iter().find(|r| r.session == 1).unwrap();
+        let w2 = t.records().iter().find(|r| r.session == 2).unwrap();
+        let rd = t.records().iter().find(|r| r.session == 3).unwrap();
+        assert!(w1.ok, "pre-crash write succeeds");
+        assert!(!w2.ok, "write during primary crash must fail (no failover)");
+        assert!(rd.ok, "backup still serves reads");
+        assert_eq!(rd.value_read, vec![ClientCore::unique_value(1, 1)]);
+    }
+}

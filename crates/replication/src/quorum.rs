@@ -1,0 +1,953 @@
+//! Dynamo-style quorum replication with tunable N / R / W.
+//!
+//! Every node is both a storage replica and a coordinator. A client sends
+//! each operation to one coordinator, which fans out to all `n` replicas
+//! and answers after `w` write acks (resp. `r` read responses), returning
+//! the newest version seen. With `r + w > n` read and write quorums
+//! intersect and reads are fresh; **partial quorums** (`r + w <= n`) trade
+//! freshness for latency — the probabilistic staleness the PBS work
+//! quantifies and experiment E1 reproduces.
+//!
+//! Optional read repair pushes the newest version to stale replicas after
+//! every read (ablation in E1).
+
+use crate::common::{ClientCore, IssueOp, OpOutcome, ScriptOp, TimerAction};
+use clocks::{LamportClock, LamportTimestamp};
+use kvstore::{Key, MvStore, Value};
+use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
+use std::collections::HashMap;
+
+/// Quorum configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumConfig {
+    /// Number of home replicas (the strict preference list).
+    pub n: usize,
+    /// Read quorum size.
+    pub r: usize,
+    /// Write quorum size.
+    pub w: usize,
+    /// Push the newest version to stale replicas after each read.
+    pub read_repair: bool,
+    /// How long a coordinator waits for a quorum before failing the op.
+    pub op_timeout: Duration,
+    /// Sloppy quorum: when home replicas don't ack in time, hand the
+    /// write to spare nodes (ids `n..n+spares`) which store a *hint* and
+    /// deliver it to the real owner when it becomes reachable (Dynamo's
+    /// hinted handoff). Write availability goes up; reads can miss hinted
+    /// writes until delivery — exactly the tutorial's trade.
+    pub sloppy: bool,
+    /// Number of spare (hint-holding) nodes in the deployment.
+    pub spares: usize,
+    /// How often spares retry delivering their hints.
+    pub handoff_interval: Duration,
+}
+
+impl QuorumConfig {
+    /// A strict majority quorum over `n` replicas (`r = w = n/2 + 1`).
+    pub fn majority(n: usize) -> Self {
+        let q = n / 2 + 1;
+        QuorumConfig {
+            n,
+            r: q,
+            w: q,
+            read_repair: true,
+            op_timeout: Duration::from_millis(250),
+            sloppy: false,
+            spares: 0,
+            handoff_interval: Duration::from_millis(100),
+        }
+    }
+
+    /// The classic eventually-consistent configuration `R = W = 1`.
+    pub fn one_one(n: usize) -> Self {
+        QuorumConfig { r: 1, w: 1, ..Self::majority(n) }
+    }
+
+    /// A sloppy majority quorum with `spares` hint-holding nodes.
+    pub fn sloppy_majority(n: usize, spares: usize) -> Self {
+        QuorumConfig { sloppy: true, spares, ..Self::majority(n) }
+    }
+
+    /// Total nodes in the deployment (home replicas + spares).
+    pub fn total_nodes(&self) -> usize {
+        self.n + self.spares
+    }
+
+    /// Whether read and write quorums are guaranteed to intersect.
+    pub fn intersecting(&self) -> bool {
+        self.r + self.w > self.n
+    }
+
+    fn validate(&self) {
+        assert!(self.n >= 1 && self.r >= 1 && self.w >= 1, "quorum sizes must be positive");
+        assert!(self.r <= self.n && self.w <= self.n, "quorum sizes cannot exceed n");
+    }
+}
+
+/// A replicated version in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireVersion {
+    /// Unique write id.
+    pub value: u64,
+    /// LWW stamp.
+    pub ts: LamportTimestamp,
+    /// Origin write time (µs).
+    pub written_at: u64,
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Client read.
+    Get {
+        /// Client op id.
+        op_id: u64,
+        /// Key.
+        key: Key,
+    },
+    /// Client write.
+    Put {
+        /// Client op id.
+        op_id: u64,
+        /// Key.
+        key: Key,
+        /// Unique write id.
+        value: u64,
+    },
+    /// Read response to client.
+    GetResp {
+        /// Client op id.
+        op_id: u64,
+        /// Success (quorum reached).
+        ok: bool,
+        /// Newest version among the quorum, if any.
+        version: Option<WireVersion>,
+    },
+    /// Write response to client.
+    PutResp {
+        /// Client op id.
+        op_id: u64,
+        /// Success (quorum reached).
+        ok: bool,
+        /// Stamp assigned by the coordinator.
+        stamp: (u64, u64),
+    },
+    /// Coordinator → replica read probe.
+    RGet {
+        /// Coordinator request id.
+        req_id: u64,
+        /// Key.
+        key: Key,
+    },
+    /// Replica → coordinator read reply.
+    RGetResp {
+        /// Coordinator request id.
+        req_id: u64,
+        /// The replica's newest version, if any.
+        version: Option<WireVersion>,
+    },
+    /// Coordinator → replica write.
+    RPut {
+        /// Coordinator request id.
+        req_id: u64,
+        /// Key.
+        key: Key,
+        /// The version to store.
+        version: WireVersion,
+    },
+    /// Replica → coordinator write ack.
+    RPutAck {
+        /// Coordinator request id.
+        req_id: u64,
+    },
+    /// Read-repair push (no ack needed).
+    Repair {
+        /// Key.
+        key: Key,
+        /// The version to store.
+        version: WireVersion,
+    },
+    /// Coordinator → spare: store this write as a hint for `target`.
+    HintedPut {
+        /// Coordinator request id (counts toward the write quorum).
+        req_id: u64,
+        /// The home replica that should eventually hold the write.
+        target: NodeId,
+        /// Key.
+        key: Key,
+        /// The version.
+        version: WireVersion,
+    },
+    /// Spare → coordinator: hint durably stored.
+    HintAck {
+        /// Coordinator request id.
+        req_id: u64,
+    },
+    /// Spare → home replica: deliver a hinted write.
+    HintDeliver {
+        /// Spare-local hint id.
+        hint_id: u64,
+        /// Key.
+        key: Key,
+        /// The version.
+        version: WireVersion,
+    },
+    /// Home replica → spare: hint received; the spare can drop it.
+    HintDeliverAck {
+        /// Spare-local hint id.
+        hint_id: u64,
+    },
+}
+
+#[derive(Debug)]
+enum PendingOp {
+    Read {
+        client: NodeId,
+        op_id: u64,
+        key: Key,
+        responses: Vec<(NodeId, Option<WireVersion>)>,
+        needed: usize,
+        done: bool,
+        /// The version returned to the client (for async read repair of
+        /// responses that arrive after the quorum was reached).
+        winner: Option<WireVersion>,
+    },
+    Write {
+        client: NodeId,
+        op_id: u64,
+        key: Key,
+        version: WireVersion,
+        acks: usize,
+        /// Which home replicas have acked (for hint targeting).
+        acked_from: Vec<NodeId>,
+        needed: usize,
+        stamp: LamportTimestamp,
+        done: bool,
+        hinted: bool,
+    },
+}
+
+/// Sloppy-quorum sub-timeout tag space.
+const TAG_SLOPPY_BASE: u64 = 500_000;
+/// Spare hint-retry timer tag.
+const TAG_HINT_RETRY: u64 = 7;
+
+const TAG_OPTIMEOUT_BASE: u64 = 1_000_000;
+
+/// A quorum node: storage replica + coordinator.
+pub struct QuorumNode {
+    cfg: QuorumConfig,
+    store: MvStore,
+    clock: LamportClock,
+    pending: HashMap<u64, PendingOp>,
+    next_req: u64,
+    /// Number of read-repair pushes sent (exported metric).
+    pub repairs_sent: u64,
+    /// Spare role: undelivered hints (hint id → target, key, version).
+    hints: HashMap<u64, (NodeId, Key, WireVersion)>,
+    next_hint: u64,
+    /// Hints successfully handed off (exported metric).
+    pub hints_delivered: u64,
+}
+
+impl QuorumNode {
+    /// Create a node.
+    pub fn new(cfg: QuorumConfig) -> Self {
+        cfg.validate();
+        QuorumNode {
+            cfg,
+            store: MvStore::new(),
+            clock: LamportClock::new(),
+            pending: HashMap::new(),
+            next_req: 0,
+            repairs_sent: 0,
+            hints: HashMap::new(),
+            next_hint: 0,
+            hints_delivered: 0,
+        }
+    }
+
+    /// The local store (integration tests check convergence).
+    pub fn store(&self) -> &MvStore {
+        &self.store
+    }
+
+    fn replicas(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.cfg.n).map(NodeId)
+    }
+
+    fn local_version(&self, key: Key) -> Option<WireVersion> {
+        self.store.get(key).map(|v| WireVersion {
+            value: v.value.as_u64().unwrap_or(0),
+            ts: v.ts,
+            written_at: v.written_at,
+        })
+    }
+
+    fn apply_version(&mut self, key: Key, v: WireVersion) {
+        self.clock.observe(v.ts, 0);
+        self.store.put(key, Value::from_u64(v.value), v.ts, v.written_at);
+    }
+
+    fn start_read(&mut self, ctx: &mut Context<Msg>, client: NodeId, op_id: u64, key: Key) {
+        self.next_req += 1;
+        let req_id = self.next_req;
+        let me = ctx.self_id();
+        let mut responses = Vec::with_capacity(self.cfg.n);
+        responses.push((me, self.local_version(key)));
+        let pending = PendingOp::Read {
+            client,
+            op_id,
+            key,
+            responses,
+            needed: self.cfg.r,
+            done: false,
+            winner: None,
+        };
+        self.pending.insert(req_id, pending);
+        for peer in self.replicas().filter(|&p| p != me) {
+            ctx.send(peer, Msg::RGet { req_id, key });
+        }
+        ctx.set_timer(self.cfg.op_timeout, TAG_OPTIMEOUT_BASE + req_id);
+        self.try_finish_read(ctx, req_id);
+    }
+
+    fn start_write(
+        &mut self,
+        ctx: &mut Context<Msg>,
+        client: NodeId,
+        op_id: u64,
+        key: Key,
+        value: u64,
+    ) {
+        self.next_req += 1;
+        let req_id = self.next_req;
+        let me = ctx.self_id();
+        let ts = self.clock.tick(me.0 as u64);
+        let version = WireVersion { value, ts, written_at: ctx.now().as_micros() };
+        self.store.put(key, Value::from_u64(value), ts, version.written_at);
+        self.pending.insert(
+            req_id,
+            PendingOp::Write {
+                client,
+                op_id,
+                key,
+                version,
+                acks: 1,
+                acked_from: vec![me],
+                needed: self.cfg.w,
+                stamp: ts,
+                done: false,
+                hinted: false,
+            },
+        );
+        for peer in self.replicas().filter(|&p| p != me) {
+            ctx.send(peer, Msg::RPut { req_id, key, version });
+        }
+        ctx.set_timer(self.cfg.op_timeout, TAG_OPTIMEOUT_BASE + req_id);
+        if self.cfg.sloppy && self.cfg.spares > 0 {
+            // If home acks don't arrive promptly, hand off to spares.
+            ctx.set_timer(
+                Duration::from_micros(self.cfg.op_timeout.as_micros() / 3),
+                TAG_SLOPPY_BASE + req_id,
+            );
+        }
+        self.try_finish_write(ctx, req_id);
+    }
+
+    fn try_finish_read(&mut self, ctx: &mut Context<Msg>, req_id: u64) {
+        let Some(PendingOp::Read { client, op_id, key, responses, needed, done, winner }) =
+            self.pending.get_mut(&req_id)
+        else {
+            return;
+        };
+        if *done || responses.len() < *needed {
+            return;
+        }
+        *done = true;
+        let (client, op_id, key) = (*client, *op_id, *key);
+        let newest = responses.iter().filter_map(|(_, v)| *v).max_by_key(|v| v.ts);
+        *winner = newest;
+        let stale: Vec<NodeId> = match newest {
+            Some(best) => responses
+                .iter()
+                .filter(|(_, v)| v.map(|x| x.ts < best.ts).unwrap_or(true))
+                .map(|(n, _)| *n)
+                .collect(),
+            None => Vec::new(),
+        };
+        ctx.send(client, Msg::GetResp { op_id, ok: true, version: newest });
+        if self.cfg.read_repair {
+            if let Some(best) = newest {
+                let me = ctx.self_id();
+                for node in stale {
+                    self.repairs_sent += 1;
+                    if node == me {
+                        self.apply_version(key, best);
+                    } else {
+                        ctx.send(node, Msg::Repair { key, version: best });
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_finish_write(&mut self, ctx: &mut Context<Msg>, req_id: u64) {
+        let Some(PendingOp::Write { client, op_id, acks, needed, stamp, done, .. }) =
+            self.pending.get_mut(&req_id)
+        else {
+            return;
+        };
+        if *done || *acks < *needed {
+            return;
+        }
+        *done = true;
+        let (client, op_id, stamp) = (*client, *op_id, *stamp);
+        ctx.send(client, Msg::PutResp { op_id, ok: true, stamp: (stamp.counter, stamp.actor) });
+    }
+
+    fn fail_pending(&mut self, ctx: &mut Context<Msg>, req_id: u64) {
+        match self.pending.remove(&req_id) {
+            Some(PendingOp::Read { client, op_id, done: false, .. }) => {
+                ctx.send(client, Msg::GetResp { op_id, ok: false, version: None });
+            }
+            Some(PendingOp::Write { client, op_id, done: false, .. }) => {
+                ctx.send(client, Msg::PutResp { op_id, ok: false, stamp: (0, 0) });
+            }
+            _ => {}
+        }
+    }
+}
+
+impl QuorumNode {
+    /// Sloppy handoff: the sub-timeout fired and the write still lacks a
+    /// quorum — send the version to spares on behalf of the silent home
+    /// replicas. Spare acks count toward W.
+    fn sloppy_handoff(&mut self, ctx: &mut Context<Msg>, req_id: u64) {
+        let Some(PendingOp::Write {
+            key, version, acks, acked_from, needed, done, hinted, ..
+        }) = self.pending.get_mut(&req_id)
+        else {
+            return;
+        };
+        if *done || *hinted || *acks >= *needed {
+            return;
+        }
+        *hinted = true;
+        let missing: Vec<NodeId> = (0..self.cfg.n)
+            .map(NodeId)
+            .filter(|nid| !acked_from.contains(nid))
+            .collect();
+        let (key, version) = (*key, *version);
+        let spares: Vec<NodeId> =
+            (self.cfg.n..self.cfg.total_nodes()).map(NodeId).collect();
+        for (i, target) in missing.into_iter().enumerate() {
+            let spare = spares[i % spares.len()];
+            ctx.send(spare, Msg::HintedPut { req_id, target, key, version });
+        }
+    }
+}
+
+impl Actor<Msg> for QuorumNode {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        if ctx.self_id().0 >= self.cfg.n {
+            // Spare role: periodically retry hint delivery.
+            ctx.set_timer(self.cfg.handoff_interval, TAG_HINT_RETRY);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, _id: u64, tag: u64) {
+        if tag == TAG_HINT_RETRY {
+            for (&hint_id, &(target, key, version)) in &self.hints {
+                ctx.send(target, Msg::HintDeliver { hint_id, key, version });
+            }
+            ctx.set_timer(self.cfg.handoff_interval, TAG_HINT_RETRY);
+        } else if (TAG_SLOPPY_BASE..TAG_OPTIMEOUT_BASE).contains(&tag) {
+            self.sloppy_handoff(ctx, tag - TAG_SLOPPY_BASE);
+        } else if tag >= TAG_OPTIMEOUT_BASE {
+            self.fail_pending(ctx, tag - TAG_OPTIMEOUT_BASE);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Get { op_id, key } => self.start_read(ctx, from, op_id, key),
+            Msg::Put { op_id, key, value } => self.start_write(ctx, from, op_id, key, value),
+            Msg::RGet { req_id, key } => {
+                let version = self.local_version(key);
+                ctx.send(from, Msg::RGetResp { req_id, version });
+            }
+            Msg::RGetResp { req_id, version } => {
+                let mut late_repair: Option<(Key, WireVersion, NodeId)> = None;
+                if let Some(PendingOp::Read { responses, done, winner, key, .. }) =
+                    self.pending.get_mut(&req_id)
+                {
+                    responses.push((from, version));
+                    if *done && self.cfg.read_repair {
+                        // Async read repair: a response arriving after the
+                        // quorum still tells us whether that replica lags.
+                        match (*winner, version) {
+                            (Some(best), v) if v.map(|x| x.ts < best.ts).unwrap_or(true) => {
+                                late_repair = Some((*key, best, from));
+                            }
+                            (_, Some(v)) => {
+                                // The late responder is *newer*: adopt it
+                                // locally so future reads here are fresher.
+                                let key = *key;
+                                self.apply_version(key, v);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if let Some((key, version, node)) = late_repair {
+                    self.repairs_sent += 1;
+                    ctx.send(node, Msg::Repair { key, version });
+                }
+                self.try_finish_read(ctx, req_id);
+            }
+            Msg::RPut { req_id, key, version } => {
+                self.apply_version(key, version);
+                ctx.send(from, Msg::RPutAck { req_id });
+            }
+            Msg::RPutAck { req_id } => {
+                if let Some(PendingOp::Write { acks, acked_from, .. }) =
+                    self.pending.get_mut(&req_id)
+                {
+                    *acks += 1;
+                    acked_from.push(from);
+                    self.try_finish_write(ctx, req_id);
+                }
+            }
+            Msg::HintedPut { req_id, target, key, version } => {
+                // Spare role: store the hint, ack toward the write quorum.
+                self.next_hint += 1;
+                self.hints.insert(self.next_hint, (target, key, version));
+                ctx.send(from, Msg::HintAck { req_id });
+            }
+            Msg::HintAck { req_id } => {
+                if let Some(PendingOp::Write { acks, .. }) = self.pending.get_mut(&req_id) {
+                    *acks += 1;
+                    self.try_finish_write(ctx, req_id);
+                }
+            }
+            Msg::HintDeliver { hint_id, key, version } => {
+                self.apply_version(key, version);
+                ctx.send(from, Msg::HintDeliverAck { hint_id });
+            }
+            Msg::HintDeliverAck { hint_id } => {
+                if self.hints.remove(&hint_id).is_some() {
+                    self.hints_delivered += 1;
+                }
+            }
+            Msg::Repair { key, version } => self.apply_version(key, version),
+            Msg::GetResp { .. } | Msg::PutResp { .. } => {}
+        }
+    }
+}
+
+/// A scripted client for the quorum protocol.
+pub struct QuorumClient {
+    core: ClientCore,
+    n: usize,
+    /// `None` = random coordinator per op; `Some(id)` = sticky.
+    home: Option<NodeId>,
+}
+
+impl QuorumClient {
+    /// Create a client session.
+    pub fn new(
+        session: u64,
+        script: Vec<ScriptOp>,
+        trace: SharedTrace,
+        n: usize,
+        home: Option<NodeId>,
+    ) -> Self {
+        QuorumClient {
+            core: ClientCore::new(session, script, trace, Duration::from_millis(800)),
+            n,
+            home,
+        }
+    }
+
+    fn target(&self, ctx: &mut Context<Msg>) -> NodeId {
+        self.home.unwrap_or_else(|| NodeId(ctx.rng().index(self.n)))
+    }
+
+    fn send_op(&mut self, ctx: &mut Context<Msg>, op: IssueOp, target: NodeId) {
+        let msg = match op.kind {
+            OpKind::Read => Msg::Get { op_id: op.op_id, key: op.key },
+            OpKind::Write => Msg::Put {
+                op_id: op.op_id,
+                key: op.key,
+                value: op.value.expect("write without value"),
+            },
+        };
+        ctx.send(target, msg);
+    }
+}
+
+impl Actor<Msg> for QuorumClient {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        self.core.start(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, _id: u64, tag: u64) {
+        let target = self.target(ctx);
+        match self.core.handle_timer(ctx, tag, target) {
+            TimerAction::Issue(op) => self.send_op(ctx, op, target),
+            TimerAction::TimedOut(_) | TimerAction::None => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::GetResp { op_id, ok, version } => {
+                self.core.complete(
+                    ctx,
+                    op_id,
+                    OpOutcome {
+                        ok,
+                        values: version.map(|v| v.value).into_iter().collect(),
+                        stamp: version.map(|v| (v.ts.counter, v.ts.actor)),
+                        version_ts: version.map(|v| SimTime::from_micros(v.written_at)),
+                    },
+                );
+            }
+            Msg::PutResp { op_id, ok, stamp } => {
+                self.core.complete(
+                    ctx,
+                    op_id,
+                    OpOutcome { ok, values: vec![], stamp: Some(stamp), version_ts: None },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{optrace, FaultSchedule, LatencyModel, Sim, SimConfig};
+
+    fn build(
+        cfg: QuorumConfig,
+        clients: Vec<QuorumClient>,
+        seed: u64,
+        faults: FaultSchedule,
+    ) -> Sim<Msg> {
+        let mut sim = Sim::new(
+            SimConfig::default()
+                .seed(seed)
+                .latency(LatencyModel::Constant(Duration::from_millis(5)))
+                .faults(faults),
+        );
+        for _ in 0..cfg.total_nodes() {
+            sim.add_node(Box::new(QuorumNode::new(cfg)));
+        }
+        for c in clients {
+            sim.add_node(Box::new(c));
+        }
+        sim
+    }
+
+    fn script(ops: &[(OpKind, Key)]) -> Vec<ScriptOp> {
+        ops.iter().map(|&(kind, key)| ScriptOp { gap_us: 2_000, kind, key }).collect()
+    }
+
+    #[test]
+    fn majority_quorum_read_sees_prior_write() {
+        let trace = optrace::shared_trace();
+        let cfg = QuorumConfig::majority(3);
+        assert!(cfg.intersecting());
+        let writer = QuorumClient::new(
+            1,
+            script(&[(OpKind::Write, 9)]),
+            trace.clone(),
+            3,
+            Some(NodeId(0)),
+        );
+        let reader = QuorumClient::new(
+            2,
+            vec![ScriptOp { gap_us: 100_000, kind: OpKind::Read, key: 9 }],
+            trace.clone(),
+            3,
+            Some(NodeId(1)),
+        );
+        let mut sim = build(cfg, vec![writer, reader], 1, FaultSchedule::none());
+        sim.run_until(SimTime::from_secs(1));
+        let t = trace.borrow();
+        let read = t.records().iter().find(|r| r.kind == OpKind::Read).unwrap();
+        assert!(read.ok);
+        assert_eq!(read.value_read, vec![ClientCore::unique_value(1, 1)]);
+    }
+
+    #[test]
+    fn r1_partial_quorum_admits_stale_read_after_ack() {
+        // PBS in miniature: with R=W=1, there exists a schedule (under
+        // jittery latency) where a read *invoked after the write was
+        // acknowledged* still misses the write. With constant latency no
+        // such window exists (ack and fan-out travel equally fast), so we
+        // search seeds under jitter for a deterministic witness.
+        let mut witness = None;
+        for seed in 0..100u64 {
+            let trace = optrace::shared_trace();
+            let cfg = QuorumConfig {
+                read_repair: false,
+                op_timeout: Duration::from_millis(250),
+                ..QuorumConfig::one_one(3)
+            };
+            let writer = QuorumClient::new(
+                1,
+                script(&[(OpKind::Write, 9)]),
+                trace.clone(),
+                3,
+                Some(NodeId(0)),
+            );
+            // Probe every 2ms: any probe invoked after the write ack that
+            // still sees nothing is a stale-after-ack witness.
+            let reader = QuorumClient::new(
+                2,
+                (0..40)
+                    .map(|_| ScriptOp { gap_us: 2_000, kind: OpKind::Read, key: 9 })
+                    .collect(),
+                trace.clone(),
+                3,
+                Some(NodeId(1)),
+            );
+            let mut sim = Sim::new(
+                SimConfig::default().seed(seed).latency(LatencyModel::Uniform {
+                    min: Duration::from_millis(1),
+                    max: Duration::from_millis(30),
+                }),
+            );
+            for _ in 0..cfg.n {
+                sim.add_node(Box::new(QuorumNode::new(cfg)));
+            }
+            sim.add_node(Box::new(writer));
+            sim.add_node(Box::new(reader));
+            sim.run_until(SimTime::from_secs(1));
+            let t = trace.borrow();
+            let write = t.records().iter().find(|r| r.kind == OpKind::Write).unwrap();
+            let stale_after_ack = t.records().iter().any(|r| {
+                r.kind == OpKind::Read
+                    && r.ok
+                    && r.invoked > write.completed
+                    && r.value_read.is_empty()
+            });
+            if write.ok && stale_after_ack {
+                witness = Some(seed);
+                break;
+            }
+        }
+        assert!(
+            witness.is_some(),
+            "no stale-after-ack schedule found in 100 seeds — partial quorums should admit one"
+        );
+    }
+
+    #[test]
+    fn read_repair_spreads_version_to_all_replicas() {
+        let trace = optrace::shared_trace();
+        let cfg = QuorumConfig { read_repair: true, ..QuorumConfig::majority(3) };
+        let writer =
+            QuorumClient::new(1, script(&[(OpKind::Write, 3)]), trace.clone(), 3, Some(NodeId(0)));
+        // One repaired read, then an R=1-style late probe at each
+        // coordinator: after repair every replica must serve the value.
+        let reader = QuorumClient::new(
+            2,
+            vec![ScriptOp { gap_us: 100_000, kind: OpKind::Read, key: 3 }],
+            trace.clone(),
+            3,
+            Some(NodeId(1)),
+        );
+        let mut probes = Vec::new();
+        for (s, node) in [(3u64, 0usize), (4, 1), (5, 2)] {
+            probes.push(QuorumClient::new(
+                s,
+                vec![ScriptOp { gap_us: 400_000, kind: OpKind::Read, key: 3 }],
+                trace.clone(),
+                3,
+                Some(NodeId(node)),
+            ));
+        }
+        let mut clients = vec![writer, reader];
+        clients.extend(probes);
+        let mut sim = build(
+            QuorumConfig { r: 1, ..cfg },
+            clients,
+            3,
+            FaultSchedule::none(),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let t = trace.borrow();
+        for r in t.records().iter().filter(|r| r.session >= 3) {
+            assert_eq!(
+                r.value_read,
+                vec![ClientCore::unique_value(1, 1)],
+                "replica behind coordinator for session {} still stale",
+                r.session
+            );
+        }
+    }
+
+    #[test]
+    fn minority_partition_blocks_majority_quorum_ops() {
+        let trace = optrace::shared_trace();
+        let cfg = QuorumConfig::majority(3);
+        // Side A holds node 0 *and* its client (node 3); the fine client
+        // (node 4) stays with the majority.
+        let faults = FaultSchedule::none().partition(
+            vec![NodeId(0), NodeId(3)],
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        let blocked =
+            QuorumClient::new(1, script(&[(OpKind::Write, 1)]), trace.clone(), 3, Some(NodeId(0)));
+        let fine =
+            QuorumClient::new(2, script(&[(OpKind::Write, 2)]), trace.clone(), 3, Some(NodeId(1)));
+        let mut sim = build(cfg, vec![blocked, fine], 4, faults);
+        sim.run_until(SimTime::from_secs(5));
+        let t = trace.borrow();
+        let by_session = |s: u64| t.records().iter().find(|r| r.session == s).unwrap();
+        assert!(!by_session(1).ok, "coordinator in minority partition must fail");
+        assert!(by_session(2).ok, "majority side keeps working");
+    }
+
+    #[test]
+    fn coordinator_timeout_produces_client_failure_quickly() {
+        let trace = optrace::shared_trace();
+        let cfg = QuorumConfig {
+            op_timeout: Duration::from_millis(100),
+            ..QuorumConfig::majority(3)
+        };
+        // The client (node 3) sits on node 0's side of the cut so its
+        // request reaches the coordinator, whose op timeout then fires.
+        let faults = FaultSchedule::none().partition(
+            vec![NodeId(0), NodeId(3)],
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        let c =
+            QuorumClient::new(1, script(&[(OpKind::Read, 1)]), trace.clone(), 3, Some(NodeId(0)));
+        let mut sim = build(cfg, vec![c], 5, faults);
+        sim.run_until(SimTime::from_secs(5));
+        let t = trace.borrow();
+        let r = &t.records()[0];
+        assert!(!r.ok);
+        assert!(r.latency() < Duration::from_millis(300), "latency {:?}", r.latency());
+    }
+
+    #[test]
+    fn r1w1_is_available_in_both_partition_sides() {
+        // CAP in one test: R=W=1 keeps serving on both sides of a cut.
+        let trace = optrace::shared_trace();
+        let cfg = QuorumConfig::one_one(3);
+        // The minority client (node 3) is co-located with node 0.
+        let faults = FaultSchedule::none().partition(
+            vec![NodeId(0), NodeId(3)],
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        let minority =
+            QuorumClient::new(1, script(&[(OpKind::Write, 1)]), trace.clone(), 3, Some(NodeId(0)));
+        let majority =
+            QuorumClient::new(2, script(&[(OpKind::Write, 1)]), trace.clone(), 3, Some(NodeId(1)));
+        let mut sim = build(cfg, vec![minority, majority], 6, faults);
+        sim.run_until(SimTime::from_secs(5));
+        let t = trace.borrow();
+        assert!(t.records().iter().all(|r| r.ok), "R=W=1 stays available everywhere");
+    }
+
+    #[test]
+    fn sloppy_quorum_writes_survive_home_replica_outage() {
+        // Home replicas 1 and 2 are cut off; a strict majority write via
+        // coordinator 0 must fail, while a sloppy one succeeds through
+        // hinted handoff to the spare (node 3).
+        let run = |sloppy: bool| {
+            let trace = optrace::shared_trace();
+            let cfg = if sloppy {
+                QuorumConfig::sloppy_majority(3, 1)
+            } else {
+                QuorumConfig::majority(3)
+            };
+            let total = cfg.total_nodes();
+            // Side A: coordinator 0, the spare (if any), and the client.
+            let mut side_a = vec![NodeId(0), NodeId(total)];
+            if sloppy {
+                side_a.push(NodeId(3));
+            }
+            let faults = FaultSchedule::none().partition(
+                side_a,
+                SimTime::ZERO,
+                SimTime::from_secs(5),
+            );
+            let client = QuorumClient::new(
+                1,
+                script(&[(OpKind::Write, 9)]),
+                trace.clone(),
+                3,
+                Some(NodeId(0)),
+            );
+            let mut sim = build(cfg, vec![client], 21, faults);
+            sim.run_until(SimTime::from_secs(3));
+            let t = trace.borrow();
+            t.records()[0].ok
+        };
+        assert!(!run(false), "strict majority must fail with two homes down");
+        assert!(run(true), "sloppy quorum must succeed via hinted handoff");
+    }
+
+    #[test]
+    fn hints_deliver_after_partition_heals() {
+        // Write lands via hints during the outage; after the heal the
+        // spare hands the version to the real owners, and an R=1 read at
+        // node 1 sees it.
+        let trace = optrace::shared_trace();
+        let cfg = QuorumConfig {
+            r: 1,
+            w: 2,
+            ..QuorumConfig::sloppy_majority(3, 1)
+        };
+        let total = cfg.total_nodes();
+        let faults = FaultSchedule::none().partition(
+            vec![NodeId(0), NodeId(3), NodeId(total)],
+            SimTime::ZERO,
+            SimTime::from_secs(2),
+        );
+        let writer = QuorumClient::new(
+            1,
+            script(&[(OpKind::Write, 9)]),
+            trace.clone(),
+            3,
+            Some(NodeId(0)),
+        );
+        // Read at node 1, 4 seconds in (partition healed at 2s, handoff
+        // retries every 100ms).
+        let reader = QuorumClient::new(
+            2,
+            vec![ScriptOp { gap_us: 4_000_000, kind: OpKind::Read, key: 9 }],
+            trace.clone(),
+            3,
+            Some(NodeId(1)),
+        );
+        let mut sim = build(cfg, vec![writer, reader], 22, faults);
+        sim.run_until(SimTime::from_secs(6));
+        let t = trace.borrow();
+        let write = t.records().iter().find(|r| r.kind == OpKind::Write).unwrap();
+        let read = t.records().iter().find(|r| r.kind == OpKind::Read).unwrap();
+        assert!(write.ok, "hinted write succeeds during the outage");
+        assert_eq!(
+            read.value_read,
+            vec![ClientCore::unique_value(1, 1)],
+            "hint must be delivered to the home replica after the heal"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed n")]
+    fn invalid_quorum_config_panics() {
+        QuorumNode::new(QuorumConfig { r: 4, w: 1, ..QuorumConfig::majority(3) });
+    }
+}

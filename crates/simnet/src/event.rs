@@ -1,0 +1,161 @@
+//! The event queue.
+//!
+//! Events are ordered by `(time, seq)` where `seq` is a monotonically
+//! increasing insertion counter. The counter breaks ties deterministically:
+//! two events scheduled for the same instant fire in the order they were
+//! scheduled, independent of heap internals.
+
+use crate::sim::NodeId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What an event does when it fires.
+#[derive(Debug)]
+pub enum EventPayload<M> {
+    /// Deliver a message to `to` (sent by `from`).
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    /// Fire timer `timer_id` (carrying an actor-chosen `tag`) at `node`.
+    Timer { node: NodeId, timer_id: u64, tag: u64 },
+    /// Apply a scripted fault (crash, recover, partition change, ...).
+    Fault(crate::faults::FaultEvent),
+}
+
+/// A scheduled event.
+#[derive(Debug)]
+pub struct Event<M> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Tie-breaking insertion sequence number.
+    pub seq: u64,
+    /// The action to perform.
+    pub payload: EventPayload<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of simulation events.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedule `payload` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, payload: EventPayload<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, payload });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer_at<M>(q: &mut EventQueue<M>, t: u64, tag: u64) {
+        q.push(
+            SimTime::from_micros(t),
+            EventPayload::Timer { node: NodeId(0), timer_id: 0, tag },
+        );
+    }
+
+    fn drain_tags(q: &mut EventQueue<()>) -> Vec<u64> {
+        let mut tags = Vec::new();
+        while let Some(e) = q.pop() {
+            if let EventPayload::Timer { tag, .. } = e.payload {
+                tags.push(tag);
+            }
+        }
+        tags
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        timer_at(&mut q, 30, 3);
+        timer_at(&mut q, 10, 1);
+        timer_at(&mut q, 20, 2);
+        assert_eq!(drain_tags(&mut q), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        for tag in 0..10 {
+            timer_at(&mut q, 5, tag);
+        }
+        assert_eq!(drain_tags(&mut q), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_tracks_min() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        timer_at(&mut q, 50, 0);
+        timer_at(&mut q, 7, 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(50)));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        timer_at(&mut q, 1, 0);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

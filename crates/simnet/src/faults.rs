@@ -1,0 +1,217 @@
+//! Scripted fault injection.
+//!
+//! CAP-style availability results (experiment E4) hinge on *exactly when*
+//! which nodes can talk; a [`FaultSchedule`] scripts that: timed network
+//! partitions, per-window message-loss probability, and node
+//! crashes/recoveries. The schedule is compiled into plain events on the
+//! simulation queue, so faults interleave deterministically with protocol
+//! messages.
+
+use crate::sim::NodeId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A network partition: nodes in `side_a` cannot exchange messages with any
+/// node *not* in `side_a` while the partition is active. (Messages within a
+/// side flow normally.)
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Partition {
+    /// One side of the cut.
+    pub side_a: Vec<NodeId>,
+    /// When the cut happens.
+    pub start: SimTime,
+    /// When the cut heals.
+    pub end: SimTime,
+}
+
+/// A single scripted fault transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Begin a partition with the given side-A membership.
+    PartitionStart { id: usize, side_a: Vec<NodeId> },
+    /// Heal the partition with the given id.
+    PartitionEnd { id: usize },
+    /// Crash a node: it loses in-flight timers and drops incoming messages
+    /// until recovery.
+    Crash { node: NodeId },
+    /// Recover a crashed node (volatile state intact; protocols that need
+    /// amnesia semantics model it themselves).
+    Recover { node: NodeId },
+    /// Set the global message-loss probability.
+    SetLossRate { p: f64 },
+}
+
+/// A declarative schedule of faults for one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    partitions: Vec<Partition>,
+    crashes: Vec<(SimTime, NodeId)>,
+    recoveries: Vec<(SimTime, NodeId)>,
+    loss_changes: Vec<(SimTime, f64)>,
+}
+
+impl FaultSchedule {
+    /// An empty (fault-free) schedule.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a partition window.
+    pub fn partition(mut self, side_a: Vec<NodeId>, start: SimTime, end: SimTime) -> Self {
+        assert!(start <= end, "partition must end after it starts");
+        self.partitions.push(Partition { side_a, start, end });
+        self
+    }
+
+    /// Crash `node` at `at`, recovering at `until`.
+    pub fn crash(mut self, node: NodeId, at: SimTime, until: SimTime) -> Self {
+        assert!(at <= until, "crash must recover after it happens");
+        self.crashes.push((at, node));
+        self.recoveries.push((until, node));
+        self
+    }
+
+    /// Set the message-loss probability to `p` from `at` onward.
+    pub fn loss_rate(mut self, at: SimTime, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss rate must be a probability");
+        self.loss_changes.push((at, p));
+        self
+    }
+
+    /// Flatten the schedule into `(time, event)` pairs for the event queue.
+    pub fn compile(&self) -> Vec<(SimTime, FaultEvent)> {
+        let mut out = Vec::new();
+        for (id, p) in self.partitions.iter().enumerate() {
+            out.push((p.start, FaultEvent::PartitionStart { id, side_a: p.side_a.clone() }));
+            out.push((p.end, FaultEvent::PartitionEnd { id }));
+        }
+        for &(t, n) in &self.crashes {
+            out.push((t, FaultEvent::Crash { node: n }));
+        }
+        for &(t, n) in &self.recoveries {
+            out.push((t, FaultEvent::Recover { node: n }));
+        }
+        for &(t, p) in &self.loss_changes {
+            out.push((t, FaultEvent::SetLossRate { p }));
+        }
+        // Stable order: by time, then by construction order (Vec is stable).
+        out.sort_by_key(|(t, _)| *t);
+        out
+    }
+}
+
+/// Live fault state maintained by the simulator while running.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    /// Active partitions, by id, as the side-A membership set.
+    active_partitions: Vec<(usize, HashSet<usize>)>,
+    /// Currently crashed nodes.
+    crashed: HashSet<usize>,
+    /// Current message-loss probability.
+    pub loss_rate: f64,
+}
+
+impl FaultState {
+    /// Apply a fault transition.
+    pub fn apply(&mut self, ev: &FaultEvent) {
+        match ev {
+            FaultEvent::PartitionStart { id, side_a } => {
+                self.active_partitions.push((*id, side_a.iter().map(|n| n.0).collect()));
+            }
+            FaultEvent::PartitionEnd { id } => {
+                self.active_partitions.retain(|(pid, _)| pid != id);
+            }
+            FaultEvent::Crash { node } => {
+                self.crashed.insert(node.0);
+            }
+            FaultEvent::Recover { node } => {
+                self.crashed.remove(&node.0);
+            }
+            FaultEvent::SetLossRate { p } => {
+                self.loss_rate = *p;
+            }
+        }
+    }
+
+    /// Whether a message from `a` to `b` is cut by any active partition.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.active_partitions
+            .iter()
+            .any(|(_, side)| side.contains(&a.0) != side.contains(&b.0))
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn compile_orders_by_time() {
+        let s = FaultSchedule::none()
+            .crash(NodeId(2), t(50), t(90))
+            .partition(vec![NodeId(0)], t(10), t(60))
+            .loss_rate(t(5), 0.1);
+        let evs = s.compile();
+        let times: Vec<u64> = evs.iter().map(|(t, _)| t.as_micros() / 1000).collect();
+        assert_eq!(times, vec![5, 10, 50, 60, 90]);
+    }
+
+    #[test]
+    fn partition_cuts_across_but_not_within() {
+        let mut st = FaultState::default();
+        st.apply(&FaultEvent::PartitionStart { id: 0, side_a: vec![NodeId(0), NodeId(1)] });
+        assert!(st.is_partitioned(NodeId(0), NodeId(2)));
+        assert!(st.is_partitioned(NodeId(2), NodeId(1)));
+        assert!(!st.is_partitioned(NodeId(0), NodeId(1)));
+        assert!(!st.is_partitioned(NodeId(2), NodeId(3)));
+        st.apply(&FaultEvent::PartitionEnd { id: 0 });
+        assert!(!st.is_partitioned(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn overlapping_partitions() {
+        let mut st = FaultState::default();
+        st.apply(&FaultEvent::PartitionStart { id: 0, side_a: vec![NodeId(0)] });
+        st.apply(&FaultEvent::PartitionStart { id: 1, side_a: vec![NodeId(1)] });
+        assert!(st.is_partitioned(NodeId(0), NodeId(1)));
+        st.apply(&FaultEvent::PartitionEnd { id: 0 });
+        // Partition 1 still isolates node 1.
+        assert!(st.is_partitioned(NodeId(0), NodeId(1)));
+        st.apply(&FaultEvent::PartitionEnd { id: 1 });
+        assert!(!st.is_partitioned(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn crash_and_recover() {
+        let mut st = FaultState::default();
+        assert!(!st.is_crashed(NodeId(3)));
+        st.apply(&FaultEvent::Crash { node: NodeId(3) });
+        assert!(st.is_crashed(NodeId(3)));
+        st.apply(&FaultEvent::Recover { node: NodeId(3) });
+        assert!(!st.is_crashed(NodeId(3)));
+    }
+
+    #[test]
+    fn loss_rate_applies() {
+        let mut st = FaultState::default();
+        assert_eq!(st.loss_rate, 0.0);
+        st.apply(&FaultEvent::SetLossRate { p: 0.25 });
+        assert_eq!(st.loss_rate, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "must end after")]
+    fn bad_partition_window_panics() {
+        let _ = FaultSchedule::none().partition(vec![NodeId(0)], t(10), t(5));
+    }
+}

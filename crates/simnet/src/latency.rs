@@ -1,0 +1,210 @@
+//! Message latency models.
+//!
+//! The tutorial's latency/consistency trade-off results depend on the
+//! *relative* cost of intra- vs. inter-datacenter messages, so the model
+//! that matters most is [`LatencyModel::GeoMatrix`], seeded from published
+//! inter-region round-trip times. The simpler models support unit tests and
+//! microbenchmarks.
+
+use crate::rng::SimRng;
+use crate::sim::NodeId;
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// How long a message takes from one node to another.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(Duration),
+    /// Uniform in `[min, max]`.
+    Uniform { min: Duration, max: Duration },
+    /// Log-normal with the given one-way median and shape; heavy-tailed,
+    /// the standard model for datacenter RPC latency.
+    LogNormal { median: Duration, sigma: f64 },
+    /// Geo-replicated deployment: each node lives in a region; one-way
+    /// latency is half the region-pair RTT plus log-normal jitter.
+    GeoMatrix {
+        /// `region_of[node]` = region index of that node.
+        region_of: Vec<usize>,
+        /// `rtt_ms[a][b]` = round-trip time between regions `a` and `b`, in
+        /// milliseconds. Must be square and at least `max(region_of)+1` wide.
+        rtt_ms: Vec<Vec<f64>>,
+        /// Multiplicative jitter shape (log-normal sigma); 0 disables jitter.
+        jitter_sigma: f64,
+    },
+}
+
+impl LatencyModel {
+    /// A typical intra-datacenter link: 0.5 ms median, mild tail.
+    pub fn lan() -> Self {
+        LatencyModel::LogNormal { median: Duration::from_micros(500), sigma: 0.3 }
+    }
+
+    /// A five-region global deployment with RTTs shaped like published
+    /// us-east / us-west / eu / ap-southeast / ap-northeast numbers.
+    ///
+    /// `region_of` is built round-robin for `n` nodes.
+    pub fn geo_five_regions(n: usize) -> Self {
+        // Approximate public inter-region RTT matrix (milliseconds).
+        const RTT: [[f64; 5]; 5] = [
+            //  use    usw    eu     apse   apne
+            [1.0, 65.0, 75.0, 230.0, 160.0],  // us-east
+            [65.0, 1.0, 140.0, 175.0, 110.0], // us-west
+            [75.0, 140.0, 1.0, 300.0, 220.0], // eu-west
+            [230.0, 175.0, 300.0, 1.0, 70.0], // ap-southeast
+            [160.0, 110.0, 220.0, 70.0, 1.0], // ap-northeast
+        ];
+        LatencyModel::GeoMatrix {
+            region_of: (0..n).map(|i| i % 5).collect(),
+            rtt_ms: RTT.iter().map(|row| row.to_vec()).collect(),
+            jitter_sigma: 0.1,
+        }
+    }
+
+    /// Sample the one-way latency for a message from `from` to `to`.
+    pub fn sample(&self, from: NodeId, to: NodeId, rng: &mut SimRng) -> Duration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => {
+                if min >= max {
+                    *min
+                } else {
+                    Duration::from_micros(rng.range(min.as_micros(), max.as_micros() + 1))
+                }
+            }
+            LatencyModel::LogNormal { median, sigma } => {
+                let us = rng.log_normal(median.as_micros() as f64, *sigma);
+                Duration::from_micros(us.round().max(1.0) as u64)
+            }
+            LatencyModel::GeoMatrix { region_of, rtt_ms, jitter_sigma } => {
+                let ra = region_of[from.0 % region_of.len()];
+                let rb = region_of[to.0 % region_of.len()];
+                let one_way_ms = rtt_ms[ra][rb] / 2.0;
+                let jittered = if *jitter_sigma > 0.0 {
+                    rng.log_normal(one_way_ms, *jitter_sigma)
+                } else {
+                    one_way_ms
+                };
+                Duration::from_millis_f64(jittered.max(0.001))
+            }
+        }
+    }
+
+    /// The region a node belongs to, if this is a geo model.
+    pub fn region_of(&self, node: NodeId) -> Option<usize> {
+        match self {
+            LatencyModel::GeoMatrix { region_of, .. } => {
+                Some(region_of[node.0 % region_of.len()])
+            }
+            _ => None,
+        }
+    }
+
+    /// Deterministic *expected* one-way latency between two nodes (no
+    /// jitter); used by SLA monitors to seed their predictions.
+    pub fn expected(&self, from: NodeId, to: NodeId) -> Duration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => {
+                Duration::from_micros((min.as_micros() + max.as_micros()) / 2)
+            }
+            LatencyModel::LogNormal { median, .. } => *median,
+            LatencyModel::GeoMatrix { region_of, rtt_ms, .. } => {
+                let ra = region_of[from.0 % region_of.len()];
+                let rb = region_of[to.0 % region_of.len()];
+                Duration::from_millis_f64(rtt_ms[ra][rb] / 2.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::Constant(Duration::from_millis(3));
+        let mut rng = SimRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(NodeId(0), NodeId(1), &mut rng), Duration::from_millis(3));
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let m = LatencyModel::Uniform {
+            min: Duration::from_micros(100),
+            max: Duration::from_micros(200),
+        };
+        let mut rng = SimRng::new(2);
+        for _ in 0..1000 {
+            let d = m.sample(NodeId(0), NodeId(1), &mut rng);
+            assert!((100..=200).contains(&d.as_micros()), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let m = LatencyModel::Uniform {
+            min: Duration::from_micros(50),
+            max: Duration::from_micros(50),
+        };
+        let mut rng = SimRng::new(3);
+        assert_eq!(m.sample(NodeId(0), NodeId(1), &mut rng), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn lognormal_positive_and_near_median() {
+        let m = LatencyModel::LogNormal { median: Duration::from_millis(10), sigma: 0.4 };
+        let mut rng = SimRng::new(4);
+        let mut samples: Vec<u64> =
+            (0..4001).map(|_| m.sample(NodeId(0), NodeId(1), &mut rng).as_micros()).collect();
+        samples.sort_unstable();
+        assert!(samples[0] >= 1);
+        let median = samples[samples.len() / 2] as f64;
+        assert!((median - 10_000.0).abs() < 1_000.0, "median {median}");
+    }
+
+    #[test]
+    fn geo_local_faster_than_remote() {
+        let m = LatencyModel::geo_five_regions(10);
+        let mut rng = SimRng::new(5);
+        // Nodes 0 and 5 share region 0; node 3 is in region 3 (ap-southeast).
+        let mut local = 0.0;
+        let mut remote = 0.0;
+        for _ in 0..200 {
+            local += m.sample(NodeId(0), NodeId(5), &mut rng).as_millis_f64();
+            remote += m.sample(NodeId(0), NodeId(3), &mut rng).as_millis_f64();
+        }
+        assert!(local / 200.0 < 2.0, "local mean {}", local / 200.0);
+        assert!(remote / 200.0 > 80.0, "remote mean {}", remote / 200.0);
+    }
+
+    #[test]
+    fn geo_expected_matches_matrix() {
+        let m = LatencyModel::geo_five_regions(5);
+        // us-east <-> eu-west RTT is 75ms, so expected one-way is 37.5ms.
+        let d = m.expected(NodeId(0), NodeId(2));
+        assert_eq!(d, Duration::from_micros(37_500));
+        assert_eq!(m.region_of(NodeId(2)), Some(2));
+        assert_eq!(m.region_of(NodeId(7)), Some(2));
+    }
+
+    #[test]
+    fn expected_for_simple_models() {
+        assert_eq!(
+            LatencyModel::Constant(Duration::from_millis(4)).expected(NodeId(0), NodeId(1)),
+            Duration::from_millis(4)
+        );
+        assert_eq!(
+            LatencyModel::Uniform {
+                min: Duration::from_micros(10),
+                max: Duration::from_micros(30)
+            }
+            .expected(NodeId(0), NodeId(1)),
+            Duration::from_micros(20)
+        );
+        assert_eq!(LatencyModel::lan().expected(NodeId(0), NodeId(1)), Duration::from_micros(500));
+    }
+}

@@ -1,0 +1,25 @@
+//! # sla — consistency-based service level agreements (Pileus-style)
+//!
+//! Terry et al.'s Pileus system (SOSP 2013) lets an application declare,
+//! per read, an ordered list of `(consistency, latency, utility)` triples
+//! — a [`Sla`] — and the system picks the replica and sub-SLA that
+//! maximize *expected* utility given what it knows about replica lag and
+//! round-trip times. This crate reproduces that machinery:
+//!
+//! * [`Consistency`] — the guarantee ladder (strong, read-my-writes,
+//!   monotonic, bounded staleness, eventual).
+//! * [`SubSla`] / [`Sla`] — validated utility-ordered portfolios, with the
+//!   classic examples from the paper as constructors.
+//! * [`Monitor`] — per-replica RTT window and high-timestamp tracking; the
+//!   probability model (`P(latency ≤ target)` = empirical fraction).
+//! * [`choose`] — the utility-maximizing `(replica, sub-SLA)` selection.
+//! * [`delivered_utility`] — post-hoc scoring of what actually happened,
+//!   used by experiment E7.
+
+pub mod monitor;
+pub mod select;
+pub mod types;
+
+pub use monitor::{Monitor, ReplicaView};
+pub use select::{choose, delivered_utility, Decision};
+pub use types::{Consistency, SessionState, Sla, SubSla};

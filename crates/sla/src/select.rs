@@ -1,0 +1,255 @@
+//! Utility-maximizing target selection and post-hoc scoring.
+
+use crate::monitor::Monitor;
+use crate::types::{Consistency, SessionState, Sla};
+use serde::{Deserialize, Serialize};
+use simnet::{Duration, NodeId, SimTime};
+
+/// The chosen `(replica, sub-SLA)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Replica to send the read to.
+    pub replica: NodeId,
+    /// Index of the sub-SLA the choice is optimizing for.
+    pub sub_index: usize,
+    /// Expected utility of the choice.
+    pub expected_utility: f64,
+}
+
+/// Can `replica` (per the monitor's knowledge) serve consistency `c` for
+/// this session right now?
+fn can_serve(
+    monitor: &Monitor,
+    replica: NodeId,
+    c: Consistency,
+    session: &SessionState,
+    now: SimTime,
+) -> bool {
+    let view = monitor.view(replica);
+    match c {
+        Consistency::Strong => view.is_primary,
+        other => match session.required_ts(other, now) {
+            None => true,
+            Some(need) => view.high_ts >= need,
+        },
+    }
+}
+
+/// Pick the replica with maximum expected *delivered* utility.
+///
+/// The expectation models the full sub-SLA cascade: one latency draw from
+/// the replica's empirical RTT window is scored by the first sub-SLA whose
+/// latency target it meets **and** whose consistency the replica can serve
+/// (per the monitor's high-timestamp knowledge) — exactly how
+/// [`delivered_utility`] will score the real read afterwards. Replicas
+/// with no samples yet get a hedged prior (half the utility of their best
+/// achievable sub-SLA) so unexplored replicas are not starved forever.
+/// Near-ties break toward the lower-median-RTT replica, then lower id.
+pub fn choose(
+    monitor: &Monitor,
+    sla: &Sla,
+    session: &SessionState,
+    now: SimTime,
+) -> Decision {
+    let mut best: Option<(Decision, Duration)> = None;
+    for (replica, view) in monitor.iter() {
+        let achievable: Vec<bool> = sla
+            .subs()
+            .iter()
+            .map(|sub| can_serve(monitor, replica, sub.consistency, session, now))
+            .collect();
+        let first_achievable = achievable.iter().position(|&a| a);
+        let score_one = |lat: Duration| -> f64 {
+            for (i, sub) in sla.subs().iter().enumerate() {
+                if achievable[i] && lat <= sub.latency {
+                    return sub.utility;
+                }
+            }
+            0.0
+        };
+        let samples = view.rtt_samples();
+        let eu = if samples.is_empty() {
+            // Hedged prior for unexplored replicas.
+            first_achievable.map(|i| 0.5 * sla.subs()[i].utility).unwrap_or(0.0)
+        } else {
+            samples.iter().map(|&s| score_one(s)).sum::<f64>() / samples.len() as f64
+        };
+        if eu <= 0.0 {
+            continue;
+        }
+        let sub_index = first_achievable.unwrap_or(sla.subs().len() - 1);
+        let med = view.median_rtt().unwrap_or(Duration::from_millis(1_000));
+        let better = match &best {
+            None => true,
+            Some((b, b_med)) => {
+                eu > b.expected_utility + 1e-12
+                    || ((eu - b.expected_utility).abs() <= 1e-12 && med < *b_med)
+            }
+        };
+        if better {
+            best = Some((Decision { replica, sub_index, expected_utility: eu }, med));
+        }
+    }
+    let best = best.map(|(d, _)| d);
+    // Fall back to the last (weakest) sub-SLA at the replica with the best
+    // latency odds — there is always somewhere to send an eventual read.
+    best.unwrap_or_else(|| {
+        let last = sla.subs().len() - 1;
+        let target = sla.subs()[last].latency;
+        let replica = monitor
+            .iter()
+            .max_by(|(a_id, a), (b_id, b)| {
+                a.p_latency(target)
+                    .partial_cmp(&b.p_latency(target))
+                    .unwrap()
+                    .then(b_id.0.cmp(&a_id.0))
+            })
+            .map(|(id, _)| id)
+            .expect("monitor has replicas");
+        Decision { replica, sub_index: last, expected_utility: 0.0 }
+    })
+}
+
+/// Score what actually happened: the utility of the *first* (highest
+/// preference) sub-SLA whose latency target and consistency were both
+/// met. `achieved` is the strongest consistency the response actually
+/// provided (derived from which replica answered and its high timestamp).
+pub fn delivered_utility(
+    sla: &Sla,
+    actual_latency: Duration,
+    achieved: &dyn Fn(Consistency) -> bool,
+) -> f64 {
+    for sub in sla.subs() {
+        if actual_latency <= sub.latency && achieved(sub.consistency) {
+            return sub.utility;
+        }
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SubSla;
+
+    fn monitor_with(
+        rtts_ms: &[(usize, u64)],
+        high_ts_ms: &[(usize, u64)],
+        n: usize,
+    ) -> Monitor {
+        let mut m = Monitor::new(n, NodeId(0));
+        for &(r, ms) in rtts_ms {
+            for _ in 0..8 {
+                m.view_mut(NodeId(r)).record_rtt(Duration::from_millis(ms));
+            }
+        }
+        for &(r, ms) in high_ts_ms {
+            m.view_mut(NodeId(r)).high_ts = SimTime::from_millis(ms);
+        }
+        m
+    }
+
+    #[test]
+    fn strong_sla_goes_to_primary() {
+        // Replica 1 is much faster, but only the primary (0) serves Strong.
+        let m = monitor_with(&[(0, 100), (1, 5)], &[(0, 1000), (1, 1000)], 2);
+        let sla = Sla::new(vec![SubSla {
+            consistency: Consistency::Strong,
+            latency: Duration::from_millis(500),
+            utility: 1.0,
+        }]);
+        let d = choose(&m, &sla, &SessionState::default(), SimTime::from_millis(2000));
+        assert_eq!(d.replica, NodeId(0));
+        assert_eq!(d.sub_index, 0);
+    }
+
+    #[test]
+    fn latency_preferred_sla_picks_fast_replica() {
+        let m = monitor_with(&[(0, 100), (1, 5)], &[(0, 1000), (1, 900)], 2);
+        let sla = Sla::shopping_cart();
+        // Fresh session: RMW has no requirement, so the fast replica wins.
+        let d = choose(&m, &sla, &SessionState::default(), SimTime::from_millis(2000));
+        assert_eq!(d.replica, NodeId(1));
+        assert_eq!(d.sub_index, 0);
+        assert!(d.expected_utility > 0.9);
+    }
+
+    #[test]
+    fn rmw_requirement_excludes_lagging_replica() {
+        // Session wrote at t=950; replica 1 lags (high_ts 900) so only the
+        // primary can give RMW. Expected utility trade-off: primary RMW
+        // (1.0 × P(100ms ≤ 300ms) = 1.0) beats replica-1 eventual (0.5).
+        let m = monitor_with(&[(0, 100), (1, 5)], &[(0, 1000), (1, 900)], 2);
+        let sla = Sla::shopping_cart();
+        let session = SessionState {
+            last_write_ts: Some(SimTime::from_millis(950)),
+            last_read_ts: None,
+        };
+        let d = choose(&m, &sla, &session, SimTime::from_millis(2000));
+        assert_eq!(d.replica, NodeId(0));
+        assert_eq!(d.sub_index, 0);
+    }
+
+    #[test]
+    fn hopeless_latency_falls_to_weaker_subsla() {
+        // Primary is way too slow for the strong sub-SLA's 50ms target;
+        // the bounded sub-SLA at the fast replica wins.
+        let m = monitor_with(&[(0, 400), (1, 10)], &[(0, 10_000), (1, 9_950)], 2);
+        let sla = Sla::web_app();
+        let d = choose(&m, &sla, &SessionState::default(), SimTime::from_millis(10_000));
+        assert_eq!(d.replica, NodeId(1));
+        assert_eq!(d.sub_index, 1, "bounded sub-SLA chosen");
+        assert!((d.expected_utility - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_staleness_excludes_stale_replica() {
+        // Bound 200ms at now=10s requires high_ts >= 9.8s; replica 1 is at
+        // 9.0s → excluded; primary (fresh) serves it.
+        let m = monitor_with(&[(0, 10), (1, 10)], &[(0, 10_000), (1, 9_000)], 2);
+        let sla = Sla::new(vec![SubSla {
+            consistency: Consistency::Bounded(Duration::from_millis(200)),
+            latency: Duration::from_millis(100),
+            utility: 1.0,
+        }]);
+        let d = choose(&m, &sla, &SessionState::default(), SimTime::from_secs(10));
+        assert_eq!(d.replica, NodeId(0));
+    }
+
+    #[test]
+    fn fallback_when_nothing_qualifies() {
+        // Strong-only SLA but no replica is primary-marked... construct by
+        // demanding RMW with a requirement nobody meets.
+        let m = monitor_with(&[(0, 10), (1, 10)], &[(0, 100), (1, 100)], 2);
+        let sla = Sla::new(vec![SubSla {
+            consistency: Consistency::ReadMyWrites,
+            latency: Duration::from_millis(100),
+            utility: 1.0,
+        }]);
+        let session = SessionState {
+            last_write_ts: Some(SimTime::from_secs(99)),
+            last_read_ts: None,
+        };
+        let d = choose(&m, &sla, &session, SimTime::from_secs(100));
+        // Falls back to the weakest (here: only) sub-SLA with zero
+        // expected utility rather than panicking.
+        assert_eq!(d.expected_utility, 0.0);
+        assert_eq!(d.sub_index, 0);
+    }
+
+    #[test]
+    fn delivered_utility_picks_first_met_subsla() {
+        let sla = Sla::web_app();
+        // Fast and strong: full utility.
+        let u = delivered_utility(&sla, Duration::from_millis(40), &|_| true);
+        assert!((u - 1.0).abs() < 1e-9);
+        // Fast but only eventual-achievable: the eventual rung (0.3).
+        let u2 = delivered_utility(&sla, Duration::from_millis(40), &|c| {
+            matches!(c, Consistency::Eventual)
+        });
+        assert!((u2 - 0.3).abs() < 1e-9);
+        // Too slow for everything: zero.
+        let u3 = delivered_utility(&sla, Duration::from_millis(900), &|_| true);
+        assert_eq!(u3, 0.0);
+    }
+}

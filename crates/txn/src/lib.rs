@@ -1,0 +1,31 @@
+//! # txn — transactions over replicated, partitioned storage
+//!
+//! The tutorial's last act: how do you get transactions back once you have
+//! given up global strong consistency? The Megastore/ElasTraS answer is
+//! **entity groups**: partition keys into groups, give each group a serial
+//! commit log, and run optimistic concurrency *within* a group — cheap,
+//! single-home commits. Cross-group transactions pay for coordination:
+//! two-phase commit, optionally with the commit decision replicated to a
+//! registrar quorum first (a simplified Gray & Lamport *Paxos Commit*, so
+//! a crashed coordinator cannot leave participants blocked forever).
+//!
+//! Pieces:
+//! * [`group`] — per-group state: versioned store, commit log positions,
+//!   OCC validation, write locks with timeout.
+//! * [`manager`] — the `GroupNode` actor hosting many groups (home
+//!   assignment: `group % nodes`), serving reads, single-group commits,
+//!   and 2PC participant duties; plus the registrar role.
+//! * [`client`] — a scripted transaction client: read phase across groups,
+//!   then single-group fast commit or 2PC, recording commit/abort/latency
+//!   into a [`client::TxnStats`].
+//!
+//! Experiment E8 sweeps contention and group spans to regenerate the
+//! classic abort-rate and commit-latency curves.
+
+pub mod client;
+pub mod group;
+pub mod manager;
+
+pub use client::{TxnClient, TxnSpec, TxnStats};
+pub use group::{Group, GroupId, TxnId};
+pub use manager::{GroupNode, Msg, TxnConfig};

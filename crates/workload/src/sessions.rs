@@ -1,0 +1,205 @@
+//! Session-structured workloads: the tutorial's motivating applications
+//! as op-sequence generators.
+//!
+//! Unlike the i.i.d. YCSB mixes in [`crate::spec`], these scripts have
+//! *structure*: a shopping session re-reads its own cart (the pattern that
+//! makes read-your-writes matter), and a social session reads a timeline
+//! that other sessions write (the pattern that makes causal consistency
+//! matter). Key spaces are partitioned so experiments can tell cart keys
+//! from catalog keys.
+
+use crate::mix::WorkloadOp;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which archetype to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionKind {
+    /// Browse the catalog, add to the own cart, re-read the cart, check
+    /// out: heavy read-your-writes pressure on the session's cart key.
+    ShoppingCart,
+    /// Post to the own wall, read followees' walls, reply: cross-session
+    /// reads-from chains (causal pressure).
+    SocialTimeline,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionWorkload {
+    /// Archetype.
+    pub kind: SessionKind,
+    /// Number of sessions (each owns one cart / wall key).
+    pub sessions: u32,
+    /// Shared keys (catalog items / global feeds).
+    pub shared_keys: u64,
+    /// "Rounds" per session (each round emits several ops).
+    pub rounds: u32,
+    /// Think time between ops, µs.
+    pub think_us: u64,
+}
+
+impl SessionWorkload {
+    /// A small shopping workload.
+    pub fn shopping(sessions: u32) -> Self {
+        SessionWorkload {
+            kind: SessionKind::ShoppingCart,
+            sessions,
+            shared_keys: 20,
+            rounds: 10,
+            think_us: 5_000,
+        }
+    }
+
+    /// A small social workload.
+    pub fn social(sessions: u32) -> Self {
+        SessionWorkload {
+            kind: SessionKind::SocialTimeline,
+            sessions,
+            shared_keys: 10,
+            rounds: 10,
+            think_us: 5_000,
+        }
+    }
+
+    /// The private key owned by `session` (carts / walls live above the
+    /// shared key space).
+    pub fn own_key(&self, session: u32) -> u64 {
+        self.shared_keys + session as u64
+    }
+
+    /// Generate the script for `session`: `(gap_us, op, key)` triples,
+    /// deterministic in the RNG.
+    pub fn session_script<R: Rng + ?Sized>(
+        &self,
+        session: u32,
+        rng: &mut R,
+    ) -> Vec<(u64, WorkloadOp, u64)> {
+        assert!(session < self.sessions, "session out of range");
+        let mut ops = Vec::new();
+        let own = self.own_key(session);
+        for _ in 0..self.rounds {
+            match self.kind {
+                SessionKind::ShoppingCart => {
+                    // Browse 2 catalog items.
+                    for _ in 0..2 {
+                        let item = rng.random_range(0..self.shared_keys);
+                        ops.push((self.think_us, WorkloadOp::Read, item));
+                    }
+                    // Add to own cart (RMW), then re-read it — the op
+                    // pair session guarantees exist for.
+                    ops.push((self.think_us, WorkloadOp::ReadModifyWrite, own));
+                    ops.push((self.think_us / 2, WorkloadOp::Read, own));
+                }
+                SessionKind::SocialTimeline => {
+                    // Post to own wall.
+                    ops.push((self.think_us, WorkloadOp::Write, own));
+                    // Read two other walls (uniform over sessions).
+                    for _ in 0..2 {
+                        let other = rng.random_range(0..self.sessions);
+                        ops.push((self.think_us, WorkloadOp::Read, self.own_key(other)));
+                    }
+                    // Read a shared feed, sometimes reply to it.
+                    let feed = rng.random_range(0..self.shared_keys);
+                    ops.push((self.think_us, WorkloadOp::Read, feed));
+                    if rng.random::<f64>() < 0.3 {
+                        ops.push((self.think_us / 2, WorkloadOp::Write, feed));
+                    }
+                }
+            }
+        }
+        ops
+    }
+
+    /// Total key-space size (shared + one per session).
+    pub fn key_space(&self) -> u64 {
+        self.shared_keys + self.sessions as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn shopping_script_rereads_own_cart_after_update() {
+        let w = SessionWorkload::shopping(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let script = w.session_script(2, &mut rng);
+        let own = w.own_key(2);
+        // Every RMW on the cart is followed by a read of the same cart.
+        let mut found_pairs = 0;
+        for pair in script.windows(2) {
+            if pair[0].1 == WorkloadOp::ReadModifyWrite && pair[0].2 == own {
+                assert_eq!(pair[1], (w.think_us / 2, WorkloadOp::Read, own));
+                found_pairs += 1;
+            }
+        }
+        assert_eq!(found_pairs, 10, "one RMW+re-read pair per round");
+    }
+
+    #[test]
+    fn shopping_browses_only_shared_keys() {
+        let w = SessionWorkload::shopping(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let script = w.session_script(0, &mut rng);
+        for (_, op, key) in &script {
+            if *key < w.shared_keys {
+                assert_eq!(*op, WorkloadOp::Read, "catalog items are read-only");
+            } else {
+                assert_eq!(*key, w.own_key(0), "sessions touch only their own cart");
+            }
+        }
+    }
+
+    #[test]
+    fn social_sessions_read_each_others_walls() {
+        let w = SessionWorkload::social(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let script = w.session_script(1, &mut rng);
+        let wall_reads = script
+            .iter()
+            .filter(|(_, op, key)| {
+                *op == WorkloadOp::Read && *key >= w.shared_keys && *key != w.own_key(1)
+            })
+            .count();
+        assert!(wall_reads > 0, "must read other sessions' walls");
+        // Own wall is written every round.
+        let own_posts = script
+            .iter()
+            .filter(|(_, op, key)| *op == WorkloadOp::Write && *key == w.own_key(1))
+            .count();
+        assert_eq!(own_posts, 10);
+    }
+
+    #[test]
+    fn scripts_deterministic_per_seed() {
+        let w = SessionWorkload::social(3);
+        let a = w.session_script(0, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = w.session_script(0, &mut ChaCha8Rng::seed_from_u64(7));
+        let c = w.session_script(0, &mut ChaCha8Rng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn key_space_covers_all_keys() {
+        let w = SessionWorkload::shopping(5);
+        assert_eq!(w.key_space(), 25);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for s in 0..5 {
+            for (_, _, key) in w.session_script(s, &mut rng) {
+                assert!(key < w.key_space());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unknown_session_panics() {
+        let w = SessionWorkload::shopping(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        w.session_script(9, &mut rng);
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: deploy a replicated store, run a workload, check what the
+//! clients actually observed.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rethinking_ec::consistency::{check_session_guarantees, measure_staleness};
+use rethinking_ec::core::metrics::{availability, latency_summary};
+use rethinking_ec::core::{Experiment, Scheme};
+use rethinking_ec::simnet::{Duration, LatencyModel};
+use rethinking_ec::workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
+
+fn main() {
+    // A 3-replica Dynamo-style quorum store with R=W=2 (intersecting).
+    let scheme = Scheme::quorum(3, 2, 2);
+    println!("deploying: {}", scheme.label());
+
+    // 8 sessions, 100 ops each, 95% reads, Zipfian keys, on a jittery LAN.
+    let workload = WorkloadSpec {
+        keys: 100,
+        distribution: KeyDistribution::zipfian_default(),
+        mix: OpMix::ycsb_b(),
+        arrival: Arrival::Closed { think_us: 2_000 },
+        sessions: 8,
+        ops_per_session: 100,
+    };
+
+    let result = Experiment::new(scheme)
+        .workload(workload)
+        .latency(LatencyModel::Uniform {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+        })
+        .seed(2013) // the run is a pure function of the seed
+        .run();
+
+    println!("\ncompleted {} operations", result.trace.len());
+    println!("availability: {:.1}%", availability(&result.trace) * 100.0);
+
+    let lat = latency_summary(&result.trace);
+    println!(
+        "read latency  p50 {:.1}ms  p99 {:.1}ms",
+        lat.reads.p50, lat.reads.p99
+    );
+    println!(
+        "write latency p50 {:.1}ms  p99 {:.1}ms",
+        lat.writes.p50, lat.writes.p99
+    );
+
+    // What consistency did clients actually get? Ask the checkers.
+    let staleness = measure_staleness(&result.trace);
+    println!(
+        "stale reads: {} of {} classifiable ({:.2}%)",
+        staleness.stale_reads,
+        staleness.stale_reads + staleness.fresh_reads,
+        staleness.p_stale() * 100.0
+    );
+    let sessions = check_session_guarantees(&result.trace);
+    println!(
+        "session guarantees: RYW {} violations, MR {}, MW {}, WFR {}",
+        sessions.ryw_violations,
+        sessions.mr_violations,
+        sessions.mw_violations,
+        sessions.wfr_violations
+    );
+    assert!(
+        staleness.stale_reads == 0,
+        "R+W>N quorums must not serve stale reads"
+    );
+    println!("\nR+W>N held up: intersecting quorums read fresh. Try Scheme::quorum(3,1,1)!");
+}

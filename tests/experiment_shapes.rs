@@ -1,0 +1,214 @@
+//! Integration: miniature versions of the E1–E10 experiments asserting
+//! the *shapes* EXPERIMENTS.md records (who wins, what grows with what).
+//! If one of these fails, the experiment write-up is stale.
+
+use rethinking_ec::consistency::measure_staleness;
+use rethinking_ec::core::metrics::latency_summary;
+use rethinking_ec::core::scheme::ClientPlacement;
+use rethinking_ec::core::{Experiment, Scheme};
+use rethinking_ec::simnet::{Duration, LatencyModel, SimTime};
+use rethinking_ec::workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
+
+fn pbs_workload() -> WorkloadSpec {
+    WorkloadSpec {
+        keys: 5,
+        distribution: KeyDistribution::Zipfian { theta: 0.9 },
+        mix: OpMix::ycsb_a(),
+        arrival: Arrival::Closed { think_us: 500 },
+        sessions: 10,
+        ops_per_session: 100,
+    }
+}
+
+fn heavy_tail() -> LatencyModel {
+    LatencyModel::LogNormal { median: Duration::from_millis(3), sigma: 1.2 }
+}
+
+/// E1 shape: staleness decreases as R (or W) grows; zero when R+W>N.
+#[test]
+fn e1_shape_staleness_monotone_in_quorum_size() {
+    let p_stale = |r: usize, w: usize| {
+        let res = Experiment::new(Scheme::Quorum {
+            n: 3,
+            r,
+            w,
+            read_repair: false,
+            placement: ClientPlacement::Random,
+        })
+        .workload(pbs_workload())
+        .latency(heavy_tail())
+        .seed(42)
+        .horizon(SimTime::from_secs(300))
+        .run();
+        measure_staleness(&res.trace).p_stale()
+    };
+    let p11 = p_stale(1, 1);
+    let p21 = p_stale(2, 1);
+    let p22 = p_stale(2, 2);
+    assert!(p11 > 0.0, "R=W=1 must be stale sometimes");
+    assert!(p11 >= p21, "raising R cannot increase staleness: {p11} vs {p21}");
+    assert_eq!(p22, 0.0, "intersecting quorums read fresh");
+}
+
+/// E2 shape: in a geo deployment, local-read schemes beat quorum reads by
+/// an order of magnitude; Paxos writes cost at least a WAN majority trip.
+#[test]
+fn e2_shape_geo_latency_ordering() {
+    let workload = WorkloadSpec {
+        keys: 20,
+        distribution: KeyDistribution::Uniform,
+        mix: OpMix::ycsb_a(),
+        arrival: Arrival::Closed { think_us: 30_000 },
+        sessions: 5,
+        ops_per_session: 40,
+    };
+    let read_p50 = |scheme: Scheme| {
+        let res = Experiment::new(scheme)
+            .workload(workload.clone())
+            .latency(LatencyModel::geo_five_regions(5))
+            .seed(9)
+            .horizon(SimTime::from_secs(300))
+            .run();
+        latency_summary(&res.trace).reads.p50
+    };
+    let eventual = read_p50(Scheme::eventual(5));
+    let quorum = read_p50(Scheme::quorum(5, 3, 3));
+    let paxos = read_p50(Scheme::Paxos { nodes: 5 });
+    assert!(
+        eventual * 10.0 < quorum,
+        "local reads must be >=10x faster than WAN quorum reads: {eventual} vs {quorum}"
+    );
+    assert!(
+        paxos > 50.0,
+        "paxos reads pay a WAN majority commit: {paxos}ms"
+    );
+}
+
+/// E9 shape: staleness probability grows monotonically with shipping lag.
+#[test]
+fn e9_shape_staleness_grows_with_lag() {
+    let workload = WorkloadSpec {
+        keys: 10,
+        distribution: KeyDistribution::Zipfian { theta: 0.9 },
+        mix: OpMix::ycsb_a(),
+        arrival: Arrival::Closed { think_us: 10_000 },
+        sessions: 6,
+        ops_per_session: 80,
+    };
+    let p = |lag: u64| {
+        let res = Experiment::new(Scheme::PrimaryAsync {
+            replicas: 3,
+            ship_interval: Duration::from_millis(lag),
+        })
+        .workload(workload.clone())
+        .latency(LatencyModel::Uniform {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(5),
+        })
+        .seed(13)
+        .horizon(SimTime::from_secs(120))
+        .run();
+        measure_staleness(&res.trace).p_stale()
+    };
+    let p10 = p(10);
+    let p100 = p(100);
+    let p400 = p(400);
+    assert!(p10 < p100 && p100 < p400, "{p10} < {p100} < {p400} expected");
+}
+
+/// E10 shape: async writes ack in ~1 RTT; sync/quorum/paxos pay ~2 RTT.
+#[test]
+fn e10_shape_synchrony_costs_round_trips() {
+    let workload = WorkloadSpec {
+        keys: 50,
+        distribution: KeyDistribution::Uniform,
+        mix: OpMix::write_only(),
+        arrival: Arrival::Closed { think_us: 1_000 },
+        sessions: 4,
+        ops_per_session: 60,
+    };
+    let write_p50 = |scheme: Scheme| {
+        let res = Experiment::new(scheme)
+            .workload(workload.clone())
+            .latency(LatencyModel::Constant(Duration::from_millis(5)))
+            .seed(3)
+            .horizon(SimTime::from_secs(120))
+            .run();
+        latency_summary(&res.trace).writes.p50
+    };
+    let asynchronous =
+        write_p50(Scheme::PrimaryAsync { replicas: 3, ship_interval: Duration::from_millis(50) });
+    let sync = write_p50(Scheme::PrimarySync { replicas: 3 });
+    let quorum = write_p50(Scheme::quorum(3, 2, 2));
+    // 1 RTT = 10ms; 2 RTT = 20ms.
+    assert!((9.0..12.0).contains(&asynchronous), "async ~1 RTT, got {asynchronous}");
+    assert!(sync >= 19.0, "sync >= 2 RTT, got {sync}");
+    assert!(quorum >= 19.0, "majority quorum >= 2 RTT, got {quorum}");
+}
+
+/// E6 shape (protocol level): CRDT counters lose nothing; LWW RMW loses
+/// under concurrency. (The data-type-level law is in the crdt crate; this
+/// exercises the full replication stack.)
+#[test]
+fn e6_shape_crdt_counters_lose_nothing() {
+    use rethinking_ec::replication::common::{ClientCore, Guarantees, ScriptOp};
+    use rethinking_ec::replication::eventual::{
+        ConflictMode, EventualClient, EventualConfig, EventualReplica, GossipConfig,
+        TargetPolicy,
+    };
+    use rethinking_ec::simnet::{optrace, NodeId, OpKind, Sim, SimConfig};
+
+    let trace = optrace::shared_trace();
+    let cfg = EventualConfig {
+        replicas: 3,
+        eager: true,
+        gossip: Some(GossipConfig { interval: Duration::from_millis(10), fanout: 2 }),
+        mode: ConflictMode::Counter,
+    };
+    let mut sim = Sim::new(SimConfig::default().seed(6).latency(LatencyModel::Uniform {
+        min: Duration::from_millis(1),
+        max: Duration::from_millis(15),
+    }));
+    for _ in 0..3 {
+        sim.add_node(Box::new(EventualReplica::new(cfg.clone())));
+    }
+    let mut expected: u64 = 0;
+    for s in 1..=4u64 {
+        let script: Vec<ScriptOp> =
+            (0..10).map(|_| ScriptOp { gap_us: 1_000, kind: OpKind::Write, key: 0 }).collect();
+        for op in 1..=10u64 {
+            expected += ClientCore::unique_value(s, op);
+        }
+        sim.add_node(Box::new(EventualClient::new(
+            s,
+            script,
+            trace.clone(),
+            3,
+            TargetPolicy::Sticky(NodeId((s as usize - 1) % 3)),
+            Guarantees::none(),
+            ConflictMode::Counter,
+        )));
+    }
+    // Late readers at every replica agree on the exact total.
+    for (s, home) in [(10u64, 0usize), (11, 1), (12, 2)] {
+        sim.add_node(Box::new(EventualClient::new(
+            s,
+            vec![ScriptOp { gap_us: 2_000_000, kind: OpKind::Read, key: 0 }],
+            trace.clone(),
+            3,
+            TargetPolicy::Sticky(NodeId(home)),
+            Guarantees::none(),
+            ConflictMode::Counter,
+        )));
+    }
+    sim.run_until(SimTime::from_secs(10));
+    let t = trace.borrow();
+    for s in [10u64, 11, 12] {
+        let read = t
+            .records()
+            .iter()
+            .find(|r| r.session == s && r.ok)
+            .unwrap_or_else(|| panic!("reader {s} completed"));
+        assert_eq!(read.value_read, vec![expected], "replica behind reader {s} lost increments");
+    }
+}

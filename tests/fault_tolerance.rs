@@ -1,0 +1,269 @@
+//! Integration: behaviour under partitions, crashes, and message loss —
+//! the CAP trade-offs, end to end.
+
+use rethinking_ec::core::metrics::availability_timeline;
+use rethinking_ec::core::scheme::ClientPlacement;
+use rethinking_ec::core::{Experiment, Scheme};
+use rethinking_ec::replication::common::Guarantees;
+use rethinking_ec::replication::eventual::ConflictMode;
+use rethinking_ec::simnet::{Duration, FaultSchedule, LatencyModel, NodeId, OpKind, SimTime};
+use rethinking_ec::workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
+
+fn workload(sessions: u32, ops: u32) -> WorkloadSpec {
+    WorkloadSpec {
+        keys: 10,
+        distribution: KeyDistribution::Uniform,
+        mix: OpMix::ycsb_a(),
+        arrival: Arrival::Closed { think_us: 50_000 },
+        sessions,
+        ops_per_session: ops,
+    }
+}
+
+/// Partition replica 0 together with its sticky clients from t=5s to 10s.
+fn partition_side_a(n_replicas: usize, sessions: u32) -> FaultSchedule {
+    let mut side_a = vec![NodeId(0)];
+    for c in 0..sessions as usize {
+        if c % n_replicas == 0 {
+            side_a.push(NodeId(n_replicas + c));
+        }
+    }
+    FaultSchedule::none().partition(side_a, SimTime::from_secs(5), SimTime::from_secs(10))
+}
+
+fn run_partitioned(scheme: Scheme, seed: u64) -> rethinking_ec::core::RunResult {
+    let n = scheme.replica_count();
+    Experiment::new(scheme)
+        .workload(workload(6, 260))
+        .latency(LatencyModel::Uniform {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+        })
+        .faults(partition_side_a(n, 6))
+        .seed(seed)
+        .horizon(SimTime::from_secs(25))
+        .run()
+}
+
+fn availability_during(res: &rethinking_ec::core::RunResult, lo_ms: f64, hi_ms: f64) -> f64 {
+    let tl = availability_timeline(&res.trace, Duration::from_secs(1));
+    let window: Vec<f64> = tl
+        .iter()
+        .filter(|(t, _)| (lo_ms..hi_ms).contains(t))
+        .map(|(_, a)| *a)
+        .collect();
+    if window.is_empty() {
+        1.0
+    } else {
+        window.iter().sum::<f64>() / window.len() as f64
+    }
+}
+
+#[test]
+fn eventual_stays_fully_available_through_partition() {
+    let res = run_partitioned(Scheme::eventual(3), 1);
+    assert!(
+        availability_during(&res, 5_000.0, 10_000.0) > 0.999,
+        "AP system must not notice the partition"
+    );
+}
+
+#[test]
+fn majority_quorum_loses_minority_side_only() {
+    let scheme = Scheme::Quorum {
+        n: 3,
+        r: 2,
+        w: 2,
+        read_repair: true,
+        placement: ClientPlacement::Sticky,
+    };
+    let res = run_partitioned(scheme, 2);
+    let during = availability_during(&res, 5_000.0, 10_000.0);
+    assert!(
+        during < 0.999,
+        "majority quorum must lose the minority side ({during})"
+    );
+    assert!(
+        during > 0.5,
+        "...but the majority side keeps serving ({during})"
+    );
+    // Full recovery after the heal.
+    assert!(availability_during(&res, 11_000.0, 25_000.0) > 0.999);
+}
+
+#[test]
+fn primary_sync_write_availability_collapses_when_primary_isolated() {
+    let res = run_partitioned(Scheme::PrimarySync { replicas: 3 }, 3);
+    // During the partition the primary can reach no backup: every write
+    // fails (minority clients also lose reads).
+    let writes_during_partition: Vec<bool> = res
+        .trace
+        .records()
+        .iter()
+        .filter(|r| {
+            r.kind == OpKind::Write
+                && r.invoked >= SimTime::from_secs(5)
+                && r.invoked < SimTime::from_millis(9_500)
+        })
+        .map(|r| r.ok)
+        .collect();
+    assert!(!writes_during_partition.is_empty());
+    assert!(
+        writes_during_partition.iter().all(|ok| !ok),
+        "sync primary cut off from all backups must fail every write"
+    );
+}
+
+#[test]
+fn quorum_heals_and_converges_after_partition() {
+    // After the heal, a majority write is visible to majority reads from
+    // every coordinator (read repair + intersection).
+    let scheme = Scheme::Quorum {
+        n: 3,
+        r: 2,
+        w: 2,
+        read_repair: true,
+        placement: ClientPlacement::Sticky,
+    };
+    let res = run_partitioned(scheme, 4);
+    let late_reads: Vec<_> = res
+        .trace
+        .records()
+        .iter()
+        .filter(|r| r.kind == OpKind::Read && r.invoked > SimTime::from_secs(12))
+        .collect();
+    assert!(!late_reads.is_empty());
+    assert!(late_reads.iter().all(|r| r.ok), "post-heal reads must all succeed");
+}
+
+#[test]
+fn paxos_survives_leader_crash() {
+    let faults = FaultSchedule::none().crash(
+        NodeId(0),
+        SimTime::from_secs(3),
+        SimTime::from_secs(60),
+    );
+    let res = Experiment::new(Scheme::Paxos { nodes: 3 })
+        .workload(workload(4, 200))
+        .latency(LatencyModel::Uniform {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+        })
+        .faults(faults)
+        .seed(5)
+        .horizon(SimTime::from_secs(60))
+        .run();
+    // Ops issued well after the crash (failover done) must succeed.
+    let late: Vec<_> = res
+        .trace
+        .records()
+        .iter()
+        .filter(|r| r.invoked > SimTime::from_secs(10))
+        .collect();
+    assert!(!late.is_empty());
+    let ok = late.iter().filter(|r| r.ok).count();
+    assert!(
+        ok as f64 / late.len() as f64 > 0.95,
+        "post-failover paxos must serve ({}/{} ok)",
+        ok,
+        late.len()
+    );
+}
+
+#[test]
+fn gossip_repairs_divergence_after_partition_heals() {
+    // Eventual store with gossip: writes land on *both sides* of a
+    // partition (guaranteed divergence), and after the heal late pollers
+    // at every replica must observe identical values — the formal
+    // convergence predicate, client-observed.
+    use rethinking_ec::replication::common::ScriptOp;
+    use rethinking_ec::replication::eventual::{
+        EventualClient, EventualConfig, EventualReplica, GossipConfig, TargetPolicy,
+    };
+    use rethinking_ec::simnet::{optrace, Sim, SimConfig};
+
+    let trace = optrace::shared_trace();
+    let cfg = EventualConfig {
+        replicas: 3,
+        eager: true,
+        gossip: Some(GossipConfig { interval: Duration::from_millis(50), fanout: 2 }),
+        mode: ConflictMode::Lww,
+    };
+    let mut sim = Sim::new(
+        SimConfig::default()
+            .seed(6)
+            .latency(LatencyModel::Uniform {
+                min: Duration::from_millis(1),
+                max: Duration::from_millis(8),
+            })
+            // Replica 0 + the first writer (node 3) are cut off 1s–3s.
+            .faults(FaultSchedule::none().partition(
+                vec![NodeId(0), NodeId(3)],
+                SimTime::from_secs(1),
+                SimTime::from_secs(3),
+            )),
+    );
+    for _ in 0..3 {
+        sim.add_node(Box::new(EventualReplica::new(cfg.clone())));
+    }
+    // Two writers hammer the same keys on opposite partition sides.
+    for (session, home) in [(1u64, 0usize), (2, 1)] {
+        let script: Vec<ScriptOp> = (0..40)
+            .map(|i| ScriptOp { gap_us: 50_000, kind: OpKind::Write, key: i % 5 })
+            .collect();
+        sim.add_node(Box::new(EventualClient::new(
+            session,
+            script,
+            trace.clone(),
+            3,
+            TargetPolicy::Sticky(NodeId(home)),
+            Guarantees::none(),
+            ConflictMode::Lww,
+        )));
+    }
+    // Late pollers at every replica read every key at t = 8s.
+    for (session, home) in [(10u64, 0usize), (11, 1), (12, 2)] {
+        let script: Vec<ScriptOp> = (0..5)
+            .map(|k| ScriptOp { gap_us: 8_000_000, kind: OpKind::Read, key: k })
+            .collect();
+        sim.add_node(Box::new(EventualClient::new(
+            session,
+            script,
+            trace.clone(),
+            3,
+            TargetPolicy::Sticky(NodeId(home)),
+            Guarantees::none(),
+            ConflictMode::Lww,
+        )));
+    }
+    sim.run_until(SimTime::from_secs(60));
+    let t = trace.borrow().clone();
+    let report =
+        rethinking_ec::consistency::check_convergence(&t, Duration::from_secs(2))
+            .expect("writes happened");
+    assert!(
+        report.converged(),
+        "replicas diverged after quiescence: {:?}",
+        report.diverged
+    );
+    assert_eq!(report.converged_keys, 5, "all five keys verified at all replicas");
+}
+
+#[test]
+fn message_loss_slows_but_does_not_wedge_quorums() {
+    let faults = FaultSchedule::none().loss_rate(SimTime::ZERO, 0.10);
+    let res = Experiment::new(Scheme::quorum(3, 2, 2))
+        .workload(workload(4, 80))
+        .latency(LatencyModel::Uniform {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+        })
+        .faults(faults)
+        .seed(7)
+        .horizon(SimTime::from_secs(120))
+        .run();
+    // 10% loss: some coordinator ops fail (no retransmit in the protocol,
+    // failures surface) but the system keeps making progress.
+    assert!(res.trace.success_rate() > 0.6, "rate {}", res.trace.success_rate());
+    assert!(res.dropped_messages > 0);
+}
