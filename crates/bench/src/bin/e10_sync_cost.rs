@@ -8,7 +8,7 @@
 //! pays leader + majority round trips. Closed-loop throughput is the
 //! mirror image of latency.
 
-use bench::{f1, print_table, save_json};
+use bench::{f1, print_table, Obs};
 use rec_core::metrics::{latency_summary, throughput_ops_per_sec};
 use rec_core::{Experiment, Scheme};
 use serde::Serialize;
@@ -25,6 +25,7 @@ struct Row {
 }
 
 fn main() {
+    let obs = Obs::from_args();
     let workload = WorkloadSpec {
         keys: 100,
         distribution: KeyDistribution::Uniform,
@@ -47,6 +48,7 @@ fn main() {
             .latency(LatencyModel::lan())
             .workload(workload.clone())
             .seed(3)
+            .recorder(obs.recorder.clone())
             .horizon(SimTime::from_secs(120))
             .run();
         let lat = latency_summary(&res.trace);
@@ -75,5 +77,5 @@ fn main() {
         &["scheme", "write p50", "write p99", "ops/s", "avail"],
         &table,
     );
-    save_json("e10_sync_cost", &rows);
+    obs.save("e10_sync_cost", &rows);
 }

@@ -7,10 +7,11 @@
 //! (intersection); partial quorums get staler as R+W shrinks; read repair
 //! pulls staleness down.
 
-use bench::{f3, pct, print_table, save_json};
+use bench::{f3, pct, print_table, Obs};
 use consistency::measure_staleness;
-use rec_core::{Experiment, Scheme};
+use obs::Recorder;
 use rec_core::scheme::ClientPlacement;
+use rec_core::{Experiment, Scheme};
 use serde::Serialize;
 use simnet::{Duration, LatencyModel};
 use workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
@@ -28,7 +29,7 @@ struct Row {
     reads: u64,
 }
 
-fn run(n: usize, r: usize, w: usize, read_repair: bool, seed: u64) -> Row {
+fn run(n: usize, r: usize, w: usize, read_repair: bool, seed: u64, rec: &Recorder) -> Row {
     // Hot keys, tight read-after-write loops, and heavy-tailed latency:
     // the regime where partial-quorum staleness actually shows (PBS fits
     // production latency with log-normal tails for the same reason).
@@ -49,7 +50,8 @@ fn run(n: usize, r: usize, w: usize, read_repair: bool, seed: u64) -> Row {
     })
     .latency(LatencyModel::LogNormal { median: Duration::from_millis(3), sigma: 1.2 })
     .workload(workload)
-    .seed(seed);
+    .seed(seed)
+    .recorder(rec.clone());
     let res = exp.run();
     let st = measure_staleness(&res.trace);
     Row {
@@ -66,6 +68,7 @@ fn run(n: usize, r: usize, w: usize, read_repair: bool, seed: u64) -> Row {
 }
 
 fn main() {
+    let obs = Obs::from_args();
     let mut rows = Vec::new();
     for &(n, r, w) in &[
         (3, 1, 1),
@@ -78,10 +81,10 @@ fn main() {
         (5, 2, 2),
         (5, 3, 3),
     ] {
-        rows.push(run(n, r, w, false, 42));
+        rows.push(run(n, r, w, false, 42, &obs.recorder));
     }
     // Read-repair ablation on the weakest configuration.
-    rows.push(run(3, 1, 1, true, 42));
+    rows.push(run(3, 1, 1, true, 42, &obs.recorder));
 
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -104,5 +107,5 @@ fn main() {
         &["N", "R", "W", "repair", "R+W>N", "P(stale)", "mean k", "P(t>10ms)", "reads"],
         &table,
     );
-    save_json("e1_quorum_staleness", &rows);
+    obs.save("e1_quorum_staleness", &rows);
 }

@@ -7,7 +7,7 @@
 //! pays the farthest-backup round trip on writes, Paxos pays a majority
 //! round trip on *every* op (reads go through the log).
 
-use bench::{f1, print_table, save_json};
+use bench::{f1, print_table, Obs};
 use rec_core::metrics::latency_summary;
 use rec_core::{Experiment, Scheme};
 use serde::Serialize;
@@ -25,6 +25,7 @@ struct Row {
 }
 
 fn main() {
+    let obs = Obs::from_args();
     let workload = WorkloadSpec {
         keys: 50,
         distribution: KeyDistribution::Uniform,
@@ -49,6 +50,7 @@ fn main() {
             .latency(LatencyModel::geo_five_regions(5))
             .workload(workload.clone())
             .seed(1234)
+            .recorder(obs.recorder.clone())
             .horizon(simnet::SimTime::from_secs(300))
             .run();
         let lat = latency_summary(&res.trace);
@@ -79,5 +81,5 @@ fn main() {
         &["scheme", "read p50", "read p99", "write p50", "write p99", "avail"],
         &table,
     );
-    save_json("e2_latency_spectrum", &rows);
+    obs.save("e2_latency_spectrum", &rows);
 }

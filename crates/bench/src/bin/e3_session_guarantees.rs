@@ -7,8 +7,9 @@
 //! violation rate to zero at the cost of read retries (RYW/MR) and
 //! nothing measurable for MW/WFR (Lamport piggyback is free).
 
-use bench::{f1, pct, print_table, save_json};
+use bench::{f1, pct, print_table, Obs};
 use consistency::check_session_guarantees;
+use obs::Recorder;
 use rec_core::metrics::latency_summary;
 use rec_core::scheme::ClientPlacement;
 use rec_core::{Experiment, Scheme};
@@ -30,7 +31,7 @@ struct Row {
     read_p99_ms: f64,
 }
 
-fn run(guarantees: Guarantees, label: &str, gossip_ms: u64, seed: u64) -> Row {
+fn run(guarantees: Guarantees, label: &str, gossip_ms: u64, seed: u64, rec: &Recorder) -> Row {
     let workload = WorkloadSpec {
         keys: 10,
         distribution: KeyDistribution::Zipfian { theta: 0.9 },
@@ -54,6 +55,7 @@ fn run(guarantees: Guarantees, label: &str, gossip_ms: u64, seed: u64) -> Row {
         })
         .workload(workload)
         .seed(seed)
+        .recorder(rec.clone())
         .horizon(simnet::SimTime::from_secs(600))
         .run();
     let rep = check_session_guarantees(&res.trace);
@@ -71,15 +73,16 @@ fn run(guarantees: Guarantees, label: &str, gossip_ms: u64, seed: u64) -> Row {
 }
 
 fn main() {
+    let obs = Obs::from_args();
     let mut rows = Vec::new();
     for gossip_ms in [20u64, 100, 400] {
-        rows.push(run(Guarantees::none(), "none", gossip_ms, 7));
+        rows.push(run(Guarantees::none(), "none", gossip_ms, 7, &obs.recorder));
     }
     let ryw = Guarantees { read_your_writes: true, ..Guarantees::none() };
     let mr = Guarantees { monotonic_reads: true, ..Guarantees::none() };
-    rows.push(run(ryw, "RYW enforced", 100, 7));
-    rows.push(run(mr, "MR enforced", 100, 7));
-    rows.push(run(Guarantees::all(), "all enforced", 100, 7));
+    rows.push(run(ryw, "RYW enforced", 100, 7, &obs.recorder));
+    rows.push(run(mr, "MR enforced", 100, 7, &obs.recorder));
+    rows.push(run(Guarantees::all(), "all enforced", 100, 7, &obs.recorder));
 
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -101,5 +104,5 @@ fn main() {
         &["config", "gossip", "RYW", "MR", "MW", "WFR", "read p50", "read p99"],
         &table,
     );
-    save_json("e3_session_guarantees", &rows);
+    obs.save("e3_session_guarantees", &rows);
 }

@@ -7,7 +7,8 @@
 //! 100%; majority quorums and Paxos lose the minority side's clients;
 //! primary-copy loses *all* writes if the primary is in the minority.
 
-use bench::{pct, print_table, save_json};
+use bench::{pct, print_table, Obs};
+use obs::Recorder;
 use rec_core::metrics::availability_timeline;
 use rec_core::scheme::ClientPlacement;
 use rec_core::{Experiment, Scheme};
@@ -24,7 +25,7 @@ struct Series {
     during_partition: f64,
 }
 
-fn run(scheme: Scheme, seed: u64) -> Series {
+fn run(scheme: Scheme, seed: u64, rec: &Recorder) -> Series {
     let n = scheme.replica_count();
     let offset = scheme.server_node_count();
     let label = scheme.label();
@@ -54,11 +55,8 @@ fn run(scheme: Scheme, seed: u64) -> Series {
             side_a.push(NodeId(n + sp));
         }
     }
-    let faults = FaultSchedule::none().partition(
-        side_a,
-        SimTime::from_secs(5),
-        SimTime::from_secs(10),
-    );
+    let faults =
+        FaultSchedule::none().partition(side_a, SimTime::from_secs(5), SimTime::from_secs(10));
     let res = Experiment::new(scheme)
         .latency(LatencyModel::Uniform {
             min: Duration::from_millis(1),
@@ -67,23 +65,19 @@ fn run(scheme: Scheme, seed: u64) -> Series {
         .workload(workload)
         .faults(faults)
         .seed(seed)
+        .recorder(rec.clone())
         .horizon(SimTime::from_secs(25))
         .run();
     let timeline = availability_timeline(&res.trace, Duration::from_secs(1));
-    let during: Vec<f64> = timeline
-        .iter()
-        .filter(|(t, _)| (5_000.0..10_000.0).contains(t))
-        .map(|(_, a)| *a)
-        .collect();
-    let during_partition = if during.is_empty() {
-        1.0
-    } else {
-        during.iter().sum::<f64>() / during.len() as f64
-    };
+    let during: Vec<f64> =
+        timeline.iter().filter(|(t, _)| (5_000.0..10_000.0).contains(t)).map(|(_, a)| *a).collect();
+    let during_partition =
+        if during.is_empty() { 1.0 } else { during.iter().sum::<f64>() / during.len() as f64 };
     Series { scheme: label, timeline, overall: res.trace.success_rate(), during_partition }
 }
 
 fn main() {
+    let obs = Obs::from_args();
     let schemes = vec![
         Scheme::eventual(3),
         Scheme::Quorum { n: 3, r: 1, w: 1, read_repair: true, placement: ClientPlacement::Sticky },
@@ -99,13 +93,11 @@ fn main() {
     ];
     let mut series = Vec::new();
     for s in schemes {
-        series.push(run(s, 99));
+        series.push(run(s, 99, &obs.recorder));
     }
     let table: Vec<Vec<String>> = series
         .iter()
-        .map(|s| {
-            vec![s.scheme.clone(), pct(s.overall), pct(s.during_partition)]
-        })
+        .map(|s| vec![s.scheme.clone(), pct(s.overall), pct(s.during_partition)])
         .collect();
     print_table(
         "E4: availability under a 5s partition (replica 0 + its clients cut off)",
@@ -121,5 +113,5 @@ fn main() {
             .collect();
         println!("{:>28}  {}", s.scheme, line.join(" "));
     }
-    save_json("e4_partition_availability", &series);
+    obs.save("e4_partition_availability", &series);
 }

@@ -8,11 +8,11 @@
 //! shrinks with fanout (epidemic dissemination), with diminishing returns
 //! beyond fanout 2–3.
 
-use bench::{f1, print_table, save_json};
+use bench::{f1, print_table, Obs};
+use obs::Recorder;
 use replication::common::{ClientCore, Guarantees, ScriptOp};
 use replication::eventual::{
-    ConflictMode, EventualClient, EventualConfig, EventualReplica, GossipConfig,
-    TargetPolicy,
+    ConflictMode, EventualClient, EventualConfig, EventualReplica, GossipConfig, TargetPolicy,
 };
 use serde::Serialize;
 use simnet::{optrace, Duration, LatencyModel, NodeId, OpKind, Sim, SimConfig, SimTime};
@@ -30,15 +30,12 @@ struct Row {
     unconverged: u64,
 }
 
-fn run(replicas: usize, fanout: usize, interval_ms: u64, seed: u64) -> Row {
+fn run(replicas: usize, fanout: usize, interval_ms: u64, seed: u64, rec: &Recorder) -> Row {
     let trace = optrace::shared_trace();
     let cfg = EventualConfig {
         replicas,
         eager: false,
-        gossip: Some(GossipConfig {
-            interval: Duration::from_millis(interval_ms),
-            fanout,
-        }),
+        gossip: Some(GossipConfig { interval: Duration::from_millis(interval_ms), fanout }),
         mode: ConflictMode::Lww,
     };
     let mut sim = Sim::new(
@@ -47,15 +44,15 @@ fn run(replicas: usize, fanout: usize, interval_ms: u64, seed: u64) -> Row {
             .latency(LatencyModel::Uniform {
                 min: Duration::from_millis(1),
                 max: Duration::from_millis(5),
-            }),
+            })
+            .recorder(rec.clone()),
     );
     for _ in 0..replicas {
         sim.add_node(Box::new(EventualReplica::new(cfg.clone())));
     }
     // Writer: burst of KEYS writes at replica 0.
-    let writer_script: Vec<ScriptOp> = (0..KEYS)
-        .map(|k| ScriptOp { gap_us: 1_000, kind: OpKind::Write, key: k })
-        .collect();
+    let writer_script: Vec<ScriptOp> =
+        (0..KEYS).map(|k| ScriptOp { gap_us: 1_000, kind: OpKind::Write, key: k }).collect();
     sim.add_node(Box::new(EventualClient::new(
         1,
         writer_script,
@@ -133,10 +130,11 @@ fn run(replicas: usize, fanout: usize, interval_ms: u64, seed: u64) -> Row {
 }
 
 fn main() {
+    let obs = Obs::from_args();
     let mut rows = Vec::new();
     for &replicas in &[4usize, 8, 16] {
         for &fanout in &[1usize, 2, 3] {
-            rows.push(run(replicas, fanout, 50, 2024));
+            rows.push(run(replicas, fanout, 50, 2024, &obs.recorder));
         }
     }
     let table: Vec<Vec<String>> = rows
@@ -157,5 +155,5 @@ fn main() {
         &["replicas", "fanout", "interval", "mean ms", "max ms", "unconverged"],
         &table,
     );
-    save_json("e5_gossip_convergence", &rows);
+    obs.save("e5_gossip_convergence", &rows);
 }

@@ -12,11 +12,11 @@
 //! Expected shape: LWW loses more as concurrency rises (tens of percent
 //! with several writers); the CRDT loses exactly zero at every level.
 
-use bench::{pct, print_table, save_json};
+use bench::{pct, print_table, Obs};
+use obs::Recorder;
 use replication::common::{ClientCore, Guarantees, ScriptOp};
 use replication::eventual::{
-    ConflictMode, EventualClient, EventualConfig, EventualReplica, GossipConfig,
-    TargetPolicy,
+    ConflictMode, EventualClient, EventualConfig, EventualReplica, GossipConfig, TargetPolicy,
 };
 use serde::Serialize;
 use simnet::{optrace, Duration, LatencyModel, NodeId, OpKind, Sim, SimConfig, SimTime};
@@ -51,7 +51,7 @@ struct Row {
 /// which for a single register equals `total_writes - 1` under full
 /// concurrency and less under serialization. The CRDT row measures the
 /// true counter value.
-fn run_lww(writers: usize, increments: u64, seed: u64) -> Row {
+fn run_lww(writers: usize, increments: u64, seed: u64, rec: &Recorder) -> Row {
     let trace = optrace::shared_trace();
     let replicas = writers.clamp(2, 4);
     let cfg = EventualConfig {
@@ -60,10 +60,15 @@ fn run_lww(writers: usize, increments: u64, seed: u64) -> Row {
         gossip: Some(GossipConfig { interval: Duration::from_millis(10), fanout: 2 }),
         mode: ConflictMode::Lww,
     };
-    let mut sim = Sim::new(SimConfig::default().seed(seed).latency(LatencyModel::Uniform {
-        min: Duration::from_millis(1),
-        max: Duration::from_millis(15),
-    }));
+    let mut sim = Sim::new(
+        SimConfig::default()
+            .seed(seed)
+            .latency(LatencyModel::Uniform {
+                min: Duration::from_millis(1),
+                max: Duration::from_millis(15),
+            })
+            .recorder(rec.clone()),
+    );
     for _ in 0..replicas {
         sim.add_node(Box::new(EventualReplica::new(cfg.clone())));
     }
@@ -100,14 +105,13 @@ fn run_lww(writers: usize, increments: u64, seed: u64) -> Row {
     while let Some(w) = cursor {
         chain += 1;
         // The read this session performed immediately before this write.
-        let prior_read = t.records().iter().rfind(|r| {
-            r.session == w.session && r.kind == OpKind::Read && r.op_id == w.op_id - 1
-        });
+        let prior_read = t
+            .records()
+            .iter()
+            .rfind(|r| r.session == w.session && r.kind == OpKind::Read && r.op_id == w.op_id - 1);
         cursor = prior_read.and_then(|r| {
             r.value_read.first().and_then(|v| {
-                t.records()
-                    .iter()
-                    .find(|x| x.kind == OpKind::Write && x.value_written == Some(*v))
+                t.records().iter().find(|x| x.kind == OpKind::Write && x.value_written == Some(*v))
             })
         });
     }
@@ -124,7 +128,7 @@ fn run_lww(writers: usize, increments: u64, seed: u64) -> Row {
     }
 }
 
-fn run_crdt(writers: usize, increments: u64, seed: u64) -> Row {
+fn run_crdt(writers: usize, increments: u64, seed: u64, rec: &Recorder) -> Row {
     let trace = optrace::shared_trace();
     let replicas = writers.clamp(2, 4);
     let cfg = EventualConfig {
@@ -133,10 +137,15 @@ fn run_crdt(writers: usize, increments: u64, seed: u64) -> Row {
         gossip: Some(GossipConfig { interval: Duration::from_millis(10), fanout: 2 }),
         mode: ConflictMode::Counter,
     };
-    let mut sim = Sim::new(SimConfig::default().seed(seed).latency(LatencyModel::Uniform {
-        min: Duration::from_millis(1),
-        max: Duration::from_millis(15),
-    }));
+    let mut sim = Sim::new(
+        SimConfig::default()
+            .seed(seed)
+            .latency(LatencyModel::Uniform {
+                min: Duration::from_millis(1),
+                max: Duration::from_millis(15),
+            })
+            .recorder(rec.clone()),
+    );
     for _ in 0..replicas {
         sim.add_node(Box::new(EventualReplica::new(cfg.clone())));
     }
@@ -193,10 +202,11 @@ fn run_crdt(writers: usize, increments: u64, seed: u64) -> Row {
 }
 
 fn main() {
+    let obs = Obs::from_args();
     let mut rows = Vec::new();
     for &writers in &[2usize, 4, 8] {
-        rows.push(run_lww(writers, 25, 5));
-        rows.push(run_crdt(writers, 25, 5));
+        rows.push(run_lww(writers, 25, 5, &obs.recorder));
+        rows.push(run_crdt(writers, 25, 5, &obs.recorder));
     }
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -217,5 +227,5 @@ fn main() {
         &["mode", "writers", "incr each", "expected", "observed", "lost", "loss"],
         &table,
     );
-    save_json("e6_conflict_resolution", &rows);
+    obs.save("e6_conflict_resolution", &rows);
 }

@@ -8,7 +8,7 @@
 //! it goes local when the lag permits and pays the WAN only when
 //! consistency demands it — reproducing Pileus's headline result.
 
-use bench::{f3, print_table, save_json};
+use bench::{f3, print_table, Obs};
 use serde::Serialize;
 use simnet::{Duration, NodeId, SimRng, SimTime};
 use sla::{choose, delivered_utility, Consistency, Monitor, SessionState, Sla};
@@ -34,8 +34,7 @@ struct World {
 
 impl World {
     fn sample_rtt(&mut self, replica: NodeId) -> Duration {
-        let (median, sigma) =
-            if replica == NodeId(0) { self.primary_rtt } else { self.local_rtt };
+        let (median, sigma) = if replica == NodeId(0) { self.primary_rtt } else { self.local_rtt };
         Duration::from_millis_f64(self.rng.log_normal(median, sigma))
     }
 
@@ -45,13 +44,7 @@ impl World {
 }
 
 /// Simulate `n_reads` reads under a strategy; returns the row.
-fn run(
-    portfolio: &str,
-    sla: &Sla,
-    strategy: &str,
-    fixed: Option<NodeId>,
-    seed: u64,
-) -> Row {
+fn run(portfolio: &str, sla: &Sla, strategy: &str, fixed: Option<NodeId>, seed: u64) -> Row {
     let mut world = World {
         rng: SimRng::new(seed),
         primary_rtt: (55.0, 0.2), // one-way ~55ms => ~110ms RTT
@@ -73,8 +66,8 @@ fn run(
         // Refresh the monitor's view of replica lag (Pileus piggybacks
         // high timestamps on every response; we refresh each round).
         let lag = world.local_lag();
-        local_high = local_high
-            .max(SimTime::from_micros(now.as_micros().saturating_sub(lag.as_micros())));
+        local_high =
+            local_high.max(SimTime::from_micros(now.as_micros().saturating_sub(lag.as_micros())));
         // Pileus monitors piggyback on background traffic: both replicas
         // get an RTT observation each round, not just the chosen one.
         let probe0 = world.sample_rtt(NodeId(0));
@@ -128,6 +121,9 @@ fn run(
 }
 
 fn main() {
+    // E7 is analytic (no discrete-event simulation), so the recorder only
+    // standardizes the results-file shape; its counters stay zero.
+    let obs = Obs::from_args();
     let portfolios: Vec<(&str, Sla)> = vec![
         ("password", Sla::password()),
         ("shopping-cart", Sla::shopping_cart()),
@@ -156,5 +152,5 @@ fn main() {
         &["portfolio", "strategy", "mean utility", "primary frac", "mean lat ms"],
         &table,
     );
-    save_json("e7_sla_utility", &rows);
+    obs.save("e7_sla_utility", &rows);
 }

@@ -8,7 +8,8 @@
 //! with skew; cross-group txns pay ~2x latency (prepare+decide) and the
 //! registrar adds another round trip; single-group aborts stay cheapest.
 
-use bench::{f1, pct, print_table, save_json};
+use bench::{f1, pct, print_table, Obs};
+use obs::Recorder;
 use rand::RngCore;
 use serde::Serialize;
 use simnet::{Duration, LatencyModel, Sim, SimConfig, SimRng, SimTime};
@@ -30,13 +31,25 @@ struct Row {
 
 const KEYS_PER_GROUP: u64 = 20;
 
-fn run(cross_group: bool, registrar: usize, theta: f64, clients: usize, seed: u64) -> Row {
+fn run(
+    cross_group: bool,
+    registrar: usize,
+    theta: f64,
+    clients: usize,
+    seed: u64,
+    rec: &Recorder,
+) -> Row {
     let nodes = 3usize;
     let cfg = TxnConfig::new(nodes);
-    let mut sim = Sim::new(SimConfig::default().seed(seed).latency(LatencyModel::Uniform {
-        min: Duration::from_millis(1),
-        max: Duration::from_millis(8),
-    }));
+    let mut sim = Sim::new(
+        SimConfig::default()
+            .seed(seed)
+            .latency(LatencyModel::Uniform {
+                min: Duration::from_millis(1),
+                max: Duration::from_millis(8),
+            })
+            .recorder(rec.clone()),
+    );
     for _ in 0..nodes {
         sim.add_node(Box::new(GroupNode::new(cfg)));
     }
@@ -54,10 +67,7 @@ fn run(cross_group: bool, registrar: usize, theta: f64, clients: usize, seed: u6
                     let k2 = zipf.sample(&mut rng);
                     TxnSpec {
                         gap_us: 10_000,
-                        parts: vec![
-                            (0, vec![k1], vec![(k1, v)]),
-                            (1, vec![k2], vec![(k2, v)]),
-                        ],
+                        parts: vec![(0, vec![k1], vec![(k1, v)]), (1, vec![k2], vec![(k2, v)])],
                     }
                 } else {
                     TxnSpec { gap_us: 10_000, parts: vec![(0, vec![k1], vec![(k1, v)])] }
@@ -101,13 +111,14 @@ fn run(cross_group: bool, registrar: usize, theta: f64, clients: usize, seed: u6
 }
 
 fn main() {
+    let obs = Obs::from_args();
     let mut rows = Vec::new();
     for &theta in &[0.2f64, 0.6, 0.9, 0.99] {
-        rows.push(run(false, 0, theta, 8, 77));
+        rows.push(run(false, 0, theta, 8, 77, &obs.recorder));
     }
     for &theta in &[0.2f64, 0.9] {
-        rows.push(run(true, 0, theta, 8, 77));
-        rows.push(run(true, 2, theta, 8, 77));
+        rows.push(run(true, 0, theta, 8, 77, &obs.recorder));
+        rows.push(run(true, 2, theta, 8, 77, &obs.recorder));
     }
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -128,5 +139,5 @@ fn main() {
         &["span", "theta", "clients", "committed", "aborted", "abort rate", "commit ms"],
         &table,
     );
-    save_json("e8_entity_groups", &rows);
+    obs.save("e8_entity_groups", &rows);
 }

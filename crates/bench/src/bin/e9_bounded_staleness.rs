@@ -8,7 +8,7 @@
 //! Expected shape: P(stale) rises with lag; P(t > B) falls as B grows;
 //! with lag << B nothing is rejected.
 
-use bench::{pct, print_table, save_json};
+use bench::{pct, print_table, Obs};
 use consistency::measure_staleness;
 use rec_core::{Experiment, Scheme};
 use serde::Serialize;
@@ -27,6 +27,7 @@ struct Row {
 }
 
 fn main() {
+    let obs = Obs::from_args();
     let workload = WorkloadSpec {
         keys: 10,
         distribution: KeyDistribution::Zipfian { theta: 0.9 },
@@ -47,6 +48,7 @@ fn main() {
         })
         .workload(workload.clone())
         .seed(13)
+        .recorder(obs.recorder.clone())
         .horizon(SimTime::from_secs(120))
         .run();
         let st = measure_staleness(&res.trace);
@@ -84,5 +86,5 @@ fn main() {
         &["lag ms", "P(stale)", "mean t ms", "P(t>25)", "P(t>50)", "P(t>100)", "P(t>250)"],
         &table,
     );
-    save_json("e9_bounded_staleness", &rows);
+    obs.save("e9_bounded_staleness", &rows);
 }

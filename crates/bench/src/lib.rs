@@ -5,9 +5,65 @@
 //! and drops a machine-readable copy under `results/<name>.json` so the
 //! recorded numbers are diffable across runs.
 
+use obs::{MetricsReport, Recorder};
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
+
+/// Observability wiring shared by every experiment binary: an enabled
+/// [`Recorder`] threaded into each simulation run, plus `--trace-out
+/// <path>` handling (export the structured event log as JSONL).
+///
+/// The aggregated counters/histograms across the binary's whole sweep
+/// land in the `metrics` section of `results/<name>.json`; the JSONL
+/// trace is only collected (and only costs memory) when `--trace-out`
+/// is given. See `docs/METRICS.md` for the field-by-field contract.
+pub struct Obs {
+    /// The recorder to thread into each `Experiment` / `SimConfig`.
+    pub recorder: Recorder,
+    trace_out: Option<PathBuf>,
+}
+
+impl Obs {
+    /// Build from `std::env::args`: recognizes `--trace-out <path>` and
+    /// `--trace-out=<path>`; other arguments are ignored.
+    pub fn from_args() -> Self {
+        let mut trace_out = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--trace-out" {
+                trace_out = args.next().map(PathBuf::from);
+            } else if let Some(p) = a.strip_prefix("--trace-out=") {
+                trace_out = Some(PathBuf::from(p));
+            }
+        }
+        let recorder =
+            if trace_out.is_some() { Recorder::with_event_log() } else { Recorder::enabled() };
+        Obs { recorder, trace_out }
+    }
+
+    /// Save `results/<name>.json` as `{"rows": ..., "metrics": ...}` and
+    /// write the JSONL event trace if `--trace-out` was given.
+    pub fn save<T: Serialize>(&self, name: &str, rows: &T) {
+        save_json_with_metrics(name, rows, &self.recorder.report());
+        if let Some(path) = &self.trace_out {
+            match self.recorder.write_jsonl(path) {
+                Ok(()) => println!("[trace saved to {}]", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Save a results document of the form `{"rows": rows, "metrics":
+/// metrics}` — the shape every `results/*.json` follows.
+pub fn save_json_with_metrics<T: Serialize>(name: &str, rows: &T, metrics: &MetricsReport) {
+    let doc = serde::Value::Object(vec![
+        ("rows".to_string(), rows.to_value()),
+        ("metrics".to_string(), metrics.to_value()),
+    ]);
+    save_json(name, &doc);
+}
 
 /// Print a fixed-width table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {

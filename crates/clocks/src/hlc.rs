@@ -11,7 +11,9 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A hybrid logical clock timestamp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct HybridTimestamp {
     /// Physical component (microseconds, e.g. `SimTime::as_micros`).
     pub physical: u64,
@@ -37,10 +39,7 @@ pub struct HybridClock {
 impl HybridClock {
     /// A fresh clock for `actor`.
     pub fn new(actor: ActorId) -> Self {
-        HybridClock {
-            actor,
-            last: HybridTimestamp { physical: 0, logical: 0, actor },
-        }
+        HybridClock { actor, last: HybridTimestamp { physical: 0, logical: 0, actor } }
     }
 
     /// The most recent timestamp issued or observed.

@@ -19,7 +19,9 @@ pub struct LamportClock {
 /// The `(counter, actor)` pair gives a deterministic *total* order, which is
 /// what last-writer-wins registers need: every replica picks the same
 /// winner regardless of arrival order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LamportTimestamp {
     /// The logical counter (major component).
     pub counter: u64,

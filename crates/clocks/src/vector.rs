@@ -241,11 +241,7 @@ pub fn prune_siblings(mut siblings: Vec<DottedVersionVector>) -> Vec<DottedVersi
                 .any(|other| other.dot != s.dot && s.compare(other) == CausalOrd::Before)
         })
         .collect();
-    siblings
-        .into_iter()
-        .zip(keep)
-        .filter_map(|(s, k)| k.then_some(s))
-        .collect()
+    siblings.into_iter().zip(keep).filter_map(|(s, k)| k.then_some(s)).collect()
 }
 
 #[cfg(test)]
@@ -325,8 +321,7 @@ mod tests {
     fn dvv_write_supersedes_what_it_saw() {
         // Writer saw {1:1}, writes dot (2,1).
         let v1 = DottedVersionVector::new(Dot::new(1, 1), VectorClock::new());
-        let v2 =
-            DottedVersionVector::new(Dot::new(2, 1), VectorClock::from_pairs([(1, 1)]));
+        let v2 = DottedVersionVector::new(Dot::new(2, 1), VectorClock::from_pairs([(1, 1)]));
         assert_eq!(v1.compare(&v2), CausalOrd::Before);
         assert_eq!(v2.compare(&v1), CausalOrd::After);
     }
@@ -341,8 +336,7 @@ mod tests {
     #[test]
     fn prune_removes_covered_siblings() {
         let old = DottedVersionVector::new(Dot::new(1, 1), VectorClock::new());
-        let newer =
-            DottedVersionVector::new(Dot::new(2, 1), VectorClock::from_pairs([(1, 1)]));
+        let newer = DottedVersionVector::new(Dot::new(2, 1), VectorClock::from_pairs([(1, 1)]));
         let concurrent = DottedVersionVector::new(Dot::new(3, 1), VectorClock::new());
         let pruned = prune_siblings(vec![old.clone(), newer.clone(), concurrent.clone()]);
         assert!(!pruned.contains(&old));
@@ -373,8 +367,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_clock() -> impl Strategy<Value = VectorClock> {
-        proptest::collection::btree_map(0u64..6, 1u64..20, 0..6)
-            .prop_map(VectorClock::from_pairs)
+        proptest::collection::btree_map(0u64..6, 1u64..20, 0..6).prop_map(VectorClock::from_pairs)
     }
 
     proptest! {

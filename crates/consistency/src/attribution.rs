@@ -1,0 +1,185 @@
+//! Attribute consistency violations to network conditions.
+//!
+//! The checkers in this crate report *that* a guarantee was violated and
+//! *when*; this module consumes the structured simulation event log
+//! ([`obs::TracedEvent`], see `docs/METRICS.md`) to explain *why*: was a
+//! partition active at the violation time, how many messages were being
+//! dropped around it, how long had it been since the victim's last
+//! anti-entropy round, and which nodes were down.
+//!
+//! The event log is the same one exported as JSONL via `--trace-out`, so
+//! attribution works both in-process (on [`obs::Recorder::events`]) and
+//! offline on a parsed trace.
+
+use obs::{EventKind, TracedEvent};
+use serde::{Deserialize, Serialize};
+
+/// Network conditions around one violation instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationContext {
+    /// The violation time being explained (simulation µs).
+    pub t_us: u64,
+    /// Was a partition active at `t_us`?
+    pub in_partition: bool,
+    /// Messages dropped in the `window_us` before `t_us`, by reason name
+    /// (`"partition"`, `"loss"`, `"crashed_destination"`).
+    pub drops_by_reason: Vec<(String, u64)>,
+    /// Nodes that crashed before `t_us` and had not recovered by it.
+    pub crashed_nodes: Vec<u64>,
+    /// Time since the most recent anti-entropy round anywhere in the
+    /// cluster (µs), if any round happened before `t_us`.
+    pub since_anti_entropy_us: Option<u64>,
+}
+
+impl ViolationContext {
+    /// Total drops in the window, all reasons combined.
+    pub fn total_drops(&self) -> u64 {
+        self.drops_by_reason.iter().map(|(_, n)| n).sum()
+    }
+
+    /// One-line human-readable verdict, most-likely cause first.
+    pub fn verdict(&self) -> String {
+        if self.in_partition {
+            "partition active at violation time".to_string()
+        } else if !self.crashed_nodes.is_empty() {
+            format!("{} node(s) down at violation time", self.crashed_nodes.len())
+        } else if self.total_drops() > 0 {
+            format!("{} message(s) dropped in the window before", self.total_drops())
+        } else {
+            "no fault active: replication lag alone".to_string()
+        }
+    }
+}
+
+/// Explain the network conditions at violation time `t_us`, looking back
+/// `window_us` for message drops. Events must be in recording order
+/// (ascending `seq`), which [`obs::Recorder::events`] guarantees.
+pub fn attribute_violation(events: &[TracedEvent], t_us: u64, window_us: u64) -> ViolationContext {
+    let mut open_partitions: u64 = 0;
+    let mut crashed: Vec<u64> = Vec::new();
+    let mut last_ae: Option<u64> = None;
+    let mut drops: Vec<(String, u64)> = Vec::new();
+    let window_start = t_us.saturating_sub(window_us);
+    for ev in events.iter().take_while(|e| e.t_us <= t_us) {
+        match &ev.kind {
+            EventKind::PartitionStart { .. } => open_partitions += 1,
+            EventKind::PartitionHeal => open_partitions = open_partitions.saturating_sub(1),
+            EventKind::Crash { node } if !crashed.contains(node) => crashed.push(*node),
+            EventKind::Recover { node } => crashed.retain(|n| n != node),
+            EventKind::AntiEntropyRound { .. } => last_ae = Some(ev.t_us),
+            EventKind::MessageDropped { reason, .. } if ev.t_us >= window_start => {
+                let name = reason.name();
+                match drops.iter_mut().find(|(r, _)| r == name) {
+                    Some((_, n)) => *n += 1,
+                    None => drops.push((name.to_string(), 1)),
+                }
+            }
+            _ => {}
+        }
+    }
+    ViolationContext {
+        t_us,
+        in_partition: open_partitions > 0,
+        drops_by_reason: drops,
+        crashed_nodes: crashed,
+        since_anti_entropy_us: last_ae.map(|ae| t_us.saturating_sub(ae)),
+    }
+}
+
+/// Attribute a batch of violation times and summarize: how many happened
+/// under a partition, with a node down, near drops, or with no fault at
+/// all (pure replication lag).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributionSummary {
+    /// Violations with a partition active.
+    pub during_partition: u64,
+    /// Violations with at least one node down (and no partition).
+    pub during_crash: u64,
+    /// Violations preceded by message drops (no partition, no crash).
+    pub near_drops: u64,
+    /// Violations with no fault in sight.
+    pub unattributed: u64,
+}
+
+/// Classify each violation time with [`attribute_violation`] and count
+/// the buckets.
+pub fn summarize_attributions(
+    events: &[TracedEvent],
+    violation_times_us: &[u64],
+    window_us: u64,
+) -> AttributionSummary {
+    let mut s = AttributionSummary::default();
+    for &t in violation_times_us {
+        let ctx = attribute_violation(events, t, window_us);
+        if ctx.in_partition {
+            s.during_partition += 1;
+        } else if !ctx.crashed_nodes.is_empty() {
+            s.during_crash += 1;
+        } else if ctx.total_drops() > 0 {
+            s.near_drops += 1;
+        } else {
+            s.unattributed += 1;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::DropReason;
+
+    fn ev(seq: u64, t_us: u64, kind: EventKind) -> TracedEvent {
+        TracedEvent { seq, t_us, kind }
+    }
+
+    #[test]
+    fn partition_interval_is_attributed() {
+        let events = vec![
+            ev(0, 100, EventKind::PartitionStart { island: vec![0] }),
+            ev(1, 500, EventKind::PartitionHeal),
+        ];
+        assert!(attribute_violation(&events, 300, 1_000).in_partition);
+        assert!(!attribute_violation(&events, 600, 0).in_partition);
+        assert!(!attribute_violation(&events, 50, 0).in_partition);
+    }
+
+    #[test]
+    fn drops_window_and_crash_tracking() {
+        let events = vec![
+            ev(0, 100, EventKind::Crash { node: 2 }),
+            ev(
+                1,
+                200,
+                EventKind::MessageDropped {
+                    from: 0,
+                    to: 2,
+                    reason: DropReason::CrashedDestination,
+                },
+            ),
+            ev(2, 300, EventKind::Recover { node: 2 }),
+            ev(3, 400, EventKind::MessageDropped { from: 1, to: 0, reason: DropReason::Loss }),
+        ];
+        let ctx = attribute_violation(&events, 250, 100);
+        assert_eq!(ctx.crashed_nodes, vec![2]);
+        assert_eq!(ctx.total_drops(), 1);
+        let ctx = attribute_violation(&events, 450, 100);
+        assert!(ctx.crashed_nodes.is_empty());
+        assert_eq!(ctx.drops_by_reason, vec![("loss".to_string(), 1)]);
+        assert!(ctx.verdict().contains("dropped"));
+    }
+
+    #[test]
+    fn summary_buckets_violations() {
+        let events = vec![
+            ev(0, 100, EventKind::PartitionStart { island: vec![0, 1] }),
+            ev(1, 200, EventKind::PartitionHeal),
+            ev(2, 900, EventKind::AntiEntropyRound { node: 0, fanout: 1 }),
+        ];
+        let s = summarize_attributions(&events, &[150, 1_000], 50);
+        assert_eq!(s.during_partition, 1);
+        assert_eq!(s.unattributed, 1);
+        let ctx = attribute_violation(&events, 1_000, 50);
+        assert_eq!(ctx.since_anti_entropy_us, Some(100));
+    }
+}

@@ -80,10 +80,7 @@ pub fn check_causal(trace: &OpTrace) -> CausalReport {
                     let (Some(stamp), Some(value)) = (op.stamp, op.value_written) else {
                         continue;
                     };
-                    write_info.insert(
-                        value,
-                        WriteInfo { deps: past.clone(), key: op.key, stamp },
-                    );
+                    write_info.insert(value, WriteInfo { deps: past.clone(), key: op.key, stamp });
                     let f = past.entry(op.key).or_insert(stamp);
                     *f = (*f).max(stamp);
                 }

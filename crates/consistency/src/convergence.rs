@@ -47,19 +47,13 @@ impl ConvergenceReport {
 /// set. Returns `None` if the trace contains no acknowledged writes
 /// (nothing to converge on).
 pub fn check_convergence(trace: &OpTrace, grace: Duration) -> Option<ConvergenceReport> {
-    let last_write_ack = trace
-        .successful()
-        .filter(|r| r.kind == OpKind::Write)
-        .map(|r| r.completed)
-        .max()?;
+    let last_write_ack =
+        trace.successful().filter(|r| r.kind == OpKind::Write).map(|r| r.completed).max()?;
     let quiescence_at = last_write_ack + grace;
 
     // Keys that were ever written (only these can diverge meaningfully).
-    let mut written: Vec<u64> = trace
-        .successful()
-        .filter(|r| r.kind == OpKind::Write)
-        .map(|r| r.key)
-        .collect();
+    let mut written: Vec<u64> =
+        trace.successful().filter(|r| r.kind == OpKind::Write).map(|r| r.key).collect();
     written.sort_unstable();
     written.dedup();
 

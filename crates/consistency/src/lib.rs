@@ -16,23 +16,29 @@
 //!   dependencies (the COPS photo-ACL anomaly)?
 //! * [`convergence`] — once writes stopped, did replicas actually agree
 //!   ("eventual" made falsifiable)?
+//! * [`attribution`] — given the structured simulation event log
+//!   (`obs`), *why* was a guarantee violated: partition, crash, message
+//!   loss, or pure replication lag?
 //!
 //! Conventions shared by all checkers: every write carries a globally
 //! unique value, so a read unambiguously identifies the write it observed;
 //! logical version order is the Lamport `(counter, actor)` stamp recorded
 //! in the trace.
 
+pub mod attribution;
 pub mod causal;
 pub mod convergence;
 pub mod linearizability;
 pub mod session;
 pub mod staleness;
 
+pub use attribution::{
+    attribute_violation, summarize_attributions, AttributionSummary, ViolationContext,
+};
 pub use causal::{check_causal, CausalReport};
 pub use convergence::{check_convergence, ConvergenceReport, Divergence};
 pub use linearizability::{
-    check_linearizable_register_bounded, check_trace_linearizable, Interval, LinCheckError,
-    RegOp,
+    check_linearizable_register_bounded, check_trace_linearizable, Interval, LinCheckError, RegOp,
 };
 pub use session::{check_session_guarantees, SessionReport};
 pub use staleness::{measure_staleness, StalenessReport};

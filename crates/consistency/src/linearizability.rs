@@ -74,10 +74,7 @@ pub fn check_linearizable_register(history: &[Interval]) -> bool {
 
 /// Check one register history; `None` if the state budget ran out before
 /// a verdict was reached.
-pub fn check_linearizable_register_bounded(
-    history: &[Interval],
-    budget: u64,
-) -> Option<bool> {
+pub fn check_linearizable_register_bounded(history: &[Interval], budget: u64) -> Option<bool> {
     let n = history.len();
     assert!(n <= 126, "history too large for the bitmask search");
     if n == 0 {
@@ -214,11 +211,7 @@ mod tests {
     #[test]
     fn read_of_overwritten_value_after_completion_fails() {
         // w(1) completes, then w(2) completes, then a read returns 1.
-        assert!(!check_linearizable_register(&[
-            w(0, 10, 1),
-            w(20, 30, 2),
-            r(40, 50, Some(1)),
-        ]));
+        assert!(!check_linearizable_register(&[w(0, 10, 1), w(20, 30, 2), r(40, 50, Some(1)),]));
     }
 
     #[test]
@@ -255,16 +248,8 @@ mod tests {
     #[test]
     fn overlapping_writes_any_final_order() {
         // Two overlapping writes then a read of either value is fine.
-        assert!(check_linearizable_register(&[
-            w(0, 100, 1),
-            w(10, 90, 2),
-            r(200, 210, Some(1)),
-        ]));
-        assert!(check_linearizable_register(&[
-            w(0, 100, 1),
-            w(10, 90, 2),
-            r(200, 210, Some(2)),
-        ]));
+        assert!(check_linearizable_register(&[w(0, 100, 1), w(10, 90, 2), r(200, 210, Some(1)),]));
+        assert!(check_linearizable_register(&[w(0, 100, 1), w(10, 90, 2), r(200, 210, Some(2)),]));
         // But both reads disagreeing sequentially is not.
         assert!(!check_linearizable_register(&[
             w(0, 100, 1),
@@ -299,9 +284,6 @@ mod tests {
         t.push(mk(2, OpKind::Write, 21, 0, 10, vec![]));
         t.push(mk(2, OpKind::Write, 22, 20, 30, vec![]));
         t.push(mk(2, OpKind::Read, 0, 40, 50, vec![21]));
-        assert_eq!(
-            check_trace_linearizable(&t),
-            Err(LinCheckError::NotLinearizable { key: 2 })
-        );
+        assert_eq!(check_trace_linearizable(&t), Err(LinCheckError::NotLinearizable { key: 2 }));
     }
 }

@@ -93,15 +93,13 @@ pub fn measure_staleness(trace: &OpTrace) -> StalenessReport {
             continue;
         };
         // Writes acknowledged strictly before the read was invoked.
-        let acked: Vec<&AckedWrite> =
-            ws.iter().take_while(|(c, _)| *c < r.invoked).collect();
+        let acked: Vec<&AckedWrite> = ws.iter().take_while(|(c, _)| *c < r.invoked).collect();
         if acked.is_empty() {
             report.unclassified_reads += 1;
             continue;
         }
         let returned = r.stamp.unwrap_or((0, 0));
-        let missed: Vec<&&AckedWrite> =
-            acked.iter().filter(|(_, s)| *s > returned).collect();
+        let missed: Vec<&&AckedWrite> = acked.iter().filter(|(_, s)| *s > returned).collect();
         if missed.is_empty() {
             report.fresh_reads += 1;
         } else {

@@ -232,24 +232,26 @@ mod proptests {
     /// globally unique per replica for CRDT laws to apply; see the note on
     /// `arb_mv_replicas` in `register.rs`).
     fn arb_map_replicas() -> impl Strategy<Value = [OrMap<u8, GCounter>; 3]> {
-        proptest::collection::vec((0usize..3, 0u8..4, proptest::bool::ANY, proptest::bool::ANY), 0..12)
-            .prop_map(|script| {
-                let mut reps: [OrMap<u8, GCounter>; 3] =
-                    [OrMap::new(), OrMap::new(), OrMap::new()];
-                for (r, key, is_remove, sync) in script {
-                    if is_remove {
-                        reps[r].remove(&key);
-                    } else {
-                        let actor = r as u64;
-                        reps[r].update(actor, key, |c| c.increment(actor, 1));
-                    }
-                    if sync {
-                        let src = reps[(r + 1) % 3].clone();
-                        reps[r].merge(&src);
-                    }
+        proptest::collection::vec(
+            (0usize..3, 0u8..4, proptest::bool::ANY, proptest::bool::ANY),
+            0..12,
+        )
+        .prop_map(|script| {
+            let mut reps: [OrMap<u8, GCounter>; 3] = [OrMap::new(), OrMap::new(), OrMap::new()];
+            for (r, key, is_remove, sync) in script {
+                if is_remove {
+                    reps[r].remove(&key);
+                } else {
+                    let actor = r as u64;
+                    reps[r].update(actor, key, |c| c.increment(actor, 1));
                 }
-                reps
-            })
+                if sync {
+                    let src = reps[(r + 1) % 3].clone();
+                    reps[r].merge(&src);
+                }
+            }
+            reps
+        })
     }
 
     fn live_view(m: &OrMap<u8, GCounter>) -> Vec<(u8, u64)> {

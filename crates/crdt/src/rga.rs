@@ -105,10 +105,7 @@ impl<T: Clone + PartialEq> Rga<T> {
 
     /// Ids of visible elements, in sequence order.
     pub fn visible_ids(&self) -> Vec<Dot> {
-        self.ordered_ids()
-            .into_iter()
-            .filter(|id| !self.nodes[id].removed)
-            .collect()
+        self.ordered_ids().into_iter().filter(|id| !self.nodes[id].removed).collect()
     }
 
     /// Number of visible elements.

@@ -277,10 +277,7 @@ mod tests {
         let m2 = b.clone().merged(&a);
         assert!(m1.contains(&"beer"));
         assert!(m2.contains(&"beer"));
-        assert_eq!(
-            m1.iter().collect::<Vec<_>>(),
-            m2.iter().collect::<Vec<_>>()
-        );
+        assert_eq!(m1.iter().collect::<Vec<_>>(), m2.iter().collect::<Vec<_>>());
     }
 
     #[test]
@@ -325,24 +322,27 @@ mod proptests {
     /// A random ORSet built from a script of adds/removes on 3 replicas
     /// with occasional pairwise merges.
     fn arb_orset() -> impl Strategy<Value = OrSet<u8>> {
-        proptest::collection::vec((0usize..3, 0u8..5, proptest::bool::ANY, proptest::bool::ANY), 0..15)
-            .prop_map(|script| {
-                let mut reps = [OrSet::new(), OrSet::new(), OrSet::new()];
-                for (r, item, is_remove, sync) in script {
-                    if is_remove {
-                        reps[r].remove(&item);
-                    } else {
-                        // Each replica uses a distinct actor id for tags.
-                        reps[r].insert(r as u64, item);
-                    }
-                    if sync {
-                        let src = reps[(r + 1) % 3].clone();
-                        reps[r].merge(&src);
-                    }
+        proptest::collection::vec(
+            (0usize..3, 0u8..5, proptest::bool::ANY, proptest::bool::ANY),
+            0..15,
+        )
+        .prop_map(|script| {
+            let mut reps = [OrSet::new(), OrSet::new(), OrSet::new()];
+            for (r, item, is_remove, sync) in script {
+                if is_remove {
+                    reps[r].remove(&item);
+                } else {
+                    // Each replica uses a distinct actor id for tags.
+                    reps[r].insert(r as u64, item);
                 }
-                let [a, b, c] = reps;
-                a.merged(&b).merged(&c)
-            })
+                if sync {
+                    let src = reps[(r + 1) % 3].clone();
+                    reps[r].merge(&src);
+                }
+            }
+            let [a, b, c] = reps;
+            a.merged(&b).merged(&c)
+        })
     }
 
     proptest! {

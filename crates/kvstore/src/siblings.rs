@@ -92,7 +92,7 @@ impl SiblingStore {
     ///
     /// Obsolescence is judged by DVV comparison — i.e. against the other
     /// write's *context*, never `context ∪ dot` (see
-    /// [`clocks::prune_siblings`] for why the dot must stay out of the
+    /// [`clocks::vector::prune_siblings`] for why the dot must stay out of the
     /// coverage check).
     pub fn apply_remote(&mut self, key: Key, sibling: Sibling) -> bool {
         use clocks::CausalOrd;
@@ -102,17 +102,11 @@ impl SiblingStore {
             return false;
         }
         // Incoming causally precedes an existing sibling: obsolete.
-        if entry
-            .siblings
-            .iter()
-            .any(|s| sibling.dvv.compare(&s.dvv) == CausalOrd::Before)
-        {
+        if entry.siblings.iter().any(|s| sibling.dvv.compare(&s.dvv) == CausalOrd::Before) {
             return false;
         }
         // Drop local siblings the incoming write supersedes.
-        entry
-            .siblings
-            .retain(|s| s.dvv.compare(&sibling.dvv) != CausalOrd::Before);
+        entry.siblings.retain(|s| s.dvv.compare(&sibling.dvv) != CausalOrd::Before);
         entry.siblings.push(sibling);
         true
     }
@@ -145,8 +139,7 @@ impl SiblingStore {
         }
         self.entries.iter().all(|(k, e)| {
             let mut a: Vec<Dot> = e.siblings.iter().map(|s| s.dvv.dot).collect();
-            let mut b: Vec<Dot> =
-                other.siblings(*k).iter().map(|s| s.dvv.dot).collect();
+            let mut b: Vec<Dot> = other.siblings(*k).iter().map(|s| s.dvv.dot).collect();
             a.sort_unstable();
             b.sort_unstable();
             a == b

@@ -71,9 +71,7 @@ impl MvStore {
 
     /// Latest versions for all keys in `range`, ascending by key.
     pub fn scan<R: RangeBounds<Key>>(&self, range: R) -> impl Iterator<Item = (Key, &Version)> {
-        self.chains
-            .range(range)
-            .filter_map(|(&k, c)| c.last().map(|v| (k, v)))
+        self.chains.range(range).filter_map(|(&k, c)| c.last().map(|v| (k, v)))
     }
 
     /// Drop all versions strictly older than the latest for every key,
@@ -119,9 +117,9 @@ impl MvStore {
         if self.chains.len() != other.chains.len() {
             return false;
         }
-        self.chains.iter().all(|(&k, c)| {
-            matches!((c.last(), other.get(k)), (Some(a), Some(b)) if a == b)
-        })
+        self.chains
+            .iter()
+            .all(|(&k, c)| matches!((c.last(), other.get(k)), (Some(a), Some(b)) if a == b))
     }
 }
 

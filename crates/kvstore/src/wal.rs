@@ -42,13 +42,7 @@ impl Wal {
     }
 
     /// Append a write; returns its sequence number.
-    pub fn append(
-        &mut self,
-        key: Key,
-        value: Value,
-        ts: LamportTimestamp,
-        written_at: u64,
-    ) -> u64 {
+    pub fn append(&mut self, key: Key, value: Value, ts: LamportTimestamp, written_at: u64) -> u64 {
         let seq = self.next_seq();
         self.records.push(LogRecord { seq, key, value, ts, written_at });
         seq

@@ -1,0 +1,164 @@
+//! Typed protocol counters.
+//!
+//! Counters are a closed enum rather than free-form strings so that a
+//! typo is a compile error, the metrics contract in `docs/METRICS.md`
+//! can enumerate every counter exhaustively, and storage is a flat
+//! array (no hashing on the hot path).
+
+/// Every counter the observability layer tracks.
+///
+/// Units and semantics for each are documented in `docs/METRICS.md`;
+/// [`Counter::name`] gives the stable snake_case export name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Messages handed to the network by senders.
+    MessagesSent,
+    /// Messages delivered to a live destination actor.
+    MessagesDelivered,
+    /// Messages dropped (partition, loss, or crashed destination).
+    MessagesDropped,
+    /// Approximate payload bytes handed to the network.
+    BytesSent,
+    /// Approximate payload bytes delivered.
+    BytesDelivered,
+    /// Anti-entropy (gossip) rounds initiated.
+    AntiEntropyRounds,
+    /// Read quorums assembled by coordinators.
+    QuorumReads,
+    /// Write quorums assembled by coordinators.
+    QuorumWrites,
+    /// Read-repair writes pushed to stale replicas.
+    ReadRepairs,
+    /// Concurrent-sibling conflicts detected.
+    ConflictsDetected,
+    /// Conflicts collapsed by LWW, merge, or repair.
+    ConflictsResolved,
+    /// Records appended to write-ahead logs.
+    WalAppends,
+    /// Bytes appended to write-ahead logs.
+    WalBytes,
+    /// Transactions committed.
+    TxnCommits,
+    /// Transactions aborted.
+    TxnAborts,
+    /// Timer events fired by the simulator.
+    TimersFired,
+    /// Network partitions begun.
+    PartitionsStarted,
+    /// Network partitions healed.
+    PartitionsHealed,
+    /// Node crash faults applied.
+    Crashes,
+    /// Node recovery faults applied.
+    Recoveries,
+}
+
+impl Counter {
+    /// All counters, in export order.
+    pub const ALL: [Counter; 20] = [
+        Counter::MessagesSent,
+        Counter::MessagesDelivered,
+        Counter::MessagesDropped,
+        Counter::BytesSent,
+        Counter::BytesDelivered,
+        Counter::AntiEntropyRounds,
+        Counter::QuorumReads,
+        Counter::QuorumWrites,
+        Counter::ReadRepairs,
+        Counter::ConflictsDetected,
+        Counter::ConflictsResolved,
+        Counter::WalAppends,
+        Counter::WalBytes,
+        Counter::TxnCommits,
+        Counter::TxnAborts,
+        Counter::TimersFired,
+        Counter::PartitionsStarted,
+        Counter::PartitionsHealed,
+        Counter::Crashes,
+        Counter::Recoveries,
+    ];
+
+    /// Number of distinct counters.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name used in exports and `docs/METRICS.md`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::MessagesSent => "messages_sent",
+            Counter::MessagesDelivered => "messages_delivered",
+            Counter::MessagesDropped => "messages_dropped",
+            Counter::BytesSent => "bytes_sent",
+            Counter::BytesDelivered => "bytes_delivered",
+            Counter::AntiEntropyRounds => "anti_entropy_rounds",
+            Counter::QuorumReads => "quorum_reads",
+            Counter::QuorumWrites => "quorum_writes",
+            Counter::ReadRepairs => "read_repairs",
+            Counter::ConflictsDetected => "conflicts_detected",
+            Counter::ConflictsResolved => "conflicts_resolved",
+            Counter::WalAppends => "wal_appends",
+            Counter::WalBytes => "wal_bytes",
+            Counter::TxnCommits => "txn_commits",
+            Counter::TxnAborts => "txn_aborts",
+            Counter::TimersFired => "timers_fired",
+            Counter::PartitionsStarted => "partitions_started",
+            Counter::PartitionsHealed => "partitions_healed",
+            Counter::Crashes => "crashes",
+            Counter::Recoveries => "recoveries",
+        }
+    }
+}
+
+/// A flat, fixed-size set of counter values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct CounterSet {
+    values: [u64; Counter::COUNT],
+}
+
+impl CounterSet {
+    pub(crate) fn add(&mut self, counter: Counter, delta: u64) {
+        self.values[counter as usize] += delta;
+    }
+
+    pub(crate) fn get(&self, counter: Counter) -> u64 {
+        self.values[counter as usize]
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.values.iter().all(|&v| v == 0)
+    }
+
+    /// Non-zero counters as `(name, value)` pairs, in export order.
+    pub(crate) fn nonzero(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        Counter::ALL.iter().map(|&c| (c.name(), self.get(c))).filter(|&(_, v)| v != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in Counter::ALL {
+            let name = c.name();
+            assert!(seen.insert(name), "duplicate counter name {name}");
+            assert!(
+                name.chars().all(|ch| ch.is_ascii_lowercase() || ch == '_'),
+                "{name} is not snake_case"
+            );
+        }
+        assert_eq!(seen.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn counter_set_accumulates() {
+        let mut set = CounterSet::default();
+        assert!(set.is_empty());
+        set.add(Counter::MessagesSent, 2);
+        set.add(Counter::MessagesSent, 3);
+        assert_eq!(set.get(Counter::MessagesSent), 5);
+        assert_eq!(set.nonzero().collect::<Vec<_>>(), vec![("messages_sent", 5)]);
+    }
+}

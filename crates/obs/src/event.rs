@@ -1,0 +1,375 @@
+//! Typed simulation events and their JSONL encoding.
+//!
+//! Every event names the *cause* of an observable protocol behavior:
+//! which message was dropped and why, which node ran an anti-entropy
+//! round, how long a coordinator waited for its quorum. Checkers and
+//! humans consume the log to attribute end-to-end anomalies (staleness,
+//! latency spikes, unavailability) to concrete mechanisms.
+//!
+//! The wire format is one JSON object per line (JSONL), documented field
+//! by field in `docs/METRICS.md`. Encoding is hand-written so that the
+//! byte output is a pure function of the event sequence — the
+//! determinism tests compare whole files.
+
+use crate::counters::Counter;
+
+/// Why the network dropped a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Sender and destination are in different partition islands.
+    Partition,
+    /// Random loss (the fault schedule's loss rate fired).
+    Loss,
+    /// The destination node is crashed.
+    CrashedDestination,
+    /// The simulation ended (horizon reached or torn down) with the
+    /// message still in flight. Without this, in-flight messages would
+    /// silently break the `messages_sent == messages_delivered +
+    /// messages_dropped` conservation identity.
+    Shutdown,
+}
+
+impl DropReason {
+    /// Stable snake_case name used in the JSONL encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::Partition => "partition",
+            DropReason::Loss => "loss",
+            DropReason::CrashedDestination => "crashed_destination",
+            DropReason::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Whether a quorum operation was a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumKind {
+    /// Read quorum (R acks).
+    Read,
+    /// Write quorum (W acks).
+    Write,
+}
+
+impl QuorumKind {
+    /// Stable snake_case name used in the JSONL encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuorumKind::Read => "read",
+            QuorumKind::Write => "write",
+        }
+    }
+}
+
+/// A structured simulation event.
+///
+/// Node ids are raw `u64`s (the simulator's `NodeId` index) so that this
+/// crate stays independent of `simnet` and can also serve non-simulated
+/// components (e.g. the WAL in a threaded deployment).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A message left `from` bound for `to`. `bytes` is the approximate
+    /// in-memory size of the payload.
+    MessageSent {
+        /// Sending node.
+        from: u64,
+        /// Destination node.
+        to: u64,
+        /// Approximate payload size in bytes.
+        bytes: u64,
+    },
+    /// A message from `from` was delivered to `to`.
+    MessageDelivered {
+        /// Sending node.
+        from: u64,
+        /// Destination node.
+        to: u64,
+        /// Approximate payload size in bytes.
+        bytes: u64,
+    },
+    /// A message from `from` to `to` was dropped.
+    MessageDropped {
+        /// Sending node.
+        from: u64,
+        /// Destination node.
+        to: u64,
+        /// Why the network dropped it.
+        reason: DropReason,
+    },
+    /// A replica initiated an anti-entropy (gossip) exchange round.
+    AntiEntropyRound {
+        /// The initiating replica.
+        node: u64,
+        /// How many peers it contacted this round.
+        fanout: u64,
+    },
+    /// A coordinator assembled a quorum: it waited `waited_us` between
+    /// issuing the request and receiving the `needed`-th ack.
+    QuorumWait {
+        /// The coordinating node.
+        node: u64,
+        /// Read or write quorum.
+        kind: QuorumKind,
+        /// Microseconds from issue to quorum.
+        waited_us: u64,
+        /// Acks actually received when the quorum completed.
+        acks: u64,
+        /// Acks required (R or W).
+        needed: u64,
+    },
+    /// Concurrent versions of `key` were detected at `node`
+    /// (`siblings` ≥ 2 versions with incomparable causality).
+    ConflictDetected {
+        /// The observing node.
+        node: u64,
+        /// The key with concurrent versions.
+        key: u64,
+        /// Number of concurrent siblings.
+        siblings: u64,
+    },
+    /// A conflict on `key` at `node` was resolved down to `survivors`
+    /// version(s) (last-writer-wins, merge, or read-repair).
+    ConflictResolved {
+        /// The resolving node.
+        node: u64,
+        /// The key that was resolved.
+        key: u64,
+        /// Versions remaining after resolution.
+        survivors: u64,
+    },
+    /// A record was appended to `node`'s write-ahead log.
+    WalAppend {
+        /// The appending node.
+        node: u64,
+        /// The key written.
+        key: u64,
+        /// Encoded record size in bytes.
+        bytes: u64,
+    },
+    /// A network partition began; `island` lists the nodes cut off from
+    /// the rest.
+    PartitionStart {
+        /// Nodes in the minority island.
+        island: Vec<u64>,
+    },
+    /// The current network partition healed.
+    PartitionHeal,
+    /// `node` crashed (stops processing until recovery).
+    Crash {
+        /// The crashed node.
+        node: u64,
+    },
+    /// `node` recovered from a crash.
+    Recover {
+        /// The recovered node.
+        node: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case type tag used in the JSONL encoding.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            EventKind::MessageSent { .. } => "message_sent",
+            EventKind::MessageDelivered { .. } => "message_delivered",
+            EventKind::MessageDropped { .. } => "message_dropped",
+            EventKind::AntiEntropyRound { .. } => "anti_entropy_round",
+            EventKind::QuorumWait { .. } => "quorum_wait",
+            EventKind::ConflictDetected { .. } => "conflict_detected",
+            EventKind::ConflictResolved { .. } => "conflict_resolved",
+            EventKind::WalAppend { .. } => "wal_append",
+            EventKind::PartitionStart { .. } => "partition_start",
+            EventKind::PartitionHeal => "partition_heal",
+            EventKind::Crash { .. } => "crash",
+            EventKind::Recover { .. } => "recover",
+        }
+    }
+
+    /// The counters this event implies, as `(counter, node, delta)`
+    /// triples; `node = None` updates only the global set.
+    pub(crate) fn implied_counters(&self) -> Vec<(Counter, Option<u64>, u64)> {
+        match *self {
+            EventKind::MessageSent { from, bytes, .. } => vec![
+                (Counter::MessagesSent, Some(from), 1),
+                (Counter::BytesSent, Some(from), bytes),
+            ],
+            EventKind::MessageDelivered { to, bytes, .. } => vec![
+                (Counter::MessagesDelivered, Some(to), 1),
+                (Counter::BytesDelivered, Some(to), bytes),
+            ],
+            EventKind::MessageDropped { to, .. } => {
+                vec![(Counter::MessagesDropped, Some(to), 1)]
+            }
+            EventKind::AntiEntropyRound { node, .. } => {
+                vec![(Counter::AntiEntropyRounds, Some(node), 1)]
+            }
+            EventKind::QuorumWait { node, kind, .. } => vec![(
+                match kind {
+                    QuorumKind::Read => Counter::QuorumReads,
+                    QuorumKind::Write => Counter::QuorumWrites,
+                },
+                Some(node),
+                1,
+            )],
+            EventKind::ConflictDetected { node, .. } => {
+                vec![(Counter::ConflictsDetected, Some(node), 1)]
+            }
+            EventKind::ConflictResolved { node, .. } => {
+                vec![(Counter::ConflictsResolved, Some(node), 1)]
+            }
+            EventKind::WalAppend { node, bytes, .. } => {
+                vec![(Counter::WalAppends, Some(node), 1), (Counter::WalBytes, Some(node), bytes)]
+            }
+            EventKind::PartitionStart { .. } => vec![(Counter::PartitionsStarted, None, 1)],
+            EventKind::PartitionHeal => vec![(Counter::PartitionsHealed, None, 1)],
+            EventKind::Crash { node } => vec![(Counter::Crashes, Some(node), 1)],
+            EventKind::Recover { node } => vec![(Counter::Recoveries, Some(node), 1)],
+        }
+    }
+}
+
+/// An [`EventKind`] stamped with its virtual time and sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedEvent {
+    /// Monotonic per-run sequence number (assigned by the recorder).
+    pub seq: u64,
+    /// Virtual time in microseconds since simulation start.
+    pub t_us: u64,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+impl TracedEvent {
+    /// Encode as one JSONL line (no trailing newline).
+    ///
+    /// Field order is fixed (`seq`, `t_us`, `type`, then event fields in
+    /// declaration order) so identical event sequences produce
+    /// byte-identical logs.
+    pub fn to_json_line(&self) -> String {
+        fn field(s: &mut String, name: &str, value: u64) {
+            s.push_str(",\"");
+            s.push_str(name);
+            s.push_str("\":");
+            s.push_str(&value.to_string());
+        }
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"seq\":");
+        s.push_str(&self.seq.to_string());
+        s.push_str(",\"t_us\":");
+        s.push_str(&self.t_us.to_string());
+        s.push_str(",\"type\":\"");
+        s.push_str(self.kind.type_name());
+        s.push('"');
+        match &self.kind {
+            EventKind::MessageSent { from, to, bytes }
+            | EventKind::MessageDelivered { from, to, bytes } => {
+                field(&mut s, "from", *from);
+                field(&mut s, "to", *to);
+                field(&mut s, "bytes", *bytes);
+            }
+            EventKind::MessageDropped { from, to, reason } => {
+                field(&mut s, "from", *from);
+                field(&mut s, "to", *to);
+                s.push_str(",\"reason\":\"");
+                s.push_str(reason.name());
+                s.push('"');
+            }
+            EventKind::AntiEntropyRound { node, fanout } => {
+                field(&mut s, "node", *node);
+                field(&mut s, "fanout", *fanout);
+            }
+            EventKind::QuorumWait { node, kind, waited_us, acks, needed } => {
+                field(&mut s, "node", *node);
+                s.push_str(",\"kind\":\"");
+                s.push_str(kind.name());
+                s.push('"');
+                field(&mut s, "waited_us", *waited_us);
+                field(&mut s, "acks", *acks);
+                field(&mut s, "needed", *needed);
+            }
+            EventKind::ConflictDetected { node, key, siblings } => {
+                field(&mut s, "node", *node);
+                field(&mut s, "key", *key);
+                field(&mut s, "siblings", *siblings);
+            }
+            EventKind::ConflictResolved { node, key, survivors } => {
+                field(&mut s, "node", *node);
+                field(&mut s, "key", *key);
+                field(&mut s, "survivors", *survivors);
+            }
+            EventKind::WalAppend { node, key, bytes } => {
+                field(&mut s, "node", *node);
+                field(&mut s, "key", *key);
+                field(&mut s, "bytes", *bytes);
+            }
+            EventKind::PartitionStart { island } => {
+                s.push_str(",\"island\":[");
+                for (i, n) in island.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&n.to_string());
+                }
+                s.push(']');
+            }
+            EventKind::PartitionHeal => {}
+            EventKind::Crash { node } | EventKind::Recover { node } => {
+                field(&mut s, "node", *node);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_stable() {
+        let ev = TracedEvent {
+            seq: 3,
+            t_us: 1500,
+            kind: EventKind::MessageDropped { from: 0, to: 2, reason: DropReason::Loss },
+        };
+        assert_eq!(
+            ev.to_json_line(),
+            r#"{"seq":3,"t_us":1500,"type":"message_dropped","from":0,"to":2,"reason":"loss"}"#
+        );
+        let ev =
+            TracedEvent { seq: 0, t_us: 0, kind: EventKind::PartitionStart { island: vec![1, 2] } };
+        assert_eq!(
+            ev.to_json_line(),
+            r#"{"seq":0,"t_us":0,"type":"partition_start","island":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn every_kind_encodes_with_its_type_tag() {
+        let kinds = vec![
+            EventKind::MessageSent { from: 0, to: 1, bytes: 8 },
+            EventKind::MessageDelivered { from: 0, to: 1, bytes: 8 },
+            EventKind::MessageDropped { from: 0, to: 1, reason: DropReason::Partition },
+            EventKind::AntiEntropyRound { node: 1, fanout: 2 },
+            EventKind::QuorumWait {
+                node: 0,
+                kind: QuorumKind::Read,
+                waited_us: 100,
+                acks: 2,
+                needed: 2,
+            },
+            EventKind::ConflictDetected { node: 0, key: 7, siblings: 2 },
+            EventKind::ConflictResolved { node: 0, key: 7, survivors: 1 },
+            EventKind::WalAppend { node: 0, key: 7, bytes: 16 },
+            EventKind::PartitionStart { island: vec![0] },
+            EventKind::PartitionHeal,
+            EventKind::Crash { node: 2 },
+            EventKind::Recover { node: 2 },
+        ];
+        for kind in kinds {
+            let tag = kind.type_name();
+            let line = TracedEvent { seq: 0, t_us: 0, kind }.to_json_line();
+            assert!(line.contains(&format!("\"type\":\"{tag}\"")), "{line}");
+        }
+    }
+}

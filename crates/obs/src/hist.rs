@@ -1,0 +1,211 @@
+//! Log-bucketed latency/size histograms.
+//!
+//! Values are `u64`s (microseconds for latencies, bytes or counts for
+//! sizes) bucketed by bit length: bucket *i* holds values in
+//! `[2^(i-1), 2^i)` (bucket 0 holds the value 0). That gives ~2x
+//! resolution over the full `u64` range with 65 fixed buckets and no
+//! allocation, which is plenty for the percentile summaries the
+//! experiments report.
+
+use serde::{Serialize, Value};
+
+/// The continuous metrics the observability layer tracks as histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Metric {
+    /// Microseconds a coordinator waited to assemble a read quorum.
+    QuorumReadWaitUs,
+    /// Microseconds a coordinator waited to assemble a write quorum.
+    QuorumWriteWaitUs,
+    /// Peers contacted per anti-entropy round.
+    AntiEntropyFanout,
+    /// Concurrent siblings present when a conflict was detected.
+    ConflictSiblings,
+    /// Bytes per WAL append.
+    WalAppendBytes,
+    /// Approximate bytes per network message sent.
+    MessageBytes,
+}
+
+impl Metric {
+    /// All metrics, in export order.
+    pub const ALL: [Metric; 6] = [
+        Metric::QuorumReadWaitUs,
+        Metric::QuorumWriteWaitUs,
+        Metric::AntiEntropyFanout,
+        Metric::ConflictSiblings,
+        Metric::WalAppendBytes,
+        Metric::MessageBytes,
+    ];
+
+    /// Number of distinct metrics.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name used in exports and `docs/METRICS.md`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::QuorumReadWaitUs => "quorum_read_wait_us",
+            Metric::QuorumWriteWaitUs => "quorum_write_wait_us",
+            Metric::AntiEntropyFanout => "anti_entropy_fanout",
+            Metric::ConflictSiblings => "conflict_siblings",
+            Metric::WalAppendBytes => "wal_append_bytes",
+            Metric::MessageBytes => "message_bytes",
+        }
+    }
+}
+
+const BUCKETS: usize = 65;
+
+/// A log-bucketed histogram over `u64` values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Upper bound (inclusive-exclusive boundary) of a bucket, used as the
+/// percentile estimate for values in that bucket.
+fn bucket_hi(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_of(value)] += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate the value at quantile `q` in `[0, 1]` (bucket upper
+    /// bound, clamped to the observed max). Returns 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_hi(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Collapse into a fixed summary for export.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: if self.count == 0 { 0 } else { self.max },
+        }
+    }
+}
+
+/// Percentile summary of a [`Histogram`], exported into `results/*.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Estimated median (bucket upper bound).
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Exact maximum observed value.
+    pub max: u64,
+}
+
+impl Serialize for HistogramSummary {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("count".to_string(), Value::U64(self.count)),
+            ("mean".to_string(), Value::F64(self.mean)),
+            ("p50".to_string(), Value::U64(self.p50)),
+            ("p95".to_string(), Value::U64(self.p95)),
+            ("p99".to_string(), Value::U64(self.p99)),
+            ("max".to_string(), Value::U64(self.max)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_summary_is_zero() {
+        let h = Histogram::default();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        // Log buckets overestimate by at most 2x.
+        let p50 = h.quantile(0.5);
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.summary().max, 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn zero_values_land_in_bucket_zero() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.summary().max, 0);
+    }
+}

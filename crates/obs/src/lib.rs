@@ -1,0 +1,69 @@
+//! Structured observability for the rethinking-ec workspace.
+//!
+//! This crate is the metrics contract between the simulator, the
+//! replication protocols, and the experiment harness:
+//!
+//! - a **typed event log** ([`EventKind`], [`TracedEvent`]) recording
+//!   what the protocols did and why (message sends/drops, anti-entropy
+//!   rounds, quorum waits, conflicts, WAL appends, faults), exportable
+//!   as deterministic JSONL;
+//! - **counters** ([`Counter`]), global and per node, derived
+//!   automatically from recorded events;
+//! - **histograms** ([`Metric`], [`Histogram`]) for continuous
+//!   quantities such as quorum wait times.
+//!
+//! All three are fed through a single cheap-to-clone [`Recorder`]
+//! handle, which is free when disabled, and snapshot into a
+//! [`MetricsReport`] — the `metrics` section of every
+//! `results/*.json`. Field-by-field documentation lives in
+//! `docs/METRICS.md`.
+//!
+//! This crate deliberately depends on nothing in the workspace (node
+//! ids are plain `u64`, times are microsecond `u64`s) so every layer —
+//! `simnet`, `kvstore`, `replication`, `txn`, `rec-core` — can report
+//! into it without dependency cycles.
+//!
+//! # Examples
+//!
+//! Recording and exporting a trace:
+//!
+//! ```
+//! use obs::{EventKind, Recorder};
+//!
+//! let rec = Recorder::with_event_log();
+//! rec.record(100, EventKind::AntiEntropyRound { node: 0, fanout: 2 });
+//! rec.record(220, EventKind::WalAppend { node: 0, key: 7, bytes: 64 });
+//!
+//! let jsonl = rec.export_jsonl();
+//! assert_eq!(jsonl.lines().count(), 2);
+//! assert!(jsonl.starts_with(r#"{"seq":0,"t_us":100,"type":"anti_entropy_round""#));
+//! ```
+//!
+//! Reading a JSONL trace back (each line is a standalone JSON object):
+//!
+//! ```
+//! use obs::{EventKind, Recorder};
+//!
+//! let rec = Recorder::with_event_log();
+//! rec.record(5, EventKind::Crash { node: 3 });
+//! for line in rec.export_jsonl().lines() {
+//!     let value: serde_json::Value = serde_json::from_str(line).expect("valid JSON");
+//!     let obj = value.as_object().expect("object per line");
+//!     let ty = obj.iter().find(|(k, _)| k == "type").unwrap().1.as_str();
+//!     assert_eq!(ty, Some("crash"));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod counters;
+mod event;
+mod hist;
+mod recorder;
+mod report;
+
+pub use counters::Counter;
+pub use event::{DropReason, EventKind, QuorumKind, TracedEvent};
+pub use hist::{Histogram, HistogramSummary, Metric};
+pub use recorder::{Recorder, DEFAULT_EVENT_CAP};
+pub use report::{MetricsReport, NodeCounters};

@@ -1,0 +1,333 @@
+//! The [`Recorder`] handle — the single entry point components use to
+//! emit observability data.
+
+use std::sync::{Arc, Mutex};
+
+use crate::counters::{Counter, CounterSet};
+use crate::event::{EventKind, TracedEvent};
+use crate::hist::{Histogram, Metric};
+use crate::report::{MetricsReport, NodeCounters};
+
+/// Default cap on retained events when the event log is enabled.
+pub const DEFAULT_EVENT_CAP: usize = 1 << 20;
+
+#[derive(Debug)]
+struct ObsCore {
+    /// `Some` iff the event log is enabled.
+    events: Option<Vec<TracedEvent>>,
+    event_cap: usize,
+    /// Events discarded once the cap was hit (counted, never silently lost).
+    events_dropped: u64,
+    next_seq: u64,
+    global: CounterSet,
+    per_node: Vec<CounterSet>,
+    hists: [Histogram; Metric::COUNT],
+}
+
+impl ObsCore {
+    fn new(with_events: bool) -> Self {
+        ObsCore {
+            events: with_events.then(Vec::new),
+            event_cap: DEFAULT_EVENT_CAP,
+            events_dropped: 0,
+            next_seq: 0,
+            global: CounterSet::default(),
+            per_node: Vec::new(),
+            hists: std::array::from_fn(|_| Histogram::default()),
+        }
+    }
+
+    fn node_set(&mut self, node: u64) -> &mut CounterSet {
+        let idx = node as usize;
+        if idx >= self.per_node.len() {
+            self.per_node.resize(idx + 1, CounterSet::default());
+        }
+        &mut self.per_node[idx]
+    }
+
+    fn record(&mut self, t_us: u64, kind: EventKind) {
+        for (counter, node, delta) in kind.implied_counters() {
+            self.global.add(counter, delta);
+            if let Some(node) = node {
+                self.node_set(node).add(counter, delta);
+            }
+        }
+        match kind {
+            EventKind::QuorumWait { kind: qk, waited_us, .. } => {
+                let metric = match qk {
+                    crate::event::QuorumKind::Read => Metric::QuorumReadWaitUs,
+                    crate::event::QuorumKind::Write => Metric::QuorumWriteWaitUs,
+                };
+                self.hists[metric as usize].record(waited_us);
+            }
+            EventKind::AntiEntropyRound { fanout, .. } => {
+                self.hists[Metric::AntiEntropyFanout as usize].record(fanout);
+            }
+            EventKind::ConflictDetected { siblings, .. } => {
+                self.hists[Metric::ConflictSiblings as usize].record(siblings);
+            }
+            EventKind::WalAppend { bytes, .. } => {
+                self.hists[Metric::WalAppendBytes as usize].record(bytes);
+            }
+            EventKind::MessageSent { bytes, .. } => {
+                self.hists[Metric::MessageBytes as usize].record(bytes);
+            }
+            _ => {}
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(events) = &mut self.events {
+            if events.len() < self.event_cap {
+                events.push(TracedEvent { seq, t_us, kind });
+            } else {
+                self.events_dropped += 1;
+            }
+        }
+    }
+
+    fn report(&self) -> MetricsReport {
+        let mut per_node = Vec::new();
+        for (node, set) in self.per_node.iter().enumerate() {
+            if !set.is_empty() {
+                per_node.push(NodeCounters {
+                    node: node as u64,
+                    counters: set.nonzero().map(|(n, v)| (n.to_string(), v)).collect(),
+                });
+            }
+        }
+        MetricsReport {
+            events_recorded: self.next_seq,
+            events_dropped: self.events_dropped,
+            counters: Counter::ALL
+                .iter()
+                .map(|&c| (c.name().to_string(), self.global.get(c)))
+                .collect(),
+            per_node,
+            latencies: Metric::ALL
+                .iter()
+                .map(|&m| (m.name().to_string(), self.hists[m as usize].summary()))
+                .filter(|(_, s)| s.count > 0)
+                .collect(),
+        }
+    }
+}
+
+/// Cheap-to-clone handle through which components report events,
+/// counters, and latency observations.
+///
+/// A disabled recorder ([`Recorder::disabled`], also the `Default`) is a
+/// `None` — every call is a branch on an `Option` and returns
+/// immediately, so instrumented code pays nothing when observability is
+/// off. Enabled recorders share one core, so cloning the handle into
+/// many actors aggregates into a single log/counter set.
+///
+/// # Examples
+///
+/// ```
+/// use obs::{Counter, EventKind, Recorder};
+///
+/// let rec = Recorder::with_event_log();
+/// rec.record(10, EventKind::MessageSent { from: 0, to: 1, bytes: 24 });
+/// rec.record(55, EventKind::MessageDelivered { from: 0, to: 1, bytes: 24 });
+///
+/// let report = rec.report();
+/// assert_eq!(report.counter(Counter::MessagesSent), 1);
+/// assert_eq!(report.counter(Counter::MessagesDelivered), 1);
+/// assert_eq!(rec.export_jsonl().lines().count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    core: Option<Arc<Mutex<ObsCore>>>,
+}
+
+impl Recorder {
+    /// A recorder that discards everything (zero cost when threaded
+    /// through hot paths).
+    pub fn disabled() -> Self {
+        Recorder { core: None }
+    }
+
+    /// A recorder that aggregates counters and histograms but does not
+    /// retain individual events.
+    pub fn enabled() -> Self {
+        Recorder { core: Some(Arc::new(Mutex::new(ObsCore::new(false)))) }
+    }
+
+    /// A recorder that additionally retains the full typed event log
+    /// (up to [`DEFAULT_EVENT_CAP`] events) for JSONL export.
+    pub fn with_event_log() -> Self {
+        Recorder { core: Some(Arc::new(Mutex::new(ObsCore::new(true)))) }
+    }
+
+    /// Whether this handle records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Override the retained-event cap (only meaningful with an event
+    /// log). Events past the cap still bump counters and are tallied in
+    /// [`MetricsReport::events_dropped`].
+    pub fn set_event_cap(&self, cap: usize) {
+        if let Some(core) = &self.core {
+            core.lock().unwrap().event_cap = cap;
+        }
+    }
+
+    /// Record a typed event at virtual time `t_us` (microseconds).
+    ///
+    /// This is the one call sites use: it bumps the event's implied
+    /// counters (global and per-node), feeds the relevant histograms,
+    /// and appends to the event log when one is enabled.
+    pub fn record(&self, t_us: u64, kind: EventKind) {
+        if let Some(core) = &self.core {
+            core.lock().unwrap().record(t_us, kind);
+        }
+    }
+
+    /// Bump a counter directly (global only), for quantities that have
+    /// no associated event (e.g. transaction commits).
+    pub fn count(&self, counter: Counter, delta: u64) {
+        if let Some(core) = &self.core {
+            core.lock().unwrap().global.add(counter, delta);
+        }
+    }
+
+    /// Bump a counter for a specific node (and globally).
+    pub fn count_node(&self, node: u64, counter: Counter, delta: u64) {
+        if let Some(core) = &self.core {
+            let mut core = core.lock().unwrap();
+            core.global.add(counter, delta);
+            core.node_set(node).add(counter, delta);
+        }
+    }
+
+    /// Record one observation of a continuous metric.
+    pub fn observe(&self, metric: Metric, value: u64) {
+        if let Some(core) = &self.core {
+            core.lock().unwrap().hists[metric as usize].record(value);
+        }
+    }
+
+    /// Snapshot the aggregated counters and histogram summaries.
+    ///
+    /// Disabled recorders return an all-zero report.
+    pub fn report(&self) -> MetricsReport {
+        match &self.core {
+            Some(core) => core.lock().unwrap().report(),
+            None => MetricsReport::default(),
+        }
+    }
+
+    /// Run `f` over every retained event, in sequence order.
+    ///
+    /// Returns the number of events visited (0 when the event log is
+    /// disabled). Checkers use this to attribute violations without
+    /// cloning the log.
+    pub fn for_each_event<F: FnMut(&TracedEvent)>(&self, mut f: F) -> usize {
+        match &self.core {
+            Some(core) => {
+                let core = core.lock().unwrap();
+                match &core.events {
+                    Some(events) => {
+                        for ev in events {
+                            f(ev);
+                        }
+                        events.len()
+                    }
+                    None => 0,
+                }
+            }
+            None => 0,
+        }
+    }
+
+    /// Clone out the retained event log (empty if disabled).
+    pub fn events(&self) -> Vec<TracedEvent> {
+        let mut out = Vec::new();
+        self.for_each_event(|ev| out.push(ev.clone()));
+        out
+    }
+
+    /// Serialize the retained event log as JSONL (one event per line,
+    /// trailing newline after each). Byte-identical across runs that
+    /// produce identical event sequences.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        self.for_each_event(|ev| {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        });
+        out
+    }
+
+    /// Write the JSONL event log to `path`.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.export_jsonl())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DropReason, QuorumKind};
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        rec.record(0, EventKind::Crash { node: 1 });
+        rec.count(Counter::TxnCommits, 5);
+        assert!(!rec.is_enabled());
+        assert_eq!(rec.report().counter(Counter::TxnCommits), 0);
+        assert_eq!(rec.export_jsonl(), "");
+    }
+
+    #[test]
+    fn events_imply_counters_and_histograms() {
+        let rec = Recorder::with_event_log();
+        rec.record(1, EventKind::MessageSent { from: 0, to: 1, bytes: 100 });
+        rec.record(2, EventKind::MessageDropped { from: 0, to: 1, reason: DropReason::Loss });
+        rec.record(
+            3,
+            EventKind::QuorumWait {
+                node: 0,
+                kind: QuorumKind::Read,
+                waited_us: 250,
+                acks: 2,
+                needed: 2,
+            },
+        );
+        let report = rec.report();
+        assert_eq!(report.counter(Counter::MessagesSent), 1);
+        assert_eq!(report.counter(Counter::MessagesDropped), 1);
+        assert_eq!(report.counter(Counter::BytesSent), 100);
+        assert_eq!(report.counter(Counter::QuorumReads), 1);
+        let wait = &report.latencies.iter().find(|(n, _)| n == "quorum_read_wait_us").unwrap().1;
+        assert_eq!(wait.count, 1);
+        assert_eq!(wait.max, 250);
+        assert_eq!(report.events_recorded, 3);
+    }
+
+    #[test]
+    fn clones_share_one_core() {
+        let rec = Recorder::enabled();
+        let clone = rec.clone();
+        clone.count_node(2, Counter::WalAppends, 1);
+        assert_eq!(rec.report().counter(Counter::WalAppends), 1);
+        assert_eq!(rec.report().node_counter(2, Counter::WalAppends), 1);
+    }
+
+    #[test]
+    fn event_cap_drops_are_counted() {
+        let rec = Recorder::with_event_log();
+        rec.set_event_cap(2);
+        for i in 0..5 {
+            rec.record(i, EventKind::Crash { node: 0 });
+        }
+        let report = rec.report();
+        assert_eq!(report.events_recorded, 5);
+        assert_eq!(report.events_dropped, 3);
+        assert_eq!(rec.export_jsonl().lines().count(), 2);
+        // Counters still see every event.
+        assert_eq!(report.counter(Counter::Crashes), 5);
+    }
+}

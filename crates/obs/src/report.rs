@@ -1,0 +1,212 @@
+//! Exported metrics snapshots ([`MetricsReport`]) and snapshot diffing.
+
+use serde::{Serialize, Value};
+
+use crate::counters::Counter;
+use crate::hist::HistogramSummary;
+
+/// Non-zero counters for one node.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeCounters {
+    /// The node's id.
+    pub node: u64,
+    /// `(counter_name, value)` pairs in export order, zeros omitted.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// A point-in-time snapshot of everything a [`crate::Recorder`]
+/// aggregated: counters (global and per node) and histogram summaries.
+///
+/// This is the `metrics` section embedded in every `results/*.json`;
+/// the field-by-field contract lives in `docs/METRICS.md`.
+///
+/// # Examples
+///
+/// Diffing two snapshots isolates the cost of a phase:
+///
+/// ```
+/// use obs::{Counter, EventKind, Recorder};
+///
+/// let rec = Recorder::enabled();
+/// rec.record(0, EventKind::MessageSent { from: 0, to: 1, bytes: 8 });
+/// let before = rec.report();
+///
+/// // ... some phase of the run does more work ...
+/// rec.record(1, EventKind::MessageSent { from: 0, to: 1, bytes: 8 });
+/// rec.record(2, EventKind::MessageSent { from: 1, to: 0, bytes: 8 });
+///
+/// let delta = rec.report().diff(&before);
+/// assert_eq!(delta.counter(Counter::MessagesSent), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Total events recorded (including any past the event-log cap).
+    pub events_recorded: u64,
+    /// Events not retained in the log because the cap was hit.
+    pub events_dropped: u64,
+    /// Global counters as `(name, value)`, every counter present, in
+    /// the fixed order of [`Counter::ALL`].
+    pub counters: Vec<(String, u64)>,
+    /// Per-node non-zero counters, ordered by node id.
+    pub per_node: Vec<NodeCounters>,
+    /// Histogram summaries as `(metric_name, summary)`, empty
+    /// histograms omitted.
+    pub latencies: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsReport {
+    /// Look up a global counter value (0 if absent).
+    pub fn counter(&self, counter: Counter) -> u64 {
+        let name = counter.name();
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0)
+    }
+
+    /// Look up a counter value for one node (0 if absent).
+    pub fn node_counter(&self, node: u64, counter: Counter) -> u64 {
+        let name = counter.name();
+        self.per_node
+            .iter()
+            .find(|nc| nc.node == node)
+            .and_then(|nc| nc.counters.iter().find(|(n, _)| n == name))
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Subtract an earlier snapshot from this one, yielding the
+    /// activity between the two (counters and event totals only;
+    /// histogram summaries are not subtractable and are taken from
+    /// `self`).
+    pub fn diff(&self, earlier: &MetricsReport) -> MetricsReport {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| {
+                let prev =
+                    earlier.counters.iter().find(|(n, _)| n == name).map(|&(_, p)| p).unwrap_or(0);
+                (name.clone(), v.saturating_sub(prev))
+            })
+            .collect();
+        let per_node = self
+            .per_node
+            .iter()
+            .map(|nc| {
+                let prev = earlier.per_node.iter().find(|p| p.node == nc.node);
+                NodeCounters {
+                    node: nc.node,
+                    counters: nc
+                        .counters
+                        .iter()
+                        .map(|(name, v)| {
+                            let p = prev
+                                .and_then(|p| p.counters.iter().find(|(n, _)| n == name))
+                                .map(|&(_, p)| p)
+                                .unwrap_or(0);
+                            (name.clone(), v.saturating_sub(p))
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        MetricsReport {
+            events_recorded: self.events_recorded.saturating_sub(earlier.events_recorded),
+            events_dropped: self.events_dropped.saturating_sub(earlier.events_dropped),
+            counters,
+            per_node,
+            latencies: self.latencies.clone(),
+        }
+    }
+
+    /// The conservation identity every run must satisfy:
+    /// `messages_sent == messages_delivered + messages_dropped`.
+    ///
+    /// Returns `Err` with the three values when violated, so tests can
+    /// print a useful failure.
+    pub fn check_message_conservation(&self) -> Result<(), (u64, u64, u64)> {
+        let sent = self.counter(Counter::MessagesSent);
+        let delivered = self.counter(Counter::MessagesDelivered);
+        let dropped = self.counter(Counter::MessagesDropped);
+        if sent == delivered + dropped {
+            Ok(())
+        } else {
+            Err((sent, delivered, dropped))
+        }
+    }
+}
+
+impl Serialize for NodeCounters {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("node".to_string(), Value::U64(self.node)),
+            (
+                "counters".to_string(),
+                Value::Object(
+                    self.counters.iter().map(|(n, v)| (n.clone(), Value::U64(*v))).collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Serialize for MetricsReport {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("events_recorded".to_string(), Value::U64(self.events_recorded)),
+            ("events_dropped".to_string(), Value::U64(self.events_dropped)),
+            (
+                "counters".to_string(),
+                Value::Object(
+                    self.counters.iter().map(|(n, v)| (n.clone(), Value::U64(*v))).collect(),
+                ),
+            ),
+            (
+                "per_node".to_string(),
+                Value::Array(self.per_node.iter().map(|nc| nc.to_value()).collect()),
+            ),
+            (
+                "latencies".to_string(),
+                Value::Object(
+                    self.latencies.iter().map(|(n, s)| (n.clone(), s.to_value())).collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::Recorder;
+
+    #[test]
+    fn conservation_check_catches_imbalance() {
+        let rec = Recorder::enabled();
+        rec.record(0, EventKind::MessageSent { from: 0, to: 1, bytes: 8 });
+        let report = rec.report();
+        assert_eq!(report.check_message_conservation(), Err((1, 0, 0)));
+        rec.record(5, EventKind::MessageDelivered { from: 0, to: 1, bytes: 8 });
+        assert!(rec.report().check_message_conservation().is_ok());
+    }
+
+    #[test]
+    fn diff_subtracts_counters() {
+        let rec = Recorder::enabled();
+        rec.count_node(0, Counter::WalAppends, 3);
+        let before = rec.report();
+        rec.count_node(0, Counter::WalAppends, 4);
+        let delta = rec.report().diff(&before);
+        assert_eq!(delta.counter(Counter::WalAppends), 4);
+        assert_eq!(delta.node_counter(0, Counter::WalAppends), 4);
+    }
+
+    #[test]
+    fn report_serializes_to_deterministic_json() {
+        let rec = Recorder::enabled();
+        rec.record(0, EventKind::WalAppend { node: 1, key: 9, bytes: 32 });
+        let a = serde::Serialize::to_value(&rec.report()).to_json();
+        let b = serde::Serialize::to_value(&rec.report()).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"wal_appends\":1"));
+        assert!(a.contains("\"wal_append_bytes\""));
+    }
+}

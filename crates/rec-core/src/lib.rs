@@ -24,6 +24,8 @@
 //! consistency checkers from `consistency` run directly on
 //! [`RunResult::trace`].
 
+#![warn(missing_docs)]
+
 pub mod metrics;
 pub mod runner;
 pub mod scheme;

@@ -16,11 +16,7 @@ pub struct LatencySummary {
 /// Summarize operation latencies.
 pub fn latency_summary(trace: &OpTrace) -> LatencySummary {
     let collect = |kind: OpKind| -> Vec<f64> {
-        trace
-            .successful()
-            .filter(|r| r.kind == kind)
-            .map(|r| r.latency().as_millis_f64())
-            .collect()
+        trace.successful().filter(|r| r.kind == kind).map(|r| r.latency().as_millis_f64()).collect()
     };
     LatencySummary {
         reads: summarize(&collect(OpKind::Read)),
@@ -71,10 +67,7 @@ pub fn availability_timeline(trace: &OpTrace, window: Duration) -> Vec<(f64, f64
     (0..bins)
         .filter(|&b| total[b] > 0)
         .map(|b| {
-            (
-                SimTime::from_micros(b as u64 * w).as_millis_f64(),
-                ok[b] as f64 / total[b] as f64,
-            )
+            (SimTime::from_micros(b as u64 * w).as_millis_f64(), ok[b] as f64 / total[b] as f64)
         })
         .collect()
 }

@@ -1,6 +1,7 @@
 //! Deployment builder and experiment runner.
 
 use crate::scheme::{ClientPlacement, Scheme};
+use obs::{MetricsReport, Recorder};
 use replication::causal::{CausalClient, CausalReplica};
 use replication::common::{expand_script, ScriptOp};
 use replication::eventual::{
@@ -10,8 +11,7 @@ use replication::paxos::{PaxosClient, PaxosConfig, PaxosNode};
 use replication::primary::{PrimaryClient, PrimaryConfig, PrimaryReplica, ReadFrom};
 use replication::quorum::{QuorumClient, QuorumConfig, QuorumNode};
 use simnet::{
-    optrace, FaultSchedule, LatencyModel, NodeId, OpTrace, Sim, SimConfig, SimRng,
-    SimTime,
+    optrace, FaultSchedule, LatencyModel, NodeId, OpTrace, Sim, SimConfig, SimRng, SimTime,
 };
 use workload::WorkloadSpec;
 
@@ -30,6 +30,9 @@ pub struct Experiment {
     pub workload: WorkloadSpec,
     /// Virtual-time budget for the run.
     pub horizon: SimTime,
+    /// Observability sink threaded into the simulator and protocols
+    /// (disabled by default; see [`obs::Recorder`]).
+    pub recorder: Recorder,
 }
 
 /// What a run produced.
@@ -43,6 +46,9 @@ pub struct RunResult {
     pub dropped_messages: u64,
     /// Virtual time when the run ended.
     pub ended_at: SimTime,
+    /// Aggregated counters and latency summaries from the run's
+    /// recorder (all zeros when no recorder was attached).
+    pub metrics: MetricsReport,
 }
 
 impl Experiment {
@@ -56,6 +62,7 @@ impl Experiment {
             seed: 0,
             workload: WorkloadSpec::small(),
             horizon: SimTime::from_secs(60),
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -89,6 +96,13 @@ impl Experiment {
         self
     }
 
+    /// Attach an observability recorder. The same handle can be kept by
+    /// the caller to export the event log after the run.
+    pub fn recorder(mut self, r: Recorder) -> Self {
+        self.recorder = r;
+        self
+    }
+
     /// Generate the per-session scripts (deterministic in the seed).
     fn scripts(&self) -> Vec<Vec<ScriptOp>> {
         let root = SimRng::new(self.seed ^ 0x5eed_f00d);
@@ -106,7 +120,8 @@ impl Experiment {
         let cfg = SimConfig::default()
             .seed(self.seed)
             .latency(self.latency.clone())
-            .faults(self.faults.clone());
+            .faults(self.faults.clone())
+            .recorder(self.recorder.clone());
         let scripts = self.scripts();
         let n = self.scheme.replica_count();
 
@@ -140,11 +155,8 @@ impl Experiment {
                 drive(sim, self.horizon)
             }
             Scheme::SloppyQuorum { n: qn, r, w, spares } => {
-                let qcfg = QuorumConfig {
-                    r: *r,
-                    w: *w,
-                    ..QuorumConfig::sloppy_majority(*qn, *spares)
-                };
+                let qcfg =
+                    QuorumConfig { r: *r, w: *w, ..QuorumConfig::sloppy_majority(*qn, *spares) };
                 let mut sim = Sim::new(cfg);
                 for _ in 0..qcfg.total_nodes() {
                     sim.add_node(Box::new(QuorumNode::new(qcfg)));
@@ -195,8 +207,7 @@ impl Experiment {
                 run_primary(cfg, pcfg, scripts, &trace, self.horizon)
             }
             Scheme::PrimaryAsyncFailover { replicas, ship_interval } => {
-                let pcfg =
-                    PrimaryConfig::async_lag(*replicas, *ship_interval).with_failover();
+                let pcfg = PrimaryConfig::async_lag(*replicas, *ship_interval).with_failover();
                 run_primary(cfg, pcfg, scripts, &trace, self.horizon)
             }
             Scheme::Paxos { nodes } => {
@@ -239,6 +250,7 @@ impl Experiment {
             delivered_messages: delivered,
             dropped_messages: dropped,
             ended_at: ended,
+            metrics: self.recorder.report(),
         }
     }
 }
@@ -303,11 +315,7 @@ mod tests {
         ] {
             let label = scheme.label();
             let res = Experiment::new(scheme).workload(tiny_workload()).seed(7).run();
-            assert_eq!(
-                res.trace.len(),
-                60,
-                "{label}: every scripted op must be recorded"
-            );
+            assert_eq!(res.trace.len(), 60, "{label}: every scripted op must be recorded");
             assert!(
                 res.trace.success_rate() > 0.95,
                 "{label}: fault-free run should succeed (rate {})",
@@ -335,10 +343,8 @@ mod tests {
 
     #[test]
     fn paxos_trace_is_linearizable() {
-        let res = Experiment::new(Scheme::Paxos { nodes: 3 })
-            .workload(tiny_workload())
-            .seed(11)
-            .run();
+        let res =
+            Experiment::new(Scheme::Paxos { nodes: 3 }).workload(tiny_workload()).seed(11).run();
         assert!(res.trace.success_rate() > 0.95);
         check_trace_linearizable(&res.trace).expect("paxos must linearize");
     }

@@ -172,11 +172,7 @@ mod tests {
         assert_eq!(Scheme::quorum(3, 1, 1).label(), "quorum(N=3,R=1,W=1)");
         assert!(Scheme::eventual(3).label().starts_with("eventual("));
         assert_eq!(
-            Scheme::PrimaryAsync {
-                replicas: 2,
-                ship_interval: Duration::from_millis(100)
-            }
-            .label(),
+            Scheme::PrimaryAsync { replicas: 2, ship_interval: Duration::from_millis(100) }.label(),
             "primary-async(100ms)"
         );
     }

@@ -16,7 +16,9 @@
 use crate::common::{ClientCore, OpOutcome, ScriptOp, TimerAction};
 use clocks::{LamportClock, LamportTimestamp, VersionVector};
 use kvstore::{Key, MvStore, Value};
+use obs::EventKind;
 use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
+use std::collections::BTreeMap;
 
 /// A replicated write with its causal dependencies.
 #[derive(Debug, Clone)]
@@ -92,6 +94,9 @@ pub struct CausalReplica {
     my_seq: u64,
     /// Writes waiting for their dependencies.
     buffer: Vec<CausalWrite>,
+    /// `(origin, seq)` of the version currently stored per key, used to
+    /// detect concurrent (conflicting) overwrites.
+    versions: BTreeMap<Key, (u64, u64)>,
     /// High-water mark of buffered-then-applied writes (metric: how much
     /// delaying causality actually required).
     pub delayed_applies: u64,
@@ -107,6 +112,7 @@ impl CausalReplica {
             applied: VersionVector::new(),
             my_seq: 0,
             buffer: Vec::new(),
+            versions: BTreeMap::new(),
             delayed_applies: 0,
         }
     }
@@ -127,18 +133,43 @@ impl CausalReplica {
         self.applied.get(w.origin) == w.seq - 1 && self.applied.dominates(&w.deps)
     }
 
-    fn apply(&mut self, w: &CausalWrite) {
+    /// Apply a write; returns `true` if it was concurrent with (and LWW-
+    /// resolved against) the version it replaced or lost to.
+    fn apply(&mut self, w: &CausalWrite) -> bool {
+        // The stored version conflicts iff the incoming write did not
+        // causally observe it (it is neither the origin's own earlier
+        // write nor covered by the dependency vector).
+        let conflict = self
+            .versions
+            .get(&w.key)
+            .is_some_and(|&(o, s)| !(o == w.origin && s < w.seq) && w.deps.get(o) < s);
         self.clock.observe(w.ts, 0);
-        self.store.put(w.key, Value::from_u64(w.value), w.ts, w.written_at);
+        if self.store.put(w.key, Value::from_u64(w.value), w.ts, w.written_at) {
+            self.versions.insert(w.key, (w.origin, w.seq));
+        }
         self.applied.observe(w.origin, w.seq);
+        conflict
     }
 
-    fn drain_buffer(&mut self) {
+    /// Apply every buffered write whose dependencies are now satisfied;
+    /// returns the keys where an apply LWW-resolved a concurrent write.
+    fn drain_buffer(&mut self) -> Vec<Key> {
+        let mut conflicted = Vec::new();
         while let Some(pos) = self.buffer.iter().position(|w| self.deps_satisfied(w)) {
             let w = self.buffer.swap_remove(pos);
-            self.apply(&w);
+            if self.apply(&w) {
+                conflicted.push(w.key);
+            }
             self.delayed_applies += 1;
         }
+        conflicted
+    }
+
+    /// Record one detected-and-LWW-resolved conflict on `key`.
+    fn record_conflict(ctx: &mut Context<Msg>, key: Key) {
+        let node = ctx.self_id().0 as u64;
+        ctx.record(EventKind::ConflictDetected { node, key, siblings: 2 });
+        ctx.record(EventKind::ConflictResolved { node, key, survivors: 1 });
     }
 }
 
@@ -182,8 +213,13 @@ impl Actor<Msg> for CausalReplica {
                     return; // duplicate
                 }
                 if self.deps_satisfied(&write) {
-                    self.apply(&write);
-                    self.drain_buffer();
+                    let key = write.key;
+                    if self.apply(&write) {
+                        Self::record_conflict(ctx, key);
+                    }
+                    for k in self.drain_buffer() {
+                        Self::record_conflict(ctx, k);
+                    }
                 } else {
                     self.buffer.push(write);
                 }
@@ -264,14 +300,10 @@ mod tests {
     use simnet::{optrace, LatencyModel, Sim, SimConfig};
 
     fn build(replicas: usize, clients: Vec<CausalClient>, seed: u64) -> Sim<Msg> {
-        let mut sim = Sim::new(
-            SimConfig::default()
-                .seed(seed)
-                .latency(LatencyModel::Uniform {
-                    min: Duration::from_millis(2),
-                    max: Duration::from_millis(40),
-                }),
-        );
+        let mut sim = Sim::new(SimConfig::default().seed(seed).latency(LatencyModel::Uniform {
+            min: Duration::from_millis(2),
+            max: Duration::from_millis(40),
+        }));
         for _ in 0..replicas {
             sim.add_node(Box::new(CausalReplica::new(replicas)));
         }
@@ -395,9 +427,8 @@ mod tests {
         }
         // Late readers at every replica for every key must agree.
         for (s, home) in [(10u64, 0usize), (11, 1), (12, 2)] {
-            let script: Vec<ScriptOp> = (0..4)
-                .map(|k| ScriptOp { gap_us: 800_000, kind: OpKind::Read, key: k })
-                .collect();
+            let script: Vec<ScriptOp> =
+                (0..4).map(|k| ScriptOp { gap_us: 800_000, kind: OpKind::Read, key: k }).collect();
             clients.push(CausalClient::new(s, script, trace.clone(), NodeId(home)));
         }
         let mut sim = build(3, clients, 9);

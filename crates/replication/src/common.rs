@@ -198,8 +198,7 @@ impl ClientCore {
             self.next_idx += 1;
             self.issued += 1;
             let op_id = self.issued;
-            let value =
-                (op.kind == OpKind::Write).then(|| Self::unique_value(self.session, op_id));
+            let value = (op.kind == OpKind::Write).then(|| Self::unique_value(self.session, op_id));
             let timer = ctx.set_timer(self.timeout, TAG_TIMEOUT_BASE + op_id);
             self.pending = Some(Pending {
                 op_id,
@@ -380,7 +379,10 @@ mod tests {
         fn on_timer(&mut self, ctx: &mut Context<TestMsg>, _id: u64, tag: u64) {
             match self.core.handle_timer(ctx, tag, self.server) {
                 TimerAction::Issue(op) => {
-                    ctx.send(self.server, TestMsg::Req { op_id: op.op_id, drop: op.op_id % 2 == 0 });
+                    ctx.send(
+                        self.server,
+                        TestMsg::Req { op_id: op.op_id, drop: op.op_id % 2 == 0 },
+                    );
                 }
                 TimerAction::TimedOut(_) | TimerAction::None => {}
             }
@@ -399,9 +401,8 @@ mod tests {
     #[test]
     fn core_drives_script_with_timeouts() {
         let trace = optrace::shared_trace();
-        let script: Vec<ScriptOp> = (0..6)
-            .map(|i| ScriptOp { gap_us: 100, kind: OpKind::Read, key: i })
-            .collect();
+        let script: Vec<ScriptOp> =
+            (0..6).map(|i| ScriptOp { gap_us: 100, kind: OpKind::Read, key: i }).collect();
         let mut sim: Sim<TestMsg> = Sim::new(SimConfig::default().seed(3));
         let server = sim.add_node(Box::new(Server));
         sim.add_node(Box::new(TestClient {

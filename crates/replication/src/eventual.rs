@@ -22,6 +22,7 @@ use crate::common::{ClientCore, Guarantees, IssueOp, OpOutcome, ScriptOp, TimerA
 use clocks::{LamportClock, LamportTimestamp, VersionVector};
 use crdt::{CvRdt, PnCounter};
 use kvstore::{siblings::Sibling, Key, MvStore, SiblingStore, Value};
+use obs::EventKind;
 use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
 use std::collections::BTreeMap;
 
@@ -246,14 +247,8 @@ impl EventualReplica {
 
     fn digest(&self) -> Digests {
         match &self.store {
-            Store::Lww(s) => (
-                s.scan(..).map(|(k, v)| (k, v.ts)).collect(),
-                Vec::new(),
-            ),
-            Store::Sib(s) => (
-                Vec::new(),
-                s.keys().map(|k| (k, s.read(k).context)).collect(),
-            ),
+            Store::Lww(s) => (s.scan(..).map(|(k, v)| (k, v.ts)).collect(), Vec::new()),
+            Store::Sib(s) => (Vec::new(), s.keys().map(|k| (k, s.read(k).context)).collect()),
             // Counters have no cheap digest; gossip ships full state.
             Store::Counter(_) => (Vec::new(), Vec::new()),
         }
@@ -284,10 +279,8 @@ impl EventualReplica {
                 let mut items = Vec::new();
                 for k in s.keys().collect::<Vec<_>>() {
                     for sib in s.siblings(k) {
-                        let unseen = remote
-                            .get(&k)
-                            .map(|vv| !sib.dvv.covered_by(vv))
-                            .unwrap_or(true);
+                        let unseen =
+                            remote.get(&k).map(|vv| !sib.dvv.covered_by(vv)).unwrap_or(true);
                         if unseen {
                             items.push(Item::Sib { key: k, sibling: sib.clone() });
                         }
@@ -295,19 +288,20 @@ impl EventualReplica {
                 }
                 items
             }
-            Store::Counter(m) => m
-                .iter()
-                .map(|(&k, c)| Item::Counter { key: k, state: c.clone() })
-                .collect(),
+            Store::Counter(m) => {
+                m.iter().map(|(&k, c)| Item::Counter { key: k, state: c.clone() }).collect()
+            }
         }
     }
 
-    /// Apply replicated items; returns how many changed local state.
+    /// Apply replicated items; returns how many changed local state plus
+    /// the keys left with concurrent siblings (detected conflicts).
     // A guard with a side effect (clippy's collapse suggestion) would be
     // worse than the nested `if`.
     #[allow(clippy::collapsible_match)]
-    fn apply_items(&mut self, items: Vec<Item>) -> usize {
+    fn apply_items(&mut self, items: Vec<Item>) -> (usize, Vec<(Key, u64)>) {
         let mut changed = 0;
+        let mut conflicts = Vec::new();
         for item in items {
             match (&mut self.store, item) {
                 (Store::Lww(s), Item::Lww { key, value, ts, written_at }) => {
@@ -320,6 +314,10 @@ impl EventualReplica {
                 (Store::Sib(s), Item::Sib { key, sibling }) => {
                     if s.apply_remote(key, sibling) {
                         changed += 1;
+                        let n = s.siblings(key).len();
+                        if n > 1 {
+                            conflicts.push((key, n as u64));
+                        }
                     }
                 }
                 (Store::Counter(m), Item::Counter { key, state }) => {
@@ -334,7 +332,15 @@ impl EventualReplica {
                 _ => {}
             }
         }
-        changed
+        (changed, conflicts)
+    }
+
+    /// Record one [`EventKind::ConflictDetected`] per conflicted key.
+    fn record_conflicts(ctx: &mut Context<Msg>, conflicts: Vec<(Key, u64)>) {
+        let node = ctx.self_id().0 as u64;
+        for (key, siblings) in conflicts {
+            ctx.record(EventKind::ConflictDetected { node, key, siblings });
+        }
     }
 
     fn handle_get(&mut self, ctx: &mut Context<Msg>, from: NodeId, op_id: u64, key: Key) {
@@ -398,17 +404,23 @@ impl EventualReplica {
             Store::Lww(s) => {
                 // Piggybacked session stamp keeps MW/WFR ordering: tick past
                 // everything the session has observed.
-                self.clock
-                    .observe(LamportTimestamp::new(observed.0, observed.1), me.0 as u64);
+                self.clock.observe(LamportTimestamp::new(observed.0, observed.1), me.0 as u64);
                 let ts = self.clock.tick(me.0 as u64);
                 s.put(key, Value::from_u64(value), ts, now_us);
-                (
-                    (ts.counter, ts.actor),
-                    vec![Item::Lww { key, value, ts, written_at: now_us }],
-                )
+                ((ts.counter, ts.actor), vec![Item::Lww { key, value, ts, written_at: now_us }])
             }
             Store::Sib(s) => {
+                let before = s.siblings(key).len();
                 s.write(key, Value::from_u64(value), &client_ctx, now_us);
+                let after = s.siblings(key).len();
+                let node = me.0 as u64;
+                if after > 1 {
+                    // The write landed next to concurrent siblings.
+                    ctx.record(EventKind::ConflictDetected { node, key, siblings: after as u64 });
+                } else if before > 1 {
+                    // The client's context covered every sibling: resolved.
+                    ctx.record(EventKind::ConflictResolved { node, key, survivors: 1 });
+                }
                 let sib = s.siblings(key).last().expect("just wrote").clone();
                 ((s.read(key).context.total(), 0), vec![Item::Sib { key, sibling: sib }])
             }
@@ -434,6 +446,7 @@ impl EventualReplica {
             return;
         }
         let fanout = self.cfg.gossip.map(|g| g.fanout).unwrap_or(1).min(peers.len());
+        ctx.record(EventKind::AntiEntropyRound { node: me.0 as u64, fanout: fanout as u64 });
         let (digest, vv_digest) = self.digest();
         // Choose `fanout` distinct peers.
         let mut idxs: Vec<usize> = (0..peers.len()).collect();
@@ -472,7 +485,8 @@ impl Actor<Msg> for EventualReplica {
                 self.handle_put(ctx, from, op_id, key, value, observed, client_ctx)
             }
             Msg::Replicate { items } => {
-                self.apply_items(items);
+                let (_, conflicts) = self.apply_items(items);
+                Self::record_conflicts(ctx, conflicts);
             }
             Msg::SyncReq { digest, vv_digest } => {
                 let items = self.missing_at_remote(&digest, &vv_digest);
@@ -480,14 +494,16 @@ impl Actor<Msg> for EventualReplica {
                 ctx.send(from, Msg::SyncResp { items, digest: my_digest, vv_digest: my_vv });
             }
             Msg::SyncResp { items, digest, vv_digest } => {
-                self.apply_items(items);
+                let (_, conflicts) = self.apply_items(items);
+                Self::record_conflicts(ctx, conflicts);
                 let back = self.missing_at_remote(&digest, &vv_digest);
                 if !back.is_empty() {
                     ctx.send(from, Msg::SyncPush { items: back });
                 }
             }
             Msg::SyncPush { items } => {
-                self.apply_items(items);
+                let (_, conflicts) = self.apply_items(items);
+                Self::record_conflicts(ctx, conflicts);
             }
             // Responses are client-side messages; a replica ignores them.
             Msg::GetResp { .. } | Msg::PutResp { .. } => {}
@@ -677,11 +693,7 @@ mod tests {
     use super::*;
     use simnet::{optrace, LatencyModel, Sim, SimConfig};
 
-    fn build_sim(
-        cfg: EventualConfig,
-        clients: Vec<EventualClient>,
-        seed: u64,
-    ) -> Sim<Msg> {
+    fn build_sim(cfg: EventualConfig, clients: Vec<EventualClient>, seed: u64) -> Sim<Msg> {
         let mut sim = Sim::new(
             SimConfig::default()
                 .seed(seed)
@@ -697,9 +709,7 @@ mod tests {
     }
 
     fn script(ops: &[(OpKind, Key)]) -> Vec<ScriptOp> {
-        ops.iter()
-            .map(|&(kind, key)| ScriptOp { gap_us: 1_000, kind, key })
-            .collect()
+        ops.iter().map(|&(kind, key)| ScriptOp { gap_us: 1_000, kind, key }).collect()
     }
 
     #[test]
@@ -911,11 +921,7 @@ mod tests {
         let mut sim = build_sim(cfg, clients, 5);
         sim.run_until(SimTime::from_secs(2));
         let t = trace.borrow();
-        let read = t
-            .records()
-            .iter()
-            .find(|r| r.kind == OpKind::Read)
-            .expect("read recorded");
+        let read = t.records().iter().find(|r| r.kind == OpKind::Read).expect("read recorded");
         assert_eq!(read.value_read, vec![expected as u64]);
     }
 

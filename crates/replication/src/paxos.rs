@@ -19,6 +19,7 @@
 use crate::common::{ClientCore, IssueOp, OpOutcome, ScriptOp, TimerAction};
 use clocks::LamportTimestamp;
 use kvstore::{Key, MvStore, Value};
+use obs::{EventKind, QuorumKind};
 use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
 use std::collections::{BTreeMap, HashMap};
 
@@ -273,12 +274,8 @@ impl PaxosNode {
         // Adopt accepted entries: re-propose them under my ballot, starting
         // after the highest committed slot.
         let adopted = std::mem::take(&mut self.p1_adopted);
-        let max_seen = adopted
-            .keys()
-            .copied()
-            .chain(self.committed.keys().copied())
-            .max()
-            .unwrap_or(0);
+        let max_seen =
+            adopted.keys().copied().chain(self.committed.keys().copied()).max().unwrap_or(0);
         self.next_slot = max_seen + 1;
         for (slot, entry) in adopted {
             if !self.committed.contains_key(&slot) {
@@ -313,6 +310,13 @@ impl PaxosNode {
             return;
         };
         let cmd = entry.cmd.clone();
+        ctx.record(EventKind::QuorumWait {
+            node: ctx.self_id().0 as u64,
+            kind: if cmd.value.is_some() { QuorumKind::Write } else { QuorumKind::Read },
+            waited_us: ctx.now().as_micros().saturating_sub(cmd.issued_at),
+            acks: acks as u64,
+            needed: self.cfg.majority() as u64,
+        });
         self.committed.insert(slot, cmd.clone());
         let me = ctx.self_id();
         let peers: Vec<NodeId> = self.peers(me).collect();
@@ -453,13 +457,8 @@ impl Actor<Msg> for PaxosNode {
                 if value.is_some() {
                     self.seen_writes.insert((from.0, op_id), slot);
                 }
-                let cmd = Command {
-                    client: from,
-                    op_id,
-                    key,
-                    value,
-                    issued_at: ctx.now().as_micros(),
-                };
+                let cmd =
+                    Command { client: from, op_id, key, value, issued_at: ctx.now().as_micros() };
                 self.propose_in_slot(ctx, slot, cmd);
             }
             Msg::Prepare { ballot } => {
@@ -469,11 +468,8 @@ impl Actor<Msg> for PaxosNode {
                         self.role = Role::Follower;
                     }
                     self.leader_hint = Some(NodeId(ballot.1 as usize));
-                    let accepted: Vec<(u64, Ballot, Command)> = self
-                        .accepted
-                        .iter()
-                        .map(|(&s, e)| (s, e.ballot, e.cmd.clone()))
-                        .collect();
+                    let accepted: Vec<(u64, Ballot, Command)> =
+                        self.accepted.iter().map(|(&s, e)| (s, e.ballot, e.cmd.clone())).collect();
                     ctx.send(from, Msg::Promise { ballot, accepted });
                     self.reset_election_timer(ctx);
                 }
@@ -664,12 +660,8 @@ mod tests {
     #[test]
     fn write_then_read_linearizes() {
         let trace = optrace::shared_trace();
-        let c = PaxosClient::new(
-            1,
-            script(&[(OpKind::Write, 1), (OpKind::Read, 1)]),
-            trace.clone(),
-            3,
-        );
+        let c =
+            PaxosClient::new(1, script(&[(OpKind::Write, 1), (OpKind::Read, 1)]), trace.clone(), 3);
         let mut sim = build(3, vec![c], 1, FaultSchedule::none());
         sim.run_until(SimTime::from_secs(3));
         let t = trace.borrow();

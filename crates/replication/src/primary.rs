@@ -31,8 +31,9 @@
 use crate::common::{ClientCore, OpOutcome, ScriptOp, TimerAction};
 use clocks::LamportTimestamp;
 use kvstore::{Key, LogRecord, MvStore, Value, Wal};
+use obs::{EventKind, QuorumKind};
 use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Propagation mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,11 +195,11 @@ pub struct PrimaryReplica {
     /// Backup: highest contiguously applied seq.
     applied_seq: u64,
     /// Primary: per-backup acked seq.
-    acked: HashMap<NodeId, u64>,
+    acked: BTreeMap<NodeId, u64>,
     /// Primary: pending sync writes by seq.
-    pending: HashMap<u64, (NodeId, u64, bool)>, // seq -> (client, op_id, done)
+    pending: BTreeMap<u64, (NodeId, u64, bool, u64)>, // seq -> (client, op_id, done, issued_at µs)
     /// Backup: out-of-order buffer.
-    reorder: HashMap<u64, LogRecord>,
+    reorder: BTreeMap<u64, LogRecord>,
     /// Current view (failover mode; 0 = the static deployment view).
     view: u64,
     /// When the current primary was last heard from (µs).
@@ -215,9 +216,9 @@ impl PrimaryReplica {
             store: MvStore::new(),
             wal: Wal::new(),
             applied_seq: 0,
-            acked: HashMap::new(),
-            pending: HashMap::new(),
-            reorder: HashMap::new(),
+            acked: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            reorder: BTreeMap::new(),
             view: 0,
             last_heartbeat_us: 0,
             promotions: 0,
@@ -253,10 +254,7 @@ impl PrimaryReplica {
                 .scan(..)
                 .map(|(k, v)| (k, v.value.as_u64().unwrap_or(0), v.ts.counter, v.written_at))
                 .collect();
-            ctx.send(
-                backup,
-                Msg::Snapshot { through: self.wal.truncated_through(), items },
-            );
+            ctx.send(backup, Msg::Snapshot { through: self.wal.truncated_through(), items });
         }
         let records = self.wal.tail(from.max(self.wal.truncated_through())).to_vec();
         if !records.is_empty() {
@@ -308,8 +306,9 @@ impl PrimaryReplica {
             ctx.send(primary, Msg::Put { op_id, key, value, reply_to });
             return;
         }
-        let seq =
-            self.wal.append(key, Value::from_u64(value), LamportTimestamp::new(0, 0), 0);
+        let val = Value::from_u64(value);
+        ctx.record(EventKind::WalAppend { node: me.0 as u64, key, bytes: val.len() as u64 });
+        let seq = self.wal.append(key, val, LamportTimestamp::new(0, 0), 0);
         // Re-stamp with the assigned seq (the WAL assigns seq on append, so
         // the record's ts must match it; append-then-fix keeps Wal simple).
         let now_us = ctx.now().as_micros();
@@ -320,7 +319,7 @@ impl PrimaryReplica {
         self.store.put(key, Value::from_u64(value), ts, now_us);
         match self.cfg.mode {
             PrimaryMode::Sync { acks_required } => {
-                self.pending.insert(seq, (reply_to, op_id, false));
+                self.pending.insert(seq, (reply_to, op_id, false, now_us));
                 let backups: Vec<NodeId> = self.backups(me).collect();
                 for b in backups {
                     self.ship_to(ctx, b);
@@ -341,10 +340,17 @@ impl PrimaryReplica {
             return;
         };
         let acks = self.acked.values().filter(|&&a| a >= seq).count();
-        if let Some((client, op_id, done)) = self.pending.get_mut(&seq) {
+        if let Some((client, op_id, done, issued_at)) = self.pending.get_mut(&seq) {
             if !*done && acks >= acks_required {
                 *done = true;
-                let (client, op_id) = (*client, *op_id);
+                let (client, op_id, issued_at) = (*client, *op_id, *issued_at);
+                ctx.record(EventKind::QuorumWait {
+                    node: ctx.self_id().0 as u64,
+                    kind: QuorumKind::Write,
+                    waited_us: ctx.now().as_micros().saturating_sub(issued_at),
+                    acks: acks as u64,
+                    needed: acks_required as u64,
+                });
                 ctx.send(client, Msg::PutResp { op_id, ok: true, stamp: (seq, 0) });
             }
         }
@@ -433,7 +439,7 @@ impl Actor<Msg> for PrimaryReplica {
             }
         } else if tag >= TAG_WRITE_TIMEOUT_BASE {
             let seq = tag - TAG_WRITE_TIMEOUT_BASE;
-            if let Some((client, op_id, done)) = self.pending.remove(&seq) {
+            if let Some((client, op_id, done, _issued_at)) = self.pending.remove(&seq) {
                 if !done {
                     ctx.send(client, Msg::PutResp { op_id, ok: false, stamp: (0, 0) });
                 }
@@ -509,8 +515,7 @@ impl Actor<Msg> for PrimaryReplica {
                 *prev = (*prev).max(seq);
                 // Any pending write at or below the new ack level may now
                 // have its quorum.
-                let ready: Vec<u64> =
-                    self.pending.keys().copied().filter(|&s| s <= seq).collect();
+                let ready: Vec<u64> = self.pending.keys().copied().filter(|&s| s <= seq).collect();
                 for s in ready {
                     self.try_finish_write(ctx, s);
                 }
@@ -579,11 +584,8 @@ impl Actor<Msg> for PrimaryClient {
                     // With failover enabled, route via the local replica,
                     // which forwards to whatever primary its view names;
                     // static deployments go straight to node 0.
-                    let target = if self.cfg.failover.is_some() {
-                        read_target
-                    } else {
-                        self.cfg.primary()
-                    };
+                    let target =
+                        if self.cfg.failover.is_some() { read_target } else { self.cfg.primary() };
                     ctx.send(
                         target,
                         Msg::Put {

@@ -14,8 +14,9 @@
 use crate::common::{ClientCore, IssueOp, OpOutcome, ScriptOp, TimerAction};
 use clocks::{LamportClock, LamportTimestamp};
 use kvstore::{Key, MvStore, Value};
+use obs::{Counter, EventKind, QuorumKind};
 use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Quorum configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,6 +209,9 @@ enum PendingOp {
         responses: Vec<(NodeId, Option<WireVersion>)>,
         needed: usize,
         done: bool,
+        /// Virtual time (µs) the coordinator issued the fan-out, for the
+        /// recorded quorum-wait latency.
+        issued_at: u64,
         /// The version returned to the client (for async read repair of
         /// responses that arrive after the quorum was reached).
         winner: Option<WireVersion>,
@@ -224,6 +228,8 @@ enum PendingOp {
         stamp: LamportTimestamp,
         done: bool,
         hinted: bool,
+        /// Virtual time (µs) the coordinator issued the fan-out.
+        issued_at: u64,
     },
 }
 
@@ -239,12 +245,12 @@ pub struct QuorumNode {
     cfg: QuorumConfig,
     store: MvStore,
     clock: LamportClock,
-    pending: HashMap<u64, PendingOp>,
+    pending: BTreeMap<u64, PendingOp>,
     next_req: u64,
     /// Number of read-repair pushes sent (exported metric).
     pub repairs_sent: u64,
     /// Spare role: undelivered hints (hint id → target, key, version).
-    hints: HashMap<u64, (NodeId, Key, WireVersion)>,
+    hints: BTreeMap<u64, (NodeId, Key, WireVersion)>,
     next_hint: u64,
     /// Hints successfully handed off (exported metric).
     pub hints_delivered: u64,
@@ -258,10 +264,10 @@ impl QuorumNode {
             cfg,
             store: MvStore::new(),
             clock: LamportClock::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             next_req: 0,
             repairs_sent: 0,
-            hints: HashMap::new(),
+            hints: BTreeMap::new(),
             next_hint: 0,
             hints_delivered: 0,
         }
@@ -303,6 +309,7 @@ impl QuorumNode {
             needed: self.cfg.r,
             done: false,
             winner: None,
+            issued_at: ctx.now().as_micros(),
         };
         self.pending.insert(req_id, pending);
         for peer in self.replicas().filter(|&p| p != me) {
@@ -339,6 +346,7 @@ impl QuorumNode {
                 stamp: ts,
                 done: false,
                 hinted: false,
+                issued_at: ctx.now().as_micros(),
             },
         );
         for peer in self.replicas().filter(|&p| p != me) {
@@ -356,8 +364,16 @@ impl QuorumNode {
     }
 
     fn try_finish_read(&mut self, ctx: &mut Context<Msg>, req_id: u64) {
-        let Some(PendingOp::Read { client, op_id, key, responses, needed, done, winner }) =
-            self.pending.get_mut(&req_id)
+        let Some(PendingOp::Read {
+            client,
+            op_id,
+            key,
+            responses,
+            needed,
+            done,
+            winner,
+            issued_at,
+        }) = self.pending.get_mut(&req_id)
         else {
             return;
         };
@@ -365,6 +381,13 @@ impl QuorumNode {
             return;
         }
         *done = true;
+        ctx.record(EventKind::QuorumWait {
+            node: ctx.self_id().0 as u64,
+            kind: QuorumKind::Read,
+            waited_us: ctx.now().as_micros().saturating_sub(*issued_at),
+            acks: responses.len() as u64,
+            needed: *needed as u64,
+        });
         let (client, op_id, key) = (*client, *op_id, *key);
         let newest = responses.iter().filter_map(|(_, v)| *v).max_by_key(|v| v.ts);
         *winner = newest;
@@ -382,6 +405,7 @@ impl QuorumNode {
                 let me = ctx.self_id();
                 for node in stale {
                     self.repairs_sent += 1;
+                    ctx.recorder().count_node(me.0 as u64, Counter::ReadRepairs, 1);
                     if node == me {
                         self.apply_version(key, best);
                     } else {
@@ -393,7 +417,7 @@ impl QuorumNode {
     }
 
     fn try_finish_write(&mut self, ctx: &mut Context<Msg>, req_id: u64) {
-        let Some(PendingOp::Write { client, op_id, acks, needed, stamp, done, .. }) =
+        let Some(PendingOp::Write { client, op_id, acks, needed, stamp, done, issued_at, .. }) =
             self.pending.get_mut(&req_id)
         else {
             return;
@@ -402,6 +426,13 @@ impl QuorumNode {
             return;
         }
         *done = true;
+        ctx.record(EventKind::QuorumWait {
+            node: ctx.self_id().0 as u64,
+            kind: QuorumKind::Write,
+            waited_us: ctx.now().as_micros().saturating_sub(*issued_at),
+            acks: *acks as u64,
+            needed: *needed as u64,
+        });
         let (client, op_id, stamp) = (*client, *op_id, *stamp);
         ctx.send(client, Msg::PutResp { op_id, ok: true, stamp: (stamp.counter, stamp.actor) });
     }
@@ -424,9 +455,8 @@ impl QuorumNode {
     /// quorum — send the version to spares on behalf of the silent home
     /// replicas. Spare acks count toward W.
     fn sloppy_handoff(&mut self, ctx: &mut Context<Msg>, req_id: u64) {
-        let Some(PendingOp::Write {
-            key, version, acks, acked_from, needed, done, hinted, ..
-        }) = self.pending.get_mut(&req_id)
+        let Some(PendingOp::Write { key, version, acks, acked_from, needed, done, hinted, .. }) =
+            self.pending.get_mut(&req_id)
         else {
             return;
         };
@@ -434,13 +464,10 @@ impl QuorumNode {
             return;
         }
         *hinted = true;
-        let missing: Vec<NodeId> = (0..self.cfg.n)
-            .map(NodeId)
-            .filter(|nid| !acked_from.contains(nid))
-            .collect();
+        let missing: Vec<NodeId> =
+            (0..self.cfg.n).map(NodeId).filter(|nid| !acked_from.contains(nid)).collect();
         let (key, version) = (*key, *version);
-        let spares: Vec<NodeId> =
-            (self.cfg.n..self.cfg.total_nodes()).map(NodeId).collect();
+        let spares: Vec<NodeId> = (self.cfg.n..self.cfg.total_nodes()).map(NodeId).collect();
         for (i, target) in missing.into_iter().enumerate() {
             let spare = spares[i % spares.len()];
             ctx.send(spare, Msg::HintedPut { req_id, target, key, version });
@@ -502,6 +529,7 @@ impl Actor<Msg> for QuorumNode {
                 }
                 if let Some((key, version, node)) = late_repair {
                     self.repairs_sent += 1;
+                    ctx.recorder().count_node(ctx.self_id().0 as u64, Counter::ReadRepairs, 1);
                     ctx.send(node, Msg::Repair { key, version });
                 }
                 self.try_finish_read(ctx, req_id);
@@ -661,13 +689,8 @@ mod tests {
         let trace = optrace::shared_trace();
         let cfg = QuorumConfig::majority(3);
         assert!(cfg.intersecting());
-        let writer = QuorumClient::new(
-            1,
-            script(&[(OpKind::Write, 9)]),
-            trace.clone(),
-            3,
-            Some(NodeId(0)),
-        );
+        let writer =
+            QuorumClient::new(1, script(&[(OpKind::Write, 9)]), trace.clone(), 3, Some(NodeId(0)));
         let reader = QuorumClient::new(
             2,
             vec![ScriptOp { gap_us: 100_000, kind: OpKind::Read, key: 9 }],
@@ -709,19 +732,16 @@ mod tests {
             // still sees nothing is a stale-after-ack witness.
             let reader = QuorumClient::new(
                 2,
-                (0..40)
-                    .map(|_| ScriptOp { gap_us: 2_000, kind: OpKind::Read, key: 9 })
-                    .collect(),
+                (0..40).map(|_| ScriptOp { gap_us: 2_000, kind: OpKind::Read, key: 9 }).collect(),
                 trace.clone(),
                 3,
                 Some(NodeId(1)),
             );
-            let mut sim = Sim::new(
-                SimConfig::default().seed(seed).latency(LatencyModel::Uniform {
+            let mut sim =
+                Sim::new(SimConfig::default().seed(seed).latency(LatencyModel::Uniform {
                     min: Duration::from_millis(1),
                     max: Duration::from_millis(30),
-                }),
-            );
+                }));
             for _ in 0..cfg.n {
                 sim.add_node(Box::new(QuorumNode::new(cfg)));
             }
@@ -774,12 +794,7 @@ mod tests {
         }
         let mut clients = vec![writer, reader];
         clients.extend(probes);
-        let mut sim = build(
-            QuorumConfig { r: 1, ..cfg },
-            clients,
-            3,
-            FaultSchedule::none(),
-        );
+        let mut sim = build(QuorumConfig { r: 1, ..cfg }, clients, 3, FaultSchedule::none());
         sim.run_until(SimTime::from_secs(1));
         let t = trace.borrow();
         for r in t.records().iter().filter(|r| r.session >= 3) {
@@ -818,10 +833,8 @@ mod tests {
     #[test]
     fn coordinator_timeout_produces_client_failure_quickly() {
         let trace = optrace::shared_trace();
-        let cfg = QuorumConfig {
-            op_timeout: Duration::from_millis(100),
-            ..QuorumConfig::majority(3)
-        };
+        let cfg =
+            QuorumConfig { op_timeout: Duration::from_millis(100), ..QuorumConfig::majority(3) };
         // The client (node 3) sits on node 0's side of the cut so its
         // request reaches the coordinator, whose op timeout then fires.
         let faults = FaultSchedule::none().partition(
@@ -878,11 +891,8 @@ mod tests {
             if sloppy {
                 side_a.push(NodeId(3));
             }
-            let faults = FaultSchedule::none().partition(
-                side_a,
-                SimTime::ZERO,
-                SimTime::from_secs(5),
-            );
+            let faults =
+                FaultSchedule::none().partition(side_a, SimTime::ZERO, SimTime::from_secs(5));
             let client = QuorumClient::new(
                 1,
                 script(&[(OpKind::Write, 9)]),
@@ -905,24 +915,15 @@ mod tests {
         // spare hands the version to the real owners, and an R=1 read at
         // node 1 sees it.
         let trace = optrace::shared_trace();
-        let cfg = QuorumConfig {
-            r: 1,
-            w: 2,
-            ..QuorumConfig::sloppy_majority(3, 1)
-        };
+        let cfg = QuorumConfig { r: 1, w: 2, ..QuorumConfig::sloppy_majority(3, 1) };
         let total = cfg.total_nodes();
         let faults = FaultSchedule::none().partition(
             vec![NodeId(0), NodeId(3), NodeId(total)],
             SimTime::ZERO,
             SimTime::from_secs(2),
         );
-        let writer = QuorumClient::new(
-            1,
-            script(&[(OpKind::Write, 9)]),
-            trace.clone(),
-            3,
-            Some(NodeId(0)),
-        );
+        let writer =
+            QuorumClient::new(1, script(&[(OpKind::Write, 9)]), trace.clone(), 3, Some(NodeId(0)));
         // Read at node 1, 4 seconds in (partition healed at 2s, handoff
         // retries every 100ms).
         let reader = QuorumClient::new(

@@ -14,9 +14,23 @@ use std::collections::BinaryHeap;
 #[derive(Debug)]
 pub enum EventPayload<M> {
     /// Deliver a message to `to` (sent by `from`).
-    Deliver { from: NodeId, to: NodeId, msg: M },
+    Deliver {
+        /// The sender.
+        from: NodeId,
+        /// The destination.
+        to: NodeId,
+        /// The message payload.
+        msg: M,
+    },
     /// Fire timer `timer_id` (carrying an actor-chosen `tag`) at `node`.
-    Timer { node: NodeId, timer_id: u64, tag: u64 },
+    Timer {
+        /// The node whose timer fires.
+        node: NodeId,
+        /// Simulator-assigned timer id (for cancellation).
+        timer_id: u64,
+        /// Actor-chosen tag distinguishing timer purposes.
+        tag: u64,
+    },
     /// Apply a scripted fault (crash, recover, partition change, ...).
     Fault(crate::faults::FaultEvent),
 }
@@ -104,10 +118,7 @@ mod tests {
     use super::*;
 
     fn timer_at<M>(q: &mut EventQueue<M>, t: u64, tag: u64) {
-        q.push(
-            SimTime::from_micros(t),
-            EventPayload::Timer { node: NodeId(0), timer_id: 0, tag },
-        );
+        q.push(SimTime::from_micros(t), EventPayload::Timer { node: NodeId(0), timer_id: 0, tag });
     }
 
     fn drain_tags(q: &mut EventQueue<()>) -> Vec<u64> {

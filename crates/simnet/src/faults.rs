@@ -29,17 +29,34 @@ pub struct Partition {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FaultEvent {
     /// Begin a partition with the given side-A membership.
-    PartitionStart { id: usize, side_a: Vec<NodeId> },
+    PartitionStart {
+        /// Identifier used to heal this partition later.
+        id: usize,
+        /// Nodes on side A; everyone else is side B.
+        side_a: Vec<NodeId>,
+    },
     /// Heal the partition with the given id.
-    PartitionEnd { id: usize },
+    PartitionEnd {
+        /// The id given at `PartitionStart`.
+        id: usize,
+    },
     /// Crash a node: it loses in-flight timers and drops incoming messages
     /// until recovery.
-    Crash { node: NodeId },
+    Crash {
+        /// The node to crash.
+        node: NodeId,
+    },
     /// Recover a crashed node (volatile state intact; protocols that need
     /// amnesia semantics model it themselves).
-    Recover { node: NodeId },
+    Recover {
+        /// The node to recover.
+        node: NodeId,
+    },
     /// Set the global message-loss probability.
-    SetLossRate { p: f64 },
+    SetLossRate {
+        /// Probability in `[0, 1]` that any message is dropped.
+        p: f64,
+    },
 }
 
 /// A declarative schedule of faults for one run.
@@ -136,9 +153,7 @@ impl FaultState {
 
     /// Whether a message from `a` to `b` is cut by any active partition.
     pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
-        self.active_partitions
-            .iter()
-            .any(|(_, side)| side.contains(&a.0) != side.contains(&b.0))
+        self.active_partitions.iter().any(|(_, side)| side.contains(&a.0) != side.contains(&b.0))
     }
 
     /// Whether `node` is currently crashed.

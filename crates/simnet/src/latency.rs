@@ -17,10 +17,20 @@ pub enum LatencyModel {
     /// Every message takes exactly this long.
     Constant(Duration),
     /// Uniform in `[min, max]`.
-    Uniform { min: Duration, max: Duration },
+    Uniform {
+        /// Minimum one-way latency.
+        min: Duration,
+        /// Maximum one-way latency.
+        max: Duration,
+    },
     /// Log-normal with the given one-way median and shape; heavy-tailed,
     /// the standard model for datacenter RPC latency.
-    LogNormal { median: Duration, sigma: f64 },
+    LogNormal {
+        /// Median one-way latency.
+        median: Duration,
+        /// Shape parameter of the log-normal (larger = heavier tail).
+        sigma: f64,
+    },
     /// Geo-replicated deployment: each node lives in a region; one-way
     /// latency is half the region-pair RTT plus log-normal jitter.
     GeoMatrix {
@@ -93,9 +103,7 @@ impl LatencyModel {
     /// The region a node belongs to, if this is a geo model.
     pub fn region_of(&self, node: NodeId) -> Option<usize> {
         match self {
-            LatencyModel::GeoMatrix { region_of, .. } => {
-                Some(region_of[node.0 % region_of.len()])
-            }
+            LatencyModel::GeoMatrix { region_of, .. } => Some(region_of[node.0 % region_of.len()]),
             _ => None,
         }
     }

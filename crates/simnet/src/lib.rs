@@ -51,6 +51,8 @@
 //! assert!(sim.now() > SimTime::ZERO);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod event;
 pub mod faults;
 pub mod latency;

@@ -12,6 +12,7 @@ use crate::faults::{FaultSchedule, FaultState};
 use crate::latency::LatencyModel;
 use crate::rng::SimRng;
 use crate::time::{Duration, SimTime};
+use obs::{Counter, DropReason, EventKind, Recorder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
@@ -63,6 +64,7 @@ pub struct Context<'a, M> {
     now: SimTime,
     self_id: NodeId,
     rng: &'a mut SimRng,
+    recorder: &'a Recorder,
     next_timer_id: &'a mut u64,
     effects: Vec<Effect<M>>,
 }
@@ -81,6 +83,19 @@ impl<'a, M> Context<'a, M> {
     /// The simulation RNG (deterministic; shared by all actors).
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
+    }
+
+    /// The observability recorder, for protocol-level events (quorum
+    /// waits, anti-entropy rounds, conflicts). Disabled recorders make
+    /// every call a no-op, so actors can record unconditionally.
+    pub fn recorder(&self) -> &Recorder {
+        self.recorder
+    }
+
+    /// Record a protocol event at the current virtual time (shorthand
+    /// for `ctx.recorder().record(ctx.now().as_micros(), kind)`).
+    pub fn record(&self, kind: EventKind) {
+        self.recorder.record(self.now.as_micros(), kind);
     }
 
     /// Send `msg` to `to`; it arrives after a latency sampled from the
@@ -122,6 +137,8 @@ pub struct SimConfig {
     pub latency: LatencyModel,
     /// Scripted faults.
     pub faults: FaultSchedule,
+    /// Observability sink; defaults to disabled (zero overhead).
+    pub recorder: Recorder,
 }
 
 impl Default for SimConfig {
@@ -130,6 +147,7 @@ impl Default for SimConfig {
             seed: 0,
             latency: LatencyModel::lan(),
             faults: FaultSchedule::none(),
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -152,6 +170,12 @@ impl SimConfig {
         self.faults = faults;
         self
     }
+
+    /// Attach an observability recorder (see [`obs::Recorder`]).
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
 }
 
 /// The deterministic simulator.
@@ -170,6 +194,7 @@ pub struct Sim<M> {
     pub dropped_messages: u64,
     /// Count of messages delivered.
     pub delivered_messages: u64,
+    recorder: Recorder,
 }
 
 impl<M> Sim<M> {
@@ -192,7 +217,19 @@ impl<M> Sim<M> {
             started: false,
             dropped_messages: 0,
             delivered_messages: 0,
+            recorder: config.recorder,
         }
+    }
+
+    /// Approximate in-memory payload size used for `bytes` fields in
+    /// recorded message events.
+    fn msg_bytes() -> u64 {
+        std::mem::size_of::<M>() as u64
+    }
+
+    /// The observability recorder attached to this simulation.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Add an actor; returns its [`NodeId`] (assigned densely from 0).
@@ -222,6 +259,14 @@ impl<M> Sim<M> {
     /// client operations at scripted times.
     pub fn inject_at(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
         assert!(at >= self.now, "cannot inject into the past");
+        self.recorder.record(
+            at.as_micros(),
+            EventKind::MessageSent {
+                from: from.0 as u64,
+                to: to.0 as u64,
+                bytes: Self::msg_bytes(),
+            },
+        );
         self.queue.push(at, EventPayload::Deliver { from, to, msg });
     }
 
@@ -254,6 +299,7 @@ impl<M> Sim<M> {
             now: self.now,
             self_id: id,
             rng: &mut self.rng,
+            recorder: &self.recorder,
             next_timer_id: &mut self.next_timer_id,
             effects: Vec::new(),
         };
@@ -262,12 +308,37 @@ impl<M> Sim<M> {
         for eff in effects {
             match eff {
                 Effect::Send { to, msg } => {
+                    let now_us = self.now.as_micros();
+                    self.recorder.record(
+                        now_us,
+                        EventKind::MessageSent {
+                            from: id.0 as u64,
+                            to: to.0 as u64,
+                            bytes: Self::msg_bytes(),
+                        },
+                    );
                     if self.faults.is_partitioned(id, to) {
                         self.dropped_messages += 1;
+                        self.recorder.record(
+                            now_us,
+                            EventKind::MessageDropped {
+                                from: id.0 as u64,
+                                to: to.0 as u64,
+                                reason: DropReason::Partition,
+                            },
+                        );
                         continue;
                     }
                     if self.faults.loss_rate > 0.0 && self.rng.chance(self.faults.loss_rate) {
                         self.dropped_messages += 1;
+                        self.recorder.record(
+                            now_us,
+                            EventKind::MessageDropped {
+                                from: id.0 as u64,
+                                to: to.0 as u64,
+                                reason: DropReason::Loss,
+                            },
+                        );
                         continue;
                     }
                     let delay = if to == id {
@@ -275,12 +346,18 @@ impl<M> Sim<M> {
                     } else {
                         self.latency.sample(id, to, &mut self.rng)
                     };
-                    self.queue
-                        .push(self.now + delay, EventPayload::Deliver { from: id, to, msg });
+                    self.queue.push(self.now + delay, EventPayload::Deliver { from: id, to, msg });
                 }
                 Effect::SendLocal { to, msg, after } => {
-                    self.queue
-                        .push(self.now + after, EventPayload::Deliver { from: id, to, msg });
+                    self.recorder.record(
+                        self.now.as_micros(),
+                        EventKind::MessageSent {
+                            from: id.0 as u64,
+                            to: to.0 as u64,
+                            bytes: Self::msg_bytes(),
+                        },
+                    );
+                    self.queue.push(self.now + after, EventPayload::Deliver { from: id, to, msg });
                 }
                 Effect::Timer { id: tid, after, tag } => {
                     self.queue.push(
@@ -307,8 +384,24 @@ impl<M> Sim<M> {
             EventPayload::Deliver { from, to, msg } => {
                 if self.faults.is_crashed(to) {
                     self.dropped_messages += 1;
+                    self.recorder.record(
+                        self.now.as_micros(),
+                        EventKind::MessageDropped {
+                            from: from.0 as u64,
+                            to: to.0 as u64,
+                            reason: DropReason::CrashedDestination,
+                        },
+                    );
                 } else {
                     self.delivered_messages += 1;
+                    self.recorder.record(
+                        self.now.as_micros(),
+                        EventKind::MessageDelivered {
+                            from: from.0 as u64,
+                            to: to.0 as u64,
+                            bytes: Self::msg_bytes(),
+                        },
+                    );
                     self.call_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
                 }
             }
@@ -316,21 +409,38 @@ impl<M> Sim<M> {
                 if self.cancelled_timers.remove(&timer_id) || self.faults.is_crashed(node) {
                     // Cancelled, or the node is down: timers are soft state.
                 } else {
+                    self.recorder.count_node(node.0 as u64, Counter::TimersFired, 1);
                     self.call_actor(node, |actor, ctx| actor.on_timer(ctx, timer_id, tag));
                 }
             }
             EventPayload::Fault(fev) => {
                 use crate::faults::FaultEvent::*;
+                let now_us = self.now.as_micros();
                 match &fev {
                     Crash { node } => {
                         let node = *node;
+                        self.recorder.record(now_us, EventKind::Crash { node: node.0 as u64 });
                         self.faults.apply(&fev);
                         self.call_actor(node, |actor, ctx| actor.on_crash(ctx));
                     }
                     Recover { node } => {
                         let node = *node;
+                        self.recorder.record(now_us, EventKind::Recover { node: node.0 as u64 });
                         self.faults.apply(&fev);
                         self.call_actor(node, |actor, ctx| actor.on_recover(ctx));
+                    }
+                    PartitionStart { side_a, .. } => {
+                        self.recorder.record(
+                            now_us,
+                            EventKind::PartitionStart {
+                                island: side_a.iter().map(|n| n.0 as u64).collect(),
+                            },
+                        );
+                        self.faults.apply(&fev);
+                    }
+                    PartitionEnd { .. } => {
+                        self.recorder.record(now_us, EventKind::PartitionHeal);
+                        self.faults.apply(&fev);
                     }
                     _ => self.faults.apply(&fev),
                 }
@@ -371,8 +481,32 @@ impl<M> Sim<M> {
     }
 
     /// Consume the simulator and return the actors (to extract results).
-    pub fn into_actors(self) -> Vec<Box<dyn Actor<M>>> {
-        self.actors
+    pub fn into_actors(mut self) -> Vec<Box<dyn Actor<M>>> {
+        std::mem::take(&mut self.actors)
+    }
+}
+
+impl<M> Drop for Sim<M> {
+    /// Account for messages still in flight when the simulation is torn
+    /// down (horizon reached mid-delivery): each is recorded as dropped
+    /// with reason `shutdown`. Without this, truncated runs would break
+    /// the `messages_sent == messages_delivered + messages_dropped`
+    /// conservation identity (see `docs/METRICS.md`).
+    fn drop(&mut self) {
+        let now_us = self.now.as_micros();
+        while let Some(ev) = self.queue.pop() {
+            if let EventPayload::Deliver { from, to, .. } = ev.payload {
+                self.dropped_messages += 1;
+                self.recorder.record(
+                    now_us,
+                    EventKind::MessageDropped {
+                        from: from.0 as u64,
+                        to: to.0 as u64,
+                        reason: DropReason::Shutdown,
+                    },
+                );
+            }
+        }
     }
 }
 
@@ -423,9 +557,7 @@ mod tests {
     fn determinism_same_seed() {
         let run = |seed| {
             let log = Rc::new(RefCell::new(Vec::new()));
-            let mut sim = Sim::new(
-                SimConfig::default().seed(seed).latency(LatencyModel::lan()),
-            );
+            let mut sim = Sim::new(SimConfig::default().seed(seed).latency(LatencyModel::lan()));
             sim.add_node(Box::new(Echo { log: log.clone() }));
             sim.add_node(Box::new(Echo { log: log.clone() }));
             for i in 0..20 {
@@ -446,8 +578,7 @@ mod tests {
             SimTime::ZERO,
             SimTime::from_millis(50),
         );
-        let (mut sim, log) =
-            two_node_sim(LatencyModel::Constant(Duration::from_millis(1)), faults);
+        let (mut sim, log) = two_node_sim(LatencyModel::Constant(Duration::from_millis(1)), faults);
         sim.inject_at(SimTime::from_millis(10), NodeId(0), NodeId(1), 1);
         sim.run_until(SimTime::from_millis(40));
         // The injected message is delivered (injection bypasses the network),
@@ -463,8 +594,7 @@ mod tests {
             SimTime::from_millis(0),
             SimTime::from_millis(20),
         );
-        let (mut sim, log) =
-            two_node_sim(LatencyModel::Constant(Duration::from_millis(1)), faults);
+        let (mut sim, log) = two_node_sim(LatencyModel::Constant(Duration::from_millis(1)), faults);
         sim.inject_at(SimTime::from_millis(10), NodeId(0), NodeId(1), 1); // dropped: crashed
         sim.inject_at(SimTime::from_millis(30), NodeId(0), NodeId(1), 2); // delivered
         sim.run_until(SimTime::from_millis(100));
@@ -477,8 +607,7 @@ mod tests {
     #[test]
     fn full_loss_drops_everything() {
         let faults = FaultSchedule::none().loss_rate(SimTime::ZERO, 1.0);
-        let (mut sim, log) =
-            two_node_sim(LatencyModel::Constant(Duration::from_millis(1)), faults);
+        let (mut sim, log) = two_node_sim(LatencyModel::Constant(Duration::from_millis(1)), faults);
         sim.inject_at(SimTime::from_millis(1), NodeId(0), NodeId(1), 1);
         sim.run_until(SimTime::from_millis(100));
         // Injection is delivered; the echo reply is lost.

@@ -45,12 +45,7 @@ fn can_serve(
 /// with no samples yet get a hedged prior (half the utility of their best
 /// achievable sub-SLA) so unexplored replicas are not starved forever.
 /// Near-ties break toward the lower-median-RTT replica, then lower id.
-pub fn choose(
-    monitor: &Monitor,
-    sla: &Sla,
-    session: &SessionState,
-    now: SimTime,
-) -> Decision {
+pub fn choose(monitor: &Monitor, sla: &Sla, session: &SessionState, now: SimTime) -> Decision {
     let mut best: Option<(Decision, Duration)> = None;
     for (replica, view) in monitor.iter() {
         let achievable: Vec<bool> = sla
@@ -132,11 +127,7 @@ mod tests {
     use super::*;
     use crate::types::SubSla;
 
-    fn monitor_with(
-        rtts_ms: &[(usize, u64)],
-        high_ts_ms: &[(usize, u64)],
-        n: usize,
-    ) -> Monitor {
+    fn monitor_with(rtts_ms: &[(usize, u64)], high_ts_ms: &[(usize, u64)], n: usize) -> Monitor {
         let mut m = Monitor::new(n, NodeId(0));
         for &(r, ms) in rtts_ms {
             for _ in 0..8 {
@@ -181,10 +172,8 @@ mod tests {
         // (1.0 × P(100ms ≤ 300ms) = 1.0) beats replica-1 eventual (0.5).
         let m = monitor_with(&[(0, 100), (1, 5)], &[(0, 1000), (1, 900)], 2);
         let sla = Sla::shopping_cart();
-        let session = SessionState {
-            last_write_ts: Some(SimTime::from_millis(950)),
-            last_read_ts: None,
-        };
+        let session =
+            SessionState { last_write_ts: Some(SimTime::from_millis(950)), last_read_ts: None };
         let d = choose(&m, &sla, &session, SimTime::from_millis(2000));
         assert_eq!(d.replica, NodeId(0));
         assert_eq!(d.sub_index, 0);
@@ -226,10 +215,8 @@ mod tests {
             latency: Duration::from_millis(100),
             utility: 1.0,
         }]);
-        let session = SessionState {
-            last_write_ts: Some(SimTime::from_secs(99)),
-            last_read_ts: None,
-        };
+        let session =
+            SessionState { last_write_ts: Some(SimTime::from_secs(99)), last_read_ts: None };
         let d = choose(&m, &sla, &session, SimTime::from_secs(100));
         // Falls back to the weakest (here: only) sub-SLA with zero
         // expected utility rather than panicking.

@@ -170,7 +170,9 @@ mod tests {
             Consistency::MonotonicReads.rank()
                 > Consistency::Bounded(Duration::from_millis(1)).rank()
         );
-        assert!(Consistency::Bounded(Duration::from_millis(1)).rank() > Consistency::Eventual.rank());
+        assert!(
+            Consistency::Bounded(Duration::from_millis(1)).rank() > Consistency::Eventual.rank()
+        );
     }
 
     #[test]
@@ -204,14 +206,8 @@ mod tests {
         };
         let now = SimTime::from_millis(500);
         assert_eq!(s.required_ts(Consistency::Eventual, now), None);
-        assert_eq!(
-            s.required_ts(Consistency::ReadMyWrites, now),
-            Some(SimTime::from_millis(100))
-        );
-        assert_eq!(
-            s.required_ts(Consistency::MonotonicReads, now),
-            Some(SimTime::from_millis(80))
-        );
+        assert_eq!(s.required_ts(Consistency::ReadMyWrites, now), Some(SimTime::from_millis(100)));
+        assert_eq!(s.required_ts(Consistency::MonotonicReads, now), Some(SimTime::from_millis(80)));
         assert_eq!(
             s.required_ts(Consistency::Bounded(Duration::from_millis(200)), now),
             Some(SimTime::from_millis(300))

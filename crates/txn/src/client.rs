@@ -4,6 +4,7 @@
 use crate::group::{GroupId, TxnId};
 use crate::manager::{Msg, TxnConfig};
 use kvstore::Key;
+use obs::Counter;
 use serde::{Deserialize, Serialize};
 use simnet::{Actor, Context, Duration, NodeId, SimTime};
 use std::cell::RefCell;
@@ -165,6 +166,9 @@ impl TxnClient {
         let Some(f) = self.inflight.take() else { return };
         ctx.cancel_timer(f.timeout_timer);
         let latency = ctx.now().saturating_since(f.started).as_millis_f64();
+        let node = ctx.self_id().0 as u64;
+        let counter = if committed { Counter::TxnCommits } else { Counter::TxnAborts };
+        ctx.recorder().count_node(node, counter, 1);
         let mut stats = self.stats.borrow_mut();
         if committed {
             stats.committed += 1;
@@ -294,10 +298,8 @@ impl Actor<Msg> for TxnClient {
                 }
             }
             Msg::Outcome { txn: t, committed } if t == txn => {
-                let fast = matches!(
-                    self.inflight.as_ref().map(|f| &f.phase),
-                    Some(Phase::FastCommit)
-                );
+                let fast =
+                    matches!(self.inflight.as_ref().map(|f| &f.phase), Some(Phase::FastCommit));
                 if fast {
                     self.finish(ctx, committed, false);
                 }
@@ -367,11 +369,7 @@ mod tests {
     use crate::manager::GroupNode;
     use simnet::{LatencyModel, Sim, SimConfig};
 
-    fn build(
-        nodes: usize,
-        clients: Vec<TxnClient>,
-        seed: u64,
-    ) -> Sim<Msg> {
+    fn build(nodes: usize, clients: Vec<TxnClient>, seed: u64) -> Sim<Msg> {
         let cfg = TxnConfig::new(nodes);
         let mut sim = Sim::new(
             SimConfig::default()
@@ -420,10 +418,7 @@ mod tests {
         let c = TxnClient::new(
             1,
             cfg,
-            vec![spec(
-                1_000,
-                vec![(0, vec![], vec![(1, 10)]), (1, vec![], vec![(100, 20)])],
-            )],
+            vec![spec(1_000, vec![(0, vec![], vec![(1, 10)]), (1, vec![], vec![(100, 20)])])],
             stats.clone(),
             0,
         );
@@ -442,10 +437,7 @@ mod tests {
             let c = TxnClient::new(
                 1,
                 cfg,
-                vec![spec(
-                    1_000,
-                    vec![(0, vec![], vec![(1, 10)]), (1, vec![], vec![(100, 20)])],
-                )],
+                vec![spec(1_000, vec![(0, vec![], vec![(1, 10)]), (1, vec![], vec![(100, 20)])])],
                 stats.clone(),
                 registrars,
             );

@@ -1,8 +1,8 @@
 //! Per-entity-group state: versioned store, commit log, OCC validation,
 //! and write locks for two-phase commit.
 
-use kvstore::{Key, MvStore, Value};
 use clocks::LamportTimestamp;
+use kvstore::{Key, MvStore, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -63,9 +63,7 @@ impl Group {
 
     /// Read keys at the current position.
     pub fn read(&self, keys: &[Key]) -> Vec<(Key, Option<u64>)> {
-        keys.iter()
-            .map(|&k| (k, self.store.get(k).and_then(|v| v.value.as_u64())))
-            .collect()
+        keys.iter().map(|&k| (k, self.store.get(k).and_then(|v| v.value.as_u64()))).collect()
     }
 
     /// Raw store access (checker support).
@@ -82,21 +80,13 @@ impl Group {
         write_keys: &[Key],
     ) -> Result<(), Conflict> {
         // Lock conflicts: anybody holding a write lock on my footprint.
-        if read_keys
-            .iter()
-            .chain(write_keys.iter())
-            .any(|k| self.locks.contains_key(k))
-        {
+        if read_keys.iter().chain(write_keys.iter()).any(|k| self.locks.contains_key(k)) {
             return Err(Conflict::Locked);
         }
         // OCC: committed writers after my snapshot intersecting my
         // footprint.
         for fp in self.history.iter().filter(|fp| fp.pos > snapshot) {
-            if fp
-                .write_set
-                .iter()
-                .any(|k| read_keys.contains(k) || write_keys.contains(k))
-            {
+            if fp.write_set.iter().any(|k| read_keys.contains(k) || write_keys.contains(k)) {
                 return Err(Conflict::OccConflict);
             }
         }
@@ -132,8 +122,7 @@ impl Group {
         for k in &write_keys {
             self.locks.insert(*k, txn);
         }
-        self.prepared
-            .insert(txn, PreparedTxn { writes: writes.to_vec(), prepared_at: now_us });
+        self.prepared.insert(txn, PreparedTxn { writes: writes.to_vec(), prepared_at: now_us });
         Ok(())
     }
 
@@ -212,7 +201,7 @@ mod tests {
     fn occ_aborts_stale_snapshot_conflict() {
         let mut g = Group::new();
         let snap = g.commit_pos(); // 0
-        // Another txn commits a write to key 1 after our snapshot.
+                                   // Another txn commits a write to key 1 after our snapshot.
         g.commit_one(0, &[], &[(1, 100)], 0).unwrap();
         // We read key 1 at snapshot 0 and try to write key 2: read-write
         // conflict on key 1 → abort.

@@ -177,10 +177,8 @@ impl Actor<Msg> for GroupNode {
                 ctx.send(from, Msg::ReadResp { txn, group, values, snapshot });
             }
             Msg::CommitOne { txn, group, snapshot, read_keys, writes } => {
-                let committed = self
-                    .group_mut(group)
-                    .commit_one(snapshot, &read_keys, &writes, now_us)
-                    .is_ok();
+                let committed =
+                    self.group_mut(group).commit_one(snapshot, &read_keys, &writes, now_us).is_ok();
                 ctx.send(from, Msg::Outcome { txn, committed });
             }
             Msg::Prepare { txn, group, snapshot, read_keys, writes } => {

@@ -40,9 +40,7 @@ impl KeyDistribution {
         assert!(n > 0, "key space must be non-empty");
         let kind = match self {
             KeyDistribution::Uniform => SamplerKind::Uniform,
-            KeyDistribution::Zipfian { theta } => {
-                SamplerKind::Zipfian(ZipfSampler::new(n, *theta))
-            }
+            KeyDistribution::Zipfian { theta } => SamplerKind::Zipfian(ZipfSampler::new(n, *theta)),
             KeyDistribution::Hotspot { hot_fraction, hot_probability } => {
                 assert!(
                     (0.0..=1.0).contains(hot_probability),
@@ -151,8 +149,7 @@ impl ZipfSampler {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let rank =
-            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         rank.min(self.n - 1)
     }
 
@@ -215,10 +212,7 @@ mod tests {
         let n = 50_000;
         let hits = (0..n).filter(|_| s.sample(&mut r) == 0).count();
         let emp = hits as f64 / n as f64;
-        assert!(
-            (emp - p0).abs() < 0.02,
-            "empirical {emp:.4} vs theoretical {p0:.4}"
-        );
+        assert!((emp - p0).abs() < 0.02, "empirical {emp:.4} vs theoretical {p0:.4}");
     }
 
     #[test]
@@ -232,8 +226,8 @@ mod tests {
 
     #[test]
     fn hotspot_concentrates_on_hot_set() {
-        let mut s = KeyDistribution::Hotspot { hot_fraction: 0.1, hot_probability: 0.9 }
-            .sampler(100);
+        let mut s =
+            KeyDistribution::Hotspot { hot_fraction: 0.1, hot_probability: 0.9 }.sampler(100);
         let mut r = rng(4);
         let n = 10_000;
         let hot_hits = (0..n).filter(|_| s.sample(&mut r) < 10).count();
@@ -243,8 +237,8 @@ mod tests {
 
     #[test]
     fn hotspot_all_hot_degenerate() {
-        let mut s = KeyDistribution::Hotspot { hot_fraction: 1.0, hot_probability: 0.5 }
-            .sampler(10);
+        let mut s =
+            KeyDistribution::Hotspot { hot_fraction: 1.0, hot_probability: 0.5 }.sampler(10);
         let mut r = rng(5);
         for _ in 0..100 {
             assert!(s.sample(&mut r) < 10);

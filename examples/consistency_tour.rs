@@ -10,10 +10,10 @@ use rethinking_ec::consistency::{
     check_causal, check_session_guarantees, check_trace_linearizable, measure_staleness,
 };
 use rethinking_ec::core::metrics::latency_summary;
+use rethinking_ec::core::scheme::ClientPlacement;
 use rethinking_ec::core::{Experiment, Scheme};
 use rethinking_ec::replication::common::Guarantees;
 use rethinking_ec::replication::eventual::ConflictMode;
-use rethinking_ec::core::scheme::ClientPlacement;
 use rethinking_ec::simnet::{Duration, LatencyModel, SimTime};
 use rethinking_ec::workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
 
@@ -81,9 +81,7 @@ fn main() {
             Ok(()) => "yes",
             Err(rethinking_ec::consistency::LinCheckError::NotLinearizable { .. }) => "NO",
             Err(rethinking_ec::consistency::LinCheckError::HistoryTooLarge { .. })
-            | Err(rethinking_ec::consistency::LinCheckError::SearchBudgetExceeded { .. }) => {
-                "n/a"
-            }
+            | Err(rethinking_ec::consistency::LinCheckError::SearchBudgetExceeded { .. }) => "n/a",
         };
         println!(
             "{:<34} {:>8.1}m {:>8.1}m {:>7.1}% {:>8} {:>7} {:>6}",

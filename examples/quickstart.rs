@@ -39,14 +39,8 @@ fn main() {
     println!("availability: {:.1}%", availability(&result.trace) * 100.0);
 
     let lat = latency_summary(&result.trace);
-    println!(
-        "read latency  p50 {:.1}ms  p99 {:.1}ms",
-        lat.reads.p50, lat.reads.p99
-    );
-    println!(
-        "write latency p50 {:.1}ms  p99 {:.1}ms",
-        lat.writes.p50, lat.writes.p99
-    );
+    println!("read latency  p50 {:.1}ms  p99 {:.1}ms", lat.reads.p50, lat.reads.p99);
+    println!("write latency p50 {:.1}ms  p99 {:.1}ms", lat.writes.p50, lat.writes.p99);
 
     // What consistency did clients actually get? Ask the checkers.
     let staleness = measure_staleness(&result.trace);
@@ -64,9 +58,6 @@ fn main() {
         sessions.mw_violations,
         sessions.wfr_violations
     );
-    assert!(
-        staleness.stale_reads == 0,
-        "R+W>N quorums must not serve stale reads"
-    );
+    assert!(staleness.stale_reads == 0, "R+W>N quorums must not serve stale reads");
     println!("\nR+W>N held up: intersecting quorums read fresh. Try Scheme::quorum(3,1,1)!");
 }

@@ -25,9 +25,8 @@ type GossipMsg = Vec<(Key, Sibling)>;
 
 fn main() {
     // One store per replica, one inbox per replica.
-    let stores: Vec<Arc<Mutex<SiblingStore>>> = (0..REPLICAS)
-        .map(|r| Arc::new(Mutex::new(SiblingStore::new(r as u64))))
-        .collect();
+    let stores: Vec<Arc<Mutex<SiblingStore>>> =
+        (0..REPLICAS).map(|r| Arc::new(Mutex::new(SiblingStore::new(r as u64)))).collect();
     let channels: Vec<(Sender<GossipMsg>, Receiver<GossipMsg>)> =
         (0..REPLICAS).map(|_| unbounded()).collect();
     let senders: Vec<Sender<GossipMsg>> = channels.iter().map(|(s, _)| s.clone()).collect();
@@ -35,12 +34,8 @@ fn main() {
     let mut handles = Vec::new();
     for (r, (_, rx)) in channels.into_iter().enumerate() {
         let store = stores[r].clone();
-        let peers: Vec<Sender<GossipMsg>> = senders
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != r)
-            .map(|(_, s)| s.clone())
-            .collect();
+        let peers: Vec<Sender<GossipMsg>> =
+            senders.iter().enumerate().filter(|(i, _)| *i != r).map(|(_, s)| s.clone()).collect();
         handles.push(thread::spawn(move || {
             // Phase 1: local writes. Each write quotes the replica's own
             // causal context, so a replica's successive writes supersede
@@ -58,9 +53,7 @@ fn main() {
                 let outgoing: GossipMsg = {
                     let s = store.lock();
                     s.keys()
-                        .flat_map(|k| {
-                            s.siblings(k).iter().cloned().map(move |sib| (k, sib))
-                        })
+                        .flat_map(|k| s.siblings(k).iter().cloned().map(move |sib| (k, sib)))
                         .collect()
                 };
                 for p in &peers {

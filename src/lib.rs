@@ -7,6 +7,9 @@
 //!
 //! * [`simnet`] — a deterministic discrete-event simulator (virtual time,
 //!   seeded randomness, latency models, partitions, crashes),
+//! * [`obs`] — the structured observability layer: typed simulation
+//!   event log, per-node protocol counters, latency histograms (the
+//!   metrics contract is documented in `docs/METRICS.md`),
 //! * [`clocks`] — Lamport/vector/dotted-version-vector/hybrid clocks,
 //! * [`crdt`] — convergent replicated data types with lattice-law tests,
 //! * [`kvstore`] — the per-replica storage substrate (MVCC + WAL +
@@ -29,6 +32,7 @@ pub use clocks;
 pub use consistency;
 pub use crdt;
 pub use kvstore;
+pub use obs;
 pub use rec_core as core;
 pub use replication;
 pub use simnet;

@@ -78,10 +78,7 @@ fn e2_shape_geo_latency_ordering() {
         eventual * 10.0 < quorum,
         "local reads must be >=10x faster than WAN quorum reads: {eventual} vs {quorum}"
     );
-    assert!(
-        paxos > 50.0,
-        "paxos reads pay a WAN majority commit: {paxos}ms"
-    );
+    assert!(paxos > 50.0, "paxos reads pay a WAN majority commit: {paxos}ms");
 }
 
 /// E9 shape: staleness probability grows monotonically with shipping lag.
@@ -153,8 +150,7 @@ fn e10_shape_synchrony_costs_round_trips() {
 fn e6_shape_crdt_counters_lose_nothing() {
     use rethinking_ec::replication::common::{ClientCore, Guarantees, ScriptOp};
     use rethinking_ec::replication::eventual::{
-        ConflictMode, EventualClient, EventualConfig, EventualReplica, GossipConfig,
-        TargetPolicy,
+        ConflictMode, EventualClient, EventualConfig, EventualReplica, GossipConfig, TargetPolicy,
     };
     use rethinking_ec::simnet::{optrace, NodeId, OpKind, Sim, SimConfig};
 

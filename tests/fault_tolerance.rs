@@ -47,11 +47,8 @@ fn run_partitioned(scheme: Scheme, seed: u64) -> rethinking_ec::core::RunResult 
 
 fn availability_during(res: &rethinking_ec::core::RunResult, lo_ms: f64, hi_ms: f64) -> f64 {
     let tl = availability_timeline(&res.trace, Duration::from_secs(1));
-    let window: Vec<f64> = tl
-        .iter()
-        .filter(|(t, _)| (lo_ms..hi_ms).contains(t))
-        .map(|(_, a)| *a)
-        .collect();
+    let window: Vec<f64> =
+        tl.iter().filter(|(t, _)| (lo_ms..hi_ms).contains(t)).map(|(_, a)| *a).collect();
     if window.is_empty() {
         1.0
     } else {
@@ -70,23 +67,12 @@ fn eventual_stays_fully_available_through_partition() {
 
 #[test]
 fn majority_quorum_loses_minority_side_only() {
-    let scheme = Scheme::Quorum {
-        n: 3,
-        r: 2,
-        w: 2,
-        read_repair: true,
-        placement: ClientPlacement::Sticky,
-    };
+    let scheme =
+        Scheme::Quorum { n: 3, r: 2, w: 2, read_repair: true, placement: ClientPlacement::Sticky };
     let res = run_partitioned(scheme, 2);
     let during = availability_during(&res, 5_000.0, 10_000.0);
-    assert!(
-        during < 0.999,
-        "majority quorum must lose the minority side ({during})"
-    );
-    assert!(
-        during > 0.5,
-        "...but the majority side keeps serving ({during})"
-    );
+    assert!(during < 0.999, "majority quorum must lose the minority side ({during})");
+    assert!(during > 0.5, "...but the majority side keeps serving ({during})");
     // Full recovery after the heal.
     assert!(availability_during(&res, 11_000.0, 25_000.0) > 0.999);
 }
@@ -118,13 +104,8 @@ fn primary_sync_write_availability_collapses_when_primary_isolated() {
 fn quorum_heals_and_converges_after_partition() {
     // After the heal, a majority write is visible to majority reads from
     // every coordinator (read repair + intersection).
-    let scheme = Scheme::Quorum {
-        n: 3,
-        r: 2,
-        w: 2,
-        read_repair: true,
-        placement: ClientPlacement::Sticky,
-    };
+    let scheme =
+        Scheme::Quorum { n: 3, r: 2, w: 2, read_repair: true, placement: ClientPlacement::Sticky };
     let res = run_partitioned(scheme, 4);
     let late_reads: Vec<_> = res
         .trace
@@ -138,11 +119,8 @@ fn quorum_heals_and_converges_after_partition() {
 
 #[test]
 fn paxos_survives_leader_crash() {
-    let faults = FaultSchedule::none().crash(
-        NodeId(0),
-        SimTime::from_secs(3),
-        SimTime::from_secs(60),
-    );
+    let faults =
+        FaultSchedule::none().crash(NodeId(0), SimTime::from_secs(3), SimTime::from_secs(60));
     let res = Experiment::new(Scheme::Paxos { nodes: 3 })
         .workload(workload(4, 200))
         .latency(LatencyModel::Uniform {
@@ -154,12 +132,8 @@ fn paxos_survives_leader_crash() {
         .horizon(SimTime::from_secs(60))
         .run();
     // Ops issued well after the crash (failover done) must succeed.
-    let late: Vec<_> = res
-        .trace
-        .records()
-        .iter()
-        .filter(|r| r.invoked > SimTime::from_secs(10))
-        .collect();
+    let late: Vec<_> =
+        res.trace.records().iter().filter(|r| r.invoked > SimTime::from_secs(10)).collect();
     assert!(!late.is_empty());
     let ok = late.iter().filter(|r| r.ok).count();
     assert!(
@@ -208,9 +182,8 @@ fn gossip_repairs_divergence_after_partition_heals() {
     }
     // Two writers hammer the same keys on opposite partition sides.
     for (session, home) in [(1u64, 0usize), (2, 1)] {
-        let script: Vec<ScriptOp> = (0..40)
-            .map(|i| ScriptOp { gap_us: 50_000, kind: OpKind::Write, key: i % 5 })
-            .collect();
+        let script: Vec<ScriptOp> =
+            (0..40).map(|i| ScriptOp { gap_us: 50_000, kind: OpKind::Write, key: i % 5 }).collect();
         sim.add_node(Box::new(EventualClient::new(
             session,
             script,
@@ -223,9 +196,8 @@ fn gossip_repairs_divergence_after_partition_heals() {
     }
     // Late pollers at every replica read every key at t = 8s.
     for (session, home) in [(10u64, 0usize), (11, 1), (12, 2)] {
-        let script: Vec<ScriptOp> = (0..5)
-            .map(|k| ScriptOp { gap_us: 8_000_000, kind: OpKind::Read, key: k })
-            .collect();
+        let script: Vec<ScriptOp> =
+            (0..5).map(|k| ScriptOp { gap_us: 8_000_000, kind: OpKind::Read, key: k }).collect();
         sim.add_node(Box::new(EventualClient::new(
             session,
             script,
@@ -238,14 +210,9 @@ fn gossip_repairs_divergence_after_partition_heals() {
     }
     sim.run_until(SimTime::from_secs(60));
     let t = trace.borrow().clone();
-    let report =
-        rethinking_ec::consistency::check_convergence(&t, Duration::from_secs(2))
-            .expect("writes happened");
-    assert!(
-        report.converged(),
-        "replicas diverged after quiescence: {:?}",
-        report.diverged
-    );
+    let report = rethinking_ec::consistency::check_convergence(&t, Duration::from_secs(2))
+        .expect("writes happened");
+    assert!(report.converged(), "replicas diverged after quiescence: {:?}", report.diverged);
     assert_eq!(report.converged_keys, 5, "all five keys verified at all replicas");
 }
 

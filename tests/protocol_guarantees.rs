@@ -60,11 +60,8 @@ fn paxos_under_loss_is_still_linearizable() {
     // Uniform keys keep per-key histories small: loss-induced retries
     // create long overlapping intervals, and the Wing&Gong search is
     // exponential in the overlap depth.
-    let workload = WorkloadSpec {
-        keys: 48,
-        distribution: KeyDistribution::Uniform,
-        ..contended_workload()
-    };
+    let workload =
+        WorkloadSpec { keys: 48, distribution: KeyDistribution::Uniform, ..contended_workload() };
     let res = Experiment::new(Scheme::Paxos { nodes: 3 })
         .workload(workload)
         .latency(jittery_lan())
@@ -151,20 +148,14 @@ fn primary_sync_serves_fresh_backup_reads() {
 fn primary_async_staleness_grows_with_lag() {
     let p_stale = |lag_ms: u64| {
         let res = run(
-            Scheme::PrimaryAsync {
-                replicas: 3,
-                ship_interval: Duration::from_millis(lag_ms),
-            },
+            Scheme::PrimaryAsync { replicas: 3, ship_interval: Duration::from_millis(lag_ms) },
             7,
         );
         measure_staleness(&res.trace).p_stale()
     };
     let fast = p_stale(10);
     let slow = p_stale(400);
-    assert!(
-        slow > fast + 0.05,
-        "staleness must grow with replication lag: {fast} vs {slow}"
-    );
+    assert!(slow > fast + 0.05, "staleness must grow with replication lag: {fast} vs {slow}");
 }
 
 #[test]

@@ -57,10 +57,7 @@ fn cross_group_transfers_are_atomic() {
     }
     assert_eq!(finished, 120, "every transaction reaches a decision");
     assert!(committed > 0, "some transfers commit");
-    assert!(
-        committed < 120,
-        "hot two-account transfers must conflict sometimes (got {committed})"
-    );
+    assert!(committed < 120, "hot two-account transfers must conflict sometimes (got {committed})");
 }
 
 /// Serializability witness within a group: blind RMW increments through
@@ -109,10 +106,7 @@ fn registrar_changes_latency_not_outcomes() {
         let script: Vec<TxnSpec> = (0..15u64)
             .map(|i| TxnSpec {
                 gap_us: 5_000,
-                parts: vec![
-                    (0, vec![], vec![(i, i)]),
-                    (1, vec![], vec![(1000 + i, i)]),
-                ],
+                parts: vec![(0, vec![], vec![(i, i)]), (1, vec![], vec![(1000 + i, i)])],
             })
             .collect();
         let client = TxnClient::new(1, cfg, script, st.clone(), registrars);
@@ -125,10 +119,7 @@ fn registrar_changes_latency_not_outcomes() {
     let (c_reg, lat_reg) = run(2);
     assert_eq!(c_plain, 15);
     assert_eq!(c_reg, 15);
-    assert!(
-        lat_reg > lat_plain,
-        "registrar round must cost latency: {lat_plain} vs {lat_reg}"
-    );
+    assert!(lat_reg > lat_plain, "registrar round must cost latency: {lat_plain} vs {lat_reg}");
 }
 
 /// The WAL contract the primary-copy protocol relies on: snapshot +

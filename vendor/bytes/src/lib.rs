@@ -1,0 +1,166 @@
+//! Offline-vendored minimal [`Bytes`]: an immutable, cheaply clonable byte
+//! string backed by `Arc<[u8]>`.
+//!
+//! Covers the subset of the real `bytes` crate this workspace uses:
+//! construction from slices/vecs/strings, `Deref` to `[u8]`, and serde
+//! support (serialized as an array of numbers, like the real crate).
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable byte string with O(1) clone.
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty byte string.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Copy a slice into a new `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Construct from a static slice (the copy is kept for simplicity).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copy out into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.0.iter() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl serde::Serialize for Bytes {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(self.0.iter().map(|&b| serde::Value::U64(b as u64)).collect())
+    }
+}
+
+impl serde::Deserialize for Bytes {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let items = v.as_array().ok_or_else(|| serde::Error::custom("expected byte array"))?;
+        let bytes: Result<Vec<u8>, serde::Error> = items
+            .iter()
+            .map(|item| {
+                item.as_u64()
+                    .and_then(|x| u8::try_from(x).ok())
+                    .ok_or_else(|| serde::Error::custom("expected byte"))
+            })
+            .collect();
+        Ok(Bytes::from(bytes?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let b = Bytes::copy_from_slice(b"hello");
+        assert_eq!(&*b, b"hello");
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        let c = b.clone();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        use serde::{Deserialize, Serialize};
+        let b = Bytes::copy_from_slice(&[1, 2, 255]);
+        let v = b.to_value();
+        assert_eq!(Bytes::from_value(&v).unwrap(), b);
+    }
+
+    #[test]
+    fn slice_conversion() {
+        let arr: [u8; 8] = 7u64.to_le_bytes();
+        let b = Bytes::copy_from_slice(&arr);
+        let back: [u8; 8] = b.as_ref().try_into().unwrap();
+        assert_eq!(u64::from_le_bytes(back), 7);
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline-vendored minimal subset of the [`rand`](https://crates.io/crates/rand)
+//! 0.9 API.
+//!
+//! This workspace builds in a hermetic environment with no access to
+//! crates.io, so the handful of `rand` items the code actually uses are
+//! reimplemented here: [`RngCore`], [`Rng`] (with `random` /
+//! `random_range`), [`SeedableRng`], and the uniform sampling plumbing
+//! backing them. Algorithms are intentionally simple (widening-multiply
+//! range reduction, 53-bit float construction); the workspace only relies
+//! on *determinism*, not on matching upstream `rand` streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of raw random words.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let word = self.next_u64().to_le_bytes();
+            let n = (dest.len() - i).min(8);
+            dest[i..i + n].copy_from_slice(&word[..n]);
+            i += n;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A distribution that can produce values of type `T` given an RNG.
+pub trait Distribution<T> {
+    /// Sample one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution: uniform over the whole domain for integers,
+/// uniform in `[0, 1)` for floats, fair coin for `bool`.
+pub struct StandardUniform;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for StandardUniform {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits: uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range of values that supports uniform sampling (`Rng::random_range`).
+pub trait SampleRange<T> {
+    /// Sample one value uniformly from the range. Panics if empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` via 128-bit widening multiply (Lemire-style
+/// without the rejection step; the bias is ≪ 2⁻⁶⁴ and irrelevant here).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi as u64).wrapping_sub(lo as u64) + 1;
+                lo + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_signed!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f64 = StandardUniform.sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// User-facing convenience methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution for `T`.
+    fn random<T>(&mut self) -> T
+    where
+        StandardUniform: Distribution<T>,
+    {
+        StandardUniform.sample(self)
+    }
+
+    /// Sample uniformly from `range`. Panics if the range is empty.
+    fn random_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        let u: f64 = StandardUniform.sample(self);
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// An RNG that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Default + AsRef<[u8]> + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanded into a full seed with SplitMix64
+    /// (matching upstream `rand`'s approach, though not bit-for-bit).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut s = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 so the stream looks uniform.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = Counter(1);
+        for _ in 0..1000 {
+            let x: u64 = r.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = r.random_range(0..=3);
+            assert!(y <= 3);
+            let z: i64 = r.random_range(-5..5);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = Counter(2);
+        for _ in 0..1000 {
+            let u: f64 = r.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.random_range(0..100)
+        }
+        let mut r = Counter(3);
+        assert!(sample(&mut r) < 100);
+    }
+}

@@ -1,0 +1,501 @@
+//! Offline-vendored `#[derive(Serialize, Deserialize)]` for the
+//! workspace's minimal `serde`.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are not
+//! available in this hermetic build environment, so this macro parses the
+//! item declaration directly from the raw [`proc_macro::TokenStream`] and
+//! emits impl blocks as strings. It supports what the workspace actually
+//! uses: plain structs (named, tuple, unit) and enums (unit, tuple, and
+//! struct variants), with ordinary generic parameters and optional `where`
+//! clauses. Field-level `#[serde(...)]` attributes are *not* supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    /// Raw generics text, without the angle brackets (e.g. `K: Ord, V`).
+    generics: String,
+    /// Bare parameter names for the type position (e.g. `K, V`).
+    params: String,
+    /// Type-parameter identifiers that get `Serialize`/`Deserialize` bounds.
+    type_params: Vec<String>,
+    /// Raw `where` clause predicates from the declaration, if any.
+    where_preds: String,
+    body: Body,
+}
+
+/// Render a token slice back to source text.
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let stream: TokenStream = tokens.iter().cloned().collect();
+    stream.to_string()
+}
+
+/// Skip attributes (`#[...]`, including doc comments) and visibility
+/// modifiers (`pub`, `pub(...)`) starting at `i`; returns the new index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: `#` followed by a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super) / ...
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Collect the generics token run following `<` (exclusive) up to its
+/// matching `>`; returns `(tokens_inside, index_after_closing_gt)`.
+fn collect_generics(tokens: &[TokenTree], mut i: usize) -> (Vec<TokenTree>, usize) {
+    let mut depth = 1usize;
+    let mut inner = Vec::new();
+    while depth > 0 {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                inner.push(tokens[i].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth > 0 {
+                    inner.push(tokens[i].clone());
+                }
+            }
+            t => inner.push(t.clone()),
+        }
+        i += 1;
+    }
+    (inner, i)
+}
+
+/// Split a token run on top-level commas (angle-bracket aware; groups are
+/// atomic so parens/brackets/braces never leak commas).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0isize;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+/// Extract `(param_names_for_type_position, type_param_idents)` from the
+/// inside of a generics declaration.
+fn analyze_generics(inner: &[TokenTree]) -> (String, Vec<String>) {
+    let mut names = Vec::new();
+    let mut type_params = Vec::new();
+    for part in split_top_level_commas(inner) {
+        let mut j = 0;
+        // Lifetime parameter: `'a` (possibly with bounds) — keep the tick.
+        if let Some(TokenTree::Punct(p)) = part.first() {
+            if p.as_char() == '\'' {
+                if let Some(TokenTree::Ident(id)) = part.get(1) {
+                    names.push(format!("'{id}"));
+                }
+                continue;
+            }
+        }
+        // Const parameter: `const N: usize`.
+        if let Some(TokenTree::Ident(id)) = part.first() {
+            if id.to_string() == "const" {
+                j = 1;
+                if let Some(TokenTree::Ident(n)) = part.get(j) {
+                    names.push(n.to_string());
+                }
+                continue;
+            }
+        }
+        // Plain type parameter: first ident is the name.
+        if let Some(TokenTree::Ident(id)) = part.get(j) {
+            let name = id.to_string();
+            names.push(name.clone());
+            type_params.push(name);
+        }
+    }
+    (names.join(", "), type_params)
+}
+
+/// Parse named fields from the tokens inside a brace group: returns the
+/// field identifiers in declaration order.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else { break };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip `:` then the type up to the next top-level comma.
+        let mut angle = 0isize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variant_fields(group: &proc_macro::Group) -> Fields {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match group.delimiter() {
+        Delimiter::Brace => Fields::Named(parse_named_fields(&tokens)),
+        Delimiter::Parenthesis => Fields::Tuple(split_top_level_commas(&tokens).len()),
+        _ => Fields::Unit,
+    }
+}
+
+fn parse_enum_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else { break };
+        let name = id.to_string();
+        i += 1;
+        let mut fields = Fields::Unit;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            fields = parse_variant_fields(g);
+            i += 1;
+        }
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected `struct` or `enum`, found {t}"),
+    };
+    i += 1;
+    if kind != "struct" && kind != "enum" {
+        panic!("serde_derive: only structs and enums are supported, found `{kind}`");
+    }
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected type name, found {t}"),
+    };
+    i += 1;
+
+    let mut generics = String::new();
+    let mut params = String::new();
+    let mut type_params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let (inner, next) = collect_generics(&tokens, i + 1);
+            i = next;
+            generics = tokens_to_string(&inner);
+            let (ps, tps) = analyze_generics(&inner);
+            params = ps;
+            type_params = tps;
+        }
+    }
+
+    // Optional where clause (between generics and the body).
+    let mut where_preds = String::new();
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "where" {
+            i += 1;
+            let mut preds = Vec::new();
+            while i < tokens.len() {
+                match &tokens[i] {
+                    TokenTree::Group(g)
+                        if g.delimiter() == Delimiter::Brace
+                            || g.delimiter() == Delimiter::Parenthesis =>
+                    {
+                        break;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ';' => break,
+                    t => {
+                        preds.push(t.clone());
+                        i += 1;
+                    }
+                }
+            }
+            where_preds = tokens_to_string(&preds);
+        }
+    }
+
+    let body = if kind == "enum" {
+        let TokenTree::Group(g) = &tokens[i] else {
+            panic!("serde_derive: expected enum body");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        Body::Enum(parse_enum_variants(&inner))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Body::Struct(Fields::Named(parse_named_fields(&inner)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Body::Struct(Fields::Tuple(split_top_level_commas(&inner).len()))
+            }
+            _ => Body::Struct(Fields::Unit),
+        }
+    };
+
+    Input { name, generics, params, type_params, where_preds, body }
+}
+
+/// `impl<G> Trait for Name<P> where preds, T1: Trait, T2: Trait`.
+fn impl_header(input: &Input, trait_path: &str) -> String {
+    let mut s = String::from("impl");
+    if !input.generics.is_empty() {
+        s.push('<');
+        s.push_str(&input.generics);
+        s.push('>');
+    }
+    s.push_str(&format!(" {trait_path} for {}", input.name));
+    if !input.params.is_empty() {
+        s.push('<');
+        s.push_str(&input.params);
+        s.push('>');
+    }
+    let mut preds: Vec<String> = Vec::new();
+    if !input.where_preds.is_empty() {
+        preds.push(input.where_preds.trim_end_matches(',').to_string());
+    }
+    for tp in &input.type_params {
+        preds.push(format!("{tp}: {trait_path}"));
+    }
+    if !preds.is_empty() {
+        s.push_str(" where ");
+        s.push_str(&preds.join(", "));
+    }
+    s
+}
+
+fn serialize_fields_expr(fields: &Fields, accessor: &dyn Fn(&str) -> String) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let pairs: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&{}))",
+                        accessor(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Fields::Tuple(1) => {
+            format!("::serde::Serialize::to_value(&{})", accessor("0"))
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&{})", accessor(&k.to_string())))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let header = impl_header(input, "::serde::Serialize");
+    let body = match &input.body {
+        Body::Struct(fields) => {
+            let expr = serialize_fields_expr(fields, &|f| format!("self.{f}"));
+            expr.to_string()
+        }
+        Body::Enum(variants) => {
+            let name = &input.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(::std::string::String::from({vname:?})),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let expr = serialize_fields_expr(
+                                &Fields::Tuple(*n),
+                                &|f| format!("__f{f}"),
+                            );
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from({vname:?}), {expr})]),",
+                                binders.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binders = fs.join(", ");
+                            let expr = serialize_fields_expr(
+                                &Fields::Named(fs.clone()),
+                                &|f| f.to_string(),
+                            );
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from({vname:?}), {expr})]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!("{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}")
+}
+
+/// Expression that deserializes the fields of `fields` from `__v` and
+/// constructs `ctor`.
+fn deserialize_ctor(ctor: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__v, {f:?})?"))
+                .collect();
+            format!(
+                "{{ let __v = ::serde::__private::as_object(__v)?; ::std::result::Result::Ok({ctor} {{ {} }}) }}",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({ctor}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> =
+                (0..*n).map(|k| format!("::serde::__private::element(__v, {k})?")).collect();
+            format!("::std::result::Result::Ok({ctor}({}))", inits.join(", "))
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({ctor})"),
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let header = impl_header(input, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(fields) => deserialize_ctor(name, fields),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{:?} => ::std::result::Result::Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let ctor = format!("{name}::{}", v.name);
+                    let expr = deserialize_ctor(&ctor, &v.fields);
+                    format!("{:?} => {expr},", v.name)
+                })
+                .collect();
+            format!(
+                "match __v {{
+                    ::serde::Value::String(__s) => match __s.as_str() {{
+                        {unit}
+                        __other => ::std::result::Result::Err(::serde::Error::custom(
+                            ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),
+                    }},
+                    ::serde::Value::Object(__entries) if __entries.len() == 1 => {{
+                        let (__tag, __v) = &__entries[0];
+                        match __tag.as_str() {{
+                            {data}
+                            __other => ::std::result::Result::Err(::serde::Error::custom(
+                                ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),
+                        }}
+                    }}
+                    _ => ::std::result::Result::Err(::serde::Error::custom(
+                        \"expected enum representation for {name}\")),
+                }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+                name = name,
+            )
+        }
+    };
+    format!(
+        "{header} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
+
+/// Derive the workspace-minimal `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derive the workspace-minimal `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
