@@ -6,11 +6,12 @@
 //! trip (fastest); majority quorum adds a parallel quorum wait; sync
 //! primary waits for *all* backups (slowest of the primary family); Paxos
 //! pays leader + majority round trips. Closed-loop throughput is the
-//! mirror image of latency.
+//! mirror image of latency. Multi-seed runs (`--seeds N`) report seed
+//! means with a 95% CI on write p99.
 
-use bench::{f1, print_table, Obs};
+use bench::{f1, pm, print_table, seed_stat, Obs, SeedStat};
 use rec_core::metrics::{latency_summary, throughput_ops_per_sec};
-use rec_core::{Experiment, Scheme};
+use rec_core::{Experiment, Grid, Scheme};
 use serde::Serialize;
 use simnet::{Duration, LatencyModel, SimTime};
 use workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
@@ -20,8 +21,10 @@ struct Row {
     scheme: String,
     write_p50_ms: f64,
     write_p99_ms: f64,
+    write_p99_ci95: f64,
     ops_per_sec: f64,
     availability: f64,
+    seeds: u64,
 }
 
 fn main() {
@@ -41,32 +44,44 @@ fn main() {
         Scheme::PrimarySync { replicas: 3 },
         Scheme::Paxos { nodes: 3 },
     ];
-    let mut rows = Vec::new();
+    let mut grid = Grid::new();
     for scheme in schemes {
-        let label = scheme.label();
-        let res = Experiment::new(scheme)
-            .latency(LatencyModel::lan())
-            .workload(workload.clone())
-            .seed(3)
-            .recorder(obs.recorder.clone())
-            .horizon(SimTime::from_secs(120))
-            .run();
-        let lat = latency_summary(&res.trace);
+        grid.push(
+            scheme.label(),
+            Experiment::new(scheme)
+                .latency(LatencyModel::lan())
+                .workload(workload.clone())
+                .seed(3)
+                .horizon(SimTime::from_secs(120)),
+        );
+    }
+    let cells = obs.run_grid(grid);
+
+    let mut rows = Vec::new();
+    let mut p99s: Vec<SeedStat> = Vec::new();
+    for seeds in cells.chunks(obs.seeds as usize) {
+        let lats: Vec<_> = seeds.iter().map(|c| latency_summary(&c.result.trace)).collect();
+        let col = |f: &dyn Fn(usize) -> f64| seed_stat(&(0..lats.len()).map(f).collect::<Vec<_>>());
+        let p99 = col(&|i| lats[i].writes.p99);
         rows.push(Row {
-            scheme: label,
-            write_p50_ms: lat.writes.p50,
-            write_p99_ms: lat.writes.p99,
-            ops_per_sec: throughput_ops_per_sec(&res.trace),
-            availability: res.trace.success_rate(),
+            scheme: seeds[0].label.clone(),
+            write_p50_ms: col(&|i| lats[i].writes.p50).mean,
+            write_p99_ms: p99.mean,
+            write_p99_ci95: p99.ci95,
+            ops_per_sec: col(&|i| throughput_ops_per_sec(&seeds[i].result.trace)).mean,
+            availability: col(&|i| seeds[i].result.trace.success_rate()).mean,
+            seeds: obs.seeds,
         });
+        p99s.push(p99);
     }
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|x| {
+        .zip(&p99s)
+        .map(|(x, p99)| {
             vec![
                 x.scheme.clone(),
                 f1(x.write_p50_ms),
-                f1(x.write_p99_ms),
+                pm(*p99, f1),
                 f1(x.ops_per_sec),
                 format!("{:.3}", x.availability),
             ]

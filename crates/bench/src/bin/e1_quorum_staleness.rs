@@ -5,13 +5,13 @@
 //! Zipfian workload and report P(stale read), mean k-staleness, and
 //! P(t-staleness > 10 ms). Expected shape: `R+W>N` rows read fresh
 //! (intersection); partial quorums get staler as R+W shrinks; read repair
-//! pulls staleness down.
+//! pulls staleness down. With `--seeds N` each configuration runs at N
+//! seeds in parallel and the table reports mean ± 95% CI.
 
-use bench::{f3, pct, print_table, Obs};
+use bench::{f3, pct, pm, print_table, seed_stat, Obs, SeedStat};
 use consistency::measure_staleness;
-use obs::Recorder;
 use rec_core::scheme::ClientPlacement;
-use rec_core::{Experiment, Scheme};
+use rec_core::{Experiment, Grid, Scheme};
 use serde::Serialize;
 use simnet::{Duration, LatencyModel};
 use workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
@@ -24,12 +24,14 @@ struct Row {
     read_repair: bool,
     intersecting: bool,
     p_stale: f64,
+    p_stale_ci95: f64,
     mean_k: f64,
     p_t_gt_10ms: f64,
     reads: u64,
+    seeds: u64,
 }
 
-fn run(n: usize, r: usize, w: usize, read_repair: bool, seed: u64, rec: &Recorder) -> Row {
+fn experiment(n: usize, r: usize, w: usize, read_repair: bool) -> Experiment {
     // Hot keys, tight read-after-write loops, and heavy-tailed latency:
     // the regime where partial-quorum staleness actually shows (PBS fits
     // production latency with log-normal tails for the same reason).
@@ -41,61 +43,68 @@ fn run(n: usize, r: usize, w: usize, read_repair: bool, seed: u64, rec: &Recorde
         sessions: 12,
         ops_per_session: 150,
     };
-    let exp = Experiment::new(Scheme::Quorum {
-        n,
-        r,
-        w,
-        read_repair,
-        placement: ClientPlacement::Random,
-    })
-    .latency(LatencyModel::LogNormal { median: Duration::from_millis(3), sigma: 1.2 })
-    .workload(workload)
-    .seed(seed)
-    .recorder(rec.clone());
-    let res = exp.run();
-    let st = measure_staleness(&res.trace);
-    Row {
-        n,
-        r,
-        w,
-        read_repair,
-        intersecting: r + w > n,
-        p_stale: st.p_stale(),
-        mean_k: st.mean_k(),
-        p_t_gt_10ms: st.p_staler_than(10.0),
-        reads: st.fresh_reads + st.stale_reads,
-    }
+    Experiment::new(Scheme::Quorum { n, r, w, read_repair, placement: ClientPlacement::Random })
+        .latency(LatencyModel::LogNormal { median: Duration::from_millis(3), sigma: 1.2 })
+        .workload(workload)
+        .seed(42)
 }
 
 fn main() {
     let obs = Obs::from_args();
-    let mut rows = Vec::new();
-    for &(n, r, w) in &[
-        (3, 1, 1),
-        (3, 1, 2),
-        (3, 2, 1),
-        (3, 2, 2),
-        (3, 1, 3),
-        (3, 3, 1),
-        (5, 1, 1),
-        (5, 2, 2),
-        (5, 3, 3),
-    ] {
-        rows.push(run(n, r, w, false, 42, &obs.recorder));
+    // Read-repair ablation rides along on the weakest configuration.
+    let configs: Vec<(usize, usize, usize, bool)> = vec![
+        (3, 1, 1, false),
+        (3, 1, 2, false),
+        (3, 2, 1, false),
+        (3, 2, 2, false),
+        (3, 1, 3, false),
+        (3, 3, 1, false),
+        (5, 1, 1, false),
+        (5, 2, 2, false),
+        (5, 3, 3, false),
+        (3, 1, 1, true),
+    ];
+    let mut grid = Grid::new();
+    for &(n, r, w, rr) in &configs {
+        grid.push(format!("N{n}R{r}W{w}{}", if rr { "+rr" } else { "" }), experiment(n, r, w, rr));
     }
-    // Read-repair ablation on the weakest configuration.
-    rows.push(run(3, 1, 1, true, 42, &obs.recorder));
+    let cells = obs.run_grid(grid);
+
+    let mut rows = Vec::new();
+    let mut stales: Vec<SeedStat> = Vec::new();
+    for (&(n, r, w, read_repair), seeds) in configs.iter().zip(cells.chunks(obs.seeds as usize)) {
+        let reports: Vec<_> = seeds.iter().map(|c| measure_staleness(&c.result.trace)).collect();
+        let p_stale = seed_stat(&reports.iter().map(|s| s.p_stale()).collect::<Vec<_>>());
+        rows.push(Row {
+            n,
+            r,
+            w,
+            read_repair,
+            intersecting: r + w > n,
+            p_stale: p_stale.mean,
+            p_stale_ci95: p_stale.ci95,
+            mean_k: seed_stat(&reports.iter().map(|s| s.mean_k()).collect::<Vec<_>>()).mean,
+            p_t_gt_10ms: seed_stat(
+                &reports.iter().map(|s| s.p_staler_than(10.0)).collect::<Vec<_>>(),
+            )
+            .mean,
+            reads: reports.iter().map(|s| s.fresh_reads + s.stale_reads).sum(),
+            seeds: obs.seeds,
+        });
+        stales.push(p_stale);
+    }
 
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|x| {
+        .zip(&stales)
+        .map(|(x, st)| {
             vec![
                 x.n.to_string(),
                 x.r.to_string(),
                 x.w.to_string(),
                 if x.read_repair { "yes" } else { "no" }.into(),
                 if x.intersecting { "yes" } else { "no" }.into(),
-                pct(x.p_stale),
+                pm(*st, pct),
                 f3(x.mean_k),
                 pct(x.p_t_gt_10ms),
                 x.reads.to_string(),

@@ -5,11 +5,12 @@
 //! workloads. Expected shape (who wins): eventual/causal serve locally
 //! (sub-ms to few-ms), quorum pays one WAN quorum round trip, primary-sync
 //! pays the farthest-backup round trip on writes, Paxos pays a majority
-//! round trip on *every* op (reads go through the log).
+//! round trip on *every* op (reads go through the log). Multi-seed runs
+//! (`--seeds N`) report seed means with a 95% CI on read p99.
 
-use bench::{f1, print_table, Obs};
+use bench::{f1, pm, print_table, seed_stat, Obs, SeedStat};
 use rec_core::metrics::latency_summary;
-use rec_core::{Experiment, Scheme};
+use rec_core::{Experiment, Grid, Scheme};
 use serde::Serialize;
 use simnet::{Duration, LatencyModel};
 use workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
@@ -19,9 +20,11 @@ struct Row {
     scheme: String,
     read_p50_ms: f64,
     read_p99_ms: f64,
+    read_p99_ci95: f64,
     write_p50_ms: f64,
     write_p99_ms: f64,
     availability: f64,
+    seeds: u64,
 }
 
 fn main() {
@@ -43,33 +46,45 @@ fn main() {
         Scheme::PrimarySync { replicas: 5 },
         Scheme::Paxos { nodes: 5 },
     ];
-    let mut rows = Vec::new();
+    let mut grid = Grid::new();
     for scheme in schemes {
-        let label = scheme.label();
-        let res = Experiment::new(scheme)
-            .latency(LatencyModel::geo_five_regions(5))
-            .workload(workload.clone())
-            .seed(1234)
-            .recorder(obs.recorder.clone())
-            .horizon(simnet::SimTime::from_secs(300))
-            .run();
-        let lat = latency_summary(&res.trace);
+        grid.push(
+            scheme.label(),
+            Experiment::new(scheme)
+                .latency(LatencyModel::geo_five_regions(5))
+                .workload(workload.clone())
+                .seed(1234)
+                .horizon(simnet::SimTime::from_secs(300)),
+        );
+    }
+    let cells = obs.run_grid(grid);
+
+    let mut rows = Vec::new();
+    let mut p99s: Vec<SeedStat> = Vec::new();
+    for seeds in cells.chunks(obs.seeds as usize) {
+        let lats: Vec<_> = seeds.iter().map(|c| latency_summary(&c.result.trace)).collect();
+        let col = |f: &dyn Fn(usize) -> f64| seed_stat(&(0..lats.len()).map(f).collect::<Vec<_>>());
+        let read_p99 = col(&|i| lats[i].reads.p99);
         rows.push(Row {
-            scheme: label,
-            read_p50_ms: lat.reads.p50,
-            read_p99_ms: lat.reads.p99,
-            write_p50_ms: lat.writes.p50,
-            write_p99_ms: lat.writes.p99,
-            availability: res.trace.success_rate(),
+            scheme: seeds[0].label.clone(),
+            read_p50_ms: col(&|i| lats[i].reads.p50).mean,
+            read_p99_ms: read_p99.mean,
+            read_p99_ci95: read_p99.ci95,
+            write_p50_ms: col(&|i| lats[i].writes.p50).mean,
+            write_p99_ms: col(&|i| lats[i].writes.p99).mean,
+            availability: col(&|i| seeds[i].result.trace.success_rate()).mean,
+            seeds: obs.seeds,
         });
+        p99s.push(read_p99);
     }
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|x| {
+        .zip(&p99s)
+        .map(|(x, p99)| {
             vec![
                 x.scheme.clone(),
                 f1(x.read_p50_ms),
-                f1(x.read_p99_ms),
+                pm(*p99, f1),
                 f1(x.write_p50_ms),
                 f1(x.write_p99_ms),
                 format!("{:.3}", x.availability),

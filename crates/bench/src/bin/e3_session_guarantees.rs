@@ -5,14 +5,14 @@
 //! eventual store. Without guarantees, RYW/MR violations appear at rates
 //! governed by the anti-entropy lag; enabling the guarantees drives the
 //! violation rate to zero at the cost of read retries (RYW/MR) and
-//! nothing measurable for MW/WFR (Lamport piggyback is free).
+//! nothing measurable for MW/WFR (Lamport piggyback is free). Multi-seed
+//! runs (`--seeds N`) report mean rates with a 95% CI on RYW.
 
-use bench::{f1, pct, print_table, Obs};
+use bench::{f1, pm, print_table, seed_stat, Obs, SeedStat};
 use consistency::check_session_guarantees;
-use obs::Recorder;
 use rec_core::metrics::latency_summary;
 use rec_core::scheme::ClientPlacement;
-use rec_core::{Experiment, Scheme};
+use rec_core::{Experiment, Grid, Scheme};
 use replication::common::Guarantees;
 use replication::eventual::ConflictMode;
 use serde::Serialize;
@@ -24,14 +24,16 @@ struct Row {
     config: String,
     gossip_ms: u64,
     ryw_rate: f64,
+    ryw_rate_ci95: f64,
     mr_rate: f64,
     mw_rate: f64,
     wfr_rate: f64,
     read_p50_ms: f64,
     read_p99_ms: f64,
+    seeds: u64,
 }
 
-fn run(guarantees: Guarantees, label: &str, gossip_ms: u64, seed: u64, rec: &Recorder) -> Row {
+fn experiment(guarantees: Guarantees, gossip_ms: u64) -> Experiment {
     let workload = WorkloadSpec {
         keys: 10,
         distribution: KeyDistribution::Zipfian { theta: 0.9 },
@@ -48,52 +50,68 @@ fn run(guarantees: Guarantees, label: &str, gossip_ms: u64, seed: u64, rec: &Rec
         guarantees,
         placement: ClientPlacement::Random,
     };
-    let res = Experiment::new(scheme)
+    Experiment::new(scheme)
         .latency(LatencyModel::Uniform {
             min: Duration::from_millis(1),
             max: Duration::from_millis(10),
         })
         .workload(workload)
-        .seed(seed)
-        .recorder(rec.clone())
+        .seed(7)
         .horizon(simnet::SimTime::from_secs(600))
-        .run();
-    let rep = check_session_guarantees(&res.trace);
-    let lat = latency_summary(&res.trace);
-    Row {
-        config: label.to_string(),
-        gossip_ms,
-        ryw_rate: rep.ryw_rate(),
-        mr_rate: rep.mr_rate(),
-        mw_rate: rep.mw_rate(),
-        wfr_rate: rep.wfr_rate(),
-        read_p50_ms: lat.reads.p50,
-        read_p99_ms: lat.reads.p99,
-    }
 }
 
 fn main() {
     let obs = Obs::from_args();
-    let mut rows = Vec::new();
-    for gossip_ms in [20u64, 100, 400] {
-        rows.push(run(Guarantees::none(), "none", gossip_ms, 7, &obs.recorder));
-    }
     let ryw = Guarantees { read_your_writes: true, ..Guarantees::none() };
     let mr = Guarantees { monotonic_reads: true, ..Guarantees::none() };
-    rows.push(run(ryw, "RYW enforced", 100, 7, &obs.recorder));
-    rows.push(run(mr, "MR enforced", 100, 7, &obs.recorder));
-    rows.push(run(Guarantees::all(), "all enforced", 100, 7, &obs.recorder));
+    let configs: Vec<(&str, Guarantees, u64)> = vec![
+        ("none", Guarantees::none(), 20),
+        ("none", Guarantees::none(), 100),
+        ("none", Guarantees::none(), 400),
+        ("RYW enforced", ryw, 100),
+        ("MR enforced", mr, 100),
+        ("all enforced", Guarantees::all(), 100),
+    ];
+    let mut grid = Grid::new();
+    for &(label, g, gossip_ms) in &configs {
+        grid.push(format!("{label}@{gossip_ms}ms"), experiment(g, gossip_ms));
+    }
+    let cells = obs.run_grid(grid);
+
+    let mut rows = Vec::new();
+    let mut ryws: Vec<SeedStat> = Vec::new();
+    for (&(label, _, gossip_ms), seeds) in configs.iter().zip(cells.chunks(obs.seeds as usize)) {
+        let reps: Vec<_> =
+            seeds.iter().map(|c| check_session_guarantees(&c.result.trace)).collect();
+        let lats: Vec<_> = seeds.iter().map(|c| latency_summary(&c.result.trace)).collect();
+        let stat = |vals: Vec<f64>| seed_stat(&vals);
+        let ryw_rate = stat(reps.iter().map(|r| r.ryw_rate()).collect());
+        rows.push(Row {
+            config: label.to_string(),
+            gossip_ms,
+            ryw_rate: ryw_rate.mean,
+            ryw_rate_ci95: ryw_rate.ci95,
+            mr_rate: stat(reps.iter().map(|r| r.mr_rate()).collect()).mean,
+            mw_rate: stat(reps.iter().map(|r| r.mw_rate()).collect()).mean,
+            wfr_rate: stat(reps.iter().map(|r| r.wfr_rate()).collect()).mean,
+            read_p50_ms: stat(lats.iter().map(|l| l.reads.p50).collect()).mean,
+            read_p99_ms: stat(lats.iter().map(|l| l.reads.p99).collect()).mean,
+            seeds: obs.seeds,
+        });
+        ryws.push(ryw_rate);
+    }
 
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|x| {
+        .zip(&ryws)
+        .map(|(x, ryw)| {
             vec![
                 x.config.clone(),
                 x.gossip_ms.to_string(),
-                pct(x.ryw_rate),
-                pct(x.mr_rate),
-                pct(x.mw_rate),
-                pct(x.wfr_rate),
+                pm(*ryw, bench::pct),
+                bench::pct(x.mr_rate),
+                bench::pct(x.mw_rate),
+                bench::pct(x.wfr_rate),
                 f1(x.read_p50_ms),
                 f1(x.read_p99_ms),
             ]

@@ -6,12 +6,14 @@
 //! per scheme. Expected shape: eventual and R=W=1 quorums sail through at
 //! 100%; majority quorums and Paxos lose the minority side's clients;
 //! primary-copy loses *all* writes if the primary is in the minority.
+//! Multi-seed runs (`--seeds N`) average the scalar availabilities; the
+//! plotted timeline stays the base seed's (window boundaries are
+//! seed-dependent).
 
-use bench::{pct, print_table, Obs};
-use obs::Recorder;
+use bench::{pct, pm, print_table, seed_stat, Obs, SeedStat};
 use rec_core::metrics::availability_timeline;
 use rec_core::scheme::ClientPlacement;
-use rec_core::{Experiment, Scheme};
+use rec_core::{Experiment, Grid, Scheme};
 use serde::Serialize;
 use simnet::{Duration, FaultSchedule, LatencyModel, NodeId, SimTime};
 use workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
@@ -19,16 +21,18 @@ use workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
 #[derive(Serialize)]
 struct Series {
     scheme: String,
-    /// (window start ms, availability) pairs.
+    /// (window start ms, availability) pairs — base seed's run.
     timeline: Vec<(f64, f64)>,
     overall: f64,
+    overall_ci95: f64,
     during_partition: f64,
+    during_partition_ci95: f64,
+    seeds: u64,
 }
 
-fn run(scheme: Scheme, seed: u64, rec: &Recorder) -> Series {
+fn experiment(scheme: Scheme) -> Experiment {
     let n = scheme.replica_count();
     let offset = scheme.server_node_count();
-    let label = scheme.label();
     let workload = WorkloadSpec {
         keys: 20,
         distribution: KeyDistribution::Uniform,
@@ -57,23 +61,15 @@ fn run(scheme: Scheme, seed: u64, rec: &Recorder) -> Series {
     }
     let faults =
         FaultSchedule::none().partition(side_a, SimTime::from_secs(5), SimTime::from_secs(10));
-    let res = Experiment::new(scheme)
+    Experiment::new(scheme)
         .latency(LatencyModel::Uniform {
             min: Duration::from_millis(1),
             max: Duration::from_millis(10),
         })
         .workload(workload)
         .faults(faults)
-        .seed(seed)
-        .recorder(rec.clone())
+        .seed(99)
         .horizon(SimTime::from_secs(25))
-        .run();
-    let timeline = availability_timeline(&res.trace, Duration::from_secs(1));
-    let during: Vec<f64> =
-        timeline.iter().filter(|(t, _)| (5_000.0..10_000.0).contains(t)).map(|(_, a)| *a).collect();
-    let during_partition =
-        if during.is_empty() { 1.0 } else { during.iter().sum::<f64>() / during.len() as f64 };
-    Series { scheme: label, timeline, overall: res.trace.success_rate(), during_partition }
 }
 
 fn main() {
@@ -91,20 +87,54 @@ fn main() {
         Scheme::Paxos { nodes: 3 },
         Scheme::Causal { replicas: 3 },
     ];
-    let mut series = Vec::new();
+    let mut grid = Grid::new();
     for s in schemes {
-        series.push(run(s, 99, &obs.recorder));
+        grid.push(s.label(), experiment(s));
     }
+    let cells = obs.run_grid(grid);
+
+    let mut series = Vec::new();
+    let mut stats: Vec<(SeedStat, SeedStat)> = Vec::new();
+    for seeds in cells.chunks(obs.seeds as usize) {
+        let during_of = |cell: &rec_core::CellResult| -> f64 {
+            let timeline = availability_timeline(&cell.result.trace, Duration::from_secs(1));
+            let during: Vec<f64> = timeline
+                .iter()
+                .filter(|(t, _)| (5_000.0..10_000.0).contains(t))
+                .map(|(_, a)| *a)
+                .collect();
+            if during.is_empty() {
+                1.0
+            } else {
+                during.iter().sum::<f64>() / during.len() as f64
+            }
+        };
+        let overall =
+            seed_stat(&seeds.iter().map(|c| c.result.trace.success_rate()).collect::<Vec<_>>());
+        let during = seed_stat(&seeds.iter().map(during_of).collect::<Vec<_>>());
+        series.push(Series {
+            scheme: seeds[0].label.clone(),
+            timeline: availability_timeline(&seeds[0].result.trace, Duration::from_secs(1)),
+            overall: overall.mean,
+            overall_ci95: overall.ci95,
+            during_partition: during.mean,
+            during_partition_ci95: during.ci95,
+            seeds: obs.seeds,
+        });
+        stats.push((overall, during));
+    }
+
     let table: Vec<Vec<String>> = series
         .iter()
-        .map(|s| vec![s.scheme.clone(), pct(s.overall), pct(s.during_partition)])
+        .zip(&stats)
+        .map(|(s, (ov, du))| vec![s.scheme.clone(), pm(*ov, pct), pm(*du, pct)])
         .collect();
     print_table(
         "E4: availability under a 5s partition (replica 0 + its clients cut off)",
         &["scheme", "overall", "during partition"],
         &table,
     );
-    println!("\nper-second availability during the run:");
+    println!("\nper-second availability during the run (base seed):");
     for s in &series {
         let line: Vec<String> = s
             .timeline

@@ -8,7 +8,7 @@
 //! shrinks with fanout (epidemic dissemination), with diminishing returns
 //! beyond fanout 2–3.
 
-use bench::{f1, print_table, Obs};
+use bench::{f1, pm, print_table, seed_stat, Obs, SeedStat};
 use obs::Recorder;
 use replication::common::{ClientCore, Guarantees, ScriptOp};
 use replication::eventual::{
@@ -26,11 +26,20 @@ struct Row {
     fanout: usize,
     gossip_interval_ms: u64,
     mean_convergence_ms: f64,
+    mean_convergence_ci95: f64,
+    max_convergence_ms: f64,
+    unconverged: u64,
+    seeds: u64,
+}
+
+/// Per-seed measurement (one grid cell).
+struct Cell {
+    mean_convergence_ms: f64,
     max_convergence_ms: f64,
     unconverged: u64,
 }
 
-fn run(replicas: usize, fanout: usize, interval_ms: u64, seed: u64, rec: &Recorder) -> Row {
+fn run(replicas: usize, fanout: usize, interval_ms: u64, seed: u64, rec: &Recorder) -> Cell {
     let trace = optrace::shared_trace();
     let cfg = EventualConfig {
         replicas,
@@ -119,32 +128,46 @@ fn run(replicas: usize, fanout: usize, interval_ms: u64, seed: u64, rec: &Record
     }
     let mean = if conv.is_empty() { 0.0 } else { conv.iter().sum::<f64>() / conv.len() as f64 };
     let max = conv.iter().cloned().fold(0.0, f64::max);
-    Row {
-        replicas,
-        fanout,
-        gossip_interval_ms: interval_ms,
-        mean_convergence_ms: mean,
-        max_convergence_ms: max,
-        unconverged,
-    }
+    Cell { mean_convergence_ms: mean, max_convergence_ms: max, unconverged }
 }
 
 fn main() {
     let obs = Obs::from_args();
-    let mut rows = Vec::new();
+    let mut params = Vec::new();
     for &replicas in &[4usize, 8, 16] {
         for &fanout in &[1usize, 2, 3] {
-            rows.push(run(replicas, fanout, 50, 2024, &obs.recorder));
+            params.push((replicas, fanout));
         }
+    }
+    let results = obs.sweep(&params, 2024, |&(replicas, fanout), seed, rec| {
+        run(replicas, fanout, 50, seed, rec)
+    });
+
+    let mut rows = Vec::new();
+    let mut means: Vec<SeedStat> = Vec::new();
+    for (&(replicas, fanout), cells) in params.iter().zip(&results) {
+        let mean = seed_stat(&cells.iter().map(|c| c.mean_convergence_ms).collect::<Vec<_>>());
+        rows.push(Row {
+            replicas,
+            fanout,
+            gossip_interval_ms: 50,
+            mean_convergence_ms: mean.mean,
+            mean_convergence_ci95: mean.ci95,
+            max_convergence_ms: cells.iter().map(|c| c.max_convergence_ms).fold(0.0, f64::max),
+            unconverged: cells.iter().map(|c| c.unconverged).sum(),
+            seeds: obs.seeds,
+        });
+        means.push(mean);
     }
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|x| {
+        .zip(&means)
+        .map(|(x, mean)| {
             vec![
                 x.replicas.to_string(),
                 x.fanout.to_string(),
                 x.gossip_interval_ms.to_string(),
-                f1(x.mean_convergence_ms),
+                pm(*mean, f1),
                 f1(x.max_convergence_ms),
                 x.unconverged.to_string(),
             ]

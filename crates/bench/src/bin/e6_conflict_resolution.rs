@@ -12,7 +12,7 @@
 //! Expected shape: LWW loses more as concurrency rises (tens of percent
 //! with several writers); the CRDT loses exactly zero at every level.
 
-use bench::{pct, print_table, Obs};
+use bench::{pct, pm, print_table, seed_stat, Obs, SeedStat};
 use obs::Recorder;
 use replication::common::{ClientCore, Guarantees, ScriptOp};
 use replication::eventual::{
@@ -29,9 +29,19 @@ struct Row {
     writers: usize,
     increments_each: u64,
     expected: i64,
-    observed: i64,
-    lost: i64,
+    /// Mean surviving increments across seeds.
+    observed: f64,
+    lost: f64,
     loss_rate: f64,
+    loss_rate_ci95: f64,
+    seeds: u64,
+}
+
+/// Per-seed measurement (one grid cell).
+struct Cell {
+    mode: &'static str,
+    expected: i64,
+    observed: i64,
 }
 
 /// Run the LWW read-modify-write variant: each client alternates
@@ -51,7 +61,7 @@ struct Row {
 /// which for a single register equals `total_writes - 1` under full
 /// concurrency and less under serialization. The CRDT row measures the
 /// true counter value.
-fn run_lww(writers: usize, increments: u64, seed: u64, rec: &Recorder) -> Row {
+fn run_lww(writers: usize, increments: u64, seed: u64, rec: &Recorder) -> Cell {
     let trace = optrace::shared_trace();
     let replicas = writers.clamp(2, 4);
     let cfg = EventualConfig {
@@ -116,19 +126,10 @@ fn run_lww(writers: usize, increments: u64, seed: u64, rec: &Recorder) -> Row {
         });
     }
     let expected = (writers as i64) * (increments as i64);
-    let observed = chain;
-    Row {
-        mode: "LWW (RMW)".into(),
-        writers,
-        increments_each: increments,
-        expected,
-        observed,
-        lost: expected - observed,
-        loss_rate: (expected - observed) as f64 / expected as f64,
-    }
+    Cell { mode: "LWW (RMW)", expected, observed: chain }
 }
 
-fn run_crdt(writers: usize, increments: u64, seed: u64, rec: &Recorder) -> Row {
+fn run_crdt(writers: usize, increments: u64, seed: u64, rec: &Recorder) -> Cell {
     let trace = optrace::shared_trace();
     let replicas = writers.clamp(2, 4);
     let cfg = EventualConfig {
@@ -190,35 +191,62 @@ fn run_crdt(writers: usize, increments: u64, seed: u64, rec: &Recorder) -> Row {
         .find(|r| r.session == 999 && r.ok)
         .and_then(|r| r.value_read.first().copied())
         .unwrap_or(0) as i64;
-    Row {
-        mode: "CRDT counter".into(),
-        writers,
-        increments_each: increments,
-        expected,
-        observed,
-        lost: expected - observed,
-        loss_rate: (expected - observed) as f64 / expected.max(1) as f64,
-    }
+    Cell { mode: "CRDT counter", expected, observed }
 }
+
+const INCREMENTS: u64 = 25;
 
 fn main() {
     let obs = Obs::from_args();
-    let mut rows = Vec::new();
+    let mut params = Vec::new();
     for &writers in &[2usize, 4, 8] {
-        rows.push(run_lww(writers, 25, 5, &obs.recorder));
-        rows.push(run_crdt(writers, 25, 5, &obs.recorder));
+        params.push((false, writers)); // LWW
+        params.push((true, writers)); // CRDT
+    }
+    let results = obs.sweep(&params, 5, |&(crdt, writers), seed, rec| {
+        if crdt {
+            run_crdt(writers, INCREMENTS, seed, rec)
+        } else {
+            run_lww(writers, INCREMENTS, seed, rec)
+        }
+    });
+
+    let mut rows = Vec::new();
+    let mut losses: Vec<SeedStat> = Vec::new();
+    for (&(_, writers), cells) in params.iter().zip(&results) {
+        let expected = cells[0].expected;
+        let loss = seed_stat(
+            &cells
+                .iter()
+                .map(|c| (c.expected - c.observed) as f64 / c.expected.max(1) as f64)
+                .collect::<Vec<_>>(),
+        );
+        let observed = seed_stat(&cells.iter().map(|c| c.observed as f64).collect::<Vec<_>>()).mean;
+        rows.push(Row {
+            mode: cells[0].mode.to_string(),
+            writers,
+            increments_each: INCREMENTS,
+            expected,
+            observed,
+            lost: expected as f64 - observed,
+            loss_rate: loss.mean,
+            loss_rate_ci95: loss.ci95,
+            seeds: obs.seeds,
+        });
+        losses.push(loss);
     }
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|x| {
+        .zip(&losses)
+        .map(|(x, loss)| {
             vec![
                 x.mode.clone(),
                 x.writers.to_string(),
                 x.increments_each.to_string(),
                 x.expected.to_string(),
-                x.observed.to_string(),
-                x.lost.to_string(),
-                pct(x.loss_rate),
+                format!("{:.1}", x.observed),
+                format!("{:.1}", x.lost),
+                pm(*loss, pct),
             ]
         })
         .collect();

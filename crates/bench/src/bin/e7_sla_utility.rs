@@ -8,7 +8,7 @@
 //! it goes local when the lag permits and pays the WAN only when
 //! consistency demands it — reproducing Pileus's headline result.
 
-use bench::{f3, print_table, Obs};
+use bench::{f3, pm, print_table, seed_stat, Obs, SeedStat};
 use serde::Serialize;
 use simnet::{Duration, NodeId, SimRng, SimTime};
 use sla::{choose, delivered_utility, Consistency, Monitor, SessionState, Sla};
@@ -17,6 +17,15 @@ use sla::{choose, delivered_utility, Consistency, Monitor, SessionState, Sla};
 struct Row {
     portfolio: String,
     strategy: String,
+    mean_utility: f64,
+    mean_utility_ci95: f64,
+    primary_fraction: f64,
+    mean_latency_ms: f64,
+    seeds: u64,
+}
+
+/// Per-seed measurement (one grid cell).
+struct Cell {
     mean_utility: f64,
     primary_fraction: f64,
     mean_latency_ms: f64,
@@ -43,8 +52,8 @@ impl World {
     }
 }
 
-/// Simulate `n_reads` reads under a strategy; returns the row.
-fn run(portfolio: &str, sla: &Sla, strategy: &str, fixed: Option<NodeId>, seed: u64) -> Row {
+/// Simulate `n_reads` reads under a strategy; returns one cell.
+fn run(sla: &Sla, fixed: Option<NodeId>, seed: u64) -> Cell {
     let mut world = World {
         rng: SimRng::new(seed),
         primary_rtt: (55.0, 0.2), // one-way ~55ms => ~110ms RTT
@@ -111,9 +120,7 @@ fn run(portfolio: &str, sla: &Sla, strategy: &str, fixed: Option<NodeId>, seed: 
         session.last_read_ts =
             Some(session.last_read_ts.map_or(served_high, |p| p.max(served_high)));
     }
-    Row {
-        portfolio: portfolio.to_string(),
-        strategy: strategy.to_string(),
+    Cell {
         mean_utility: total_utility / n_reads as f64,
         primary_fraction: primary_hits as f64 / n_reads as f64,
         mean_latency_ms: total_latency / n_reads as f64,
@@ -122,26 +129,57 @@ fn run(portfolio: &str, sla: &Sla, strategy: &str, fixed: Option<NodeId>, seed: 
 
 fn main() {
     // E7 is analytic (no discrete-event simulation), so the recorder only
-    // standardizes the results-file shape; its counters stay zero.
+    // standardizes the results-file shape; its counters stay zero. The
+    // sweep still parallelizes (portfolio, strategy, seed) cells.
     let obs = Obs::from_args();
     let portfolios: Vec<(&str, Sla)> = vec![
         ("password", Sla::password()),
         ("shopping-cart", Sla::shopping_cart()),
         ("web-app", Sla::web_app()),
     ];
+    let strategies: [(&str, Option<NodeId>); 3] = [
+        ("sla-driven", None),
+        ("always-primary", Some(NodeId(0))),
+        ("always-local", Some(NodeId(1))),
+    ];
+    let mut params = Vec::new();
+    for pi in 0..portfolios.len() {
+        for &(strategy, fixed) in &strategies {
+            params.push((pi, strategy, fixed));
+        }
+    }
+    let results =
+        obs.sweep(&params, 31, |&(pi, _, fixed), seed, _rec| run(&portfolios[pi].1, fixed, seed));
+
     let mut rows = Vec::new();
-    for (name, sla) in &portfolios {
-        rows.push(run(name, sla, "sla-driven", None, 31));
-        rows.push(run(name, sla, "always-primary", Some(NodeId(0)), 31));
-        rows.push(run(name, sla, "always-local", Some(NodeId(1)), 31));
+    let mut utils: Vec<SeedStat> = Vec::new();
+    for (&(pi, strategy, _), cells) in params.iter().zip(&results) {
+        let util = seed_stat(&cells.iter().map(|c| c.mean_utility).collect::<Vec<_>>());
+        rows.push(Row {
+            portfolio: portfolios[pi].0.to_string(),
+            strategy: strategy.to_string(),
+            mean_utility: util.mean,
+            mean_utility_ci95: util.ci95,
+            primary_fraction: seed_stat(
+                &cells.iter().map(|c| c.primary_fraction).collect::<Vec<_>>(),
+            )
+            .mean,
+            mean_latency_ms: seed_stat(
+                &cells.iter().map(|c| c.mean_latency_ms).collect::<Vec<_>>(),
+            )
+            .mean,
+            seeds: obs.seeds,
+        });
+        utils.push(util);
     }
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|x| {
+        .zip(&utils)
+        .map(|(x, util)| {
             vec![
                 x.portfolio.clone(),
                 x.strategy.clone(),
-                f3(x.mean_utility),
+                pm(*util, f3),
                 f3(x.primary_fraction),
                 format!("{:.1}", x.mean_latency_ms),
             ]

@@ -8,7 +8,7 @@
 //! with skew; cross-group txns pay ~2x latency (prepare+decide) and the
 //! registrar adds another round trip; single-group aborts stay cheapest.
 
-use bench::{f1, pct, print_table, Obs};
+use bench::{f1, pct, pm, print_table, seed_stat, Obs, SeedStat};
 use obs::Recorder;
 use rand::RngCore;
 use serde::Serialize;
@@ -26,6 +26,17 @@ struct Row {
     aborted: u64,
     timed_out: u64,
     abort_rate: f64,
+    abort_rate_ci95: f64,
+    mean_commit_ms: f64,
+    seeds: u64,
+}
+
+/// Per-seed measurement (one grid cell).
+struct Cell {
+    committed: u64,
+    aborted: u64,
+    timed_out: u64,
+    abort_rate: f64,
     mean_commit_ms: f64,
 }
 
@@ -38,7 +49,7 @@ fn run(
     clients: usize,
     seed: u64,
     rec: &Recorder,
-) -> Row {
+) -> Cell {
     let nodes = 3usize;
     let cfg = TxnConfig::new(nodes);
     let mut sim = Sim::new(
@@ -89,15 +100,7 @@ fn run(
         latencies.extend(s.commit_latency_ms.iter().copied());
     }
     let total = committed + aborted + timed_out;
-    let span = match (cross_group, registrar) {
-        (false, _) => "1 group".to_string(),
-        (true, 0) => "2 groups (2PC)".to_string(),
-        (true, k) => format!("2 groups (2PC+reg{k})"),
-    };
-    Row {
-        span,
-        theta,
-        clients,
+    Cell {
         committed,
         aborted,
         timed_out,
@@ -110,26 +113,58 @@ fn run(
     }
 }
 
+const CLIENTS: usize = 8;
+
 fn main() {
     let obs = Obs::from_args();
-    let mut rows = Vec::new();
+    // (cross_group, registrar, theta)
+    let mut params: Vec<(bool, usize, f64)> = Vec::new();
     for &theta in &[0.2f64, 0.6, 0.9, 0.99] {
-        rows.push(run(false, 0, theta, 8, 77, &obs.recorder));
+        params.push((false, 0, theta));
     }
     for &theta in &[0.2f64, 0.9] {
-        rows.push(run(true, 0, theta, 8, 77, &obs.recorder));
-        rows.push(run(true, 2, theta, 8, 77, &obs.recorder));
+        params.push((true, 0, theta));
+        params.push((true, 2, theta));
+    }
+    let results = obs.sweep(&params, 77, |&(cross_group, registrar, theta), seed, rec| {
+        run(cross_group, registrar, theta, CLIENTS, seed, rec)
+    });
+
+    let mut rows = Vec::new();
+    let mut aborts: Vec<SeedStat> = Vec::new();
+    for (&(cross_group, registrar, theta), cells) in params.iter().zip(&results) {
+        let span = match (cross_group, registrar) {
+            (false, _) => "1 group".to_string(),
+            (true, 0) => "2 groups (2PC)".to_string(),
+            (true, k) => format!("2 groups (2PC+reg{k})"),
+        };
+        let abort = seed_stat(&cells.iter().map(|c| c.abort_rate).collect::<Vec<_>>());
+        rows.push(Row {
+            span,
+            theta,
+            clients: CLIENTS,
+            committed: cells.iter().map(|c| c.committed).sum(),
+            aborted: cells.iter().map(|c| c.aborted).sum(),
+            timed_out: cells.iter().map(|c| c.timed_out).sum(),
+            abort_rate: abort.mean,
+            abort_rate_ci95: abort.ci95,
+            mean_commit_ms: seed_stat(&cells.iter().map(|c| c.mean_commit_ms).collect::<Vec<_>>())
+                .mean,
+            seeds: obs.seeds,
+        });
+        aborts.push(abort);
     }
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|x| {
+        .zip(&aborts)
+        .map(|(x, abort)| {
             vec![
                 x.span.clone(),
                 format!("{:.2}", x.theta),
                 x.clients.to_string(),
                 x.committed.to_string(),
                 (x.aborted + x.timed_out).to_string(),
-                pct(x.abort_rate),
+                pm(*abort, pct),
                 f1(x.mean_commit_ms),
             ]
         })

@@ -6,11 +6,12 @@
 //! a bounded-staleness policy with bound B would reject exactly the reads
 //! whose t-staleness exceeds B — reported for B ∈ {25, 50, 100, 250} ms.
 //! Expected shape: P(stale) rises with lag; P(t > B) falls as B grows;
-//! with lag << B nothing is rejected.
+//! with lag << B nothing is rejected. Multi-seed runs (`--seeds N`)
+//! report seed means with a 95% CI on P(stale).
 
-use bench::{pct, print_table, Obs};
+use bench::{pct, pm, print_table, seed_stat, Obs, SeedStat};
 use consistency::measure_staleness;
-use rec_core::{Experiment, Scheme};
+use rec_core::{Experiment, Grid, Scheme};
 use serde::Serialize;
 use simnet::{Duration, LatencyModel, SimTime};
 use workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
@@ -19,11 +20,13 @@ use workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
 struct Row {
     ship_ms: u64,
     p_stale: f64,
+    p_stale_ci95: f64,
     mean_t_ms: f64,
     p_gt_25: f64,
     p_gt_50: f64,
     p_gt_100: f64,
     p_gt_250: f64,
+    seeds: u64,
 }
 
 fn main() {
@@ -36,43 +39,60 @@ fn main() {
         sessions: 6,
         ops_per_session: 150,
     };
+    let ships = [10u64, 25, 50, 100, 200, 400];
+    let mut grid = Grid::new();
+    for &ship_ms in &ships {
+        grid.push(
+            format!("ship{ship_ms}ms"),
+            Experiment::new(Scheme::PrimaryAsync {
+                replicas: 3,
+                ship_interval: Duration::from_millis(ship_ms),
+            })
+            .latency(LatencyModel::Uniform {
+                min: Duration::from_millis(1),
+                max: Duration::from_millis(5),
+            })
+            .workload(workload.clone())
+            .seed(13)
+            .horizon(SimTime::from_secs(120)),
+        );
+    }
+    let cells = obs.run_grid(grid);
+
     let mut rows = Vec::new();
-    for &ship_ms in &[10u64, 25, 50, 100, 200, 400] {
-        let res = Experiment::new(Scheme::PrimaryAsync {
-            replicas: 3,
-            ship_interval: Duration::from_millis(ship_ms),
-        })
-        .latency(LatencyModel::Uniform {
-            min: Duration::from_millis(1),
-            max: Duration::from_millis(5),
-        })
-        .workload(workload.clone())
-        .seed(13)
-        .recorder(obs.recorder.clone())
-        .horizon(SimTime::from_secs(120))
-        .run();
-        let st = measure_staleness(&res.trace);
-        let mean_t = if st.t_staleness_ms.is_empty() {
-            0.0
-        } else {
-            st.t_staleness_ms.iter().sum::<f64>() / st.t_staleness_ms.len() as f64
-        };
+    let mut stales: Vec<SeedStat> = Vec::new();
+    for (&ship_ms, seeds) in ships.iter().zip(cells.chunks(obs.seeds as usize)) {
+        let sts: Vec<_> = seeds.iter().map(|c| measure_staleness(&c.result.trace)).collect();
+        let stat = |f: &dyn Fn(usize) -> f64| seed_stat(&(0..sts.len()).map(f).collect::<Vec<_>>());
+        let p_stale = stat(&|i| sts[i].p_stale());
         rows.push(Row {
             ship_ms,
-            p_stale: st.p_stale(),
-            mean_t_ms: mean_t,
-            p_gt_25: st.p_staler_than(25.0),
-            p_gt_50: st.p_staler_than(50.0),
-            p_gt_100: st.p_staler_than(100.0),
-            p_gt_250: st.p_staler_than(250.0),
+            p_stale: p_stale.mean,
+            p_stale_ci95: p_stale.ci95,
+            mean_t_ms: stat(&|i| {
+                let t = &sts[i].t_staleness_ms;
+                if t.is_empty() {
+                    0.0
+                } else {
+                    t.iter().sum::<f64>() / t.len() as f64
+                }
+            })
+            .mean,
+            p_gt_25: stat(&|i| sts[i].p_staler_than(25.0)).mean,
+            p_gt_50: stat(&|i| sts[i].p_staler_than(50.0)).mean,
+            p_gt_100: stat(&|i| sts[i].p_staler_than(100.0)).mean,
+            p_gt_250: stat(&|i| sts[i].p_staler_than(250.0)).mean,
+            seeds: obs.seeds,
         });
+        stales.push(p_stale);
     }
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|x| {
+        .zip(&stales)
+        .map(|(x, stale)| {
             vec![
                 x.ship_ms.to_string(),
-                pct(x.p_stale),
+                pm(*stale, pct),
                 format!("{:.1}", x.mean_t_ms),
                 pct(x.p_gt_25),
                 pct(x.p_gt_50),

@@ -1,57 +1,236 @@
 //! Shared plumbing for the experiment harnesses (E1–E10).
 //!
 //! Each `src/bin/e*_*.rs` binary regenerates one table or figure from
-//! `EXPERIMENTS.md`: it sweeps its parameters, prints the rows to stdout,
-//! and drops a machine-readable copy under `results/<name>.json` so the
-//! recorded numbers are diffable across runs.
+//! `EXPERIMENTS.md`: it builds a grid of config variants, runs every
+//! variant at `--seeds N` seeds on `--jobs N` workers, prints the
+//! seed-aggregated rows to stdout, and drops a machine-readable copy
+//! under `results/<name>.json` so the recorded numbers are diffable
+//! across runs. Results are byte-identical for any `--jobs` value; see
+//! `EXPERIMENTS.md` ("Parallel grid execution") for the contract.
 
 use obs::{MetricsReport, Recorder};
+use rec_core::grid::RecorderSpec;
+use rec_core::{default_jobs, par_map, CellResult, Grid};
 use serde::Serialize;
+use std::cell::RefCell;
 use std::fs;
 use std::path::PathBuf;
 
-/// Observability wiring shared by every experiment binary: an enabled
-/// [`Recorder`] threaded into each simulation run, plus `--trace-out
-/// <path>` handling (export the structured event log as JSONL).
+/// Observability and grid wiring shared by every experiment binary:
+/// `--jobs N` / `--seeds N` / `--trace-out <path>` handling, the
+/// parallel sweep drivers ([`Obs::run_grid`], [`Obs::sweep`]), and the
+/// aggregate [`Recorder`] the per-cell metrics fold into.
 ///
-/// The aggregated counters/histograms across the binary's whole sweep
-/// land in the `metrics` section of `results/<name>.json`; the JSONL
-/// trace is only collected (and only costs memory) when `--trace-out`
-/// is given. See `docs/METRICS.md` for the field-by-field contract.
+/// Every grid cell runs with its **own** recorder (no shared lock on
+/// the hot path); after the pool drains, cells are folded into
+/// [`Obs::recorder`] in deterministic grid order via
+/// [`Recorder::absorb`], so the `metrics` block of `results/<name>.json`
+/// is independent of `--jobs`. With `--trace-out <path>`, each cell's
+/// JSONL event log lands in `<path stem>.cellNNN.<ext>` and the
+/// concatenation (grid order) in `<path>` itself. See `docs/METRICS.md`
+/// for the field-by-field contract.
 pub struct Obs {
-    /// The recorder to thread into each `Experiment` / `SimConfig`.
+    /// Aggregate recorder the per-cell metrics are folded into.
     pub recorder: Recorder,
+    /// Worker count for grid execution (`--jobs N`, default: num CPUs).
+    pub jobs: usize,
+    /// Seeds per grid variant (`--seeds N`, default 1; seed `k` of a
+    /// variant runs at `base_seed + k`, so `--seeds 1` reproduces the
+    /// historical single-seed numbers exactly).
+    pub seeds: u64,
     trace_out: Option<PathBuf>,
+    /// Per-cell JSONL chunks in grid order, for the concatenated export.
+    trace_chunks: RefCell<Vec<String>>,
+    /// Cells finished so far (names the next per-cell trace file).
+    cells_done: RefCell<usize>,
 }
 
 impl Obs {
-    /// Build from `std::env::args`: recognizes `--trace-out <path>` and
-    /// `--trace-out=<path>`; other arguments are ignored.
+    /// Build from `std::env::args`: recognizes `--trace-out <path>`,
+    /// `--jobs <n>`, `--seeds <n>` (and their `=` forms); other
+    /// arguments are ignored.
     pub fn from_args() -> Self {
         let mut trace_out = None;
+        let mut jobs = default_jobs();
+        let mut seeds = 1u64;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
-            if a == "--trace-out" {
-                trace_out = args.next().map(PathBuf::from);
-            } else if let Some(p) = a.strip_prefix("--trace-out=") {
+            let take = |flag: &str, args: &mut dyn Iterator<Item = String>| -> Option<String> {
+                if a == flag {
+                    args.next()
+                } else {
+                    a.strip_prefix(&format!("{flag}=")).map(str::to_string)
+                }
+            };
+            if let Some(p) = take("--trace-out", &mut args) {
                 trace_out = Some(PathBuf::from(p));
+            } else if let Some(n) = take("--jobs", &mut args) {
+                jobs = n.parse().expect("--jobs expects a positive integer");
+                assert!(jobs >= 1, "--jobs must be at least 1");
+            } else if let Some(n) = take("--seeds", &mut args) {
+                seeds = n.parse().expect("--seeds expects a positive integer");
+                assert!(seeds >= 1, "--seeds must be at least 1");
             }
         }
-        let recorder =
-            if trace_out.is_some() { Recorder::with_event_log() } else { Recorder::enabled() };
-        Obs { recorder, trace_out }
+        Obs {
+            recorder: Recorder::enabled(),
+            jobs,
+            seeds,
+            trace_out,
+            trace_chunks: RefCell::new(Vec::new()),
+            cells_done: RefCell::new(0),
+        }
+    }
+
+    /// The recorder kind each grid cell runs with: full event log when
+    /// `--trace-out` was given, counters-only otherwise.
+    pub fn cell_recorder_spec(&self) -> RecorderSpec {
+        if self.trace_out.is_some() {
+            RecorderSpec::EventLog
+        } else {
+            RecorderSpec::Counters
+        }
+    }
+
+    /// Run an experiment [`Grid`] at `--seeds` seeds per variant on
+    /// `--jobs` workers. Results return in deterministic grid order
+    /// (variant-major, then seed) — chunk by `self.seeds` to group a
+    /// variant's seed column. Per-cell metrics are folded into
+    /// [`Obs::recorder`] and per-cell traces staged for [`Obs::save`].
+    pub fn run_grid(&self, grid: Grid) -> Vec<CellResult> {
+        let cells = grid.seeds(self.seeds).run(self.jobs, self.cell_recorder_spec());
+        for cell in &cells {
+            self.finish_cell(&cell.recorder);
+        }
+        cells
+    }
+
+    /// Parallel seed sweep for harnesses that drive `Sim` directly
+    /// instead of going through [`rec_core::Experiment`].
+    ///
+    /// Runs `run(&params[i], base_seed + k, &recorder)` for every
+    /// variant `i` × seed `k` on `--jobs` workers, each call with its
+    /// own fresh recorder, and returns the results grouped per variant
+    /// (`result[i][k]`), independent of scheduling. Metrics and traces
+    /// are folded exactly as in [`Obs::run_grid`].
+    pub fn sweep<P, R, F>(&self, params: &[P], base_seed: u64, run: F) -> Vec<Vec<R>>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&P, u64, &Recorder) -> R + Sync,
+    {
+        let spec = self.cell_recorder_spec();
+        let flat: Vec<(usize, u64)> =
+            (0..params.len()).flat_map(|p| (0..self.seeds).map(move |s| (p, s))).collect();
+        let mut results: Vec<(Recorder, R)> = par_map(&flat, self.jobs, |_, &(p, s)| {
+            let rec = spec.make();
+            let r = run(&params[p], base_seed + s, &rec);
+            (rec, r)
+        });
+        let mut grouped: Vec<Vec<R>> = Vec::with_capacity(params.len());
+        let mut drain = results.drain(..);
+        for _ in 0..params.len() {
+            let mut column = Vec::with_capacity(self.seeds as usize);
+            for _ in 0..self.seeds {
+                let (rec, r) = drain.next().expect("one result per grid cell");
+                self.finish_cell(&rec);
+                column.push(r);
+            }
+            grouped.push(column);
+        }
+        grouped
+    }
+
+    /// Fold one finished cell into the aggregate: absorb its metrics
+    /// and, when tracing, write its JSONL and stage it for the
+    /// concatenated export. Called in grid order only.
+    fn finish_cell(&self, cell: &Recorder) {
+        self.recorder.absorb(cell);
+        let idx = {
+            let mut done = self.cells_done.borrow_mut();
+            *done += 1;
+            *done - 1
+        };
+        if self.trace_out.is_some() {
+            let jsonl = cell.export_jsonl();
+            let path = self.per_cell_trace_path(idx);
+            if let Err(e) = fs::write(&path, &jsonl) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+            self.trace_chunks.borrow_mut().push(jsonl);
+        }
+    }
+
+    /// Where cell `idx`'s trace lands: `--trace-out a/b.jsonl` maps to
+    /// `a/b.cell042.jsonl` for cell 42 (cells count in grid order).
+    pub fn per_cell_trace_path(&self, idx: usize) -> PathBuf {
+        let base = self.trace_out.clone().expect("tracing enabled");
+        let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+        let name = match base.extension().and_then(|e| e.to_str()) {
+            Some(ext) => format!("{stem}.cell{idx:03}.{ext}"),
+            None => format!("{stem}.cell{idx:03}"),
+        };
+        base.with_file_name(name)
     }
 
     /// Save `results/<name>.json` as `{"rows": ..., "metrics": ...}` and
-    /// write the JSONL event trace if `--trace-out` was given.
+    /// write the JSONL event trace(s) if `--trace-out` was given (the
+    /// concatenation of all per-cell logs, in grid order).
     pub fn save<T: Serialize>(&self, name: &str, rows: &T) {
         save_json_with_metrics(name, rows, &self.recorder.report());
         if let Some(path) = &self.trace_out {
-            match self.recorder.write_jsonl(path) {
-                Ok(()) => println!("[trace saved to {}]", path.display()),
+            let cells = self.trace_chunks.borrow();
+            match fs::write(path, cells.concat()) {
+                Ok(()) => {
+                    println!("[trace saved to {} (+{} cell files)]", path.display(), cells.len())
+                }
                 Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
             }
         }
+    }
+}
+
+/// Mean and a 95% confidence half-width over per-seed measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SeedStat {
+    /// Sample mean.
+    pub mean: f64,
+    /// 95% CI half-width (normal approximation, `1.96·s/√n`; 0 when
+    /// fewer than two samples).
+    pub ci95: f64,
+    /// Number of seeds.
+    pub n: u64,
+}
+
+/// Aggregate per-seed values into a [`SeedStat`]. Summation runs in
+/// input (seed) order, so the result is bitwise deterministic.
+pub fn seed_stat(values: &[f64]) -> SeedStat {
+    let n = values.len();
+    if n == 0 {
+        return SeedStat { mean: 0.0, ci95: 0.0, n: 0 };
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let ci95 = if n < 2 {
+        0.0
+    } else {
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+        1.96 * (var / n as f64).sqrt()
+    };
+    SeedStat { mean, ci95, n: n as u64 }
+}
+
+/// Mean of per-seed values (seed-order summation, deterministic).
+pub fn seed_mean(values: &[f64]) -> f64 {
+    seed_stat(values).mean
+}
+
+/// Format `mean ± ci95` for tables; the `±` part only appears with
+/// multiple seeds, so single-seed tables look exactly as before.
+pub fn pm(stat: SeedStat, fmt: impl Fn(f64) -> String) -> String {
+    if stat.n > 1 {
+        format!("{}±{}", fmt(stat.mean), fmt(stat.ci95))
+    } else {
+        fmt(stat.mean)
     }
 }
 
@@ -150,6 +329,20 @@ mod tests {
         assert_eq!(f3(1.23456), "1.235");
         assert_eq!(f1(1.26), "1.3");
         assert_eq!(pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn seed_stat_mean_and_ci() {
+        let empty = seed_stat(&[]);
+        assert_eq!((empty.mean, empty.ci95, empty.n), (0.0, 0.0, 0));
+        let one = seed_stat(&[4.0]);
+        assert_eq!((one.mean, one.ci95, one.n), (4.0, 0.0, 1));
+        let s = seed_stat(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // s² = 5/3, ci = 1.96·√(5/3/4) ≈ 1.2655
+        assert!((s.ci95 - 1.2655).abs() < 1e-3, "ci {}", s.ci95);
+        assert_eq!(pm(s, f1), "2.5±1.3");
+        assert_eq!(pm(one, f1), "4.0");
     }
 
     #[test]

@@ -261,6 +261,91 @@ mod tests {
     }
 
     #[test]
+    fn single_op_histories_are_linearizable() {
+        // A lone write, a lone read of nothing, and a lone read of an
+        // unwritten value: the first two linearize trivially; the third
+        // has no producing write, so it must fail.
+        assert!(check_linearizable_register(&[w(0, 10, 1)]));
+        assert!(check_linearizable_register(&[r(0, 10, None)]));
+        assert!(!check_linearizable_register(&[r(0, 10, Some(7))]));
+    }
+
+    #[test]
+    fn identical_timestamp_concurrent_writes() {
+        // Two writes sharing the exact same interval: either order is
+        // legal, so a subsequent read may return either value — but a
+        // read of a third value may not.
+        let base = [w(0, 10, 1), w(0, 10, 2)];
+        for v in [1u64, 2] {
+            let mut h = base.to_vec();
+            h.push(r(20, 30, Some(v)));
+            assert!(check_linearizable_register(&h), "read of {v} must linearize");
+        }
+        let mut h = base.to_vec();
+        h.push(r(20, 30, Some(3)));
+        assert!(!check_linearizable_register(&h));
+        // Reads with identical timestamps too: both orders of two
+        // same-interval reads returning the two values are legal while
+        // the writes are still in flight.
+        assert!(check_linearizable_register(&[
+            w(0, 100, 1),
+            w(0, 100, 2),
+            r(50, 60, Some(1)),
+            r(50, 60, Some(2)),
+        ]));
+    }
+
+    #[test]
+    fn zero_duration_ops_respect_real_time_order() {
+        // Instantaneous ops (invoke == ret) still order by real time:
+        // a zero-width read strictly after a zero-width write must see it.
+        assert!(check_linearizable_register(&[w(10, 10, 1), r(20, 20, Some(1))]));
+        assert!(!check_linearizable_register(&[w(10, 10, 1), r(20, 20, None)]));
+        // At the *same* instant they count as concurrent (neither returned
+        // strictly before the other was invoked): both outcomes legal.
+        assert!(check_linearizable_register(&[w(10, 10, 1), r(10, 10, Some(1))]));
+        assert!(check_linearizable_register(&[w(10, 10, 1), r(10, 10, None)]));
+    }
+
+    #[test]
+    fn bounded_search_exhausts_budget_to_none() {
+        // A pile of fully-concurrent writes forces exponential search;
+        // with a tiny budget the checker must give up, not lie.
+        let h: Vec<Interval> = (0..20).map(|i| w(0, 1000, i)).collect();
+        assert_eq!(check_linearizable_register_bounded(&h, 5), None);
+        // Zero budget gives up immediately on any non-empty history...
+        assert_eq!(check_linearizable_register_bounded(&[w(0, 1, 1)], 0), None);
+        // ...but the empty history needs no search at all.
+        assert_eq!(check_linearizable_register_bounded(&[], 0), Some(true));
+    }
+
+    #[test]
+    fn oversized_history_is_rejected_not_searched() {
+        use simnet::{NodeId, OpRecord, SimTime};
+        let mut t = OpTrace::new();
+        for i in 0..127u64 {
+            t.push(OpRecord {
+                session: 1,
+                op_id: i,
+                key: 9,
+                kind: OpKind::Write,
+                value_written: Some(i),
+                value_read: vec![],
+                invoked: SimTime::from_micros(i * 10),
+                completed: SimTime::from_micros(i * 10 + 5),
+                replica: NodeId(0),
+                ok: true,
+                version_ts: None,
+                stamp: None,
+            });
+        }
+        assert_eq!(
+            check_trace_linearizable(&t),
+            Err(LinCheckError::HistoryTooLarge { key: 9, ops: 127 })
+        );
+    }
+
+    #[test]
     fn trace_level_check_partitions_by_key() {
         use simnet::{NodeId, OpRecord, SimTime};
         let mut t = OpTrace::new();

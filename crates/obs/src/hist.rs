@@ -129,6 +129,22 @@ impl Histogram {
         self.max
     }
 
+    /// Merge another histogram into this one.
+    ///
+    /// Exact, not approximate: buckets, counts, sums, and extrema all
+    /// add/commute, so merging per-cell histograms from a parallel grid
+    /// run in any order yields the same result as recording every
+    /// observation into one histogram serially.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
     /// Collapse into a fixed summary for export.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -198,6 +214,27 @@ mod tests {
         assert!((500..=1023).contains(&p50), "p50 = {p50}");
         assert_eq!(h.summary().max, 1000);
         assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_equals_serial_recording() {
+        let mut serial = Histogram::default();
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [0u64, 1, 7, 64, 1000, u64::MAX] {
+            serial.record(v);
+            a.record(v);
+        }
+        for v in [3u64, 500, 2] {
+            serial.record(v);
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), serial.summary());
+        // Merging an empty histogram is the identity.
+        let before = a.summary();
+        a.merge(&Histogram::default());
+        assert_eq!(a.summary(), before);
     }
 
     #[test]

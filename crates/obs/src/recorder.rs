@@ -85,6 +85,32 @@ impl ObsCore {
         }
     }
 
+    /// Fold another core's aggregates into this one. Counters,
+    /// per-node counters, histograms, and event totals all add, so the
+    /// merge commutes and parallel grid cells can be folded in any
+    /// order with an identical result. Retained events are *not*
+    /// copied: per-cell event logs stay with their cell (their `seq`
+    /// numbering is per-run), which is what keeps per-cell JSONL traces
+    /// byte-identical regardless of worker scheduling.
+    fn merge(&mut self, other: &ObsCore) {
+        self.next_seq += other.next_seq;
+        self.events_dropped += other.events_dropped;
+        for &c in Counter::ALL.iter() {
+            self.global.add(c, other.global.get(c));
+        }
+        for (node, set) in other.per_node.iter().enumerate() {
+            for &c in Counter::ALL.iter() {
+                let v = set.get(c);
+                if v != 0 {
+                    self.node_set(node as u64).add(c, v);
+                }
+            }
+        }
+        for (h, o) in self.hists.iter_mut().zip(other.hists.iter()) {
+            h.merge(o);
+        }
+    }
+
     fn report(&self) -> MetricsReport {
         let mut per_node = Vec::new();
         for (node, set) in self.per_node.iter().enumerate() {
@@ -208,6 +234,29 @@ impl Recorder {
         }
     }
 
+    /// Fold everything `other` aggregated into this recorder.
+    ///
+    /// This is the merge step of a parallel experiment grid: each cell
+    /// runs with its own recorder (no cross-cell lock contention on the
+    /// hot path), and the driver absorbs the per-cell recorders into
+    /// one aggregate afterwards. The merge is exact and commutative —
+    /// counters, per-node counters, histogram buckets, and event totals
+    /// all add — so the folded [`MetricsReport`] is identical to the
+    /// one a single shared recorder would have produced, independent of
+    /// scheduling. Retained event logs are intentionally *not* copied;
+    /// export per-cell logs from the per-cell recorders instead.
+    ///
+    /// No-op if either side is disabled. `other` is left untouched.
+    pub fn absorb(&self, other: &Recorder) {
+        if let (Some(mine), Some(theirs)) = (&self.core, &other.core) {
+            if Arc::ptr_eq(mine, theirs) {
+                return; // same core: nothing to fold, and avoid deadlock
+            }
+            let theirs = theirs.lock().unwrap();
+            mine.lock().unwrap().merge(&theirs);
+        }
+    }
+
     /// Snapshot the aggregated counters and histogram summaries.
     ///
     /// Disabled recorders return an all-zero report.
@@ -314,6 +363,54 @@ mod tests {
         clone.count_node(2, Counter::WalAppends, 1);
         assert_eq!(rec.report().counter(Counter::WalAppends), 1);
         assert_eq!(rec.report().node_counter(2, Counter::WalAppends), 1);
+    }
+
+    #[test]
+    fn absorb_equals_shared_recorder() {
+        // Two cells with private recorders, folded afterwards, must
+        // match one recorder shared by both cells.
+        let shared = Recorder::enabled();
+        let cell_a = Recorder::enabled();
+        let cell_b = Recorder::enabled();
+        for rec in [&shared, &cell_a] {
+            rec.record(1, EventKind::MessageSent { from: 0, to: 1, bytes: 64 });
+            rec.record(2, EventKind::MessageDelivered { from: 0, to: 1, bytes: 64 });
+            rec.count_node(3, Counter::WalAppends, 2);
+        }
+        for rec in [&shared, &cell_b] {
+            rec.record(
+                4,
+                EventKind::QuorumWait {
+                    node: 1,
+                    kind: QuorumKind::Write,
+                    waited_us: 99,
+                    acks: 2,
+                    needed: 2,
+                },
+            );
+            rec.count(Counter::TxnCommits, 1);
+        }
+        let folded = Recorder::enabled();
+        folded.absorb(&cell_a);
+        folded.absorb(&cell_b);
+        assert_eq!(folded.report(), shared.report());
+        // Fold order does not matter.
+        let folded_rev = Recorder::enabled();
+        folded_rev.absorb(&cell_b);
+        folded_rev.absorb(&cell_a);
+        assert_eq!(folded_rev.report(), shared.report());
+    }
+
+    #[test]
+    fn absorb_is_inert_when_either_side_is_disabled() {
+        let on = Recorder::enabled();
+        on.count(Counter::TxnCommits, 3);
+        let off = Recorder::disabled();
+        off.absorb(&on); // no panic, still disabled
+        assert_eq!(off.report(), MetricsReport::default());
+        on.absorb(&off);
+        on.absorb(&on.clone()); // same core: must not deadlock or double
+        assert_eq!(on.report().counter(Counter::TxnCommits), 3);
     }
 
     #[test]

@@ -23,12 +23,18 @@
 //! Each scheme maps onto one protocol from the `replication` crate; the
 //! consistency checkers from `consistency` run directly on
 //! [`RunResult::trace`].
+//!
+//! For statistical depth, sweep variants × seeds through a [`Grid`]: the
+//! cells run concurrently on a worker pool and merge back in
+//! deterministic grid order (see [`grid`]).
 
 #![warn(missing_docs)]
 
+pub mod grid;
 pub mod metrics;
 pub mod runner;
 pub mod scheme;
 
+pub use grid::{default_jobs, par_map, CellResult, Grid, RecorderSpec};
 pub use runner::{Experiment, RunResult};
 pub use scheme::{ClientPlacement, Scheme};

@@ -21,7 +21,7 @@ use clocks::LamportTimestamp;
 use kvstore::{Key, MvStore, Value};
 use obs::{EventKind, QuorumKind};
 use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// A ballot number: `(round, node)` — totally ordered, node breaks ties.
 pub type Ballot = (u64, u64);
@@ -179,9 +179,9 @@ pub struct PaxosNode {
     /// Leader: next free slot.
     next_slot: u64,
     /// Leader: Phase 2 quorum tracking per slot (distinct acceptors).
-    p2_acks: HashMap<u64, usize>,
+    p2_acks: BTreeMap<u64, usize>,
     /// Leader: which acceptors have been counted per slot.
-    p2_voters: HashMap<u64, Vec<NodeId>>,
+    p2_voters: BTreeMap<u64, Vec<NodeId>>,
     /// Candidate: Phase 1 quorum tracking.
     p1_promises: usize,
     p1_adopted: BTreeMap<u64, AcceptedEntry>,
@@ -191,7 +191,7 @@ pub struct PaxosNode {
     /// slot. At-least-once semantics remain possible across failover (the
     /// new leader may lack the entry); duplicate applies of the same
     /// unique value are idempotent for the register state machine.
-    seen_writes: HashMap<(usize, u64), u64>,
+    seen_writes: BTreeMap<(usize, u64), u64>,
     /// Election timer bookkeeping: id of the live timer.
     election_timer: Option<u64>,
 }
@@ -209,13 +209,13 @@ impl PaxosNode {
             store: MvStore::new(),
             my_ballot: (0, 0),
             next_slot: 1,
-            p2_acks: HashMap::new(),
-            p2_voters: HashMap::new(),
+            p2_acks: BTreeMap::new(),
+            p2_voters: BTreeMap::new(),
             p1_promises: 0,
             p1_adopted: BTreeMap::new(),
             leader_hint: None,
             election_timer: None,
-            seen_writes: HashMap::new(),
+            seen_writes: BTreeMap::new(),
         }
     }
 

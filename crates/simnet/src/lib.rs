@@ -69,3 +69,43 @@ pub use optrace::{OpKind, OpRecord, OpTrace, SharedTrace};
 pub use rng::SimRng;
 pub use sim::{Actor, Context, NodeId, Sim, SimConfig};
 pub use time::{Duration, SimTime};
+
+/// Compile-time audit of the crate's Send/Sync surface, relied on by the
+/// parallel grid runner in `rec-core`.
+///
+/// The *descriptions* of a simulation — config, RNG, fault schedule,
+/// latency model, and the finished trace — must be `Send` so a grid cell
+/// can be shipped to a worker thread and its results shipped back. The
+/// running [`Sim`] itself is intentionally **not** `Send`: it hands
+/// actors `Rc<RefCell<..>>` trace handles, so a simulation must start and
+/// finish on one thread. Parallelism lives *between* cells, never inside
+/// one — see DESIGN.md.
+#[cfg(test)]
+mod send_audit {
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    #[test]
+    fn simulation_descriptions_are_send() {
+        assert_send::<SimConfig>();
+        assert_send::<SimRng>();
+        assert_send::<FaultSchedule>();
+        assert_send::<LatencyModel>();
+        assert_send::<OpTrace>();
+        assert_send::<OpRecord>();
+        assert_sync::<SimConfig>();
+        assert_sync::<FaultSchedule>();
+        assert_sync::<LatencyModel>();
+    }
+
+    /// `Sim` and `SharedTrace` are deliberately !Send (`Rc<RefCell<..>>`
+    /// inside); this is a documentation anchor, not an assertion — the
+    /// compiler enforces it at every cross-thread use site.
+    #[test]
+    fn shared_trace_is_thread_local_by_construction() {
+        let trace: SharedTrace = optrace::shared_trace();
+        assert_eq!(trace.borrow().records().len(), 0);
+    }
+}
