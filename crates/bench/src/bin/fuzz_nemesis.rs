@@ -1,0 +1,62 @@
+//! Nemesis fuzzer: every scheme × `--seeds` generated fault schedules,
+//! traces judged by the consistency checkers, violations shrunk to
+//! minimal JSON reproducers (see `docs/NEMESIS.md`).
+//!
+//! ```text
+//! cargo run --release -p bench --bin fuzz_nemesis -- \
+//!     --seeds 200 --jobs 8 --intensity heavy
+//! ```
+//!
+//! Flags: `--seeds N` schedules per scheme, `--jobs N` workers,
+//! `--intensity light|medium|heavy`, `--base-seed N`, `--no-shrink`.
+//!
+//! Output is byte-identical for any `--jobs` value: the summary table,
+//! `results/fuzz_nemesis.json` (the full campaign report including every
+//! shrunk reproducer), and the process exit code. Exits non-zero iff a
+//! scheme violated a guarantee it was *expected* to keep — the
+//! `quorum(N=3,R=1,W=1)` positive control is expected to fail and does
+//! not affect the exit code.
+
+use bench::{save_json, Obs};
+use rec_core::fuzz::{campaign, FuzzScheme};
+
+fn main() {
+    let obs = Obs::from_args();
+    let mut intensity = "heavy".to_string();
+    let mut base_seed = 0u64;
+    let mut shrink = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let take = |flag: &str, args: &mut dyn Iterator<Item = String>| -> Option<String> {
+            if a == flag {
+                args.next()
+            } else {
+                a.strip_prefix(&format!("{flag}=")).map(str::to_string)
+            }
+        };
+        if let Some(name) = take("--intensity", &mut args) {
+            intensity = name;
+        } else if let Some(n) = take("--base-seed", &mut args) {
+            base_seed = n.parse().expect("--base-seed expects an integer");
+        } else if a == "--no-shrink" {
+            shrink = false;
+        }
+    }
+
+    let report = campaign(&FuzzScheme::ALL, obs.seeds, base_seed, &intensity, obs.jobs, shrink);
+    print!("{}", report.render());
+    save_json("fuzz_nemesis", &report);
+
+    let expected = report.expected_violations().len();
+    let unexpected = report.unexpected_violations().len();
+    println!(
+        "{} runs, {} expected violation(s) (positive control), {} unexpected",
+        report.total(),
+        expected,
+        unexpected
+    );
+    if unexpected > 0 {
+        eprintln!("FAIL: guarantees broke where they were expected to hold; reproducers in results/fuzz_nemesis.json");
+        std::process::exit(1);
+    }
+}

@@ -52,11 +52,15 @@ pub enum Counter {
     Crashes,
     /// Node recovery faults applied.
     Recoveries,
+    /// Recoveries that wiped volatile state (amnesia restarts).
+    AmnesiaRecoveries,
+    /// WAL records replayed into stores during amnesia recovery.
+    WalReplayedRecords,
 }
 
 impl Counter {
     /// All counters, in export order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 22] = [
         Counter::MessagesSent,
         Counter::MessagesDelivered,
         Counter::MessagesDropped,
@@ -77,6 +81,8 @@ impl Counter {
         Counter::PartitionsHealed,
         Counter::Crashes,
         Counter::Recoveries,
+        Counter::AmnesiaRecoveries,
+        Counter::WalReplayedRecords,
     ];
 
     /// Number of distinct counters.
@@ -105,6 +111,8 @@ impl Counter {
             Counter::PartitionsHealed => "partitions_healed",
             Counter::Crashes => "crashes",
             Counter::Recoveries => "recoveries",
+            Counter::AmnesiaRecoveries => "amnesia_recoveries",
+            Counter::WalReplayedRecords => "wal_replayed_records",
         }
     }
 }

@@ -163,6 +163,14 @@ pub enum EventKind {
         /// The recovered node.
         node: u64,
     },
+    /// `node` rebuilt its store by replaying its write-ahead log after an
+    /// amnesia (state-wiping) restart.
+    WalReplay {
+        /// The recovering node.
+        node: u64,
+        /// Number of log records replayed into the store.
+        records: u64,
+    },
 }
 
 impl EventKind {
@@ -181,6 +189,7 @@ impl EventKind {
             EventKind::PartitionHeal => "partition_heal",
             EventKind::Crash { .. } => "crash",
             EventKind::Recover { .. } => "recover",
+            EventKind::WalReplay { .. } => "wal_replay",
         }
     }
 
@@ -223,6 +232,9 @@ impl EventKind {
             EventKind::PartitionHeal => vec![(Counter::PartitionsHealed, None, 1)],
             EventKind::Crash { node } => vec![(Counter::Crashes, Some(node), 1)],
             EventKind::Recover { node } => vec![(Counter::Recoveries, Some(node), 1)],
+            EventKind::WalReplay { node, records } => {
+                vec![(Counter::WalReplayedRecords, Some(node), records)]
+            }
         }
     }
 }
@@ -315,6 +327,10 @@ impl TracedEvent {
             EventKind::Crash { node } | EventKind::Recover { node } => {
                 field(&mut s, "node", *node);
             }
+            EventKind::WalReplay { node, records } => {
+                field(&mut s, "node", *node);
+                field(&mut s, "records", *records);
+            }
         }
         s.push('}');
         s
@@ -365,6 +381,7 @@ mod tests {
             EventKind::PartitionHeal,
             EventKind::Crash { node: 2 },
             EventKind::Recover { node: 2 },
+            EventKind::WalReplay { node: 2, records: 5 },
         ];
         for kind in kinds {
             let tag = kind.type_name();

@@ -27,14 +27,21 @@
 //! For statistical depth, sweep variants × seeds through a [`Grid`]: the
 //! cells run concurrently on a worker pool and merge back in
 //! deterministic grid order (see [`grid`]).
+//!
+//! To go looking for guarantee violations instead of measuring healthy
+//! runs, aim the [`fuzz`] harness at the schemes: seeded nemesis
+//! schedules, consistency checking, and delta-debugged minimal
+//! reproducers (see `docs/NEMESIS.md`).
 
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod grid;
 pub mod metrics;
 pub mod runner;
 pub mod scheme;
 
+pub use fuzz::{CampaignReport, CaseReport, FuzzCase, FuzzScheme, Verdict, ViolationKind};
 pub use grid::{default_jobs, par_map, CellResult, Grid, RecorderSpec};
 pub use runner::{Experiment, RunResult};
 pub use scheme::{ClientPlacement, Scheme};

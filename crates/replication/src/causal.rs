@@ -15,7 +15,7 @@
 
 use crate::common::{ClientCore, OpOutcome, ScriptOp, TimerAction};
 use clocks::{LamportClock, LamportTimestamp, VersionVector};
-use kvstore::{Key, MvStore, Value};
+use kvstore::{Key, MvStore, Value, Wal};
 use obs::EventKind;
 use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
 use std::collections::BTreeMap;
@@ -87,6 +87,11 @@ pub enum Msg {
 pub struct CausalReplica {
     replicas: usize,
     store: MvStore,
+    /// Durable log of applied writes. The replication metadata (`applied`,
+    /// `versions`, `my_seq`) is modeled as fsynced alongside each append:
+    /// rolling the applied vector back after a restart would break
+    /// origin-seq contiguity and wedge dependency buffering forever.
+    wal: Wal,
     clock: LamportClock,
     /// `applied[r]` = how many of replica r's writes have been applied.
     applied: VersionVector,
@@ -108,6 +113,7 @@ impl CausalReplica {
         CausalReplica {
             replicas,
             store: MvStore::new(),
+            wal: Wal::new(),
             clock: LamportClock::new(),
             applied: VersionVector::new(),
             my_seq: 0,
@@ -145,6 +151,7 @@ impl CausalReplica {
             .is_some_and(|&(o, s)| !(o == w.origin && s < w.seq) && w.deps.get(o) < s);
         self.clock.observe(w.ts, 0);
         if self.store.put(w.key, Value::from_u64(w.value), w.ts, w.written_at) {
+            self.wal.append(w.key, Value::from_u64(w.value), w.ts, w.written_at);
             self.versions.insert(w.key, (w.origin, w.seq));
         }
         self.applied.observe(w.origin, w.seq);
@@ -174,6 +181,27 @@ impl CausalReplica {
 }
 
 impl Actor<Msg> for CausalReplica {
+    fn on_recover(&mut self, ctx: &mut Context<Msg>, amnesia: bool) {
+        if !amnesia {
+            return;
+        }
+        // Rebuild the store and clock from the WAL; `applied`, `versions`,
+        // and `my_seq` are durable (see the `wal` field). The dependency
+        // buffer is volatile: buffered writes were never acknowledged or
+        // counted in `applied`, so dropping them leaves the replica
+        // causally closed — it merely loses un-applied remote writes,
+        // which this protocol (no anti-entropy) also loses to a partition.
+        self.buffer.clear();
+        self.store = self.wal.recover(None);
+        for rec in self.wal.tail(0) {
+            self.clock.observe(rec.ts, 0);
+        }
+        ctx.record(EventKind::WalReplay {
+            node: ctx.self_id().0 as u64,
+            records: self.wal.len() as u64,
+        });
+    }
+
     fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
         let me = ctx.self_id();
         match msg {

@@ -21,7 +21,7 @@
 use crate::common::{ClientCore, Guarantees, IssueOp, OpOutcome, ScriptOp, TimerAction};
 use clocks::{LamportClock, LamportTimestamp, VersionVector};
 use crdt::{CvRdt, PnCounter};
-use kvstore::{siblings::Sibling, Key, MvStore, SiblingStore, Value};
+use kvstore::{siblings::Sibling, Key, MvStore, SiblingStore, Value, Wal};
 use obs::EventKind;
 use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
 use std::collections::BTreeMap;
@@ -191,6 +191,10 @@ const TAG_GOSSIP: u64 = 1;
 pub struct EventualReplica {
     cfg: EventualConfig,
     store: Store,
+    /// Durable log of adopted LWW versions; replayed on amnesia restart.
+    /// Sibling and counter state is modeled volatile (anti-entropy refills
+    /// it from peers), so only LWW mode writes here.
+    wal: Wal,
     clock: LamportClock,
 }
 
@@ -205,7 +209,7 @@ impl EventualReplica {
             ConflictMode::Siblings => Store::Sib(SiblingStore::new(u64::MAX)),
             ConflictMode::Counter => Store::Counter(BTreeMap::new()),
         };
-        EventualReplica { cfg, store, clock: LamportClock::new() }
+        EventualReplica { cfg, store, wal: Wal::new(), clock: LamportClock::new() }
     }
 
     /// Read access to the LWW store (experiments check convergence).
@@ -299,7 +303,11 @@ impl EventualReplica {
     // A guard with a side effect (clippy's collapse suggestion) would be
     // worse than the nested `if`.
     #[allow(clippy::collapsible_match)]
-    fn apply_items(&mut self, items: Vec<Item>) -> (usize, Vec<(Key, u64)>) {
+    fn apply_items(
+        &mut self,
+        ctx: &mut Context<Msg>,
+        items: Vec<Item>,
+    ) -> (usize, Vec<(Key, u64)>) {
         let mut changed = 0;
         let mut conflicts = Vec::new();
         for item in items {
@@ -307,7 +315,16 @@ impl EventualReplica {
                 (Store::Lww(s), Item::Lww { key, value, ts, written_at }) => {
                     // Keep the Lamport clock ahead of everything stored.
                     self.clock.observe(ts, 0);
-                    if s.put(key, Value::from_u64(value), ts, written_at) {
+                    let v = Value::from_u64(value);
+                    // Log exactly the adopted versions so a WAL replay
+                    // rebuilds this store byte-for-byte.
+                    if s.put(key, v.clone(), ts, written_at) {
+                        ctx.record(EventKind::WalAppend {
+                            node: ctx.self_id().0 as u64,
+                            key,
+                            bytes: v.len() as u64,
+                        });
+                        self.wal.append(key, v, ts, written_at);
                         changed += 1;
                     }
                 }
@@ -406,7 +423,15 @@ impl EventualReplica {
                 // everything the session has observed.
                 self.clock.observe(LamportTimestamp::new(observed.0, observed.1), me.0 as u64);
                 let ts = self.clock.tick(me.0 as u64);
-                s.put(key, Value::from_u64(value), ts, now_us);
+                let v = Value::from_u64(value);
+                if s.put(key, v.clone(), ts, now_us) {
+                    ctx.record(EventKind::WalAppend {
+                        node: me.0 as u64,
+                        key,
+                        bytes: v.len() as u64,
+                    });
+                    self.wal.append(key, v, ts, now_us);
+                }
                 ((ts.counter, ts.actor), vec![Item::Lww { key, value, ts, written_at: now_us }])
             }
             Store::Sib(s) => {
@@ -478,6 +503,37 @@ impl Actor<Msg> for EventualReplica {
         }
     }
 
+    fn on_recover(&mut self, ctx: &mut Context<Msg>, amnesia: bool) {
+        if amnesia {
+            let me = ctx.self_id();
+            match self.cfg.mode {
+                ConflictMode::Lww => {
+                    // LWW versions are durable: rebuild store and clock
+                    // from the WAL.
+                    self.store = Store::Lww(self.wal.recover(None));
+                    for rec in self.wal.tail(0) {
+                        self.clock.observe(rec.ts, 0);
+                    }
+                    ctx.record(EventKind::WalReplay {
+                        node: me.0 as u64,
+                        records: self.wal.len() as u64,
+                    });
+                }
+                // Sibling and counter state is modeled volatile: the
+                // replica restarts empty and anti-entropy refills it from
+                // peers — the convergence path the protocol already has.
+                ConflictMode::Siblings => self.store = Store::Sib(SiblingStore::new(u64::MAX)),
+                ConflictMode::Counter => self.store = Store::Counter(BTreeMap::new()),
+            }
+        }
+        // The crash killed the gossip timer chain; re-arm it with the same
+        // jitter `on_start` uses.
+        if let Some(g) = self.cfg.gossip {
+            let jitter = ctx.rng().below(g.interval.as_micros().max(1));
+            ctx.set_timer(Duration::from_micros(jitter), TAG_GOSSIP);
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
         match msg {
             Msg::Get { op_id, key } => self.handle_get(ctx, from, op_id, key),
@@ -485,7 +541,7 @@ impl Actor<Msg> for EventualReplica {
                 self.handle_put(ctx, from, op_id, key, value, observed, client_ctx)
             }
             Msg::Replicate { items } => {
-                let (_, conflicts) = self.apply_items(items);
+                let (_, conflicts) = self.apply_items(ctx, items);
                 Self::record_conflicts(ctx, conflicts);
             }
             Msg::SyncReq { digest, vv_digest } => {
@@ -494,7 +550,7 @@ impl Actor<Msg> for EventualReplica {
                 ctx.send(from, Msg::SyncResp { items, digest: my_digest, vv_digest: my_vv });
             }
             Msg::SyncResp { items, digest, vv_digest } => {
-                let (_, conflicts) = self.apply_items(items);
+                let (_, conflicts) = self.apply_items(ctx, items);
                 Self::record_conflicts(ctx, conflicts);
                 let back = self.missing_at_remote(&digest, &vv_digest);
                 if !back.is_empty() {
@@ -502,7 +558,7 @@ impl Actor<Msg> for EventualReplica {
                 }
             }
             Msg::SyncPush { items } => {
-                let (_, conflicts) = self.apply_items(items);
+                let (_, conflicts) = self.apply_items(ctx, items);
                 Self::record_conflicts(ctx, conflicts);
             }
             // Responses are client-side messages; a replica ignores them.

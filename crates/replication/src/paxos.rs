@@ -361,6 +361,39 @@ impl PaxosNode {
 }
 
 impl Actor<Msg> for PaxosNode {
+    fn on_recover(&mut self, ctx: &mut Context<Msg>, amnesia: bool) {
+        if amnesia {
+            // Classic Paxos durability: `promised`, `accepted`, and my
+            // ballot sit on stable storage (an acceptor fsyncs before
+            // answering), and the learner's `committed` log plus the write
+            // dedup table ride along. Everything else is volatile: the
+            // node restarts as a follower with empty quorum tallies and
+            // rebuilds the state machine by re-applying committed slots in
+            // order — without re-answering clients.
+            self.role = Role::Follower;
+            self.p1_promises = 0;
+            self.p1_adopted.clear();
+            self.p2_acks.clear();
+            self.p2_voters.clear();
+            self.leader_hint = None;
+            self.store = MvStore::new();
+            self.apply_index = 1;
+            self.apply_ready(ctx, false);
+            ctx.record(EventKind::WalReplay {
+                node: ctx.self_id().0 as u64,
+                records: self.apply_index - 1,
+            });
+        }
+        // The crash killed every timer: a recovered leader must resume its
+        // heartbeat chain, everyone else re-arms the election timer.
+        self.election_timer = None;
+        if self.role == Role::Leader {
+            ctx.set_timer(self.cfg.heartbeat, TAG_HEARTBEAT);
+        } else {
+            self.reset_election_timer(ctx);
+        }
+    }
+
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
         // Node 0 bids immediately so steady state establishes fast; others
         // arm their election timers.

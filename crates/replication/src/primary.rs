@@ -159,6 +159,10 @@ pub enum Msg {
     },
     /// Primary → backup: log suffix starting after the backup's ack point.
     Append {
+        /// The sender's view; backups ignore appends from stale views
+        /// (a crashed ex-primary that recovered may still ship its old
+        /// log until a higher-view heartbeat demotes it).
+        view: u64,
         /// Records in sequence order.
         records: Vec<LogRecord>,
     },
@@ -175,6 +179,8 @@ pub enum Msg {
     /// Primary → straggler backup: full-state catch-up when the log
     /// suffix it needs was discarded (promotion resets the log).
     Snapshot {
+        /// The sender's view; stale-view snapshots are ignored.
+        view: u64,
         /// Log position the snapshot covers.
         through: u64,
         /// Latest version per key: `(key, value, seq-stamp, written_at)`.
@@ -200,7 +206,13 @@ pub struct PrimaryReplica {
     pending: BTreeMap<u64, (NodeId, u64, bool, u64)>, // seq -> (client, op_id, done, issued_at µs)
     /// Backup: out-of-order buffer.
     reorder: BTreeMap<u64, LogRecord>,
+    /// Modeled on-disk checkpoint: set whenever the log is truncated
+    /// (snapshot install, promotion/demotion resets), so an amnesia
+    /// restart can rebuild the store as `checkpoint + WAL tail`.
+    durable_snapshot: Option<MvStore>,
     /// Current view (failover mode; 0 = the static deployment view).
+    /// Modeled durable, Viewstamped-Replication style: a recovering node
+    /// must not regress to an older view.
     view: u64,
     /// When the current primary was last heard from (µs).
     last_heartbeat_us: u64,
@@ -219,6 +231,7 @@ impl PrimaryReplica {
             acked: BTreeMap::new(),
             pending: BTreeMap::new(),
             reorder: BTreeMap::new(),
+            durable_snapshot: None,
             view: 0,
             last_heartbeat_us: 0,
             promotions: 0,
@@ -254,12 +267,23 @@ impl PrimaryReplica {
                 .scan(..)
                 .map(|(k, v)| (k, v.value.as_u64().unwrap_or(0), v.ts.counter, v.written_at))
                 .collect();
-            ctx.send(backup, Msg::Snapshot { through: self.wal.truncated_through(), items });
+            ctx.send(
+                backup,
+                Msg::Snapshot { view: self.view, through: self.wal.truncated_through(), items },
+            );
         }
         let records = self.wal.tail(from.max(self.wal.truncated_through())).to_vec();
         if !records.is_empty() {
-            ctx.send(backup, Msg::Append { records });
+            ctx.send(backup, Msg::Append { view: self.view, records });
         }
+    }
+
+    /// Truncate the log at the applied position, first checkpointing the
+    /// store so an amnesia restart can still rebuild everything the
+    /// discarded prefix contained.
+    fn checkpoint_and_reset_log(&mut self) {
+        self.durable_snapshot = Some(self.store.clone());
+        self.wal.reset_to(self.applied_seq);
     }
 
     fn is_primary(&self, me: NodeId) -> bool {
@@ -278,7 +302,7 @@ impl PrimaryReplica {
         self.promotions += 1;
         // Continue the sequence space from what this replica applied; any
         // un-replicated tail of the old primary is lost (async semantics).
-        self.wal.reset_to(self.applied_seq);
+        self.checkpoint_and_reset_log();
         self.acked.clear();
         self.reorder.clear();
         let peers: Vec<NodeId> = self.backups(me).collect();
@@ -308,14 +332,13 @@ impl PrimaryReplica {
         }
         let val = Value::from_u64(value);
         ctx.record(EventKind::WalAppend { node: me.0 as u64, key, bytes: val.len() as u64 });
-        let seq = self.wal.append(key, val, LamportTimestamp::new(0, 0), 0);
-        // Re-stamp with the assigned seq (the WAL assigns seq on append, so
-        // the record's ts must match it; append-then-fix keeps Wal simple).
+        // Stamp the record with the seq the WAL is about to assign, so a
+        // replay rebuilds the store with the exact same timestamps.
         let now_us = ctx.now().as_micros();
+        let seq = self.wal.next_seq();
         let ts = LamportTimestamp::new(seq, 0);
-        // Replace the just-appended record's stamp by re-appending through
-        // the store (the WAL keeps (0,0); recovery tests for this protocol
-        // use the store as ground truth).
+        let appended = self.wal.append(key, val, ts, now_us);
+        debug_assert_eq!(appended, seq);
         self.store.put(key, Value::from_u64(value), ts, now_us);
         match self.cfg.mode {
             PrimaryMode::Sync { acks_required } => {
@@ -356,8 +379,18 @@ impl PrimaryReplica {
         }
     }
 
-    fn apply_ready(&mut self) {
+    fn apply_ready(&mut self, ctx: &mut Context<Msg>) {
+        let me = ctx.self_id();
         while let Some(rec) = self.reorder.remove(&(self.applied_seq + 1)) {
+            // A backup's apply is durable: the record lands in its own
+            // WAL before the store, so an amnesia restart replays it.
+            ctx.record(EventKind::WalAppend {
+                node: me.0 as u64,
+                key: rec.key,
+                bytes: rec.value.len() as u64,
+            });
+            let seq = self.wal.append(rec.key, rec.value.clone(), rec.ts, rec.written_at);
+            debug_assert_eq!(seq, rec.seq);
             // Backup stores with the seq as stamp; written_at comes from
             // the record's origin time.
             self.store.put(
@@ -368,6 +401,29 @@ impl PrimaryReplica {
             );
             self.applied_seq += 1;
         }
+    }
+
+    /// Adopt a (possibly newer) view observed on an incoming message.
+    /// Returns `false` if the message came from a stale view and must be
+    /// ignored.
+    fn observe_view(&mut self, ctx: &mut Context<Msg>, view: u64) -> bool {
+        if view < self.view {
+            return false;
+        }
+        let was_primary = self.is_primary(ctx.self_id());
+        self.view = view;
+        self.last_heartbeat_us = ctx.now().as_micros();
+        if was_primary && !self.is_primary(ctx.self_id()) {
+            // Demoted: discard the un-replicated tail; future state
+            // arrives from the new primary. Restart the failover watch
+            // (its chain ended at promotion).
+            self.checkpoint_and_reset_log();
+            self.acked.clear();
+            if let Some(f) = self.cfg.failover {
+                ctx.set_timer(f.timeout, TAG_FAILOVER_CHECK);
+            }
+        }
+        true
     }
 }
 
@@ -386,6 +442,37 @@ impl Actor<Msg> for PrimaryReplica {
             }
         } else if let Some(f) = self.cfg.failover {
             self.last_heartbeat_us = ctx.now().as_micros();
+            ctx.set_timer(f.timeout, TAG_FAILOVER_CHECK);
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<Msg>, amnesia: bool) {
+        let me = ctx.self_id();
+        if amnesia {
+            // RAM is gone; the disk (WAL, checkpoint, view number)
+            // survives. Rebuild the store as checkpoint + log tail and
+            // drop everything that only lived in memory.
+            self.pending.clear();
+            self.reorder.clear();
+            self.acked.clear();
+            let replayed = self.wal.len() as u64;
+            self.store = self.wal.recover(self.durable_snapshot.as_ref());
+            self.applied_seq = self.wal.last_seq();
+            ctx.record(EventKind::WalReplay { node: me.0 as u64, records: replayed });
+        }
+        // The simulator dropped all pending timers at crash time; re-arm
+        // the periodic chains for whatever role the durable view implies.
+        self.last_heartbeat_us = ctx.now().as_micros();
+        if self.is_primary(me) {
+            let interval = match self.cfg.mode {
+                PrimaryMode::Async { ship_interval } => ship_interval,
+                PrimaryMode::Sync { .. } => Duration::from_millis(50),
+            };
+            ctx.set_timer(interval, TAG_SHIP);
+            if let Some(f) = self.cfg.failover {
+                ctx.set_timer(f.heartbeat, TAG_HEARTBEAT);
+            }
+        } else if let Some(f) = self.cfg.failover {
             ctx.set_timer(f.timeout, TAG_FAILOVER_CHECK);
         }
     }
@@ -467,34 +554,25 @@ impl Actor<Msg> for PrimaryReplica {
                     },
                 );
             }
-            Msg::Append { records } => {
-                self.last_heartbeat_us = ctx.now().as_micros();
+            Msg::Append { view, records } => {
+                if !self.observe_view(ctx, view) {
+                    return; // stale ex-primary still shipping its old log
+                }
                 for rec in records {
                     if rec.seq > self.applied_seq {
                         self.reorder.insert(rec.seq, rec);
                     }
                 }
-                self.apply_ready();
+                self.apply_ready(ctx);
                 ctx.send(from, Msg::AppendAck { seq: self.applied_seq });
             }
             Msg::Heartbeat { view } => {
-                if view >= self.view {
-                    let was_primary = self.is_primary(ctx.self_id());
-                    self.view = view;
-                    self.last_heartbeat_us = ctx.now().as_micros();
-                    if was_primary && !self.is_primary(ctx.self_id()) {
-                        // Demoted: discard the un-replicated tail; future
-                        // state arrives from the new primary. Restart the
-                        // failover watch (its chain ended at promotion).
-                        self.wal.reset_to(self.applied_seq);
-                        self.acked.clear();
-                        if let Some(f) = self.cfg.failover {
-                            ctx.set_timer(f.timeout, TAG_FAILOVER_CHECK);
-                        }
-                    }
-                }
+                self.observe_view(ctx, view);
             }
-            Msg::Snapshot { through, items } => {
+            Msg::Snapshot { view, through, items } => {
+                if !self.observe_view(ctx, view) {
+                    return;
+                }
                 if through > self.applied_seq {
                     for (key, value, seq, written_at) in items {
                         self.store.put(
@@ -505,8 +583,11 @@ impl Actor<Msg> for PrimaryReplica {
                         );
                     }
                     self.applied_seq = through;
+                    // The installed state is durable: checkpoint it and
+                    // realign the local log with the primary's seq space.
+                    self.checkpoint_and_reset_log();
                     self.reorder.retain(|&s, _| s > through);
-                    self.apply_ready();
+                    self.apply_ready(ctx);
                 }
                 ctx.send(from, Msg::AppendAck { seq: self.applied_seq });
             }

@@ -13,7 +13,7 @@
 
 use crate::common::{ClientCore, IssueOp, OpOutcome, ScriptOp, TimerAction};
 use clocks::{LamportClock, LamportTimestamp};
-use kvstore::{Key, MvStore, Value};
+use kvstore::{Key, MvStore, Value, Wal};
 use obs::{Counter, EventKind, QuorumKind};
 use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
 use std::collections::BTreeMap;
@@ -244,6 +244,9 @@ const TAG_OPTIMEOUT_BASE: u64 = 1_000_000;
 pub struct QuorumNode {
     cfg: QuorumConfig,
     store: MvStore,
+    /// Durable log of every version this replica has adopted. On an
+    /// amnesia restart the store is rebuilt by replaying it.
+    wal: Wal,
     clock: LamportClock,
     pending: BTreeMap<u64, PendingOp>,
     next_req: u64,
@@ -263,6 +266,7 @@ impl QuorumNode {
         QuorumNode {
             cfg,
             store: MvStore::new(),
+            wal: Wal::new(),
             clock: LamportClock::new(),
             pending: BTreeMap::new(),
             next_req: 0,
@@ -290,9 +294,19 @@ impl QuorumNode {
         })
     }
 
-    fn apply_version(&mut self, key: Key, v: WireVersion) {
+    fn apply_version(&mut self, ctx: &mut Context<Msg>, key: Key, v: WireVersion) {
         self.clock.observe(v.ts, 0);
-        self.store.put(key, Value::from_u64(v.value), v.ts, v.written_at);
+        let value = Value::from_u64(v.value);
+        // Log-before-apply, and only for versions the store actually
+        // adopts, so `wal.recover(None)` rebuilds this exact store.
+        if self.store.put(key, value.clone(), v.ts, v.written_at) {
+            ctx.record(EventKind::WalAppend {
+                node: ctx.self_id().0 as u64,
+                key,
+                bytes: value.len() as u64,
+            });
+            self.wal.append(key, value, v.ts, v.written_at);
+        }
     }
 
     fn start_read(&mut self, ctx: &mut Context<Msg>, client: NodeId, op_id: u64, key: Key) {
@@ -332,7 +346,7 @@ impl QuorumNode {
         let me = ctx.self_id();
         let ts = self.clock.tick(me.0 as u64);
         let version = WireVersion { value, ts, written_at: ctx.now().as_micros() };
-        self.store.put(key, Value::from_u64(value), ts, version.written_at);
+        self.apply_version(ctx, key, version);
         self.pending.insert(
             req_id,
             PendingOp::Write {
@@ -407,7 +421,7 @@ impl QuorumNode {
                     self.repairs_sent += 1;
                     ctx.recorder().count_node(me.0 as u64, Counter::ReadRepairs, 1);
                     if node == me {
-                        self.apply_version(key, best);
+                        self.apply_version(ctx, key, best);
                     } else {
                         ctx.send(node, Msg::Repair { key, version: best });
                     }
@@ -483,6 +497,32 @@ impl Actor<Msg> for QuorumNode {
         }
     }
 
+    fn on_recover(&mut self, ctx: &mut Context<Msg>, amnesia: bool) {
+        let me = ctx.self_id();
+        if amnesia {
+            // Coordinator bookkeeping and spare-held hints are volatile:
+            // in-flight ops are lost (their clients time out) and hinted
+            // writes die with the spare — the durability edge sloppy
+            // quorums trade away. The replica's own data is durable:
+            // rebuild the store and clock by replaying the WAL. The
+            // req/hint id counters survive (modeled as derived from a
+            // durable restart epoch) so stale pre-crash acks can never
+            // collide with post-restart request ids.
+            self.pending.clear();
+            self.hints.clear();
+            self.store = self.wal.recover(None);
+            for rec in self.wal.tail(0) {
+                self.clock.observe(rec.ts, 0);
+            }
+            ctx.record(EventKind::WalReplay { node: me.0 as u64, records: self.wal.len() as u64 });
+        }
+        // A crash killed every pending timer, so the spare's hint-retry
+        // chain must be re-armed in both recovery modes.
+        if me.0 >= self.cfg.n {
+            ctx.set_timer(self.cfg.handoff_interval, TAG_HINT_RETRY);
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut Context<Msg>, _id: u64, tag: u64) {
         if tag == TAG_HINT_RETRY {
             for (&hint_id, &(target, key, version)) in &self.hints {
@@ -521,7 +561,7 @@ impl Actor<Msg> for QuorumNode {
                                 // The late responder is *newer*: adopt it
                                 // locally so future reads here are fresher.
                                 let key = *key;
-                                self.apply_version(key, v);
+                                self.apply_version(ctx, key, v);
                             }
                             _ => {}
                         }
@@ -535,7 +575,7 @@ impl Actor<Msg> for QuorumNode {
                 self.try_finish_read(ctx, req_id);
             }
             Msg::RPut { req_id, key, version } => {
-                self.apply_version(key, version);
+                self.apply_version(ctx, key, version);
                 ctx.send(from, Msg::RPutAck { req_id });
             }
             Msg::RPutAck { req_id } => {
@@ -560,7 +600,7 @@ impl Actor<Msg> for QuorumNode {
                 }
             }
             Msg::HintDeliver { hint_id, key, version } => {
-                self.apply_version(key, version);
+                self.apply_version(ctx, key, version);
                 ctx.send(from, Msg::HintDeliverAck { hint_id });
             }
             Msg::HintDeliverAck { hint_id } => {
@@ -568,7 +608,7 @@ impl Actor<Msg> for QuorumNode {
                     self.hints_delivered += 1;
                 }
             }
-            Msg::Repair { key, version } => self.apply_version(key, version),
+            Msg::Repair { key, version } => self.apply_version(ctx, key, version),
             Msg::GetResp { .. } | Msg::PutResp { .. } => {}
         }
     }

@@ -46,16 +46,29 @@ pub enum FaultEvent {
         /// The node to crash.
         node: NodeId,
     },
-    /// Recover a crashed node (volatile state intact; protocols that need
-    /// amnesia semantics model it themselves).
+    /// Recover a crashed node.
     Recover {
         /// The node to recover.
         node: NodeId,
+        /// With `amnesia: false` (the default every existing builder
+        /// uses, preserving historical behavior) volatile state survives
+        /// the crash untouched. With `amnesia: true` the node restarts
+        /// *empty*: the actor's `on_recover` hook must rebuild state from
+        /// durable storage (WAL replay) — the semantics a real process
+        /// restart has.
+        amnesia: bool,
     },
     /// Set the global message-loss probability.
     SetLossRate {
         /// Probability in `[0, 1]` that any message is dropped.
         p: f64,
+    },
+    /// Scale all sampled network latencies by `factor_pct / 100` from now
+    /// on (100 = nominal; 400 = 4× skew). Integer percent keeps fault
+    /// schedules byte-stable under JSON round-trips.
+    SetLatencyFactor {
+        /// Latency multiplier in percent (clamped to at least 1).
+        factor_pct: u64,
     },
 }
 
@@ -64,8 +77,9 @@ pub enum FaultEvent {
 pub struct FaultSchedule {
     partitions: Vec<Partition>,
     crashes: Vec<(SimTime, NodeId)>,
-    recoveries: Vec<(SimTime, NodeId)>,
+    recoveries: Vec<(SimTime, NodeId, bool)>,
     loss_changes: Vec<(SimTime, f64)>,
+    latency_changes: Vec<(SimTime, u64)>,
 }
 
 impl FaultSchedule {
@@ -81,11 +95,22 @@ impl FaultSchedule {
         self
     }
 
-    /// Crash `node` at `at`, recovering at `until`.
+    /// Crash `node` at `at`, recovering at `until` with volatile state
+    /// intact (fail-pause semantics).
     pub fn crash(mut self, node: NodeId, at: SimTime, until: SimTime) -> Self {
         assert!(at <= until, "crash must recover after it happens");
         self.crashes.push((at, node));
-        self.recoveries.push((until, node));
+        self.recoveries.push((until, node, false));
+        self
+    }
+
+    /// Crash `node` at `at`, recovering at `until` with **amnesia**: the
+    /// node restarts empty and must rebuild from durable state (WAL
+    /// replay) in its `on_recover` hook — fail-recover semantics.
+    pub fn crash_amnesia(mut self, node: NodeId, at: SimTime, until: SimTime) -> Self {
+        assert!(at <= until, "crash must recover after it happens");
+        self.crashes.push((at, node));
+        self.recoveries.push((until, node, true));
         self
     }
 
@@ -93,6 +118,13 @@ impl FaultSchedule {
     pub fn loss_rate(mut self, at: SimTime, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "loss rate must be a probability");
         self.loss_changes.push((at, p));
+        self
+    }
+
+    /// Scale all sampled latencies by `factor_pct / 100` from `at` onward
+    /// (100 restores nominal latency).
+    pub fn latency_factor(mut self, at: SimTime, factor_pct: u64) -> Self {
+        self.latency_changes.push((at, factor_pct.max(1)));
         self
     }
 
@@ -106,11 +138,14 @@ impl FaultSchedule {
         for &(t, n) in &self.crashes {
             out.push((t, FaultEvent::Crash { node: n }));
         }
-        for &(t, n) in &self.recoveries {
-            out.push((t, FaultEvent::Recover { node: n }));
+        for &(t, n, amnesia) in &self.recoveries {
+            out.push((t, FaultEvent::Recover { node: n, amnesia }));
         }
         for &(t, p) in &self.loss_changes {
             out.push((t, FaultEvent::SetLossRate { p }));
+        }
+        for &(t, factor_pct) in &self.latency_changes {
+            out.push((t, FaultEvent::SetLatencyFactor { factor_pct }));
         }
         // Stable order: by time, then by construction order (Vec is stable).
         out.sort_by_key(|(t, _)| *t);
@@ -119,7 +154,7 @@ impl FaultSchedule {
 }
 
 /// Live fault state maintained by the simulator while running.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FaultState {
     /// Active partitions, by id, as the side-A membership set.
     active_partitions: Vec<(usize, HashSet<usize>)>,
@@ -127,6 +162,19 @@ pub struct FaultState {
     crashed: HashSet<usize>,
     /// Current message-loss probability.
     pub loss_rate: f64,
+    /// Current latency multiplier in percent (100 = nominal).
+    pub latency_factor_pct: u64,
+}
+
+impl Default for FaultState {
+    fn default() -> Self {
+        FaultState {
+            active_partitions: Vec::new(),
+            crashed: HashSet::new(),
+            loss_rate: 0.0,
+            latency_factor_pct: 100,
+        }
+    }
 }
 
 impl FaultState {
@@ -142,11 +190,14 @@ impl FaultState {
             FaultEvent::Crash { node } => {
                 self.crashed.insert(node.0);
             }
-            FaultEvent::Recover { node } => {
+            FaultEvent::Recover { node, .. } => {
                 self.crashed.remove(&node.0);
             }
             FaultEvent::SetLossRate { p } => {
                 self.loss_rate = *p;
+            }
+            FaultEvent::SetLatencyFactor { factor_pct } => {
+                self.latency_factor_pct = (*factor_pct).max(1);
             }
         }
     }
@@ -212,7 +263,7 @@ mod tests {
         assert!(!st.is_crashed(NodeId(3)));
         st.apply(&FaultEvent::Crash { node: NodeId(3) });
         assert!(st.is_crashed(NodeId(3)));
-        st.apply(&FaultEvent::Recover { node: NodeId(3) });
+        st.apply(&FaultEvent::Recover { node: NodeId(3), amnesia: false });
         assert!(!st.is_crashed(NodeId(3)));
     }
 
@@ -222,6 +273,48 @@ mod tests {
         assert_eq!(st.loss_rate, 0.0);
         st.apply(&FaultEvent::SetLossRate { p: 0.25 });
         assert_eq!(st.loss_rate, 0.25);
+    }
+
+    #[test]
+    fn latency_factor_applies_and_clamps() {
+        let mut st = FaultState::default();
+        assert_eq!(st.latency_factor_pct, 100);
+        st.apply(&FaultEvent::SetLatencyFactor { factor_pct: 400 });
+        assert_eq!(st.latency_factor_pct, 400);
+        st.apply(&FaultEvent::SetLatencyFactor { factor_pct: 0 });
+        assert_eq!(st.latency_factor_pct, 1, "factor clamps to at least 1%");
+    }
+
+    #[test]
+    fn crash_amnesia_compiles_to_amnesiac_recover() {
+        let s = FaultSchedule::none().crash(NodeId(1), t(10), t(20)).crash_amnesia(
+            NodeId(2),
+            t(30),
+            t(40),
+        );
+        let evs = s.compile();
+        assert!(evs
+            .iter()
+            .any(|(_, e)| *e == FaultEvent::Recover { node: NodeId(1), amnesia: false }));
+        assert!(evs
+            .iter()
+            .any(|(_, e)| *e == FaultEvent::Recover { node: NodeId(2), amnesia: true }));
+    }
+
+    #[test]
+    fn fault_events_roundtrip_through_json() {
+        // Reproducer corpus files serialize fault events; the round trip
+        // must preserve the amnesia knob and the latency factor exactly.
+        for ev in [
+            FaultEvent::Recover { node: NodeId(3), amnesia: true },
+            FaultEvent::Recover { node: NodeId(1), amnesia: false },
+            FaultEvent::SetLatencyFactor { factor_pct: 400 },
+            FaultEvent::Crash { node: NodeId(2) },
+        ] {
+            let json = serde_json::to_string(&ev).unwrap();
+            let back: FaultEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, ev, "{json}");
+        }
     }
 
     #[test]

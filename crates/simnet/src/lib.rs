@@ -56,6 +56,7 @@
 pub mod event;
 pub mod faults;
 pub mod latency;
+pub mod nemesis;
 pub mod optrace;
 pub mod rng;
 pub mod sim;
@@ -65,6 +66,7 @@ pub mod time;
 pub use event::{Event, EventPayload};
 pub use faults::{FaultEvent, FaultSchedule, Partition};
 pub use latency::LatencyModel;
+pub use nemesis::{IntensityProfile, NemesisEvent};
 pub use optrace::{OpKind, OpRecord, OpTrace, SharedTrace};
 pub use rng::SimRng;
 pub use sim::{Actor, Context, NodeId, Sim, SimConfig};

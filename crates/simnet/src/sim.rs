@@ -46,8 +46,13 @@ pub trait Actor<M> {
     /// its messages and timers).
     fn on_crash(&mut self, _ctx: &mut Context<M>) {}
 
-    /// The node has recovered from a crash.
-    fn on_recover(&mut self, _ctx: &mut Context<M>) {}
+    /// The node has recovered from a crash. With `amnesia == false` the
+    /// actor's in-memory state survived (fail-pause); with `amnesia ==
+    /// true` the actor must treat its volatile state as lost and rebuild
+    /// from whatever it models as durable (typically a WAL replay).
+    /// Either way the simulator has already dropped the node's pending
+    /// timers, so periodic timer chains must be re-armed here.
+    fn on_recover(&mut self, _ctx: &mut Context<M>, _amnesia: bool) {}
 }
 
 /// Effects an actor requests during a callback; applied by the simulator
@@ -344,7 +349,17 @@ impl<M> Sim<M> {
                     let delay = if to == id {
                         Duration::from_micros(1)
                     } else {
-                        self.latency.sample(id, to, &mut self.rng)
+                        let base = self.latency.sample(id, to, &mut self.rng);
+                        // Latency-skew fault: scale by the active factor
+                        // (integer percent arithmetic keeps runs exactly
+                        // reproducible).
+                        if self.faults.latency_factor_pct == 100 {
+                            base
+                        } else {
+                            Duration::from_micros(
+                                (base.as_micros() * self.faults.latency_factor_pct / 100).max(1),
+                            )
+                        }
                     };
                     self.queue.push(self.now + delay, EventPayload::Deliver { from: id, to, msg });
                 }
@@ -423,11 +438,14 @@ impl<M> Sim<M> {
                         self.faults.apply(&fev);
                         self.call_actor(node, |actor, ctx| actor.on_crash(ctx));
                     }
-                    Recover { node } => {
-                        let node = *node;
+                    Recover { node, amnesia } => {
+                        let (node, amnesia) = (*node, *amnesia);
                         self.recorder.record(now_us, EventKind::Recover { node: node.0 as u64 });
+                        if amnesia {
+                            self.recorder.count_node(node.0 as u64, Counter::AmnesiaRecoveries, 1);
+                        }
                         self.faults.apply(&fev);
-                        self.call_actor(node, |actor, ctx| actor.on_recover(ctx));
+                        self.call_actor(node, |actor, ctx| actor.on_recover(ctx, amnesia));
                     }
                     PartitionStart { side_a, .. } => {
                         self.recorder.record(

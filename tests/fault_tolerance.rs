@@ -216,6 +216,100 @@ fn gossip_repairs_divergence_after_partition_heals() {
     assert_eq!(report.converged_keys, 5, "all five keys verified at all replicas");
 }
 
+/// Crash replica 1 of a majority quorum at 3s, recover at 8s, in the
+/// given recovery mode, with counters on.
+fn run_quorum_crash(amnesia: bool, seed: u64) -> rethinking_ec::core::RunResult {
+    let at = SimTime::from_secs(3);
+    let until = SimTime::from_secs(8);
+    let faults = if amnesia {
+        FaultSchedule::none().crash_amnesia(NodeId(1), at, until)
+    } else {
+        FaultSchedule::none().crash(NodeId(1), at, until)
+    };
+    Experiment::new(Scheme::quorum(3, 2, 2))
+        .workload(workload(4, 200))
+        .latency(LatencyModel::Uniform {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+        })
+        .faults(faults)
+        .seed(seed)
+        .horizon(SimTime::from_secs(25))
+        .recorder(rethinking_ec::obs::Recorder::enabled())
+        .run()
+}
+
+#[test]
+fn quorum_survives_fail_pause_crash() {
+    use rethinking_ec::obs::Counter;
+    let res = run_quorum_crash(false, 8);
+    // Fail-pause: the replica comes back with its memory intact — no
+    // amnesia recovery, no WAL replay.
+    assert_eq!(res.metrics.counter(Counter::AmnesiaRecoveries), 0);
+    assert_eq!(res.metrics.counter(Counter::WalReplayedRecords), 0);
+    let staleness = rethinking_ec::consistency::measure_staleness(&res.trace);
+    assert_eq!(staleness.stale_reads, 0, "R+W>N must stay fresh through a fail-pause crash");
+    assert!(availability_during(&res, 12_000.0, 25_000.0) > 0.999, "full recovery after restart");
+}
+
+#[test]
+fn quorum_survives_amnesia_crash_by_replaying_its_wal() {
+    use rethinking_ec::obs::Counter;
+    let res = run_quorum_crash(true, 8);
+    // Amnesia: volatile state is wiped; the store must be rebuilt from
+    // the durable log (the replica had adopted writes before 3s, so the
+    // replay is non-trivial).
+    assert_eq!(res.metrics.counter(Counter::AmnesiaRecoveries), 1);
+    assert!(
+        res.metrics.counter(Counter::WalReplayedRecords) > 0,
+        "amnesia recovery must replay the WAL"
+    );
+    // Every version the restarted replica acked before the crash was
+    // logged before it was applied, so R+W>N intersection still holds:
+    // no acked write may be forgotten.
+    let staleness = rethinking_ec::consistency::measure_staleness(&res.trace);
+    assert_eq!(staleness.stale_reads, 0, "WAL replay must preserve every acked write");
+    assert!(availability_during(&res, 12_000.0, 25_000.0) > 0.999, "full recovery after replay");
+}
+
+#[test]
+fn amnesia_and_fail_pause_agree_on_client_outcomes_for_paxos() {
+    // Paxos keeps its acceptor state (promised/accepted/committed) on
+    // stable storage, so client-visible safety is identical in both
+    // recovery modes: linearizable either way, and ops issued well after
+    // the restart succeed.
+    for amnesia in [false, true] {
+        let at = SimTime::from_secs(3);
+        let until = SimTime::from_secs(7);
+        let faults = if amnesia {
+            FaultSchedule::none().crash_amnesia(NodeId(2), at, until)
+        } else {
+            FaultSchedule::none().crash(NodeId(2), at, until)
+        };
+        let res = Experiment::new(Scheme::Paxos { nodes: 3 })
+            .workload(workload(4, 220))
+            .latency(LatencyModel::Uniform {
+                min: Duration::from_millis(1),
+                max: Duration::from_millis(8),
+            })
+            .faults(faults)
+            .seed(9)
+            .horizon(SimTime::from_secs(60))
+            .run();
+        rethinking_ec::consistency::check_trace_linearizable(&res.trace)
+            .unwrap_or_else(|e| panic!("paxos (amnesia={amnesia}) not linearizable: {e:?}"));
+        let late: Vec<_> =
+            res.trace.records().iter().filter(|r| r.invoked > SimTime::from_secs(8)).collect();
+        assert!(!late.is_empty());
+        let ok = late.iter().filter(|r| r.ok).count();
+        assert!(
+            ok as f64 / late.len() as f64 > 0.95,
+            "paxos (amnesia={amnesia}) must keep serving after restart ({ok}/{})",
+            late.len()
+        );
+    }
+}
+
 #[test]
 fn message_loss_slows_but_does_not_wedge_quorums() {
     let faults = FaultSchedule::none().loss_rate(SimTime::ZERO, 0.10);

@@ -1,0 +1,115 @@
+//! Integration: the nemesis fuzzer is deterministic end to end, finds
+//! the seeded known-violation (R+W<=N quorum), and shrinks it to a
+//! minimal reproducer that replays byte-identically from its JSON.
+
+use rethinking_ec::core::fuzz::{
+    campaign, generate_case, run_case, shrink_case, FuzzScheme, Verdict, ViolationKind,
+};
+use rethinking_ec::simnet::nemesis::{self, IntensityProfile};
+
+/// The whole campaign — schedules, verdicts, shrunk reproducers, JSON —
+/// must not depend on the worker count (ISSUE 3 acceptance: `--jobs N`
+/// byte-identical for any N).
+#[test]
+fn campaign_is_byte_identical_across_jobs() {
+    let run = |jobs| campaign(&FuzzScheme::ALL, 6, 0, "medium", jobs, true);
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial, parallel);
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "campaign JSON must be byte-identical for any --jobs"
+    );
+    assert_eq!(serial.render(), parallel.render());
+}
+
+/// Same (scheme, seed, profile) twice — same generated schedule and the
+/// same verdict, across independent campaign invocations.
+#[test]
+fn repeated_campaigns_agree() {
+    let a = campaign(&[FuzzScheme::PartialQuorum], 8, 0, "heavy", 4, false);
+    let b = campaign(&[FuzzScheme::PartialQuorum], 8, 0, "heavy", 4, false);
+    assert_eq!(a, b);
+}
+
+/// The seeded known-violation: a partial quorum (N=3, R=1, W=1) must
+/// produce stale reads under generated fault schedules, and the shrunk
+/// reproducer must stay minimal (<= 8 compiled fault events) and replay
+/// to the same violation after a JSON round trip.
+#[test]
+fn partial_quorum_violation_found_shrunk_and_replayed() {
+    let profile = IntensityProfile::heavy();
+    let mut found = None;
+    for seed in 0..30u64 {
+        let case = generate_case(FuzzScheme::PartialQuorum, seed, &profile);
+        if let Verdict::Violation { kind, .. } = run_case(&case) {
+            assert_eq!(kind, ViolationKind::StaleReads);
+            found = Some(case);
+            break;
+        }
+    }
+    let case = found.expect("30 heavy schedules never broke an R+W<=N quorum");
+
+    let shrunk = shrink_case(&case);
+    assert!(shrunk.events.len() <= case.events.len());
+    let verdict = run_case(&shrunk);
+    assert!(
+        matches!(verdict, Verdict::Violation { kind: ViolationKind::StaleReads, .. }),
+        "shrunk case lost the violation: {verdict:?}"
+    );
+    let compiled = nemesis::to_schedule(&shrunk.events).compile();
+    assert!(
+        compiled.len() <= 8,
+        "reproducer should be minimal: {} compiled fault events",
+        compiled.len()
+    );
+
+    // JSON round trip replays byte-identically: same parsed case, same
+    // re-encoding, same verdict.
+    let json = serde_json::to_string(&shrunk).unwrap();
+    let replayed: rethinking_ec::core::fuzz::FuzzCase = serde_json::from_str(&json).unwrap();
+    assert_eq!(replayed, shrunk);
+    assert_eq!(serde_json::to_string(&replayed).unwrap(), json);
+    assert_eq!(run_case(&replayed), verdict);
+}
+
+/// Shrinking is deterministic: the same violating case always reduces
+/// to the same minimal schedule.
+#[test]
+fn shrinking_is_deterministic() {
+    let profile = IntensityProfile::heavy();
+    for seed in 0..30u64 {
+        let case = generate_case(FuzzScheme::PartialQuorum, seed, &profile);
+        if run_case(&case) != Verdict::Pass {
+            assert_eq!(shrink_case(&case), shrink_case(&case));
+            return;
+        }
+    }
+    panic!("no violating case found to shrink");
+}
+
+/// The guarantees that are supposed to survive the nemesis actually do,
+/// on a fixed seed window (the same check CI runs at scale in release
+/// mode). Any violation here comes with a shrunk reproducer in the
+/// report, so the failure message is actionable.
+#[test]
+fn strong_schemes_hold_under_medium_nemesis() {
+    let report = campaign(
+        &[FuzzScheme::Paxos, FuzzScheme::MajorityQuorum, FuzzScheme::PrimarySync],
+        4,
+        0,
+        "medium",
+        4,
+        true,
+    );
+    let unexpected = report.unexpected_violations();
+    assert!(
+        unexpected.is_empty(),
+        "guarantees broke under the nemesis: {:?}",
+        unexpected
+            .iter()
+            .map(|c| (c.scheme, c.seed, c.verdict, c.reproducer.clone()))
+            .collect::<Vec<_>>()
+    );
+}
