@@ -10,6 +10,11 @@
 //! Flags: `--seeds N` schedules per scheme, `--jobs N` workers,
 //! `--intensity light|medium|heavy`, `--base-seed N`, `--no-shrink`.
 //!
+//! `--replay <reproducer.json>` runs a single shrunk reproducer (the
+//! `FuzzCase` JSON embedded in the campaign report) instead of a
+//! campaign; with `--trace-out <path>` the replay emits its full JSONL
+//! event log — span open/close pairs included — for `tracequery`.
+//!
 //! Output is byte-identical for any `--jobs` value: the summary table,
 //! `results/fuzz_nemesis.json` (the full campaign report including every
 //! shrunk reproducer), and the process exit code. Exits non-zero iff a
@@ -18,13 +23,17 @@
 //! not affect the exit code.
 
 use bench::{save_json, Obs};
-use rec_core::fuzz::{campaign, FuzzScheme};
+use obs::Recorder;
+use rec_core::fuzz::{campaign, run_case_recorded, FuzzCase, FuzzScheme};
+use std::path::PathBuf;
 
 fn main() {
     let obs = Obs::from_args();
     let mut intensity = "heavy".to_string();
     let mut base_seed = 0u64;
     let mut shrink = true;
+    let mut replay: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let take = |flag: &str, args: &mut dyn Iterator<Item = String>| -> Option<String> {
@@ -38,9 +47,18 @@ fn main() {
             intensity = name;
         } else if let Some(n) = take("--base-seed", &mut args) {
             base_seed = n.parse().expect("--base-seed expects an integer");
+        } else if let Some(p) = take("--replay", &mut args) {
+            replay = Some(PathBuf::from(p));
+        } else if let Some(p) = take("--trace-out", &mut args) {
+            trace_out = Some(PathBuf::from(p));
         } else if a == "--no-shrink" {
             shrink = false;
         }
+    }
+
+    if let Some(path) = replay {
+        replay_case(&path, trace_out.as_deref());
+        return;
     }
 
     let report = campaign(&FuzzScheme::ALL, obs.seeds, base_seed, &intensity, obs.jobs, shrink);
@@ -58,5 +76,39 @@ fn main() {
     if unexpected > 0 {
         eprintln!("FAIL: guarantees broke where they were expected to hold; reproducers in results/fuzz_nemesis.json");
         std::process::exit(1);
+    }
+}
+
+/// Replay one shrunk reproducer with full observability and optionally
+/// export its span-level JSONL trace.
+fn replay_case(path: &std::path::Path, trace_out: Option<&std::path::Path>) {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read reproducer {}: {e}", path.display()));
+    let case: FuzzCase = serde_json::from_str(&json)
+        .unwrap_or_else(|e| panic!("{} is not a FuzzCase reproducer: {e}", path.display()));
+    let recorder =
+        if trace_out.is_some() { Recorder::with_event_log() } else { Recorder::enabled() };
+    let verdict = run_case_recorded(&case, recorder.clone());
+    let report = recorder.report();
+    println!(
+        "replay: scheme={} seed={} events={} verdict={verdict:?}",
+        case.scheme.label(),
+        case.seed,
+        case.events.len()
+    );
+    println!(
+        "spans: opened={} closed={} abandoned={}",
+        report.counter(obs::Counter::SpansOpened),
+        report.counter(obs::Counter::SpansClosed),
+        report.counter(obs::Counter::SpansAbandoned),
+    );
+    if let Some(out) = trace_out {
+        match recorder.write_jsonl(out) {
+            Ok(()) => println!("[trace saved to {}]", out.display()),
+            Err(e) => {
+                eprintln!("warning: could not write {}: {e}", out.display());
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -10,6 +10,13 @@
 //! The event log is the same one exported as JSONL via `--trace-out`, so
 //! attribution works both in-process (on [`obs::Recorder::events`]) and
 //! offline on a parsed trace.
+//!
+//! With causal tracing enabled the log also carries span open/close
+//! pairs, and attribution walks them: [`spans_at`] lists the operation
+//! steps in flight at the violation instant, and [`causal_chain`]
+//! follows a span's parent links up to its trace root — the exact path
+//! the stale operation took through the system. `tracequery explain`
+//! (crate `obs-tools`) is the offline front-end for both.
 
 use obs::{EventKind, TracedEvent};
 use serde::{Deserialize, Serialize};
@@ -29,6 +36,90 @@ pub struct ViolationContext {
     /// Time since the most recent anti-entropy round anywhere in the
     /// cluster (µs), if any round happened before `t_us`.
     pub since_anti_entropy_us: Option<u64>,
+    /// Operation steps (spans) in flight at `t_us`: opened at or before
+    /// it and not yet closed. Empty when the trace was recorded without
+    /// span events.
+    pub in_flight_spans: Vec<SpanAt>,
+}
+
+/// One operation step (span) as seen by the attribution walk: its
+/// identity in the span tree plus its virtual-time bounds.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanAt {
+    /// The trace this span belongs to.
+    pub trace: u64,
+    /// The span id.
+    pub span: u64,
+    /// Parent span id (0 for a trace root).
+    pub parent: u64,
+    /// The node the step ran on.
+    pub node: u64,
+    /// Static step name (e.g. `op_read`, `quorum_write`).
+    pub name: String,
+    /// When the span opened (simulation µs).
+    pub open_t_us: u64,
+    /// When the span closed, if the log contains its close event.
+    pub close_t_us: Option<u64>,
+    /// Close status name (`ok`, `failed`, `abandoned`), if closed.
+    pub status: Option<String>,
+}
+
+/// Collect every span in the log, in open order, with close times and
+/// statuses filled in from matching [`EventKind::SpanClose`] events.
+/// The offline trace tools build span trees from this.
+pub fn all_spans(events: &[TracedEvent]) -> Vec<SpanAt> {
+    let mut spans: Vec<SpanAt> = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::SpanOpen { trace, span, parent, node, name } => spans.push(SpanAt {
+                trace: *trace,
+                span: *span,
+                parent: *parent,
+                node: *node,
+                name: (*name).to_string(),
+                open_t_us: ev.t_us,
+                close_t_us: None,
+                status: None,
+            }),
+            EventKind::SpanClose { span, status, .. } => {
+                if let Some(s) = spans.iter_mut().rev().find(|s| s.span == *span) {
+                    s.close_t_us = Some(ev.t_us);
+                    s.status = Some(status.name().to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
+/// The spans in flight at `t_us`: opened at or before it and either
+/// never closed or closed strictly after it. Returned in open order
+/// (which is also span-id order, since ids are allocated serially).
+pub fn spans_at(events: &[TracedEvent], t_us: u64) -> Vec<SpanAt> {
+    all_spans(events)
+        .into_iter()
+        .filter(|s| s.open_t_us <= t_us && s.close_t_us.is_none_or(|c| c > t_us))
+        .collect()
+}
+
+/// The causal chain of span `span_id`: the span itself followed by its
+/// ancestors up to the trace root (parent links from the span-open
+/// events). Empty if the span is not in the log.
+pub fn causal_chain(events: &[TracedEvent], span_id: u64) -> Vec<SpanAt> {
+    let spans = all_spans(events);
+    let mut chain = Vec::new();
+    let mut cursor = span_id;
+    while cursor != 0 {
+        match spans.iter().find(|s| s.span == cursor) {
+            Some(s) => {
+                cursor = s.parent;
+                chain.push(s.clone());
+            }
+            None => break,
+        }
+    }
+    chain
 }
 
 impl ViolationContext {
@@ -83,6 +174,7 @@ pub fn attribute_violation(events: &[TracedEvent], t_us: u64, window_us: u64) ->
         drops_by_reason: drops,
         crashed_nodes: crashed,
         since_anti_entropy_us: last_ae.map(|ae| t_us.saturating_sub(ae)),
+        in_flight_spans: spans_at(events, t_us),
     }
 }
 
@@ -155,10 +247,22 @@ mod tests {
                     from: 0,
                     to: 2,
                     reason: DropReason::CrashedDestination,
+                    trace: 0,
+                    span: 0,
                 },
             ),
             ev(2, 300, EventKind::Recover { node: 2 }),
-            ev(3, 400, EventKind::MessageDropped { from: 1, to: 0, reason: DropReason::Loss }),
+            ev(
+                3,
+                400,
+                EventKind::MessageDropped {
+                    from: 1,
+                    to: 0,
+                    reason: DropReason::Loss,
+                    trace: 0,
+                    span: 0,
+                },
+            ),
         ];
         let ctx = attribute_violation(&events, 250, 100);
         assert_eq!(ctx.crashed_nodes, vec![2]);
@@ -167,6 +271,37 @@ mod tests {
         assert!(ctx.crashed_nodes.is_empty());
         assert_eq!(ctx.drops_by_reason, vec![("loss".to_string(), 1)]);
         assert!(ctx.verdict().contains("dropped"));
+    }
+
+    #[test]
+    fn spans_at_and_causal_chain_walk_the_tree() {
+        use obs::SpanStatus;
+        // Trace 1: root span 1 (node 9) -> child span 2 (node 3).
+        let events = vec![
+            ev(0, 100, EventKind::SpanOpen { trace: 1, span: 1, parent: 0, node: 9, name: "op" }),
+            ev(
+                1,
+                200,
+                EventKind::SpanOpen { trace: 1, span: 2, parent: 1, node: 3, name: "replica" },
+            ),
+            ev(2, 300, EventKind::SpanClose { trace: 1, span: 2, node: 3, status: SpanStatus::Ok }),
+            ev(3, 500, EventKind::SpanClose { trace: 1, span: 1, node: 9, status: SpanStatus::Ok }),
+        ];
+        // At t=250 both spans are in flight; at t=400 only the root.
+        let at = spans_at(&events, 250);
+        assert_eq!(at.iter().map(|s| s.span).collect::<Vec<_>>(), vec![1, 2]);
+        let at = spans_at(&events, 400);
+        assert_eq!(at.iter().map(|s| s.span).collect::<Vec<_>>(), vec![1]);
+        // The chain from the child reaches the root via the parent link.
+        let chain = causal_chain(&events, 2);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].name, "replica");
+        assert_eq!(chain[0].close_t_us, Some(300));
+        assert_eq!(chain[1].name, "op");
+        assert_eq!(chain[1].parent, 0);
+        // attribute_violation carries the in-flight spans along.
+        let ctx = attribute_violation(&events, 250, 0);
+        assert_eq!(ctx.in_flight_spans.len(), 2);
     }
 
     #[test]

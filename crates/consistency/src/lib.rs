@@ -33,7 +33,8 @@ pub mod session;
 pub mod staleness;
 
 pub use attribution::{
-    attribute_violation, summarize_attributions, AttributionSummary, ViolationContext,
+    all_spans, attribute_violation, causal_chain, spans_at, summarize_attributions,
+    AttributionSummary, SpanAt, ViolationContext,
 };
 pub use causal::{check_causal, CausalReport};
 pub use convergence::{check_convergence, ConvergenceReport, Divergence};

@@ -1,0 +1,220 @@
+//! Span conservation checks.
+//!
+//! The recorder guarantees (and the determinism tests rely on) a set of
+//! structural invariants over span events — chiefly the conservation
+//! identity `spans_opened == spans_closed`, with `abandoned` closes
+//! marking spans cut short by the horizon, a crash, or a leader
+//! demotion. This module re-verifies those invariants offline on a
+//! parsed trace, so a truncated or hand-edited file fails loudly
+//! (`tracequery check` exits non-zero).
+
+use obs::{EventKind, SpanStatus, TracedEvent};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Outcome of [`check_spans`] over one trace file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Events examined.
+    pub events: usize,
+    /// Distinct traces seen in span events.
+    pub traces: usize,
+    /// Spans opened.
+    pub opened: u64,
+    /// Spans closed (any status).
+    pub closed: u64,
+    /// Spans closed with status `abandoned` (subset of `closed`).
+    pub abandoned: u64,
+    /// Invariant violations, in detection order. Empty means the trace
+    /// is well-formed.
+    pub errors: Vec<String>,
+}
+
+impl CheckReport {
+    /// Whether every invariant held.
+    pub fn ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} event(s), {} trace(s): {} span(s) opened, {} closed ({} abandoned)",
+            self.events, self.traces, self.opened, self.closed, self.abandoned
+        )?;
+        for e in &self.errors {
+            writeln!(f, "ERROR: {e}")?;
+        }
+        write!(f, "{}", if self.ok() { "span conservation: OK" } else { "span conservation: FAIL" })
+    }
+}
+
+/// State of one span while scanning the log.
+struct Open {
+    trace: u64,
+    t_us: u64,
+    closed: bool,
+}
+
+/// Verify the span invariants over an event log:
+///
+/// 1. span ids are unique — no second `span_open` for an id;
+/// 2. every `span_close` matches a prior `span_open` with the same
+///    trace, at the same or a later time;
+/// 3. no span closes twice;
+/// 4. a non-root span's parent opened earlier in the same trace;
+/// 5. every opened span is closed by end of log (the recorder closes
+///    survivors as `abandoned` at teardown, so an unclosed span means a
+///    truncated or corrupted file).
+pub fn check_spans(events: &[TracedEvent]) -> CheckReport {
+    let mut report = CheckReport { events: events.len(), ..CheckReport::default() };
+    let mut open: BTreeMap<u64, Open> = BTreeMap::new();
+    let mut traces: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::SpanOpen { trace, span, parent, .. } => {
+                report.opened += 1;
+                traces.insert(*trace);
+                if *trace == 0 || *span == 0 {
+                    report.errors.push(format!(
+                        "span_open seq={} uses reserved id 0 (trace={trace}, span={span})",
+                        ev.seq
+                    ));
+                }
+                if *parent != 0 {
+                    match open.get(parent) {
+                        None => report.errors.push(format!(
+                            "span {span} (seq={}) opened under unknown parent {parent}",
+                            ev.seq
+                        )),
+                        Some(p) if p.trace != *trace => report.errors.push(format!(
+                            "span {span} of trace {trace} has parent {parent} in trace {}",
+                            p.trace
+                        )),
+                        Some(_) => {}
+                    }
+                }
+                if open
+                    .insert(*span, Open { trace: *trace, t_us: ev.t_us, closed: false })
+                    .is_some()
+                {
+                    report.errors.push(format!("span {span} opened twice (seq={})", ev.seq));
+                }
+            }
+            EventKind::SpanClose { trace, span, status, .. } => {
+                report.closed += 1;
+                if *status == SpanStatus::Abandoned {
+                    report.abandoned += 1;
+                }
+                match open.get_mut(span) {
+                    None => report
+                        .errors
+                        .push(format!("span {span} closed (seq={}) but never opened", ev.seq)),
+                    Some(o) => {
+                        if o.closed {
+                            report
+                                .errors
+                                .push(format!("span {span} closed twice (seq={})", ev.seq));
+                        }
+                        if o.trace != *trace {
+                            report.errors.push(format!(
+                                "span {span} closed under trace {trace} but opened under {}",
+                                o.trace
+                            ));
+                        }
+                        if ev.t_us < o.t_us {
+                            report.errors.push(format!(
+                                "span {span} closes at {}µs before it opens at {}µs",
+                                ev.t_us, o.t_us
+                            ));
+                        }
+                        o.closed = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for (span, o) in &open {
+        if !o.closed {
+            report.errors.push(format!(
+                "span {span} (trace {}) opened at {}µs and never closed",
+                o.trace, o.t_us
+            ));
+        }
+    }
+    report.traces = traces.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, t_us: u64, kind: EventKind) -> TracedEvent {
+        TracedEvent { seq, t_us, kind }
+    }
+
+    #[test]
+    fn well_formed_trace_passes() {
+        let events = vec![
+            ev(0, 10, EventKind::SpanOpen { trace: 1, span: 1, parent: 0, node: 0, name: "op" }),
+            ev(1, 20, EventKind::SpanOpen { trace: 1, span: 2, parent: 1, node: 1, name: "hop" }),
+            ev(2, 30, EventKind::SpanClose { trace: 1, span: 2, node: 1, status: SpanStatus::Ok }),
+            ev(
+                3,
+                40,
+                EventKind::SpanClose { trace: 1, span: 1, node: 0, status: SpanStatus::Abandoned },
+            ),
+        ];
+        let report = check_spans(&events);
+        assert!(report.ok(), "{report}");
+        assert_eq!((report.opened, report.closed, report.abandoned), (2, 2, 1));
+        assert_eq!(report.traces, 1);
+        assert!(report.to_string().contains("OK"));
+    }
+
+    #[test]
+    fn detects_each_violation_kind() {
+        // Unclosed span.
+        let events = vec![ev(
+            0,
+            10,
+            EventKind::SpanOpen { trace: 1, span: 1, parent: 0, node: 0, name: "x" },
+        )];
+        assert!(check_spans(&events).errors[0].contains("never closed"));
+
+        // Close without open.
+        let events = vec![ev(
+            0,
+            10,
+            EventKind::SpanClose { trace: 1, span: 9, node: 0, status: SpanStatus::Ok },
+        )];
+        assert!(check_spans(&events).errors[0].contains("never opened"));
+
+        // Double close.
+        let events = vec![
+            ev(0, 10, EventKind::SpanOpen { trace: 1, span: 1, parent: 0, node: 0, name: "x" }),
+            ev(1, 20, EventKind::SpanClose { trace: 1, span: 1, node: 0, status: SpanStatus::Ok }),
+            ev(2, 30, EventKind::SpanClose { trace: 1, span: 1, node: 0, status: SpanStatus::Ok }),
+        ];
+        assert!(check_spans(&events).errors[0].contains("closed twice"));
+
+        // Unknown parent.
+        let events = vec![ev(
+            0,
+            10,
+            EventKind::SpanOpen { trace: 1, span: 2, parent: 7, node: 0, name: "x" },
+        )];
+        assert!(check_spans(&events).errors[0].contains("unknown parent"));
+
+        // Trace mismatch between open and close.
+        let events = vec![
+            ev(0, 10, EventKind::SpanOpen { trace: 1, span: 1, parent: 0, node: 0, name: "x" }),
+            ev(1, 20, EventKind::SpanClose { trace: 2, span: 1, node: 0, status: SpanStatus::Ok }),
+        ];
+        assert!(check_spans(&events).errors[0].contains("trace 2"));
+    }
+}

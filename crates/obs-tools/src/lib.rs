@@ -1,0 +1,32 @@
+//! Offline analysis of JSONL trace files (`--trace-out`).
+//!
+//! The simulator records a structured event log — protocol events plus
+//! causal span open/close pairs (see `docs/METRICS.md` and
+//! `docs/TRACING.md`) — and exports it as one JSON object per line.
+//! This crate is the offline side: [`parse`] reads a JSONL file back
+//! into the same [`obs::TracedEvent`] values the recorder produced,
+//! [`tree`] reconstructs per-operation span trees, [`check`] verifies
+//! the span conservation invariants, and [`chrome`] converts a trace to
+//! Chrome `trace_event` JSON for Perfetto / `chrome://tracing`.
+//!
+//! The `tracequery` binary is the CLI front-end:
+//!
+//! ```text
+//! tracequery list    trace.jsonl            # one line per trace
+//! tracequery op 42   trace.jsonl            # span tree of trace 42
+//! tracequery explain 1500000 trace.jsonl    # why was t=1.5s anomalous?
+//! tracequery chrome  trace.jsonl -o out.json
+//! tracequery check   trace.jsonl            # span conservation; exit 1 on violation
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod chrome;
+pub mod parse;
+pub mod tree;
+
+pub use check::{check_spans, CheckReport};
+pub use chrome::chrome_trace;
+pub use parse::{parse_jsonl, parse_line, ParseError};
+pub use tree::{build_tree, render_tree, trace_summaries, SpanNode, SpanTree, TraceSummary};

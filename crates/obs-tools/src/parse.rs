@@ -1,0 +1,251 @@
+//! Parse a JSONL trace file back into [`obs::TracedEvent`] values.
+//!
+//! The encoder ([`obs::TracedEvent::to_json_line`]) writes one JSON
+//! object per line with a fixed field order; the parser here accepts
+//! any field order (it reads by name) but insists on the documented
+//! field *set* per event type, so a malformed or truncated trace fails
+//! loudly instead of silently skewing analysis.
+
+use obs::{DropReason, EventKind, QuorumKind, SpanStatus, TracedEvent};
+use serde_json::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Mutex;
+
+/// A trace line that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Intern a step name so the parsed log can share
+/// [`obs::EventKind::SpanOpen`]'s `&'static str` field with in-process
+/// recording. The name set of a run is small and static, so each unique
+/// name leaks exactly once for the life of the process.
+fn intern(name: &str) -> &'static str {
+    static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut set = INTERNED.lock().unwrap();
+    if let Some(&s) = set.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+fn u64_field(v: &Value, name: &str) -> Result<u64, String> {
+    v.get(name)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field `{name}`"))
+}
+
+fn str_field<'a>(v: &'a Value, name: &str) -> Result<&'a str, String> {
+    v.get(name)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string field `{name}`"))
+}
+
+fn parse_kind(v: &Value) -> Result<EventKind, String> {
+    let ty = str_field(v, "type")?;
+    let kind = match ty {
+        "message_sent" => EventKind::MessageSent {
+            from: u64_field(v, "from")?,
+            to: u64_field(v, "to")?,
+            bytes: u64_field(v, "bytes")?,
+            trace: u64_field(v, "trace")?,
+            span: u64_field(v, "span")?,
+        },
+        "message_delivered" => EventKind::MessageDelivered {
+            from: u64_field(v, "from")?,
+            to: u64_field(v, "to")?,
+            bytes: u64_field(v, "bytes")?,
+            trace: u64_field(v, "trace")?,
+            span: u64_field(v, "span")?,
+        },
+        "message_dropped" => EventKind::MessageDropped {
+            from: u64_field(v, "from")?,
+            to: u64_field(v, "to")?,
+            reason: match str_field(v, "reason")? {
+                "partition" => DropReason::Partition,
+                "loss" => DropReason::Loss,
+                "crashed_destination" => DropReason::CrashedDestination,
+                "shutdown" => DropReason::Shutdown,
+                other => return Err(format!("unknown drop reason `{other}`")),
+            },
+            trace: u64_field(v, "trace")?,
+            span: u64_field(v, "span")?,
+        },
+        "anti_entropy_round" => EventKind::AntiEntropyRound {
+            node: u64_field(v, "node")?,
+            fanout: u64_field(v, "fanout")?,
+        },
+        "quorum_wait" => EventKind::QuorumWait {
+            node: u64_field(v, "node")?,
+            kind: match str_field(v, "kind")? {
+                "read" => QuorumKind::Read,
+                "write" => QuorumKind::Write,
+                other => return Err(format!("unknown quorum kind `{other}`")),
+            },
+            waited_us: u64_field(v, "waited_us")?,
+            acks: u64_field(v, "acks")?,
+            needed: u64_field(v, "needed")?,
+        },
+        "conflict_detected" => EventKind::ConflictDetected {
+            node: u64_field(v, "node")?,
+            key: u64_field(v, "key")?,
+            siblings: u64_field(v, "siblings")?,
+        },
+        "conflict_resolved" => EventKind::ConflictResolved {
+            node: u64_field(v, "node")?,
+            key: u64_field(v, "key")?,
+            survivors: u64_field(v, "survivors")?,
+        },
+        "wal_append" => EventKind::WalAppend {
+            node: u64_field(v, "node")?,
+            key: u64_field(v, "key")?,
+            bytes: u64_field(v, "bytes")?,
+        },
+        "partition_start" => EventKind::PartitionStart {
+            island: v
+                .get("island")
+                .and_then(Value::as_array)
+                .ok_or("missing or non-array field `island`")?
+                .iter()
+                .map(|n| n.as_u64().ok_or("non-integer node in `island`".to_string()))
+                .collect::<Result<Vec<_>, _>>()?,
+        },
+        "partition_heal" => EventKind::PartitionHeal,
+        "crash" => EventKind::Crash { node: u64_field(v, "node")? },
+        "recover" => EventKind::Recover { node: u64_field(v, "node")? },
+        "wal_replay" => {
+            EventKind::WalReplay { node: u64_field(v, "node")?, records: u64_field(v, "records")? }
+        }
+        "span_open" => EventKind::SpanOpen {
+            trace: u64_field(v, "trace")?,
+            span: u64_field(v, "span")?,
+            parent: u64_field(v, "parent")?,
+            node: u64_field(v, "node")?,
+            name: intern(str_field(v, "name")?),
+        },
+        "span_close" => EventKind::SpanClose {
+            trace: u64_field(v, "trace")?,
+            span: u64_field(v, "span")?,
+            node: u64_field(v, "node")?,
+            status: match str_field(v, "status")? {
+                "ok" => SpanStatus::Ok,
+                "failed" => SpanStatus::Failed,
+                "abandoned" => SpanStatus::Abandoned,
+                other => return Err(format!("unknown span status `{other}`")),
+            },
+        },
+        other => return Err(format!("unknown event type `{other}`")),
+    };
+    Ok(kind)
+}
+
+/// Parse one JSONL line (1-based `line_no` is only used for errors).
+pub fn parse_line(text: &str, line_no: usize) -> Result<TracedEvent, ParseError> {
+    let err = |message: String| ParseError { line: line_no, message };
+    let v = serde_json::parse_value(text).map_err(|e| err(e.to_string()))?;
+    Ok(TracedEvent {
+        seq: u64_field(&v, "seq").map_err(&err)?,
+        t_us: u64_field(&v, "t_us").map_err(&err)?,
+        kind: parse_kind(&v).map_err(&err)?,
+    })
+}
+
+/// Parse a whole JSONL document (blank lines ignored) into the event
+/// sequence, preserving file order.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TracedEvent>, ParseError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_line(line, i + 1)?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every event kind must survive an encode → parse round-trip.
+    #[test]
+    fn round_trips_every_event_kind() {
+        let kinds = vec![
+            EventKind::MessageSent { from: 0, to: 1, bytes: 8, trace: 3, span: 4 },
+            EventKind::MessageDelivered { from: 0, to: 1, bytes: 8, trace: 0, span: 0 },
+            EventKind::MessageDropped {
+                from: 2,
+                to: 1,
+                reason: DropReason::Partition,
+                trace: 5,
+                span: 6,
+            },
+            EventKind::AntiEntropyRound { node: 1, fanout: 2 },
+            EventKind::QuorumWait {
+                node: 0,
+                kind: QuorumKind::Write,
+                waited_us: 900,
+                acks: 2,
+                needed: 2,
+            },
+            EventKind::ConflictDetected { node: 0, key: 7, siblings: 2 },
+            EventKind::ConflictResolved { node: 0, key: 7, survivors: 1 },
+            EventKind::WalAppend { node: 0, key: 7, bytes: 16 },
+            EventKind::PartitionStart { island: vec![0, 2] },
+            EventKind::PartitionHeal,
+            EventKind::Crash { node: 2 },
+            EventKind::Recover { node: 2 },
+            EventKind::WalReplay { node: 2, records: 5 },
+            EventKind::SpanOpen { trace: 1, span: 2, parent: 0, node: 3, name: "op_read" },
+            EventKind::SpanClose { trace: 1, span: 2, node: 3, status: SpanStatus::Abandoned },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let ev = TracedEvent { seq: i as u64, t_us: 10 * i as u64, kind };
+            let parsed = parse_line(&ev.to_json_line(), 1).expect("round-trip parse");
+            assert_eq!(parsed, ev);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("not json", 1).is_err());
+        assert!(parse_line(r#"{"seq":0,"t_us":0,"type":"no_such_event"}"#, 1).is_err());
+        // span_open missing its `parent` field.
+        let e = parse_line(
+            r#"{"seq":0,"t_us":0,"type":"span_open","trace":1,"span":2,"node":0,"name":"x"}"#,
+            7,
+        )
+        .unwrap_err();
+        assert_eq!(e.line, 7);
+        assert!(e.message.contains("parent"));
+    }
+
+    #[test]
+    fn parses_jsonl_documents_and_reports_line_numbers() {
+        let doc = "\
+{\"seq\":0,\"t_us\":0,\"type\":\"crash\",\"node\":1}\n\
+\n\
+{\"seq\":1,\"t_us\":5,\"type\":\"recover\",\"node\":1}\n";
+        let events = parse_jsonl(doc).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].kind, EventKind::Recover { node: 1 });
+
+        let bad = "{\"seq\":0,\"t_us\":0,\"type\":\"crash\",\"node\":1}\n{broken\n";
+        assert_eq!(parse_jsonl(bad).unwrap_err().line, 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Reconstruct per-operation span trees from a parsed event log.
+//!
+//! Span ids are allocated serially in event-processing order, so within
+//! one trace the open order is also span-id order; trees render
+//! deterministically for a given trace file.
+
+use consistency::{all_spans, SpanAt};
+use obs::TracedEvent;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One span plus its child spans (children sorted by span id).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The span itself.
+    pub span: SpanAt,
+    /// Spans whose `parent` is this span.
+    pub children: Vec<SpanNode>,
+}
+
+/// The span tree of one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTree {
+    /// The trace id.
+    pub trace: u64,
+    /// Root spans (`parent == 0`, or parent missing from the log).
+    pub roots: Vec<SpanNode>,
+    /// Total spans in the trace.
+    pub span_count: usize,
+}
+
+fn build_node(span: SpanAt, children_of: &mut BTreeMap<u64, Vec<SpanAt>>) -> SpanNode {
+    let children = children_of
+        .remove(&span.span)
+        .unwrap_or_default()
+        .into_iter()
+        .map(|c| build_node(c, children_of))
+        .collect();
+    SpanNode { span, children }
+}
+
+/// Build the span tree of `trace_id`. Returns `None` when the log has no
+/// spans for that trace.
+pub fn build_tree(events: &[TracedEvent], trace_id: u64) -> Option<SpanTree> {
+    let spans: Vec<SpanAt> =
+        all_spans(events).into_iter().filter(|s| s.trace == trace_id).collect();
+    if spans.is_empty() {
+        return None;
+    }
+    let span_count = spans.len();
+    let known: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.span).collect();
+    let mut roots: Vec<SpanAt> = Vec::new();
+    let mut children_of: BTreeMap<u64, Vec<SpanAt>> = BTreeMap::new();
+    for s in spans {
+        // A span whose parent never opened in this trace (e.g. a log
+        // truncated at a window boundary) is shown as a root rather
+        // than dropped.
+        if s.parent == 0 || !known.contains(&s.parent) {
+            roots.push(s);
+        } else {
+            children_of.entry(s.parent).or_default().push(s);
+        }
+    }
+    let roots = roots.into_iter().map(|r| build_node(r, &mut children_of)).collect();
+    Some(SpanTree { trace: trace_id, roots, span_count })
+}
+
+fn render_node(out: &mut String, node: &SpanNode, prefix: &str, last: bool) {
+    let bounds = match node.span.close_t_us {
+        Some(close) => format!("[{}..{}µs]", node.span.open_t_us, close),
+        None => format!("[{}..?µs]", node.span.open_t_us),
+    };
+    let status = node.span.status.as_deref().unwrap_or("open");
+    let _ = writeln!(
+        out,
+        "{prefix}{}{} #{} node={} {bounds} {status}",
+        if last { "└── " } else { "├── " },
+        node.span.name,
+        node.span.span,
+        node.span.node,
+    );
+    let child_prefix = format!("{prefix}{}", if last { "    " } else { "│   " });
+    for (i, child) in node.children.iter().enumerate() {
+        render_node(out, child, &child_prefix, i + 1 == node.children.len());
+    }
+}
+
+/// Render a span tree as indented ASCII, one span per line.
+pub fn render_tree(tree: &SpanTree) -> String {
+    let mut out = format!("trace {} ({} span(s))\n", tree.trace, tree.span_count);
+    for (i, root) in tree.roots.iter().enumerate() {
+        render_node(&mut out, root, "", i + 1 == tree.roots.len());
+    }
+    out
+}
+
+/// One line of `tracequery list`: a trace and its shape at a glance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// The trace id.
+    pub trace: u64,
+    /// Name of the first root span (the operation name).
+    pub root_name: String,
+    /// Total spans in the trace.
+    pub spans: usize,
+    /// Earliest span open (µs).
+    pub open_t_us: u64,
+    /// Latest span close in the log (µs), if any span closed.
+    pub close_t_us: Option<u64>,
+    /// Status of the root span, if closed.
+    pub status: Option<String>,
+}
+
+/// Summarize every trace in the log, in trace-id order.
+pub fn trace_summaries(events: &[TracedEvent]) -> Vec<TraceSummary> {
+    let mut by_trace: BTreeMap<u64, Vec<SpanAt>> = BTreeMap::new();
+    for s in all_spans(events) {
+        by_trace.entry(s.trace).or_default().push(s);
+    }
+    by_trace
+        .into_iter()
+        .map(|(trace, spans)| TraceSummary {
+            trace,
+            root_name: spans
+                .iter()
+                .find(|s| s.parent == 0)
+                .or(spans.first())
+                .map(|s| s.name.clone())
+                .unwrap_or_default(),
+            spans: spans.len(),
+            open_t_us: spans.iter().map(|s| s.open_t_us).min().unwrap_or(0),
+            close_t_us: spans.iter().map(|s| s.close_t_us).max().flatten(),
+            status: spans.iter().find(|s| s.parent == 0).and_then(|s| s.status.clone()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::{EventKind, SpanStatus};
+
+    fn ev(seq: u64, t_us: u64, kind: EventKind) -> TracedEvent {
+        TracedEvent { seq, t_us, kind }
+    }
+
+    fn sample_events() -> Vec<TracedEvent> {
+        vec![
+            ev(0, 100, EventKind::SpanOpen { trace: 7, span: 1, parent: 0, node: 9, name: "op" }),
+            ev(
+                1,
+                150,
+                EventKind::SpanOpen { trace: 7, span: 2, parent: 1, node: 0, name: "coord" },
+            ),
+            ev(
+                2,
+                200,
+                EventKind::SpanOpen { trace: 7, span: 3, parent: 2, node: 1, name: "replica" },
+            ),
+            ev(3, 210, EventKind::SpanClose { trace: 7, span: 3, node: 1, status: SpanStatus::Ok }),
+            ev(4, 300, EventKind::SpanClose { trace: 7, span: 2, node: 0, status: SpanStatus::Ok }),
+            ev(5, 320, EventKind::SpanClose { trace: 7, span: 1, node: 9, status: SpanStatus::Ok }),
+            ev(6, 400, EventKind::SpanOpen { trace: 8, span: 4, parent: 0, node: 9, name: "op" }),
+        ]
+    }
+
+    #[test]
+    fn builds_nested_tree() {
+        let tree = build_tree(&sample_events(), 7).unwrap();
+        assert_eq!(tree.span_count, 3);
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.roots[0].span.name, "op");
+        assert_eq!(tree.roots[0].children[0].span.name, "coord");
+        assert_eq!(tree.roots[0].children[0].children[0].span.name, "replica");
+        assert!(build_tree(&sample_events(), 99).is_none());
+
+        let rendered = render_tree(&tree);
+        assert!(rendered.contains("trace 7 (3 span(s))"));
+        assert!(rendered.contains("op #1 node=9 [100..320µs] ok"));
+        assert!(rendered.contains("replica #3 node=1 [200..210µs] ok"));
+    }
+
+    #[test]
+    fn orphan_parent_becomes_root() {
+        let events = vec![ev(
+            0,
+            50,
+            EventKind::SpanOpen { trace: 7, span: 2, parent: 1, node: 0, name: "stray" },
+        )];
+        let tree = build_tree(&events, 7).unwrap();
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.roots[0].span.name, "stray");
+    }
+
+    #[test]
+    fn summaries_cover_every_trace() {
+        let sums = trace_summaries(&sample_events());
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0].trace, 7);
+        assert_eq!(sums[0].spans, 3);
+        assert_eq!(sums[0].root_name, "op");
+        assert_eq!(sums[0].close_t_us, Some(320));
+        assert_eq!(sums[0].status.as_deref(), Some("ok"));
+        assert_eq!(sums[1].trace, 8);
+        assert_eq!(sums[1].close_t_us, None);
+    }
+}

@@ -56,11 +56,18 @@ pub enum Counter {
     AmnesiaRecoveries,
     /// WAL records replayed into stores during amnesia recovery.
     WalReplayedRecords,
+    /// Trace spans opened.
+    SpansOpened,
+    /// Trace spans closed (any status, including abandoned).
+    SpansClosed,
+    /// Trace spans closed as abandoned at shutdown (subset of
+    /// `spans_closed`).
+    SpansAbandoned,
 }
 
 impl Counter {
     /// All counters, in export order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 25] = [
         Counter::MessagesSent,
         Counter::MessagesDelivered,
         Counter::MessagesDropped,
@@ -83,6 +90,9 @@ impl Counter {
         Counter::Recoveries,
         Counter::AmnesiaRecoveries,
         Counter::WalReplayedRecords,
+        Counter::SpansOpened,
+        Counter::SpansClosed,
+        Counter::SpansAbandoned,
     ];
 
     /// Number of distinct counters.
@@ -113,6 +123,9 @@ impl Counter {
             Counter::Recoveries => "recoveries",
             Counter::AmnesiaRecoveries => "amnesia_recoveries",
             Counter::WalReplayedRecords => "wal_replayed_records",
+            Counter::SpansOpened => "spans_opened",
+            Counter::SpansClosed => "spans_closed",
+            Counter::SpansAbandoned => "spans_abandoned",
         }
     }
 }

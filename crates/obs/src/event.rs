@@ -12,6 +12,7 @@
 //! determinism tests compare whole files.
 
 use crate::counters::Counter;
+use crate::span::SpanStatus;
 
 /// Why the network dropped a message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +77,10 @@ pub enum EventKind {
         to: u64,
         /// Approximate payload size in bytes.
         bytes: u64,
+        /// Trace carrying this message (0 = untraced).
+        trace: u64,
+        /// Span active when the message was sent (0 = none).
+        span: u64,
     },
     /// A message from `from` was delivered to `to`.
     MessageDelivered {
@@ -85,6 +90,10 @@ pub enum EventKind {
         to: u64,
         /// Approximate payload size in bytes.
         bytes: u64,
+        /// Trace carrying this message (0 = untraced).
+        trace: u64,
+        /// Span active when the message was sent (0 = none).
+        span: u64,
     },
     /// A message from `from` to `to` was dropped.
     MessageDropped {
@@ -94,6 +103,10 @@ pub enum EventKind {
         to: u64,
         /// Why the network dropped it.
         reason: DropReason,
+        /// Trace carrying this message (0 = untraced).
+        trace: u64,
+        /// Span active when the message was sent (0 = none).
+        span: u64,
     },
     /// A replica initiated an anti-entropy (gossip) exchange round.
     AntiEntropyRound {
@@ -171,6 +184,32 @@ pub enum EventKind {
         /// Number of log records replayed into the store.
         records: u64,
     },
+    /// A trace span opened at `node`. Together with the matching
+    /// [`EventKind::SpanClose`], the pair bounds one step of an
+    /// operation in virtual time; `parent` links the span tree.
+    SpanOpen {
+        /// The trace this span belongs to.
+        trace: u64,
+        /// This span's id (unique within the run).
+        span: u64,
+        /// Parent span id (0 for a root span).
+        parent: u64,
+        /// The node the step ran on.
+        node: u64,
+        /// Static step name (e.g. `op_read`, `quorum_write`).
+        name: &'static str,
+    },
+    /// The span opened by the matching [`EventKind::SpanOpen`] closed.
+    SpanClose {
+        /// The trace this span belongs to.
+        trace: u64,
+        /// The closing span's id.
+        span: u64,
+        /// The node the step ran on.
+        node: u64,
+        /// How the step ended.
+        status: SpanStatus,
+    },
 }
 
 impl EventKind {
@@ -190,6 +229,8 @@ impl EventKind {
             EventKind::Crash { .. } => "crash",
             EventKind::Recover { .. } => "recover",
             EventKind::WalReplay { .. } => "wal_replay",
+            EventKind::SpanOpen { .. } => "span_open",
+            EventKind::SpanClose { .. } => "span_close",
         }
     }
 
@@ -235,6 +276,14 @@ impl EventKind {
             EventKind::WalReplay { node, records } => {
                 vec![(Counter::WalReplayedRecords, Some(node), records)]
             }
+            EventKind::SpanOpen { node, .. } => vec![(Counter::SpansOpened, Some(node), 1)],
+            EventKind::SpanClose { node, status, .. } => {
+                let mut v = vec![(Counter::SpansClosed, Some(node), 1)];
+                if status == SpanStatus::Abandoned {
+                    v.push((Counter::SpansAbandoned, Some(node), 1));
+                }
+                v
+            }
         }
     }
 }
@@ -272,18 +321,22 @@ impl TracedEvent {
         s.push_str(self.kind.type_name());
         s.push('"');
         match &self.kind {
-            EventKind::MessageSent { from, to, bytes }
-            | EventKind::MessageDelivered { from, to, bytes } => {
+            EventKind::MessageSent { from, to, bytes, trace, span }
+            | EventKind::MessageDelivered { from, to, bytes, trace, span } => {
                 field(&mut s, "from", *from);
                 field(&mut s, "to", *to);
                 field(&mut s, "bytes", *bytes);
+                field(&mut s, "trace", *trace);
+                field(&mut s, "span", *span);
             }
-            EventKind::MessageDropped { from, to, reason } => {
+            EventKind::MessageDropped { from, to, reason, trace, span } => {
                 field(&mut s, "from", *from);
                 field(&mut s, "to", *to);
                 s.push_str(",\"reason\":\"");
                 s.push_str(reason.name());
                 s.push('"');
+                field(&mut s, "trace", *trace);
+                field(&mut s, "span", *span);
             }
             EventKind::AntiEntropyRound { node, fanout } => {
                 field(&mut s, "node", *node);
@@ -331,6 +384,23 @@ impl TracedEvent {
                 field(&mut s, "node", *node);
                 field(&mut s, "records", *records);
             }
+            EventKind::SpanOpen { trace, span, parent, node, name } => {
+                field(&mut s, "trace", *trace);
+                field(&mut s, "span", *span);
+                field(&mut s, "parent", *parent);
+                field(&mut s, "node", *node);
+                s.push_str(",\"name\":\"");
+                s.push_str(name);
+                s.push('"');
+            }
+            EventKind::SpanClose { trace, span, node, status } => {
+                field(&mut s, "trace", *trace);
+                field(&mut s, "span", *span);
+                field(&mut s, "node", *node);
+                s.push_str(",\"status\":\"");
+                s.push_str(status.name());
+                s.push('"');
+            }
         }
         s.push('}');
         s
@@ -346,11 +416,17 @@ mod tests {
         let ev = TracedEvent {
             seq: 3,
             t_us: 1500,
-            kind: EventKind::MessageDropped { from: 0, to: 2, reason: DropReason::Loss },
+            kind: EventKind::MessageDropped {
+                from: 0,
+                to: 2,
+                reason: DropReason::Loss,
+                trace: 4,
+                span: 9,
+            },
         };
         assert_eq!(
             ev.to_json_line(),
-            r#"{"seq":3,"t_us":1500,"type":"message_dropped","from":0,"to":2,"reason":"loss"}"#
+            r#"{"seq":3,"t_us":1500,"type":"message_dropped","from":0,"to":2,"reason":"loss","trace":4,"span":9}"#
         );
         let ev =
             TracedEvent { seq: 0, t_us: 0, kind: EventKind::PartitionStart { island: vec![1, 2] } };
@@ -358,14 +434,38 @@ mod tests {
             ev.to_json_line(),
             r#"{"seq":0,"t_us":0,"type":"partition_start","island":[1,2]}"#
         );
+        let ev = TracedEvent {
+            seq: 1,
+            t_us: 250,
+            kind: EventKind::SpanOpen { trace: 1, span: 2, parent: 0, node: 3, name: "op_read" },
+        };
+        assert_eq!(
+            ev.to_json_line(),
+            r#"{"seq":1,"t_us":250,"type":"span_open","trace":1,"span":2,"parent":0,"node":3,"name":"op_read"}"#
+        );
+        let ev = TracedEvent {
+            seq: 2,
+            t_us: 900,
+            kind: EventKind::SpanClose { trace: 1, span: 2, node: 3, status: SpanStatus::Ok },
+        };
+        assert_eq!(
+            ev.to_json_line(),
+            r#"{"seq":2,"t_us":900,"type":"span_close","trace":1,"span":2,"node":3,"status":"ok"}"#
+        );
     }
 
     #[test]
     fn every_kind_encodes_with_its_type_tag() {
         let kinds = vec![
-            EventKind::MessageSent { from: 0, to: 1, bytes: 8 },
-            EventKind::MessageDelivered { from: 0, to: 1, bytes: 8 },
-            EventKind::MessageDropped { from: 0, to: 1, reason: DropReason::Partition },
+            EventKind::MessageSent { from: 0, to: 1, bytes: 8, trace: 0, span: 0 },
+            EventKind::MessageDelivered { from: 0, to: 1, bytes: 8, trace: 0, span: 0 },
+            EventKind::MessageDropped {
+                from: 0,
+                to: 1,
+                reason: DropReason::Partition,
+                trace: 0,
+                span: 0,
+            },
             EventKind::AntiEntropyRound { node: 1, fanout: 2 },
             EventKind::QuorumWait {
                 node: 0,
@@ -382,6 +482,8 @@ mod tests {
             EventKind::Crash { node: 2 },
             EventKind::Recover { node: 2 },
             EventKind::WalReplay { node: 2, records: 5 },
+            EventKind::SpanOpen { trace: 1, span: 1, parent: 0, node: 0, name: "op_write" },
+            EventKind::SpanClose { trace: 1, span: 1, node: 0, status: SpanStatus::Abandoned },
         ];
         for kind in kinds {
             let tag = kind.type_name();

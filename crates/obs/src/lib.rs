@@ -10,7 +10,14 @@
 //! - **counters** ([`Counter`]), global and per node, derived
 //!   automatically from recorded events;
 //! - **histograms** ([`Metric`], [`Histogram`]) for continuous
-//!   quantities such as quorum wait times.
+//!   quantities such as quorum wait times;
+//! - **causal trace/span ids** ([`TraceId`], [`SpanId`]) that group
+//!   every event caused by one client operation into a span tree
+//!   (`span_open`/`span_close` event pairs, documented in
+//!   `docs/TRACING.md`);
+//! - **windowed time series** ([`TsMetric`], [`TimeSeries`]) tracking
+//!   how staleness, divergence, visibility lag, and in-flight depth
+//!   evolve over virtual time.
 //!
 //! All three are fed through a single cheap-to-clone [`Recorder`]
 //! handle, which is free when disabled, and snapshot into a
@@ -61,9 +68,15 @@ mod event;
 mod hist;
 mod recorder;
 mod report;
+mod span;
+mod timeseries;
 
 pub use counters::Counter;
 pub use event::{DropReason, EventKind, QuorumKind, TracedEvent};
 pub use hist::{Histogram, HistogramSummary, Metric};
 pub use recorder::{Recorder, DEFAULT_EVENT_CAP};
 pub use report::{MetricsReport, NodeCounters};
+pub use span::{SpanId, SpanStatus, TraceId};
+pub use timeseries::{
+    TimeSeries, TimeSeriesSummary, TsBucket, TsMetric, TsPoint, DEFAULT_TS_BUCKET_US,
+};

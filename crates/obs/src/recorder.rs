@@ -7,6 +7,7 @@ use crate::counters::{Counter, CounterSet};
 use crate::event::{EventKind, TracedEvent};
 use crate::hist::{Histogram, Metric};
 use crate::report::{MetricsReport, NodeCounters};
+use crate::timeseries::{TimeSeries, TsMetric};
 
 /// Default cap on retained events when the event log is enabled.
 pub const DEFAULT_EVENT_CAP: usize = 1 << 20;
@@ -22,6 +23,7 @@ struct ObsCore {
     global: CounterSet,
     per_node: Vec<CounterSet>,
     hists: [Histogram; Metric::COUNT],
+    series: [TimeSeries; TsMetric::COUNT],
 }
 
 impl ObsCore {
@@ -34,6 +36,7 @@ impl ObsCore {
             global: CounterSet::default(),
             per_node: Vec::new(),
             hists: std::array::from_fn(|_| Histogram::default()),
+            series: std::array::from_fn(|_| TimeSeries::default()),
         }
     }
 
@@ -109,6 +112,9 @@ impl ObsCore {
         for (h, o) in self.hists.iter_mut().zip(other.hists.iter()) {
             h.merge(o);
         }
+        for (s, o) in self.series.iter_mut().zip(other.series.iter()) {
+            s.merge(o);
+        }
     }
 
     fn report(&self) -> MetricsReport {
@@ -134,6 +140,11 @@ impl ObsCore {
                 .map(|&m| (m.name().to_string(), self.hists[m as usize].summary()))
                 .filter(|(_, s)| s.count > 0)
                 .collect(),
+            timeseries: TsMetric::ALL
+                .iter()
+                .map(|&m| (m.name().to_string(), self.series[m as usize].summary()))
+                .filter(|(_, s)| !s.points.is_empty())
+                .collect(),
         }
     }
 }
@@ -153,8 +164,8 @@ impl ObsCore {
 /// use obs::{Counter, EventKind, Recorder};
 ///
 /// let rec = Recorder::with_event_log();
-/// rec.record(10, EventKind::MessageSent { from: 0, to: 1, bytes: 24 });
-/// rec.record(55, EventKind::MessageDelivered { from: 0, to: 1, bytes: 24 });
+/// rec.record(10, EventKind::MessageSent { from: 0, to: 1, bytes: 24, trace: 0, span: 0 });
+/// rec.record(55, EventKind::MessageDelivered { from: 0, to: 1, bytes: 24, trace: 0, span: 0 });
 ///
 /// let report = rec.report();
 /// assert_eq!(report.counter(Counter::MessagesSent), 1);
@@ -231,6 +242,15 @@ impl Recorder {
     pub fn observe(&self, metric: Metric, value: u64) {
         if let Some(core) = &self.core {
             core.lock().unwrap().hists[metric as usize].record(value);
+        }
+    }
+
+    /// Fold one time-series sample taken at virtual time `t_us` into
+    /// the windowed series for `metric` (see [`TsMetric`] for what each
+    /// series measures). Free when the recorder is disabled.
+    pub fn sample(&self, t_us: u64, metric: TsMetric, value: u64) {
+        if let Some(core) = &self.core {
+            core.lock().unwrap().series[metric as usize].record(t_us, value);
         }
     }
 
@@ -333,8 +353,17 @@ mod tests {
     #[test]
     fn events_imply_counters_and_histograms() {
         let rec = Recorder::with_event_log();
-        rec.record(1, EventKind::MessageSent { from: 0, to: 1, bytes: 100 });
-        rec.record(2, EventKind::MessageDropped { from: 0, to: 1, reason: DropReason::Loss });
+        rec.record(1, EventKind::MessageSent { from: 0, to: 1, bytes: 100, trace: 0, span: 0 });
+        rec.record(
+            2,
+            EventKind::MessageDropped {
+                from: 0,
+                to: 1,
+                reason: DropReason::Loss,
+                trace: 0,
+                span: 0,
+            },
+        );
         rec.record(
             3,
             EventKind::QuorumWait {
@@ -373,9 +402,13 @@ mod tests {
         let cell_a = Recorder::enabled();
         let cell_b = Recorder::enabled();
         for rec in [&shared, &cell_a] {
-            rec.record(1, EventKind::MessageSent { from: 0, to: 1, bytes: 64 });
-            rec.record(2, EventKind::MessageDelivered { from: 0, to: 1, bytes: 64 });
+            rec.record(1, EventKind::MessageSent { from: 0, to: 1, bytes: 64, trace: 0, span: 0 });
+            rec.record(
+                2,
+                EventKind::MessageDelivered { from: 0, to: 1, bytes: 64, trace: 0, span: 0 },
+            );
             rec.count_node(3, Counter::WalAppends, 2);
+            rec.sample(1_000, crate::TsMetric::StalenessVersions, 2);
         }
         for rec in [&shared, &cell_b] {
             rec.record(
@@ -389,6 +422,8 @@ mod tests {
                 },
             );
             rec.count(Counter::TxnCommits, 1);
+            rec.sample(150_000, crate::TsMetric::StalenessVersions, 5);
+            rec.sample(150_000, crate::TsMetric::InflightDepth, 3);
         }
         let folded = Recorder::enabled();
         folded.absorb(&cell_a);

@@ -4,6 +4,7 @@ use serde::{Serialize, Value};
 
 use crate::counters::Counter;
 use crate::hist::HistogramSummary;
+use crate::timeseries::TimeSeriesSummary;
 
 /// Non-zero counters for one node.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -28,12 +29,12 @@ pub struct NodeCounters {
 /// use obs::{Counter, EventKind, Recorder};
 ///
 /// let rec = Recorder::enabled();
-/// rec.record(0, EventKind::MessageSent { from: 0, to: 1, bytes: 8 });
+/// rec.record(0, EventKind::MessageSent { from: 0, to: 1, bytes: 8, trace: 0, span: 0 });
 /// let before = rec.report();
 ///
 /// // ... some phase of the run does more work ...
-/// rec.record(1, EventKind::MessageSent { from: 0, to: 1, bytes: 8 });
-/// rec.record(2, EventKind::MessageSent { from: 1, to: 0, bytes: 8 });
+/// rec.record(1, EventKind::MessageSent { from: 0, to: 1, bytes: 8, trace: 0, span: 0 });
+/// rec.record(2, EventKind::MessageSent { from: 1, to: 0, bytes: 8, trace: 0, span: 0 });
 ///
 /// let delta = rec.report().diff(&before);
 /// assert_eq!(delta.counter(Counter::MessagesSent), 2);
@@ -52,6 +53,9 @@ pub struct MetricsReport {
     /// Histogram summaries as `(metric_name, summary)`, empty
     /// histograms omitted.
     pub latencies: Vec<(String, HistogramSummary)>,
+    /// Windowed time series as `(metric_name, summary)`, empty series
+    /// omitted. See [`crate::TsMetric`] for the sampled quantities.
+    pub timeseries: Vec<(String, TimeSeriesSummary)>,
 }
 
 impl MetricsReport {
@@ -74,8 +78,8 @@ impl MetricsReport {
 
     /// Subtract an earlier snapshot from this one, yielding the
     /// activity between the two (counters and event totals only;
-    /// histogram summaries are not subtractable and are taken from
-    /// `self`).
+    /// histogram summaries and time series are not subtractable and
+    /// are taken from `self`).
     pub fn diff(&self, earlier: &MetricsReport) -> MetricsReport {
         let counters = self
             .counters
@@ -113,6 +117,7 @@ impl MetricsReport {
             counters,
             per_node,
             latencies: self.latencies.clone(),
+            timeseries: self.timeseries.clone(),
         }
     }
 
@@ -168,6 +173,12 @@ impl Serialize for MetricsReport {
                     self.latencies.iter().map(|(n, s)| (n.clone(), s.to_value())).collect(),
                 ),
             ),
+            (
+                "timeseries".to_string(),
+                Value::Object(
+                    self.timeseries.iter().map(|(n, s)| (n.clone(), s.to_value())).collect(),
+                ),
+            ),
         ])
     }
 }
@@ -181,10 +192,10 @@ mod tests {
     #[test]
     fn conservation_check_catches_imbalance() {
         let rec = Recorder::enabled();
-        rec.record(0, EventKind::MessageSent { from: 0, to: 1, bytes: 8 });
+        rec.record(0, EventKind::MessageSent { from: 0, to: 1, bytes: 8, trace: 0, span: 0 });
         let report = rec.report();
         assert_eq!(report.check_message_conservation(), Err((1, 0, 0)));
-        rec.record(5, EventKind::MessageDelivered { from: 0, to: 1, bytes: 8 });
+        rec.record(5, EventKind::MessageDelivered { from: 0, to: 1, bytes: 8, trace: 0, span: 0 });
         assert!(rec.report().check_message_conservation().is_ok());
     }
 

@@ -1,0 +1,287 @@
+//! Windowed time-series telemetry over virtual time.
+//!
+//! Aggregate counters answer "how much, in total"; these series answer
+//! "how did it evolve over the run". Samples are folded into
+//! fixed-width virtual-time buckets holding `(count, sum, max)` — all
+//! `u64`s — so merging per-cell series from a parallel grid run is
+//! *exact* and commutative, the same property [`crate::Histogram`]
+//! gives the latency summaries: `--jobs 1` and `--jobs 8` produce
+//! byte-identical `timeseries` sections.
+//!
+//! The sampled quantities ([`TsMetric`]) are the consistency signals
+//! the paper treats as a measurable spectrum: staleness of reads,
+//! replica divergence, visibility lag, and in-flight message depth.
+
+use serde::{Serialize, Value};
+
+/// Default virtual-time bucket width: 100 ms.
+pub const DEFAULT_TS_BUCKET_US: u64 = 100_000;
+
+/// The quantities tracked as windowed time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum TsMetric {
+    /// Version lag of a completed read: how many committed writes to
+    /// the key the returned version was behind (0 = fresh).
+    StalenessVersions,
+    /// Microseconds between a write committing and a later read first
+    /// observing it (sampled at the observing read).
+    VisibilityLagUs,
+    /// Distinct versions of a key across replicas at a probe instant
+    /// (1 = converged).
+    ReplicaDivergence,
+    /// Messages in flight in the simulated network at a probe instant.
+    InflightDepth,
+}
+
+impl TsMetric {
+    /// All time-series metrics, in export order.
+    pub const ALL: [TsMetric; 4] = [
+        TsMetric::StalenessVersions,
+        TsMetric::VisibilityLagUs,
+        TsMetric::ReplicaDivergence,
+        TsMetric::InflightDepth,
+    ];
+
+    /// Number of distinct time-series metrics.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name used in exports and `docs/METRICS.md`.
+    pub fn name(self) -> &'static str {
+        match self {
+            TsMetric::StalenessVersions => "staleness_versions",
+            TsMetric::VisibilityLagUs => "visibility_lag_us",
+            TsMetric::ReplicaDivergence => "replica_divergence",
+            TsMetric::InflightDepth => "inflight_depth",
+        }
+    }
+}
+
+/// One fixed-width bucket of a [`TimeSeries`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TsBucket {
+    /// Samples folded into this bucket.
+    pub count: u64,
+    /// Sum of sample values.
+    pub sum: u64,
+    /// Maximum sample value.
+    pub max: u64,
+}
+
+/// A windowed time series: fixed-width virtual-time buckets of
+/// `(count, sum, max)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeSeries {
+    bucket_us: u64,
+    buckets: Vec<TsBucket>,
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        TimeSeries::new(DEFAULT_TS_BUCKET_US)
+    }
+}
+
+impl TimeSeries {
+    /// An empty series with the given bucket width in microseconds
+    /// (clamped to at least 1).
+    pub fn new(bucket_us: u64) -> Self {
+        TimeSeries { bucket_us: bucket_us.max(1), buckets: Vec::new() }
+    }
+
+    /// The bucket width in microseconds.
+    pub fn bucket_us(&self) -> u64 {
+        self.bucket_us
+    }
+
+    /// Total samples across all buckets.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.count).sum()
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|b| b.count == 0)
+    }
+
+    /// Fold one sample taken at virtual time `t_us` into its bucket.
+    pub fn record(&mut self, t_us: u64, value: u64) {
+        let idx = (t_us / self.bucket_us) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, TsBucket::default());
+        }
+        let b = &mut self.buckets[idx];
+        b.count += 1;
+        b.sum = b.sum.saturating_add(value);
+        b.max = b.max.max(value);
+    }
+
+    /// Merge another series into this one.
+    ///
+    /// Exact and commutative (counts and sums add, maxes take the max),
+    /// so per-cell series from a parallel grid fold in any order to the
+    /// same result a single shared series would hold. Both sides must
+    /// use the same bucket width; mismatched widths panic because a
+    /// lossy re-bucketing would silently break the merge-identity
+    /// guarantee the grid tests rely on.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.bucket_us, other.bucket_us,
+            "cannot merge time series with different bucket widths"
+        );
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), TsBucket::default());
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            b.count += o.count;
+            b.sum = b.sum.saturating_add(o.sum);
+            b.max = b.max.max(o.max);
+        }
+    }
+
+    /// Non-empty buckets as [`TsPoint`]s (bucket start time, count,
+    /// sum, max), in time order. Empty buckets are skipped.
+    pub fn points(&self) -> Vec<TsPoint> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.count > 0)
+            .map(|(i, b)| TsPoint {
+                t_us: i as u64 * self.bucket_us,
+                count: b.count,
+                sum: b.sum,
+                max: b.max,
+            })
+            .collect()
+    }
+
+    /// Collapse into the export form embedded in `results/*.json`.
+    pub fn summary(&self) -> TimeSeriesSummary {
+        TimeSeriesSummary { bucket_us: self.bucket_us, points: self.points() }
+    }
+}
+
+/// One exported point of a time series: the aggregate of all samples
+/// whose virtual time fell in `[t_us, t_us + bucket_us)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TsPoint {
+    /// Bucket start, microseconds of virtual time.
+    pub t_us: u64,
+    /// Samples in the bucket.
+    pub count: u64,
+    /// Sum of sample values (exact; divide by `count` for the mean).
+    pub sum: u64,
+    /// Maximum sample value in the bucket.
+    pub max: u64,
+}
+
+impl TsPoint {
+    /// Mean sample value in the bucket.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Export form of a [`TimeSeries`]: bucket width plus non-empty points.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeriesSummary {
+    /// Bucket width in microseconds.
+    pub bucket_us: u64,
+    /// Non-empty buckets in time order.
+    pub points: Vec<TsPoint>,
+}
+
+impl Serialize for TsPoint {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("t_us".to_string(), Value::U64(self.t_us)),
+            ("count".to_string(), Value::U64(self.count)),
+            ("sum".to_string(), Value::U64(self.sum)),
+            ("mean".to_string(), Value::F64(self.mean())),
+            ("max".to_string(), Value::U64(self.max)),
+        ])
+    }
+}
+
+impl Serialize for TimeSeriesSummary {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("bucket_us".to_string(), Value::U64(self.bucket_us)),
+            (
+                "points".to_string(),
+                Value::Array(self.points.iter().map(|p| p.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_their_buckets() {
+        let mut ts = TimeSeries::new(1_000);
+        ts.record(0, 5);
+        ts.record(999, 7);
+        ts.record(1_000, 1);
+        ts.record(5_500, 3);
+        let points = ts.points();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0], TsPoint { t_us: 0, count: 2, sum: 12, max: 7 });
+        assert_eq!(points[1], TsPoint { t_us: 1_000, count: 1, sum: 1, max: 1 });
+        assert_eq!(points[2], TsPoint { t_us: 5_000, count: 1, sum: 3, max: 3 });
+        assert_eq!(ts.count(), 4);
+        assert!((points[0].mean() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_serial_recording() {
+        let mut serial = TimeSeries::new(500);
+        let mut a = TimeSeries::new(500);
+        let mut b = TimeSeries::new(500);
+        for (t, v) in [(0u64, 2u64), (100, 4), (2_700, 9)] {
+            serial.record(t, v);
+            a.record(t, v);
+        }
+        for (t, v) in [(600u64, 1u64), (2_750, 3)] {
+            serial.record(t, v);
+            b.record(t, v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, serial);
+        assert_eq!(ba, serial);
+        // Merging an empty series is the identity.
+        ab.merge(&TimeSeries::new(500));
+        assert_eq!(ab, serial);
+    }
+
+    #[test]
+    fn empty_series_exports_no_points() {
+        let ts = TimeSeries::default();
+        assert!(ts.is_empty());
+        assert!(ts.summary().points.is_empty());
+        assert_eq!(ts.summary().bucket_us, DEFAULT_TS_BUCKET_US);
+    }
+
+    #[test]
+    fn metric_names_are_unique_and_snake_case() {
+        let mut seen = std::collections::BTreeSet::new();
+        for m in TsMetric::ALL {
+            let name = m.name();
+            assert!(seen.insert(name), "duplicate ts metric name {name}");
+            assert!(
+                name.chars().all(|ch| ch.is_ascii_lowercase() || ch == '_'),
+                "{name} is not snake_case"
+            );
+        }
+        assert_eq!(seen.len(), TsMetric::COUNT);
+    }
+}

@@ -231,12 +231,21 @@ pub fn generate_case(scheme: FuzzScheme, seed: u64, profile: &IntensityProfile) 
 /// Run one case: build the experiment, run it, judge the trace against
 /// the scheme's expectation.
 pub fn run_case(case: &FuzzCase) -> Verdict {
+    run_case_recorded(case, obs::Recorder::disabled())
+}
+
+/// [`run_case`] with an observability recorder attached, so a replayed
+/// reproducer emits its full event log — span open/close pairs included.
+/// The caller keeps the handle and exports the JSONL trace afterwards
+/// (`fuzz_nemesis --replay ... --trace-out`).
+pub fn run_case_recorded(case: &FuzzCase, recorder: obs::Recorder) -> Verdict {
     let result = Experiment::new(case.scheme.to_scheme())
         .workload(fuzz_workload())
         .latency(LatencyModel::lan())
         .faults(nemesis::to_schedule(&case.events))
         .seed(case.seed)
         .horizon(SimTime::from_millis(FUZZ_HORIZON_MS))
+        .recorder(recorder)
         .run();
     match case.scheme.expectation() {
         Expectation::Linearizable => match check_trace_linearizable(&result.trace) {

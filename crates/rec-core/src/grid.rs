@@ -143,10 +143,18 @@ impl Grid {
         let cells: Vec<(usize, u64)> = (0..self.variants.len())
             .flat_map(|v| (0..self.seeds_per_variant).map(move |s| (v, s)))
             .collect();
-        par_map(&cells, jobs, |_, &(variant, seed_index)| {
+        par_map(&cells, jobs, |cell_index, &(variant, seed_index)| {
             let (label, base) = &self.variants[variant];
             let recorder = spec.make();
-            let experiment = base.clone().seed(base.seed + seed_index).recorder(recorder.clone());
+            // Each cell allocates trace/span ids from its own disjoint
+            // range, keyed by grid position (never by scheduling), so a
+            // concatenated multi-cell trace file keeps globally unique
+            // ids and stays byte-identical across `--jobs` levels.
+            let experiment = base
+                .clone()
+                .seed(base.seed + seed_index)
+                .recorder(recorder.clone())
+                .trace_base((cell_index as u64) << 40);
             let result = experiment.run();
             CellResult {
                 variant,

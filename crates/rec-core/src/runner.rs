@@ -1,7 +1,7 @@
 //! Deployment builder and experiment runner.
 
 use crate::scheme::{ClientPlacement, Scheme};
-use obs::{MetricsReport, Recorder};
+use obs::{MetricsReport, Recorder, TsMetric, DEFAULT_TS_BUCKET_US};
 use replication::causal::{CausalClient, CausalReplica};
 use replication::common::{expand_script, ScriptOp};
 use replication::eventual::{
@@ -33,6 +33,10 @@ pub struct Experiment {
     /// Observability sink threaded into the simulator and protocols
     /// (disabled by default; see [`obs::Recorder`]).
     pub recorder: Recorder,
+    /// First trace/span id offset for this run (see
+    /// [`simnet::SimConfig::trace_base`]); a grid gives each cell a
+    /// disjoint range so concatenated trace files keep unique ids.
+    pub trace_base: u64,
 }
 
 /// What a run produced.
@@ -63,6 +67,7 @@ impl Experiment {
             workload: WorkloadSpec::small(),
             horizon: SimTime::from_secs(60),
             recorder: Recorder::disabled(),
+            trace_base: 0,
         }
     }
 
@@ -103,6 +108,13 @@ impl Experiment {
         self
     }
 
+    /// Offset this run's trace/span id allocation (see
+    /// [`simnet::SimConfig::trace_base`]).
+    pub fn trace_base(mut self, base: u64) -> Self {
+        self.trace_base = base;
+        self
+    }
+
     /// Generate the per-session scripts (deterministic in the seed).
     fn scripts(&self) -> Vec<Vec<ScriptOp>> {
         let root = SimRng::new(self.seed ^ 0x5eed_f00d);
@@ -121,7 +133,8 @@ impl Experiment {
             .seed(self.seed)
             .latency(self.latency.clone())
             .faults(self.faults.clone())
-            .recorder(self.recorder.clone());
+            .recorder(self.recorder.clone())
+            .trace_base(self.trace_base);
         let scripts = self.scripts();
         let n = self.scheme.replica_count();
 
@@ -279,8 +292,33 @@ fn run_primary(
     drive(sim, horizon)
 }
 
+/// Run the simulation to its horizon. With a recorder attached, the run
+/// is sliced into probe windows (one per time-series bucket, so probe
+/// samples and client-side staleness samples share bucket boundaries):
+/// at each boundary the driver samples per-key replica divergence
+/// (distinct versions across nodes, via [`simnet::Actor::key_versions`])
+/// and the in-flight message depth. Probes only read simulator state, so
+/// a sliced run is event-for-event identical to an unsliced one.
 fn drive<M>(mut sim: Sim<M>, horizon: SimTime) -> (u64, u64, SimTime) {
-    sim.run_until(horizon);
+    if !sim.recorder().is_enabled() {
+        sim.run_until(horizon);
+        return (sim.delivered_messages, sim.dropped_messages, sim.now());
+    }
+    let horizon_us = horizon.as_micros();
+    let mut t = 0u64;
+    while t < horizon_us {
+        t = (t + DEFAULT_TS_BUCKET_US).min(horizon_us);
+        sim.run_until(SimTime::from_micros(t));
+        sim.recorder().sample(t, TsMetric::InflightDepth, sim.inflight_messages());
+        let mut per_key: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>> =
+            std::collections::BTreeMap::new();
+        for (_, key, version) in sim.key_versions() {
+            per_key.entry(key).or_default().insert(version);
+        }
+        for versions in per_key.values() {
+            sim.recorder().sample(t, TsMetric::ReplicaDivergence, versions.len() as u64);
+        }
+    }
     (sim.delivered_messages, sim.dropped_messages, sim.now())
 }
 

@@ -17,7 +17,7 @@ use crate::common::{ClientCore, OpOutcome, ScriptOp, TimerAction};
 use clocks::{LamportClock, LamportTimestamp, VersionVector};
 use kvstore::{Key, MvStore, Value, Wal};
 use obs::EventKind;
-use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
+use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime, SpanStatus};
 use std::collections::BTreeMap;
 
 /// A replicated write with its causal dependencies.
@@ -206,6 +206,7 @@ impl Actor<Msg> for CausalReplica {
         let me = ctx.self_id();
         match msg {
             Msg::Get { op_id, key } => {
+                let span = ctx.span_open("replica_read");
                 let v = self.store.get(key);
                 ctx.send(
                     from,
@@ -216,8 +217,10 @@ impl Actor<Msg> for CausalReplica {
                         version_ts: v.map(|x| x.written_at),
                     },
                 );
+                ctx.span_close(span, SpanStatus::Ok);
             }
             Msg::Put { op_id, key, value } => {
+                let span = ctx.span_open("replica_write");
                 let deps = self.applied.clone();
                 self.my_seq += 1;
                 let ts = self.clock.tick(me.0 as u64);
@@ -232,14 +235,18 @@ impl Actor<Msg> for CausalReplica {
                 };
                 self.apply(&w);
                 ctx.send(from, Msg::PutResp { op_id, stamp: (ts.counter, ts.actor) });
+                // Replicate fan-out still inside the replica span, so the
+                // propagation hops belong to the write's span tree.
                 for peer in (0..self.replicas).map(NodeId).filter(|&p| p != me) {
                     ctx.send(peer, Msg::Replicate { write: w.clone() });
                 }
+                ctx.span_close(span, SpanStatus::Ok);
             }
             Msg::Replicate { write } => {
                 if self.applied.get(write.origin) >= write.seq {
                     return; // duplicate
                 }
+                let span = ctx.span_open("replicate_apply");
                 if self.deps_satisfied(&write) {
                     let key = write.key;
                     if self.apply(&write) {
@@ -251,9 +258,14 @@ impl Actor<Msg> for CausalReplica {
                 } else {
                     self.buffer.push(write);
                 }
+                ctx.span_close(span, SpanStatus::Ok);
             }
             Msg::GetResp { .. } | Msg::PutResp { .. } => {}
         }
+    }
+
+    fn key_versions(&self) -> Vec<(u64, u64)> {
+        self.store.scan(..).map(|(k, v)| (k, v.value.as_u64().unwrap_or(0))).collect()
     }
 }
 

@@ -7,8 +7,11 @@
 //! protocol-specific envelope (message types, replica choice).
 
 use kvstore::Key;
+use obs::TsMetric;
 use serde::{Deserialize, Serialize};
-use simnet::{Context, Duration, NodeId, OpKind, OpRecord, SharedTrace, SimTime};
+use simnet::{
+    Context, Duration, NodeId, OpKind, OpRecord, SharedTrace, SimTime, SpanId, SpanStatus,
+};
 
 /// One scripted client operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -126,6 +129,8 @@ struct Pending {
     replica: NodeId,
     timeout_timer: u64,
     retries: u32,
+    /// Root span of the operation's trace, closed at completion/timeout.
+    span: SpanId,
 }
 
 /// Scripted-session state machine shared by every protocol's client actor.
@@ -199,6 +204,13 @@ impl ClientCore {
             self.issued += 1;
             let op_id = self.issued;
             let value = (op.kind == OpKind::Write).then(|| Self::unique_value(self.session, op_id));
+            // Every client operation roots a new trace; the timeout timer
+            // (and the wrapper's protocol send, which happens after this
+            // returns) then carry its context through the envelope.
+            let span = ctx.start_trace(match op.kind {
+                OpKind::Read => "op_read",
+                OpKind::Write => "op_write",
+            });
             let timer = ctx.set_timer(self.timeout, TAG_TIMEOUT_BASE + op_id);
             self.pending = Some(Pending {
                 op_id,
@@ -209,12 +221,14 @@ impl ClientCore {
                 replica,
                 timeout_timer: timer,
                 retries: 0,
+                span,
             });
             TimerAction::Issue(IssueOp { op_id, kind: op.kind, key: op.key, value })
         } else if tag >= TAG_TIMEOUT_BASE {
             let op_id = tag - TAG_TIMEOUT_BASE;
             match &self.pending {
                 Some(p) if p.op_id == op_id => {
+                    ctx.span_close(p.span, SpanStatus::Failed);
                     self.record(ctx.now(), OpOutcome::failed());
                     self.schedule_next(ctx);
                     TimerAction::TimedOut(op_id)
@@ -230,10 +244,14 @@ impl ClientCore {
     /// enforcement and failover). Returns the op to send, or `None` if
     /// nothing is pending. The retry keeps the original invocation time so
     /// the recorded latency includes every attempt.
-    pub fn retry<M>(&mut self, _ctx: &mut Context<M>, replica: NodeId) -> Option<IssueOp> {
+    pub fn retry<M>(&mut self, ctx: &mut Context<M>, replica: NodeId) -> Option<IssueOp> {
         let p = self.pending.as_mut()?;
         p.retries += 1;
         p.replica = replica;
+        // Re-enter the operation's trace so the wrapper's re-send carries
+        // it even when the triggering callback was untraced (failover
+        // timers, stale responses).
+        ctx.resume_span(p.span);
         Some(IssueOp { op_id: p.op_id, kind: p.kind, key: p.key, value: p.value })
     }
 
@@ -259,6 +277,19 @@ impl ClientCore {
         match &self.pending {
             Some(p) if p.op_id == op_id => {
                 ctx.cancel_timer(p.timeout_timer);
+                ctx.span_close(
+                    p.span,
+                    if outcome.ok { SpanStatus::Ok } else { SpanStatus::Failed },
+                );
+                if outcome.ok && p.kind == OpKind::Read {
+                    // Windowed consistency telemetry: how many acknowledged
+                    // writes the read missed, and how far behind it ran.
+                    let (missed, lag_us) =
+                        self.trace.borrow().read_staleness(p.key, p.invoked, &outcome.values);
+                    let now_us = ctx.now().as_micros();
+                    ctx.recorder().sample(now_us, TsMetric::StalenessVersions, missed);
+                    ctx.recorder().sample(now_us, TsMetric::VisibilityLagUs, lag_us);
+                }
                 self.record(ctx.now(), outcome);
                 self.schedule_next(ctx);
                 true

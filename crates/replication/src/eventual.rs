@@ -23,7 +23,7 @@ use clocks::{LamportClock, LamportTimestamp, VersionVector};
 use crdt::{CvRdt, PnCounter};
 use kvstore::{siblings::Sibling, Key, MvStore, SiblingStore, Value, Wal};
 use obs::EventKind;
-use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
+use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime, SpanStatus};
 use std::collections::BTreeMap;
 
 /// Conflict-resolution policy for the replicated store.
@@ -361,6 +361,7 @@ impl EventualReplica {
     }
 
     fn handle_get(&mut self, ctx: &mut Context<Msg>, from: NodeId, op_id: u64, key: Key) {
+        let span = ctx.span_open("replica_read");
         let resp = match &self.store {
             Store::Lww(s) => match s.get(key) {
                 Some(v) => Msg::GetResp {
@@ -401,6 +402,7 @@ impl EventualReplica {
             }
         };
         ctx.send(from, resp);
+        ctx.span_close(span, SpanStatus::Ok);
     }
 
     #[allow(clippy::too_many_arguments)] // one parameter per wire field
@@ -416,6 +418,7 @@ impl EventualReplica {
     ) {
         let me = ctx.self_id();
         self.ensure_sib_actor(me);
+        let span = ctx.span_open("replica_write");
         let now_us = ctx.now().as_micros();
         let (stamp, items) = match &mut self.store {
             Store::Lww(s) => {
@@ -457,11 +460,14 @@ impl EventualReplica {
         };
         ctx.send(from, Msg::PutResp { op_id, stamp });
         if self.cfg.eager {
+            // Still inside the replica span, so the eager fan-out is part
+            // of the write's span tree.
             let peers: Vec<NodeId> = self.peers(me).collect();
             for p in peers {
                 ctx.send(p, Msg::Replicate { items: items.clone() });
             }
         }
+        ctx.span_close(span, SpanStatus::Ok);
     }
 
     fn start_gossip_round(&mut self, ctx: &mut Context<Msg>) {
@@ -486,6 +492,28 @@ impl EventualReplica {
 }
 
 impl Actor<Msg> for EventualReplica {
+    fn key_versions(&self) -> Vec<(u64, u64)> {
+        match &self.store {
+            // Unique write ids identify LWW versions directly.
+            Store::Lww(s) => s.scan(..).map(|(k, v)| (k, v.value.as_u64().unwrap_or(0))).collect(),
+            // Sibling sets are fingerprinted order-independently (XOR of
+            // values + count): replicas holding different sets diverge.
+            Store::Sib(s) => s
+                .keys()
+                .map(|k| {
+                    let sibs = s.siblings(k);
+                    let fp = sibs
+                        .iter()
+                        .filter_map(|x| x.value.as_u64())
+                        .fold(sibs.len() as u64, |acc, v| acc ^ v);
+                    (k, fp)
+                })
+                .collect(),
+            // A counter's "version" is its current value.
+            Store::Counter(m) => m.iter().map(|(&k, c)| (k, c.value() as u64)).collect(),
+        }
+    }
+
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
         if let Some(g) = self.cfg.gossip {
             // Desynchronize replicas' rounds.
@@ -541,8 +569,12 @@ impl Actor<Msg> for EventualReplica {
                 self.handle_put(ctx, from, op_id, key, value, observed, client_ctx)
             }
             Msg::Replicate { items } => {
+                // Traced when the originating write was (envelope context);
+                // inert for untraced background traffic.
+                let span = ctx.span_open("replicate_apply");
                 let (_, conflicts) = self.apply_items(ctx, items);
                 Self::record_conflicts(ctx, conflicts);
+                ctx.span_close(span, SpanStatus::Ok);
             }
             Msg::SyncReq { digest, vv_digest } => {
                 let items = self.missing_at_remote(&digest, &vv_digest);

@@ -20,7 +20,7 @@ use crate::common::{ClientCore, IssueOp, OpOutcome, ScriptOp, TimerAction};
 use clocks::LamportTimestamp;
 use kvstore::{Key, MvStore, Value};
 use obs::{EventKind, QuorumKind};
-use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
+use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime, SpanId, SpanStatus};
 use std::collections::BTreeMap;
 
 /// A ballot number: `(round, node)` — totally ordered, node breaks ties.
@@ -194,6 +194,10 @@ pub struct PaxosNode {
     seen_writes: BTreeMap<(usize, u64), u64>,
     /// Election timer bookkeeping: id of the live timer.
     election_timer: Option<u64>,
+    /// Leader: tracing span per proposed slot, closed `Ok` when the slot
+    /// commits and the client is answered, `Abandoned` on demotion or
+    /// amnesia (the new leader re-proposes under the client's retry).
+    slot_spans: BTreeMap<u64, SpanId>,
 }
 
 impl PaxosNode {
@@ -216,6 +220,7 @@ impl PaxosNode {
             leader_hint: None,
             election_timer: None,
             seen_writes: BTreeMap::new(),
+            slot_spans: BTreeMap::new(),
         }
     }
 
@@ -355,7 +360,19 @@ impl PaxosNode {
                     cmd.client,
                     Msg::Response { op_id: cmd.op_id, ok: true, value, stamp, version_ts },
                 );
+                if let Some(span) = self.slot_spans.remove(&slot) {
+                    ctx.span_close(span, SpanStatus::Ok);
+                }
             }
+        }
+    }
+
+    /// Close every in-flight proposal span as abandoned: a demoted (or
+    /// amnesiac) leader will never answer those clients — the new leader
+    /// re-proposes under the clients' retries.
+    fn abandon_proposals(&mut self, ctx: &mut Context<Msg>) {
+        for (_, span) in std::mem::take(&mut self.slot_spans) {
+            ctx.span_close(span, SpanStatus::Abandoned);
         }
     }
 }
@@ -371,6 +388,7 @@ impl Actor<Msg> for PaxosNode {
             // rebuilds the state machine by re-applying committed slots in
             // order — without re-answering clients.
             self.role = Role::Follower;
+            self.abandon_proposals(ctx);
             self.p1_promises = 0;
             self.p1_adopted.clear();
             self.p2_acks.clear();
@@ -490,6 +508,11 @@ impl Actor<Msg> for PaxosNode {
                 if value.is_some() {
                     self.seen_writes.insert((from.0, op_id), slot);
                 }
+                // Opened before the Phase 2 fan-out so every Accept (and
+                // the eventual Response) rides the proposal span; closed
+                // `Ok` in `apply_ready` once the client is answered.
+                let span = ctx.span_open("paxos_propose");
+                self.slot_spans.insert(slot, span);
                 let cmd =
                     Command { client: from, op_id, key, value, issued_at: ctx.now().as_micros() };
                 self.propose_in_slot(ctx, slot, cmd);
@@ -499,6 +522,7 @@ impl Actor<Msg> for PaxosNode {
                     self.promised = ballot;
                     if self.role == Role::Leader {
                         self.role = Role::Follower;
+                        self.abandon_proposals(ctx);
                     }
                     self.leader_hint = Some(NodeId(ballot.1 as usize));
                     let accepted: Vec<(u64, Ballot, Command)> =
@@ -524,10 +548,13 @@ impl Actor<Msg> for PaxosNode {
                     self.promised = ballot;
                     if self.role == Role::Leader && ballot != self.my_ballot {
                         self.role = Role::Follower;
+                        self.abandon_proposals(ctx);
                     }
                     self.leader_hint = Some(NodeId(ballot.1 as usize));
+                    let span = ctx.span_open("acceptor_accept");
                     self.accepted.insert(slot, AcceptedEntry { ballot, cmd });
                     ctx.send(from, Msg::Accepted { ballot, slot });
+                    ctx.span_close(span, SpanStatus::Ok);
                     self.reset_election_timer(ctx);
                 }
             }
@@ -542,14 +569,20 @@ impl Actor<Msg> for PaxosNode {
                 }
             }
             Msg::Commit { slot, cmd } => {
+                let span = ctx.span_open("learner_commit");
                 self.committed.entry(slot).or_insert(cmd);
                 self.apply_ready(ctx, false);
+                ctx.span_close(span, SpanStatus::Ok);
             }
             Msg::Heartbeat { ballot } => {
                 if ballot >= self.promised {
                     self.promised = ballot;
                     if self.role != Role::Follower && ballot != self.my_ballot {
+                        let was_leader = self.role == Role::Leader;
                         self.role = Role::Follower;
+                        if was_leader {
+                            self.abandon_proposals(ctx);
+                        }
                     }
                     self.leader_hint = Some(NodeId(ballot.1 as usize));
                     self.reset_election_timer(ctx);
@@ -557,6 +590,10 @@ impl Actor<Msg> for PaxosNode {
             }
             Msg::Response { .. } | Msg::NotLeader { .. } => {}
         }
+    }
+
+    fn key_versions(&self) -> Vec<(u64, u64)> {
+        self.store.scan(..).map(|(k, v)| (k, v.value.as_u64().unwrap_or(0))).collect()
     }
 }
 

@@ -32,7 +32,7 @@ use crate::common::{ClientCore, OpOutcome, ScriptOp, TimerAction};
 use clocks::LamportTimestamp;
 use kvstore::{Key, LogRecord, MvStore, Value, Wal};
 use obs::{EventKind, QuorumKind};
-use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
+use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime, SpanId, SpanStatus};
 use std::collections::BTreeMap;
 
 /// Propagation mode.
@@ -188,6 +188,18 @@ pub enum Msg {
     },
 }
 
+/// A sync write waiting for backup acks at the primary.
+#[derive(Debug, Clone, Copy)]
+struct PendingWrite {
+    client: NodeId,
+    op_id: u64,
+    done: bool,
+    /// Virtual time (µs) the primary appended the write.
+    issued_at: u64,
+    /// Primary-side span of the write, closed when the op resolves.
+    span: SpanId,
+}
+
 const TAG_SHIP: u64 = 1;
 const TAG_HEARTBEAT: u64 = 2;
 const TAG_FAILOVER_CHECK: u64 = 3;
@@ -203,7 +215,7 @@ pub struct PrimaryReplica {
     /// Primary: per-backup acked seq.
     acked: BTreeMap<NodeId, u64>,
     /// Primary: pending sync writes by seq.
-    pending: BTreeMap<u64, (NodeId, u64, bool, u64)>, // seq -> (client, op_id, done, issued_at µs)
+    pending: BTreeMap<u64, PendingWrite>,
     /// Backup: out-of-order buffer.
     reorder: BTreeMap<u64, LogRecord>,
     /// Modeled on-disk checkpoint: set whenever the log is truncated
@@ -330,6 +342,7 @@ impl PrimaryReplica {
             ctx.send(primary, Msg::Put { op_id, key, value, reply_to });
             return;
         }
+        let span = ctx.span_open("primary_write");
         let val = Value::from_u64(value);
         ctx.record(EventKind::WalAppend { node: me.0 as u64, key, bytes: val.len() as u64 });
         // Stamp the record with the seq the WAL is about to assign, so a
@@ -342,7 +355,12 @@ impl PrimaryReplica {
         self.store.put(key, Value::from_u64(value), ts, now_us);
         match self.cfg.mode {
             PrimaryMode::Sync { acks_required } => {
-                self.pending.insert(seq, (reply_to, op_id, false, now_us));
+                self.pending.insert(
+                    seq,
+                    PendingWrite { client: reply_to, op_id, done: false, issued_at: now_us, span },
+                );
+                // Span still active: the synchronous log-ship fan-out and
+                // the write timeout below carry it.
                 let backups: Vec<NodeId> = self.backups(me).collect();
                 for b in backups {
                     self.ship_to(ctx, b);
@@ -354,6 +372,7 @@ impl PrimaryReplica {
             }
             PrimaryMode::Async { .. } => {
                 ctx.send(reply_to, Msg::PutResp { op_id, ok: true, stamp: (seq, 0) });
+                ctx.span_close(span, SpanStatus::Ok);
             }
         }
     }
@@ -363,10 +382,10 @@ impl PrimaryReplica {
             return;
         };
         let acks = self.acked.values().filter(|&&a| a >= seq).count();
-        if let Some((client, op_id, done, issued_at)) = self.pending.get_mut(&seq) {
-            if !*done && acks >= acks_required {
-                *done = true;
-                let (client, op_id, issued_at) = (*client, *op_id, *issued_at);
+        if let Some(p) = self.pending.get_mut(&seq) {
+            if !p.done && acks >= acks_required {
+                p.done = true;
+                let (client, op_id, issued_at, span) = (p.client, p.op_id, p.issued_at, p.span);
                 ctx.record(EventKind::QuorumWait {
                     node: ctx.self_id().0 as u64,
                     kind: QuorumKind::Write,
@@ -375,6 +394,7 @@ impl PrimaryReplica {
                     needed: acks_required as u64,
                 });
                 ctx.send(client, Msg::PutResp { op_id, ok: true, stamp: (seq, 0) });
+                ctx.span_close(span, SpanStatus::Ok);
             }
         }
     }
@@ -452,7 +472,9 @@ impl Actor<Msg> for PrimaryReplica {
             // RAM is gone; the disk (WAL, checkpoint, view number)
             // survives. Rebuild the store as checkpoint + log tail and
             // drop everything that only lived in memory.
-            self.pending.clear();
+            for (_, p) in std::mem::take(&mut self.pending) {
+                ctx.span_close(p.span, SpanStatus::Abandoned);
+            }
             self.reorder.clear();
             self.acked.clear();
             let replayed = self.wal.len() as u64;
@@ -526,9 +548,12 @@ impl Actor<Msg> for PrimaryReplica {
             }
         } else if tag >= TAG_WRITE_TIMEOUT_BASE {
             let seq = tag - TAG_WRITE_TIMEOUT_BASE;
-            if let Some((client, op_id, done, _issued_at)) = self.pending.remove(&seq) {
-                if !done {
-                    ctx.send(client, Msg::PutResp { op_id, ok: false, stamp: (0, 0) });
+            if let Some(p) = self.pending.remove(&seq) {
+                if !p.done {
+                    // Close before the failure response so the reply
+                    // carries the client's root span, not this one.
+                    ctx.span_close(p.span, SpanStatus::Failed);
+                    ctx.send(p.client, Msg::PutResp { op_id: p.op_id, ok: false, stamp: (0, 0) });
                 }
             }
         }
@@ -542,6 +567,7 @@ impl Actor<Msg> for PrimaryReplica {
                 self.handle_put(ctx, op_id, key, value, reply);
             }
             Msg::Get { op_id, key } => {
+                let span = ctx.span_open("replica_read");
                 let v = self.store.get(key);
                 ctx.send(
                     from,
@@ -553,11 +579,13 @@ impl Actor<Msg> for PrimaryReplica {
                         applied_seq: self.applied_seq(),
                     },
                 );
+                ctx.span_close(span, SpanStatus::Ok);
             }
             Msg::Append { view, records } => {
                 if !self.observe_view(ctx, view) {
                     return; // stale ex-primary still shipping its old log
                 }
+                let span = ctx.span_open("backup_apply");
                 for rec in records {
                     if rec.seq > self.applied_seq {
                         self.reorder.insert(rec.seq, rec);
@@ -565,6 +593,7 @@ impl Actor<Msg> for PrimaryReplica {
                 }
                 self.apply_ready(ctx);
                 ctx.send(from, Msg::AppendAck { seq: self.applied_seq });
+                ctx.span_close(span, SpanStatus::Ok);
             }
             Msg::Heartbeat { view } => {
                 self.observe_view(ctx, view);
@@ -573,6 +602,7 @@ impl Actor<Msg> for PrimaryReplica {
                 if !self.observe_view(ctx, view) {
                     return;
                 }
+                let span = ctx.span_open("backup_apply");
                 if through > self.applied_seq {
                     for (key, value, seq, written_at) in items {
                         self.store.put(
@@ -590,6 +620,7 @@ impl Actor<Msg> for PrimaryReplica {
                     self.apply_ready(ctx);
                 }
                 ctx.send(from, Msg::AppendAck { seq: self.applied_seq });
+                ctx.span_close(span, SpanStatus::Ok);
             }
             Msg::AppendAck { seq } => {
                 let prev = self.acked.entry(from).or_insert(0);
@@ -603,6 +634,10 @@ impl Actor<Msg> for PrimaryReplica {
             }
             Msg::PutResp { .. } | Msg::GetResp { .. } => {}
         }
+    }
+
+    fn key_versions(&self) -> Vec<(u64, u64)> {
+        self.store.scan(..).map(|(k, v)| (k, v.value.as_u64().unwrap_or(0))).collect()
     }
 }
 

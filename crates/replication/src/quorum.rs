@@ -15,7 +15,7 @@ use crate::common::{ClientCore, IssueOp, OpOutcome, ScriptOp, TimerAction};
 use clocks::{LamportClock, LamportTimestamp};
 use kvstore::{Key, MvStore, Value, Wal};
 use obs::{Counter, EventKind, QuorumKind};
-use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime};
+use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime, SpanId, SpanStatus};
 use std::collections::BTreeMap;
 
 /// Quorum configuration.
@@ -215,6 +215,8 @@ enum PendingOp {
         /// The version returned to the client (for async read repair of
         /// responses that arrive after the quorum was reached).
         winner: Option<WireVersion>,
+        /// Coordinator span of the fan-out, closed when the op resolves.
+        span: SpanId,
     },
     Write {
         client: NodeId,
@@ -230,7 +232,17 @@ enum PendingOp {
         hinted: bool,
         /// Virtual time (µs) the coordinator issued the fan-out.
         issued_at: u64,
+        /// Coordinator span of the fan-out, closed when the op resolves.
+        span: SpanId,
     },
+}
+
+impl PendingOp {
+    fn span(&self) -> SpanId {
+        match self {
+            PendingOp::Read { span, .. } | PendingOp::Write { span, .. } => *span,
+        }
+    }
 }
 
 /// Sloppy-quorum sub-timeout tag space.
@@ -313,6 +325,9 @@ impl QuorumNode {
         self.next_req += 1;
         let req_id = self.next_req;
         let me = ctx.self_id();
+        // Child of the client's op span: the fan-out sends and the op
+        // timeout below all carry this coordinator span.
+        let span = ctx.span_open("quorum_read");
         let mut responses = Vec::with_capacity(self.cfg.n);
         responses.push((me, self.local_version(key)));
         let pending = PendingOp::Read {
@@ -324,6 +339,7 @@ impl QuorumNode {
             done: false,
             winner: None,
             issued_at: ctx.now().as_micros(),
+            span,
         };
         self.pending.insert(req_id, pending);
         for peer in self.replicas().filter(|&p| p != me) {
@@ -346,6 +362,7 @@ impl QuorumNode {
         let me = ctx.self_id();
         let ts = self.clock.tick(me.0 as u64);
         let version = WireVersion { value, ts, written_at: ctx.now().as_micros() };
+        let span = ctx.span_open("quorum_write");
         self.apply_version(ctx, key, version);
         self.pending.insert(
             req_id,
@@ -361,6 +378,7 @@ impl QuorumNode {
                 done: false,
                 hinted: false,
                 issued_at: ctx.now().as_micros(),
+                span,
             },
         );
         for peer in self.replicas().filter(|&p| p != me) {
@@ -387,6 +405,7 @@ impl QuorumNode {
             done,
             winner,
             issued_at,
+            span,
         }) = self.pending.get_mut(&req_id)
         else {
             return;
@@ -402,7 +421,7 @@ impl QuorumNode {
             acks: responses.len() as u64,
             needed: *needed as u64,
         });
-        let (client, op_id, key) = (*client, *op_id, *key);
+        let (client, op_id, key, span) = (*client, *op_id, *key, *span);
         let newest = responses.iter().filter_map(|(_, v)| *v).max_by_key(|v| v.ts);
         *winner = newest;
         let stale: Vec<NodeId> = match newest {
@@ -428,11 +447,23 @@ impl QuorumNode {
                 }
             }
         }
+        // Closed after the synchronous read-repair pushes so those hops
+        // belong to the coordinator span too.
+        ctx.span_close(span, SpanStatus::Ok);
     }
 
     fn try_finish_write(&mut self, ctx: &mut Context<Msg>, req_id: u64) {
-        let Some(PendingOp::Write { client, op_id, acks, needed, stamp, done, issued_at, .. }) =
-            self.pending.get_mut(&req_id)
+        let Some(PendingOp::Write {
+            client,
+            op_id,
+            acks,
+            needed,
+            stamp,
+            done,
+            issued_at,
+            span,
+            ..
+        }) = self.pending.get_mut(&req_id)
         else {
             return;
         };
@@ -447,16 +478,19 @@ impl QuorumNode {
             acks: *acks as u64,
             needed: *needed as u64,
         });
-        let (client, op_id, stamp) = (*client, *op_id, *stamp);
+        let (client, op_id, stamp, span) = (*client, *op_id, *stamp, *span);
         ctx.send(client, Msg::PutResp { op_id, ok: true, stamp: (stamp.counter, stamp.actor) });
+        ctx.span_close(span, SpanStatus::Ok);
     }
 
     fn fail_pending(&mut self, ctx: &mut Context<Msg>, req_id: u64) {
         match self.pending.remove(&req_id) {
-            Some(PendingOp::Read { client, op_id, done: false, .. }) => {
+            Some(PendingOp::Read { client, op_id, done: false, span, .. }) => {
+                ctx.span_close(span, SpanStatus::Failed);
                 ctx.send(client, Msg::GetResp { op_id, ok: false, version: None });
             }
-            Some(PendingOp::Write { client, op_id, done: false, .. }) => {
+            Some(PendingOp::Write { client, op_id, done: false, span, .. }) => {
+                ctx.span_close(span, SpanStatus::Failed);
                 ctx.send(client, Msg::PutResp { op_id, ok: false, stamp: (0, 0) });
             }
             _ => {}
@@ -490,6 +524,12 @@ impl QuorumNode {
 }
 
 impl Actor<Msg> for QuorumNode {
+    fn key_versions(&self) -> Vec<(u64, u64)> {
+        // Unique write ids identify versions; divergence probes count
+        // distinct ids per key across replicas.
+        self.store.scan(..).map(|(k, v)| (k, v.value.as_u64().unwrap_or(0))).collect()
+    }
+
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
         if ctx.self_id().0 >= self.cfg.n {
             // Spare role: periodically retry hint delivery.
@@ -508,7 +548,11 @@ impl Actor<Msg> for QuorumNode {
             // req/hint id counters survive (modeled as derived from a
             // durable restart epoch) so stale pre-crash acks can never
             // collide with post-restart request ids.
-            self.pending.clear();
+            for (_, op) in std::mem::take(&mut self.pending) {
+                // The fan-out died with the coordinator; its span is
+                // abandoned now rather than lingering to the horizon.
+                ctx.span_close(op.span(), SpanStatus::Abandoned);
+            }
             self.hints.clear();
             self.store = self.wal.recover(None);
             for rec in self.wal.tail(0) {
@@ -541,8 +585,10 @@ impl Actor<Msg> for QuorumNode {
             Msg::Get { op_id, key } => self.start_read(ctx, from, op_id, key),
             Msg::Put { op_id, key, value } => self.start_write(ctx, from, op_id, key, value),
             Msg::RGet { req_id, key } => {
+                let span = ctx.span_open("replica_read");
                 let version = self.local_version(key);
                 ctx.send(from, Msg::RGetResp { req_id, version });
+                ctx.span_close(span, SpanStatus::Ok);
             }
             Msg::RGetResp { req_id, version } => {
                 let mut late_repair: Option<(Key, WireVersion, NodeId)> = None;
@@ -575,8 +621,10 @@ impl Actor<Msg> for QuorumNode {
                 self.try_finish_read(ctx, req_id);
             }
             Msg::RPut { req_id, key, version } => {
+                let span = ctx.span_open("replica_write");
                 self.apply_version(ctx, key, version);
                 ctx.send(from, Msg::RPutAck { req_id });
+                ctx.span_close(span, SpanStatus::Ok);
             }
             Msg::RPutAck { req_id } => {
                 if let Some(PendingOp::Write { acks, acked_from, .. }) =
@@ -589,9 +637,11 @@ impl Actor<Msg> for QuorumNode {
             }
             Msg::HintedPut { req_id, target, key, version } => {
                 // Spare role: store the hint, ack toward the write quorum.
+                let span = ctx.span_open("hint_store");
                 self.next_hint += 1;
                 self.hints.insert(self.next_hint, (target, key, version));
                 ctx.send(from, Msg::HintAck { req_id });
+                ctx.span_close(span, SpanStatus::Ok);
             }
             Msg::HintAck { req_id } => {
                 if let Some(PendingOp::Write { acks, .. }) = self.pending.get_mut(&req_id) {
@@ -608,7 +658,11 @@ impl Actor<Msg> for QuorumNode {
                     self.hints_delivered += 1;
                 }
             }
-            Msg::Repair { key, version } => self.apply_version(ctx, key, version),
+            Msg::Repair { key, version } => {
+                let span = ctx.span_open("repair_apply");
+                self.apply_version(ctx, key, version);
+                ctx.span_close(span, SpanStatus::Ok);
+            }
             Msg::GetResp { .. } | Msg::PutResp { .. } => {}
         }
     }

@@ -21,6 +21,13 @@ pub enum EventPayload<M> {
         to: NodeId,
         /// The message payload.
         msg: M,
+        /// Trace active when the message was sent (0 = untraced). The
+        /// envelope — not the payload type `M` — carries the causal
+        /// context, so protocols get tracing without changing their
+        /// message enums.
+        trace: u64,
+        /// Span active when the message was sent (0 = none).
+        span: u64,
     },
     /// Fire timer `timer_id` (carrying an actor-chosen `tag`) at `node`.
     Timer {
@@ -30,6 +37,11 @@ pub enum EventPayload<M> {
         timer_id: u64,
         /// Actor-chosen tag distinguishing timer purposes.
         tag: u64,
+        /// Trace active when the timer was set (0 = untraced), restored
+        /// as the active context when the timer fires.
+        trace: u64,
+        /// Span active when the timer was set (0 = none).
+        span: u64,
     },
     /// Apply a scripted fault (crash, recover, partition change, ...).
     Fault(crate::faults::FaultEvent),
@@ -111,6 +123,13 @@ impl<M> EventQueue<M> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Number of pending `Deliver` events — the messages currently "in
+    /// flight" in the simulated network. O(len); used by low-frequency
+    /// telemetry probes, not the hot path.
+    pub fn deliver_count(&self) -> usize {
+        self.heap.iter().filter(|e| matches!(e.payload, EventPayload::Deliver { .. })).count()
+    }
 }
 
 #[cfg(test)]
@@ -118,7 +137,10 @@ mod tests {
     use super::*;
 
     fn timer_at<M>(q: &mut EventQueue<M>, t: u64, tag: u64) {
-        q.push(SimTime::from_micros(t), EventPayload::Timer { node: NodeId(0), timer_id: 0, tag });
+        q.push(
+            SimTime::from_micros(t),
+            EventPayload::Timer { node: NodeId(0), timer_id: 0, tag, trace: 0, span: 0 },
+        );
     }
 
     fn drain_tags(q: &mut EventQueue<()>) -> Vec<u64> {
@@ -158,6 +180,21 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
         q.pop();
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(50)));
+    }
+
+    #[test]
+    fn deliver_count_tracks_in_flight_messages() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.deliver_count(), 0);
+        q.push(
+            SimTime::from_micros(1),
+            EventPayload::Deliver { from: NodeId(0), to: NodeId(1), msg: (), trace: 0, span: 0 },
+        );
+        timer_at(&mut q, 2, 0);
+        assert_eq!(q.deliver_count(), 1);
+        q.pop(); // the deliver fires first
+        assert_eq!(q.deliver_count(), 0);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub use rng::SimRng;
 pub use sim::{Actor, Context, NodeId, Sim, SimConfig};
 pub use time::{Duration, SimTime};
 
+// Trace/span vocabulary used by the `Context` tracing API, re-exported
+// so actor implementations need not depend on `obs` directly.
+pub use obs::{SpanId, SpanStatus, TraceId};
+
 /// Compile-time audit of the crate's Send/Sync surface, relied on by the
 /// parallel grid runner in `rec-core`.
 ///

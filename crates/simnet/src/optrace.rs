@@ -121,6 +121,36 @@ impl OpTrace {
         self.records.sort_by_key(|r| (r.completed, r.session, r.op_id));
     }
 
+    /// Staleness of a read against the writes committed before it was
+    /// invoked: how many acknowledged writes to `key` (completed at or
+    /// before `at`) are newer than the version the read returned, and
+    /// how long ago (µs) the newest such missed write was acknowledged.
+    /// Returns `(0, 0)` for a perfectly fresh read.
+    ///
+    /// Records are appended at completion time, so `completed` is
+    /// non-decreasing and the committed prefix is found by binary
+    /// search; the per-key walk then runs newest-first and stops at the
+    /// version the read observed, so fresh reads are cheap.
+    pub fn read_staleness(&self, key: u64, at: SimTime, values_read: &[u64]) -> (u64, u64) {
+        let prefix = self.records.partition_point(|r| r.completed <= at);
+        let mut missed = 0u64;
+        let mut newest_missed: Option<SimTime> = None;
+        for r in self.records[..prefix].iter().rev() {
+            if r.kind != OpKind::Write || !r.ok || r.key != key {
+                continue;
+            }
+            if r.value_written.map(|v| values_read.contains(&v)).unwrap_or(false) {
+                break; // writes older than the version read were superseded, not missed
+            }
+            missed += 1;
+            if newest_missed.is_none() {
+                newest_missed = Some(r.completed);
+            }
+        }
+        let lag_us = newest_missed.map(|c| at.saturating_since(c).as_micros()).unwrap_or(0);
+        (missed, lag_us)
+    }
+
     /// Fraction of operations that succeeded.
     pub fn success_rate(&self) -> f64 {
         if self.records.is_empty() {

@@ -12,9 +12,9 @@ use crate::faults::{FaultSchedule, FaultState};
 use crate::latency::LatencyModel;
 use crate::rng::SimRng;
 use crate::time::{Duration, SimTime};
-use obs::{Counter, DropReason, EventKind, Recorder};
+use obs::{Counter, DropReason, EventKind, Recorder, SpanId, SpanStatus, TraceId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
 /// Identifies an actor in the simulation (replica or client).
@@ -53,15 +53,56 @@ pub trait Actor<M> {
     /// Either way the simulator has already dropped the node's pending
     /// timers, so periodic timer chains must be re-armed here.
     fn on_recover(&mut self, _ctx: &mut Context<M>, _amnesia: bool) {}
+
+    /// The versions of keys this actor currently stores, as `(key,
+    /// version)` pairs, for replica-divergence telemetry probes: the
+    /// driver counts distinct versions of each key across replicas at
+    /// sampling instants. Version numbers only need to distinguish
+    /// distinct states of a key (timestamps, sequence numbers, and
+    /// stamps all qualify). The default (empty) opts an actor out of
+    /// divergence probing — clients and non-storage actors keep it.
+    fn key_versions(&self) -> Vec<(u64, u64)> {
+        Vec::new()
+    }
 }
 
 /// Effects an actor requests during a callback; applied by the simulator
-/// afterwards (sampling latencies, assigning timer ids).
+/// afterwards (sampling latencies, assigning timer ids). Sends and
+/// timers capture the trace/span context active at the moment the
+/// effect was requested, which is how causal context propagates without
+/// touching the protocol message types.
 enum Effect<M> {
-    Send { to: NodeId, msg: M },
-    SendLocal { to: NodeId, msg: M, after: Duration },
-    Timer { id: u64, after: Duration, tag: u64 },
+    Send { to: NodeId, msg: M, trace: u64, span: u64 },
+    SendLocal { to: NodeId, msg: M, after: Duration, trace: u64, span: u64 },
+    Timer { id: u64, after: Duration, tag: u64, trace: u64, span: u64 },
     CancelTimer { id: u64 },
+}
+
+/// One currently-open trace span (value of the open-span table).
+struct OpenSpan {
+    trace: u64,
+    parent: u64,
+    node: u64,
+}
+
+/// Per-run span/trace bookkeeping: serial id allocators plus the table
+/// of open spans. Ids are allocated in event-processing order, which is
+/// deterministic, so traces are byte-identical across `--jobs` levels.
+struct SpanBook {
+    next_trace_id: u64,
+    next_span_id: u64,
+    /// Open spans by span id (`BTreeMap` so shutdown abandonment walks
+    /// them in a deterministic order).
+    open: BTreeMap<u64, OpenSpan>,
+}
+
+impl SpanBook {
+    fn new(base: u64) -> Self {
+        // 0 is reserved for "no trace/span"; `base` offsets a grid
+        // cell's ids into its own range so a concatenated multi-cell
+        // trace file still has globally unique trace/span ids.
+        SpanBook { next_trace_id: base + 1, next_span_id: base + 1, open: BTreeMap::new() }
+    }
 }
 
 /// The actor's window into the simulator during a callback.
@@ -72,6 +113,12 @@ pub struct Context<'a, M> {
     recorder: &'a Recorder,
     next_timer_id: &'a mut u64,
     effects: Vec<Effect<M>>,
+    /// Trace/span context this callback runs under: the envelope of the
+    /// delivered message or fired timer, updated by
+    /// [`Context::start_trace`]/[`Context::span_open`]/[`Context::span_close`].
+    active_trace: u64,
+    active_span: u64,
+    spans: &'a mut SpanBook,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -104,25 +151,32 @@ impl<'a, M> Context<'a, M> {
     }
 
     /// Send `msg` to `to`; it arrives after a latency sampled from the
-    /// network model (or never, under loss/partition).
+    /// network model (or never, under loss/partition). The message
+    /// envelope carries the currently active trace/span, so the
+    /// receiver's callback resumes this causal context.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.effects.push(Effect::Send { to, msg });
+        let (trace, span) = (self.active_trace, self.active_span);
+        self.effects.push(Effect::Send { to, msg, trace, span });
     }
 
     /// Deliver `msg` to `to` after exactly `after`, bypassing the network
     /// model and faults. Used for intra-process handoff (e.g. a client
     /// co-located with its replica) and for self-messages.
     pub fn send_local(&mut self, to: NodeId, msg: M, after: Duration) {
-        self.effects.push(Effect::SendLocal { to, msg, after });
+        let (trace, span) = (self.active_trace, self.active_span);
+        self.effects.push(Effect::SendLocal { to, msg, after, trace, span });
     }
 
     /// Set a one-shot timer; returns its id (usable with
     /// [`Context::cancel_timer`]). `tag` is an arbitrary actor-chosen value
-    /// passed back to [`Actor::on_timer`].
+    /// passed back to [`Actor::on_timer`]. The timer carries the
+    /// currently active trace/span, restored when it fires (so e.g. a
+    /// timeout handler runs in the context of the operation it guards).
     pub fn set_timer(&mut self, after: Duration, tag: u64) -> u64 {
         let id = *self.next_timer_id;
         *self.next_timer_id += 1;
-        self.effects.push(Effect::Timer { id, after, tag });
+        let (trace, span) = (self.active_trace, self.active_span);
+        self.effects.push(Effect::Timer { id, after, tag, trace, span });
         id
     }
 
@@ -130,6 +184,87 @@ impl<'a, M> Context<'a, M> {
     /// is a no-op.
     pub fn cancel_timer(&mut self, id: u64) {
         self.effects.push(Effect::CancelTimer { id });
+    }
+
+    /// The trace this callback currently runs under
+    /// ([`TraceId::NONE`] outside any traced operation).
+    pub fn active_trace(&self) -> TraceId {
+        TraceId(self.active_trace)
+    }
+
+    /// The span this callback currently runs under
+    /// ([`SpanId::NONE`] outside any traced operation).
+    pub fn active_span(&self) -> SpanId {
+        SpanId(self.active_span)
+    }
+
+    /// Begin a new trace with a root span named `name`, making it the
+    /// active context: subsequent sends/timers in this callback carry
+    /// it. Returns the root span's id; pair it with
+    /// [`Context::active_trace`] if the trace id is needed too. The
+    /// span stays open across callbacks until
+    /// [`Context::span_close`] — store the id wherever the operation's
+    /// pending state lives.
+    pub fn start_trace(&mut self, name: &'static str) -> SpanId {
+        let trace = self.spans.next_trace_id;
+        self.spans.next_trace_id += 1;
+        self.active_trace = trace;
+        self.active_span = 0;
+        self.open_span(name)
+    }
+
+    /// Open a child span of the active span (becoming the new active
+    /// span). Returns [`SpanId::NONE`] and does nothing when no trace is
+    /// active, so replicas can instrument handlers unconditionally —
+    /// untraced background traffic (gossip, heartbeats) creates no
+    /// orphan spans.
+    pub fn span_open(&mut self, name: &'static str) -> SpanId {
+        if self.active_trace == 0 {
+            return SpanId::NONE;
+        }
+        self.open_span(name)
+    }
+
+    fn open_span(&mut self, name: &'static str) -> SpanId {
+        let span = self.spans.next_span_id;
+        self.spans.next_span_id += 1;
+        let parent = self.active_span;
+        let node = self.self_id.0 as u64;
+        self.spans.open.insert(span, OpenSpan { trace: self.active_trace, parent, node });
+        self.recorder.record(
+            self.now.as_micros(),
+            EventKind::SpanOpen { trace: self.active_trace, span, parent, node, name },
+        );
+        self.active_span = span;
+        SpanId(span)
+    }
+
+    /// Make a previously-opened span the active context again (e.g. a
+    /// client re-issuing a timed-out request from an untraced callback,
+    /// so the retry's sends still carry the operation's trace). A
+    /// closed, unknown, or [`SpanId::NONE`] span is a no-op.
+    pub fn resume_span(&mut self, span: SpanId) {
+        if let Some(open) = self.spans.open.get(&span.0) {
+            self.active_trace = open.trace;
+            self.active_span = span.0;
+        }
+    }
+
+    /// Close an open span with the given status. Closing
+    /// [`SpanId::NONE`] or an already-closed span is a no-op, so
+    /// failure paths can close defensively. If the closed span is the
+    /// active one, its parent becomes active again.
+    pub fn span_close(&mut self, span: SpanId, status: SpanStatus) {
+        let Some(open) = self.spans.open.remove(&span.0) else {
+            return;
+        };
+        self.recorder.record(
+            self.now.as_micros(),
+            EventKind::SpanClose { trace: open.trace, span: span.0, node: open.node, status },
+        );
+        if self.active_span == span.0 {
+            self.active_span = open.parent;
+        }
     }
 }
 
@@ -144,6 +279,12 @@ pub struct SimConfig {
     pub faults: FaultSchedule,
     /// Observability sink; defaults to disabled (zero overhead).
     pub recorder: Recorder,
+    /// Trace/span ids are allocated serially starting at `trace_base +
+    /// 1`. A grid runner gives each cell a disjoint base so ids stay
+    /// unique across a concatenated multi-run trace file; the base is a
+    /// pure function of the cell's grid position, never of scheduling,
+    /// so traces remain byte-identical across `--jobs` levels.
+    pub trace_base: u64,
 }
 
 impl Default for SimConfig {
@@ -153,6 +294,7 @@ impl Default for SimConfig {
             latency: LatencyModel::lan(),
             faults: FaultSchedule::none(),
             recorder: Recorder::disabled(),
+            trace_base: 0,
         }
     }
 }
@@ -181,6 +323,13 @@ impl SimConfig {
         self.recorder = recorder;
         self
     }
+
+    /// Set the first trace/span id range offset (see
+    /// [`SimConfig::trace_base`]).
+    pub fn trace_base(mut self, base: u64) -> Self {
+        self.trace_base = base;
+        self
+    }
 }
 
 /// The deterministic simulator.
@@ -200,6 +349,7 @@ pub struct Sim<M> {
     /// Count of messages delivered.
     pub delivered_messages: u64,
     recorder: Recorder,
+    spans: SpanBook,
 }
 
 impl<M> Sim<M> {
@@ -223,6 +373,7 @@ impl<M> Sim<M> {
             dropped_messages: 0,
             delivered_messages: 0,
             recorder: config.recorder,
+            spans: SpanBook::new(config.trace_base),
         }
     }
 
@@ -270,9 +421,32 @@ impl<M> Sim<M> {
                 from: from.0 as u64,
                 to: to.0 as u64,
                 bytes: Self::msg_bytes(),
+                trace: 0,
+                span: 0,
             },
         );
-        self.queue.push(at, EventPayload::Deliver { from, to, msg });
+        self.queue.push(at, EventPayload::Deliver { from, to, msg, trace: 0, span: 0 });
+    }
+
+    /// Messages currently in flight in the simulated network (pending
+    /// deliveries, including ones that will be dropped on arrival).
+    /// O(queue length); intended for low-frequency telemetry probes.
+    pub fn inflight_messages(&self) -> u64 {
+        self.queue.deliver_count() as u64
+    }
+
+    /// The `(key, version)` pairs every actor reports via
+    /// [`Actor::key_versions`], as `(node, key, version)` triples in
+    /// node order. Telemetry probes fold these into per-key
+    /// replica-divergence samples.
+    pub fn key_versions(&self) -> Vec<(NodeId, u64, u64)> {
+        let mut out = Vec::new();
+        for (i, actor) in self.actors.iter().enumerate() {
+            for (key, version) in actor.key_versions() {
+                out.push((NodeId(i), key, version));
+            }
+        }
+        out
     }
 
     /// Borrow an actor (e.g. to read results after the run).
@@ -291,12 +465,13 @@ impl<M> Sim<M> {
         }
         self.started = true;
         for i in 0..self.actors.len() {
-            self.call_actor(NodeId(i), |actor, ctx| actor.on_start(ctx));
+            self.call_actor(NodeId(i), 0, 0, |actor, ctx| actor.on_start(ctx));
         }
     }
 
-    /// Run a callback on one actor and apply the effects it produced.
-    fn call_actor<F>(&mut self, id: NodeId, f: F)
+    /// Run a callback on one actor — under the trace/span context the
+    /// triggering event carried — and apply the effects it produced.
+    fn call_actor<F>(&mut self, id: NodeId, trace: u64, span: u64, f: F)
     where
         F: FnOnce(&mut dyn Actor<M>, &mut Context<M>),
     {
@@ -307,12 +482,15 @@ impl<M> Sim<M> {
             recorder: &self.recorder,
             next_timer_id: &mut self.next_timer_id,
             effects: Vec::new(),
+            active_trace: trace,
+            active_span: span,
+            spans: &mut self.spans,
         };
         f(self.actors[id.0].as_mut(), &mut ctx);
         let effects = ctx.effects;
         for eff in effects {
             match eff {
-                Effect::Send { to, msg } => {
+                Effect::Send { to, msg, trace, span } => {
                     let now_us = self.now.as_micros();
                     self.recorder.record(
                         now_us,
@@ -320,6 +498,8 @@ impl<M> Sim<M> {
                             from: id.0 as u64,
                             to: to.0 as u64,
                             bytes: Self::msg_bytes(),
+                            trace,
+                            span,
                         },
                     );
                     if self.faults.is_partitioned(id, to) {
@@ -330,6 +510,8 @@ impl<M> Sim<M> {
                                 from: id.0 as u64,
                                 to: to.0 as u64,
                                 reason: DropReason::Partition,
+                                trace,
+                                span,
                             },
                         );
                         continue;
@@ -342,6 +524,8 @@ impl<M> Sim<M> {
                                 from: id.0 as u64,
                                 to: to.0 as u64,
                                 reason: DropReason::Loss,
+                                trace,
+                                span,
                             },
                         );
                         continue;
@@ -361,23 +545,31 @@ impl<M> Sim<M> {
                             )
                         }
                     };
-                    self.queue.push(self.now + delay, EventPayload::Deliver { from: id, to, msg });
+                    self.queue.push(
+                        self.now + delay,
+                        EventPayload::Deliver { from: id, to, msg, trace, span },
+                    );
                 }
-                Effect::SendLocal { to, msg, after } => {
+                Effect::SendLocal { to, msg, after, trace, span } => {
                     self.recorder.record(
                         self.now.as_micros(),
                         EventKind::MessageSent {
                             from: id.0 as u64,
                             to: to.0 as u64,
                             bytes: Self::msg_bytes(),
+                            trace,
+                            span,
                         },
                     );
-                    self.queue.push(self.now + after, EventPayload::Deliver { from: id, to, msg });
-                }
-                Effect::Timer { id: tid, after, tag } => {
                     self.queue.push(
                         self.now + after,
-                        EventPayload::Timer { node: id, timer_id: tid, tag },
+                        EventPayload::Deliver { from: id, to, msg, trace, span },
+                    );
+                }
+                Effect::Timer { id: tid, after, tag, trace, span } => {
+                    self.queue.push(
+                        self.now + after,
+                        EventPayload::Timer { node: id, timer_id: tid, tag, trace, span },
                     );
                 }
                 Effect::CancelTimer { id: tid } => {
@@ -396,7 +588,7 @@ impl<M> Sim<M> {
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
         match ev.payload {
-            EventPayload::Deliver { from, to, msg } => {
+            EventPayload::Deliver { from, to, msg, trace, span } => {
                 if self.faults.is_crashed(to) {
                     self.dropped_messages += 1;
                     self.recorder.record(
@@ -405,6 +597,8 @@ impl<M> Sim<M> {
                             from: from.0 as u64,
                             to: to.0 as u64,
                             reason: DropReason::CrashedDestination,
+                            trace,
+                            span,
                         },
                     );
                 } else {
@@ -415,17 +609,21 @@ impl<M> Sim<M> {
                             from: from.0 as u64,
                             to: to.0 as u64,
                             bytes: Self::msg_bytes(),
+                            trace,
+                            span,
                         },
                     );
-                    self.call_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                    self.call_actor(to, trace, span, |actor, ctx| actor.on_message(ctx, from, msg));
                 }
             }
-            EventPayload::Timer { node, timer_id, tag } => {
+            EventPayload::Timer { node, timer_id, tag, trace, span } => {
                 if self.cancelled_timers.remove(&timer_id) || self.faults.is_crashed(node) {
                     // Cancelled, or the node is down: timers are soft state.
                 } else {
                     self.recorder.count_node(node.0 as u64, Counter::TimersFired, 1);
-                    self.call_actor(node, |actor, ctx| actor.on_timer(ctx, timer_id, tag));
+                    self.call_actor(node, trace, span, |actor, ctx| {
+                        actor.on_timer(ctx, timer_id, tag)
+                    });
                 }
             }
             EventPayload::Fault(fev) => {
@@ -436,7 +634,7 @@ impl<M> Sim<M> {
                         let node = *node;
                         self.recorder.record(now_us, EventKind::Crash { node: node.0 as u64 });
                         self.faults.apply(&fev);
-                        self.call_actor(node, |actor, ctx| actor.on_crash(ctx));
+                        self.call_actor(node, 0, 0, |actor, ctx| actor.on_crash(ctx));
                     }
                     Recover { node, amnesia } => {
                         let (node, amnesia) = (*node, *amnesia);
@@ -445,7 +643,7 @@ impl<M> Sim<M> {
                             self.recorder.count_node(node.0 as u64, Counter::AmnesiaRecoveries, 1);
                         }
                         self.faults.apply(&fev);
-                        self.call_actor(node, |actor, ctx| actor.on_recover(ctx, amnesia));
+                        self.call_actor(node, 0, 0, |actor, ctx| actor.on_recover(ctx, amnesia));
                     }
                     PartitionStart { side_a, .. } => {
                         self.recorder.record(
@@ -505,15 +703,17 @@ impl<M> Sim<M> {
 }
 
 impl<M> Drop for Sim<M> {
-    /// Account for messages still in flight when the simulation is torn
-    /// down (horizon reached mid-delivery): each is recorded as dropped
-    /// with reason `shutdown`. Without this, truncated runs would break
-    /// the `messages_sent == messages_delivered + messages_dropped`
-    /// conservation identity (see `docs/METRICS.md`).
+    /// Account for work still outstanding when the simulation is torn
+    /// down (horizon reached mid-delivery): each in-flight message is
+    /// recorded as dropped with reason `shutdown`, and each still-open
+    /// trace span is closed with status `abandoned`. Without this,
+    /// truncated runs would break the conservation identities
+    /// `messages_sent == messages_delivered + messages_dropped` and
+    /// `spans_opened == spans_closed` (see `docs/METRICS.md`).
     fn drop(&mut self) {
         let now_us = self.now.as_micros();
         while let Some(ev) = self.queue.pop() {
-            if let EventPayload::Deliver { from, to, .. } = ev.payload {
+            if let EventPayload::Deliver { from, to, trace, span, .. } = ev.payload {
                 self.dropped_messages += 1;
                 self.recorder.record(
                     now_us,
@@ -521,9 +721,24 @@ impl<M> Drop for Sim<M> {
                         from: from.0 as u64,
                         to: to.0 as u64,
                         reason: DropReason::Shutdown,
+                        trace,
+                        span,
                     },
                 );
             }
+        }
+        // BTreeMap order: abandonment closes fire in span-id order,
+        // keeping shutdown tails byte-identical across runs.
+        for (span, open) in std::mem::take(&mut self.spans.open) {
+            self.recorder.record(
+                now_us,
+                EventKind::SpanClose {
+                    trace: open.trace,
+                    span,
+                    node: open.node,
+                    status: SpanStatus::Abandoned,
+                },
+            );
         }
     }
 }
@@ -676,6 +891,108 @@ mod tests {
         sim.add_node(Box::new(Echo { log: Rc::new(RefCell::new(Vec::new())) }));
         sim.run_until(SimTime::from_millis(250));
         assert_eq!(sim.now(), SimTime::from_millis(250));
+    }
+
+    /// Client starts a trace on start, the server opens/closes a child
+    /// span and replies, the client closes the root span on the reply.
+    struct TracedPing {
+        server: NodeId,
+        root: Option<SpanId>,
+    }
+
+    impl Actor<u32> for TracedPing {
+        fn on_start(&mut self, ctx: &mut Context<u32>) {
+            self.root = Some(ctx.start_trace("op"));
+            ctx.send(self.server, 1);
+        }
+        fn on_message(&mut self, ctx: &mut Context<u32>, _from: NodeId, _msg: u32) {
+            assert!(!ctx.active_trace().is_none(), "reply must carry the trace");
+            ctx.span_close(self.root.take().expect("one reply"), SpanStatus::Ok);
+        }
+    }
+
+    struct TracedServer;
+
+    impl Actor<u32> for TracedServer {
+        fn on_message(&mut self, ctx: &mut Context<u32>, from: NodeId, msg: u32) {
+            assert!(!ctx.active_trace().is_none(), "request must carry the trace");
+            let span = ctx.span_open("serve");
+            assert!(!span.is_none());
+            ctx.send(from, msg + 1);
+            ctx.span_close(span, SpanStatus::Ok);
+        }
+    }
+
+    #[test]
+    fn spans_propagate_through_message_envelopes() {
+        let rec = Recorder::with_event_log();
+        let mut sim: Sim<u32> = Sim::new(SimConfig::default().recorder(rec.clone()));
+        let server = NodeId(1);
+        sim.add_node(Box::new(TracedPing { server, root: None }));
+        sim.add_node(Box::new(TracedServer));
+        sim.run_until(SimTime::from_secs(1));
+        drop(sim);
+        let report = rec.report();
+        assert_eq!(report.counter(Counter::SpansOpened), 2);
+        assert_eq!(report.counter(Counter::SpansClosed), 2);
+        assert_eq!(report.counter(Counter::SpansAbandoned), 0);
+        // Both message sends carried the trace.
+        let mut traced_sends = 0;
+        rec.for_each_event(|ev| {
+            if let EventKind::MessageSent { trace, .. } = ev.kind {
+                if trace != 0 {
+                    traced_sends += 1;
+                }
+            }
+        });
+        assert_eq!(traced_sends, 2);
+    }
+
+    struct OpensAndForgets;
+
+    impl Actor<u32> for OpensAndForgets {
+        fn on_start(&mut self, ctx: &mut Context<u32>) {
+            ctx.start_trace("never_closed");
+        }
+        fn on_message(&mut self, _ctx: &mut Context<u32>, _from: NodeId, _msg: u32) {}
+    }
+
+    #[test]
+    fn open_spans_are_abandoned_at_shutdown() {
+        let rec = Recorder::enabled();
+        let mut sim: Sim<u32> = Sim::new(SimConfig::default().recorder(rec.clone()));
+        sim.add_node(Box::new(OpensAndForgets));
+        sim.run_until(SimTime::from_millis(10));
+        drop(sim);
+        let report = rec.report();
+        assert_eq!(report.counter(Counter::SpansOpened), 1);
+        assert_eq!(report.counter(Counter::SpansClosed), 1);
+        assert_eq!(report.counter(Counter::SpansAbandoned), 1);
+    }
+
+    struct UntracedOpener {
+        opened: Rc<RefCell<Option<SpanId>>>,
+    }
+
+    impl Actor<u32> for UntracedOpener {
+        fn on_message(&mut self, ctx: &mut Context<u32>, _from: NodeId, _msg: u32) {
+            *self.opened.borrow_mut() = Some(ctx.span_open("untraced"));
+        }
+    }
+
+    #[test]
+    fn span_open_without_trace_is_inert() {
+        let rec = Recorder::enabled();
+        let opened = Rc::new(RefCell::new(None));
+        let mut sim: Sim<u32> = Sim::new(SimConfig::default().recorder(rec.clone()));
+        sim.add_node(Box::new(UntracedOpener { opened: opened.clone() }));
+        // Injected messages carry no trace, so the handler's span_open
+        // must be a no-op rather than create an orphan span.
+        sim.inject_at(SimTime::from_millis(1), NodeId(0), NodeId(0), 7);
+        sim.run_until(SimTime::from_millis(10));
+        drop(sim);
+        assert_eq!(*opened.borrow(), Some(SpanId::NONE));
+        assert_eq!(rec.report().counter(Counter::SpansOpened), 0);
     }
 
     #[test]

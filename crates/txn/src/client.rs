@@ -6,7 +6,7 @@ use crate::manager::{Msg, TxnConfig};
 use kvstore::Key;
 use obs::Counter;
 use serde::{Deserialize, Serialize};
-use simnet::{Actor, Context, Duration, NodeId, SimTime};
+use simnet::{Actor, Context, Duration, NodeId, SimTime, SpanId, SpanStatus};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
@@ -88,6 +88,8 @@ struct InFlight {
     started: SimTime,
     phase: Phase,
     timeout_timer: u64,
+    /// Root span of the transaction's trace, closed in `finish`.
+    span: SpanId,
 }
 
 const TAG_NEXT: u64 = 1;
@@ -145,6 +147,9 @@ impl TxnClient {
         self.next_idx += 1;
         self.seq += 1;
         let txn: TxnId = (self.session << 32) | self.seq;
+        // Root of the transaction's trace: opened before the timeout timer
+        // and the read fan-out so both carry the new context.
+        let span = ctx.start_trace("txn");
         let timer = ctx.set_timer(self.timeout, TAG_TIMEOUT_BASE + self.seq);
         let outstanding = spec.parts.len();
         self.inflight = Some(InFlight {
@@ -153,6 +158,7 @@ impl TxnClient {
             started: ctx.now(),
             phase: Phase::Reading { snapshots: BTreeMap::new(), outstanding },
             timeout_timer: timer,
+            span,
         });
         for (group, read_keys, _) in &spec.parts {
             ctx.send(
@@ -165,6 +171,7 @@ impl TxnClient {
     fn finish(&mut self, ctx: &mut Context<Msg>, committed: bool, timed_out: bool) {
         let Some(f) = self.inflight.take() else { return };
         ctx.cancel_timer(f.timeout_timer);
+        ctx.span_close(f.span, if committed { SpanStatus::Ok } else { SpanStatus::Failed });
         let latency = ctx.now().saturating_since(f.started).as_millis_f64();
         let node = ctx.self_id().0 as u64;
         let counter = if committed { Counter::TxnCommits } else { Counter::TxnAborts };

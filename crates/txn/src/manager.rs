@@ -3,7 +3,7 @@
 
 use crate::group::{Group, GroupId, TxnId};
 use kvstore::Key;
-use simnet::{Actor, Context, Duration, NodeId};
+use simnet::{Actor, Context, Duration, NodeId, SpanStatus};
 use std::collections::BTreeMap;
 
 /// Deployment configuration for the transactional store.
@@ -171,30 +171,40 @@ impl Actor<Msg> for GroupNode {
         let now_us = ctx.now().as_micros();
         match msg {
             Msg::Read { txn, group, keys } => {
+                let span = ctx.span_open("group_read");
                 let g = self.group_mut(group);
                 let values = g.read(&keys);
                 let snapshot = g.commit_pos();
                 ctx.send(from, Msg::ReadResp { txn, group, values, snapshot });
+                ctx.span_close(span, SpanStatus::Ok);
             }
             Msg::CommitOne { txn, group, snapshot, read_keys, writes } => {
+                let span = ctx.span_open("group_commit");
                 let committed =
                     self.group_mut(group).commit_one(snapshot, &read_keys, &writes, now_us).is_ok();
                 ctx.send(from, Msg::Outcome { txn, committed });
+                ctx.span_close(span, if committed { SpanStatus::Ok } else { SpanStatus::Failed });
             }
             Msg::Prepare { txn, group, snapshot, read_keys, writes } => {
+                let span = ctx.span_open("group_prepare");
                 let yes = self
                     .group_mut(group)
                     .prepare(txn, snapshot, &read_keys, &writes, now_us)
                     .is_ok();
                 ctx.send(from, Msg::Vote { txn, group, yes });
+                ctx.span_close(span, if yes { SpanStatus::Ok } else { SpanStatus::Failed });
             }
             Msg::Decide { txn, group, commit } => {
+                let span = ctx.span_open("group_decide");
                 self.group_mut(group).decide(txn, commit, now_us);
                 ctx.send(from, Msg::DecideAck { txn, group });
+                ctx.span_close(span, SpanStatus::Ok);
             }
             Msg::Register { txn, commit } => {
+                let span = ctx.span_open("registrar_write");
                 self.decisions.insert(txn, commit);
                 ctx.send(from, Msg::RegisterAck { txn });
+                ctx.span_close(span, SpanStatus::Ok);
             }
             // Client-side messages: ignored by group nodes.
             Msg::ReadResp { .. }

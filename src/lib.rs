@@ -8,8 +8,13 @@
 //! * [`simnet`] — a deterministic discrete-event simulator (virtual time,
 //!   seeded randomness, latency models, partitions, crashes),
 //! * [`obs`] — the structured observability layer: typed simulation
-//!   event log, per-node protocol counters, latency histograms (the
-//!   metrics contract is documented in `docs/METRICS.md`),
+//!   event log, causal operation spans, per-node protocol counters,
+//!   latency histograms, windowed time series (the metrics contract is
+//!   documented in `docs/METRICS.md`, the span model in
+//!   `docs/TRACING.md`),
+//! * [`obs_tools`] — offline trace analysis and the `tracequery` CLI:
+//!   span-tree reconstruction, violation explanation, span
+//!   conservation checking, Chrome `trace_event` export,
 //! * [`clocks`] — Lamport/vector/dotted-version-vector/hybrid clocks,
 //! * [`crdt`] — convergent replicated data types with lattice-law tests,
 //! * [`kvstore`] — the per-replica storage substrate (MVCC + WAL +
@@ -33,6 +38,7 @@ pub use consistency;
 pub use crdt;
 pub use kvstore;
 pub use obs;
+pub use obs_tools;
 pub use rec_core as core;
 pub use replication;
 pub use simnet;

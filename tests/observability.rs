@@ -6,10 +6,15 @@
 //! 2. **Conservation** — every message handed to the network is
 //!    accounted for exactly once, even under partitions, crashes, and
 //!    random loss: `messages_sent == messages_delivered +
-//!    messages_dropped`.
+//!    messages_dropped`; likewise every span opens and closes exactly
+//!    once (`abandoned` closes mark spans the run cut short).
+//!
+//! Plus the doc-sync guards: the counter and time-series tables in
+//! `docs/METRICS.md` must list exactly what the code exports.
 
 use rethinking_ec::core::{Experiment, RunResult, Scheme};
-use rethinking_ec::obs::{Counter, Recorder};
+use rethinking_ec::obs::{Counter, Recorder, TsMetric};
+use rethinking_ec::obs_tools::check_spans;
 use rethinking_ec::simnet::{Duration, FaultSchedule, LatencyModel, NodeId, SimTime};
 use rethinking_ec::workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
 
@@ -134,4 +139,93 @@ fn run_result_metrics_match_the_recorder() {
     let res = run_with(rec.clone(), 3);
     assert_eq!(res.metrics, rec.report(), "RunResult.metrics must be the recorder's snapshot");
     assert!(res.metrics.counter(Counter::MessagesSent) > 0);
+}
+
+#[test]
+fn span_conservation_holds_across_schemes_under_faults() {
+    // Partition + plain crash + amnesia crash + loss: the regimes where
+    // a coordinator's pending span would leak if abandonment ever
+    // missed a path (amnesia wipes pending tables; demotions strand
+    // Paxos proposals; the horizon truncates whatever is left).
+    let nemesis = FaultSchedule::none()
+        .partition(vec![NodeId(0)], SimTime::from_secs(2), SimTime::from_secs(4))
+        .crash(NodeId(1), SimTime::from_secs(5), SimTime::from_secs(6))
+        .crash_amnesia(NodeId(0), SimTime::from_secs(8), SimTime::from_secs(9))
+        .loss_rate(SimTime::from_secs(0), 0.05);
+    let schemes = vec![
+        ("eventual", Scheme::eventual(3)),
+        ("quorum", Scheme::quorum(3, 2, 2)),
+        ("primary_sync", Scheme::PrimarySync { replicas: 3 }),
+        ("paxos", Scheme::Paxos { nodes: 3 }),
+        ("causal", Scheme::Causal { replicas: 3 }),
+    ];
+    for (label, scheme) in schemes {
+        let rec = Recorder::with_event_log();
+        Experiment::new(scheme)
+            .workload(workload())
+            .latency(LatencyModel::Uniform {
+                min: Duration::from_millis(1),
+                max: Duration::from_millis(10),
+            })
+            .faults(nemesis.clone())
+            .seed(5)
+            .horizon(SimTime::from_secs(15))
+            .recorder(rec.clone())
+            .run();
+
+        // Per-span accounting: every open has exactly one matching
+        // close (an explicit `abandoned` close counts), parents exist,
+        // ids are unique.
+        let report = check_spans(&rec.events());
+        assert!(report.ok(), "{label}: {report}");
+        assert!(report.opened > 0, "{label}: run recorded no spans");
+
+        // The aggregate counters must agree with the per-span walk.
+        let metrics = rec.report();
+        assert_eq!(metrics.counter(Counter::SpansOpened), report.opened, "{label}");
+        assert_eq!(metrics.counter(Counter::SpansClosed), report.closed, "{label}");
+        assert_eq!(metrics.counter(Counter::SpansAbandoned), report.abandoned, "{label}");
+        assert!(report.abandoned <= report.closed, "{label}");
+    }
+}
+
+/// Extract the names from the markdown table rows (`| \`name\` | ...`)
+/// of the section starting at `heading`.
+fn doc_table_names<'a>(doc: &'a str, heading: &str) -> Vec<&'a str> {
+    let section = doc
+        .split(heading)
+        .nth(1)
+        .unwrap_or_else(|| panic!("docs/METRICS.md lost its `{heading}` section"))
+        .split("\n## ")
+        .next()
+        .unwrap();
+    section
+        .lines()
+        .filter_map(|l| l.strip_prefix("| `"))
+        .map(|l| l.split('`').next().unwrap())
+        .collect()
+}
+
+#[test]
+fn metrics_doc_lists_exactly_the_exported_counters() {
+    let doc = include_str!("../docs/METRICS.md");
+    let documented = doc_table_names(doc, "\n## Counters");
+    let exported: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+    assert_eq!(
+        documented, exported,
+        "the counter table in docs/METRICS.md must list every counter \
+         `Counter::name()` exports, in export order — update the doc"
+    );
+}
+
+#[test]
+fn metrics_doc_lists_exactly_the_exported_timeseries() {
+    let doc = include_str!("../docs/METRICS.md");
+    let documented = doc_table_names(doc, "\n## Time series");
+    let exported: Vec<&str> = TsMetric::ALL.iter().map(|m| m.name()).collect();
+    assert_eq!(
+        documented, exported,
+        "the time-series table in docs/METRICS.md must list every metric \
+         `TsMetric::name()` exports, in export order — update the doc"
+    );
 }
