@@ -42,10 +42,9 @@ struct Cell {
 fn run(replicas: usize, fanout: usize, interval_ms: u64, seed: u64, rec: &Recorder) -> Cell {
     let trace = optrace::shared_trace();
     let cfg = EventualConfig {
-        replicas,
         eager: false,
         gossip: Some(GossipConfig { interval: Duration::from_millis(interval_ms), fanout }),
-        mode: ConflictMode::Lww,
+        ..EventualConfig::default_lww(replicas)
     };
     let mut sim = Sim::new(
         SimConfig::default()

@@ -65,10 +65,9 @@ fn run_lww(writers: usize, increments: u64, seed: u64, rec: &Recorder) -> Cell {
     let trace = optrace::shared_trace();
     let replicas = writers.clamp(2, 4);
     let cfg = EventualConfig {
-        replicas,
         eager: true,
         gossip: Some(GossipConfig { interval: Duration::from_millis(10), fanout: 2 }),
-        mode: ConflictMode::Lww,
+        ..EventualConfig::default_lww(replicas)
     };
     let mut sim = Sim::new(
         SimConfig::default()
@@ -133,10 +132,10 @@ fn run_crdt(writers: usize, increments: u64, seed: u64, rec: &Recorder) -> Cell 
     let trace = optrace::shared_trace();
     let replicas = writers.clamp(2, 4);
     let cfg = EventualConfig {
-        replicas,
         eager: true,
         gossip: Some(GossipConfig { interval: Duration::from_millis(10), fanout: 2 }),
         mode: ConflictMode::Counter,
+        ..EventualConfig::default_lww(replicas)
     };
     let mut sim = Sim::new(
         SimConfig::default()

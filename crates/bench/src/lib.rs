@@ -38,6 +38,10 @@ pub struct Obs {
     /// variant runs at `base_seed + k`, so `--seeds 1` reproduces the
     /// historical single-seed numbers exactly).
     pub seeds: u64,
+    /// Drop the windowed `timeseries` buckets from the saved results
+    /// (`--summary-only`): counters, histograms, and rows survive, so the
+    /// checked-in `results/*.json` stay compact and diffable.
+    pub summary_only: bool,
     trace_out: Option<PathBuf>,
     /// Per-cell JSONL chunks in grid order, for the concatenated export.
     trace_chunks: RefCell<Vec<String>>,
@@ -47,14 +51,19 @@ pub struct Obs {
 
 impl Obs {
     /// Build from `std::env::args`: recognizes `--trace-out <path>`,
-    /// `--jobs <n>`, `--seeds <n>` (and their `=` forms); other
-    /// arguments are ignored.
+    /// `--jobs <n>`, `--seeds <n>` (and their `=` forms) plus the bare
+    /// `--summary-only` flag; other arguments are ignored.
     pub fn from_args() -> Self {
         let mut trace_out = None;
         let mut jobs = default_jobs();
         let mut seeds = 1u64;
+        let mut summary_only = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
+            if a == "--summary-only" {
+                summary_only = true;
+                continue;
+            }
             let take = |flag: &str, args: &mut dyn Iterator<Item = String>| -> Option<String> {
                 if a == flag {
                     args.next()
@@ -76,6 +85,7 @@ impl Obs {
             recorder: Recorder::enabled(),
             jobs,
             seeds,
+            summary_only,
             trace_out,
             trace_chunks: RefCell::new(Vec::new()),
             cells_done: RefCell::new(0),
@@ -177,7 +187,15 @@ impl Obs {
     /// write the JSONL event trace(s) if `--trace-out` was given (the
     /// concatenation of all per-cell logs, in grid order).
     pub fn save<T: Serialize>(&self, name: &str, rows: &T) {
-        save_json_with_metrics(name, rows, &self.recorder.report());
+        let mut metrics = self.recorder.report().to_value();
+        if self.summary_only {
+            strip_timeseries(&mut metrics);
+        }
+        let doc = serde::Value::Object(vec![
+            ("rows".to_string(), rows.to_value()),
+            ("metrics".to_string(), metrics),
+        ]);
+        save_json(name, &doc);
         if let Some(path) = &self.trace_out {
             let cells = self.trace_chunks.borrow();
             match fs::write(path, cells.concat()) {
@@ -231,6 +249,15 @@ pub fn pm(stat: SeedStat, fmt: impl Fn(f64) -> String) -> String {
         format!("{}±{}", fmt(stat.mean), fmt(stat.ci95))
     } else {
         fmt(stat.mean)
+    }
+}
+
+/// Remove the `timeseries` member from a serialized metrics object (the
+/// `--summary-only` export shape). Leaves every other key untouched; a
+/// non-object value passes through unchanged.
+pub fn strip_timeseries(metrics: &mut serde::Value) {
+    if let serde::Value::Object(members) = metrics {
+        members.retain(|(k, _)| k != "timeseries");
     }
 }
 
@@ -343,6 +370,19 @@ mod tests {
         assert!((s.ci95 - 1.2655).abs() < 1e-3, "ci {}", s.ci95);
         assert_eq!(pm(s, f1), "2.5±1.3");
         assert_eq!(pm(one, f1), "4.0");
+    }
+
+    #[test]
+    fn strip_timeseries_removes_only_that_key() {
+        let mut v = serde::Value::Object(vec![
+            ("counters".to_string(), serde::Value::Object(vec![])),
+            ("timeseries".to_string(), serde::Value::Object(vec![])),
+            ("latencies".to_string(), serde::Value::Object(vec![])),
+        ]);
+        strip_timeseries(&mut v);
+        let serde::Value::Object(members) = &v else { panic!("still an object") };
+        let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["counters", "latencies"]);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   dependencies (the COPS photo-ACL anomaly)?
 //! * [`convergence`] — once writes stopped, did replicas actually agree
 //!   ("eventual" made falsifiable)?
+//! * [`monotonic`] — did any session watch an inflationary CRDT counter
+//!   go backwards (value-level monotonic reads, where stamps don't apply)?
 //! * [`attribution`] — given the structured simulation event log
 //!   (`obs`), *why* was a guarantee violated: partition, crash, message
 //!   loss, or pure replication lag?
@@ -29,6 +31,7 @@ pub mod attribution;
 pub mod causal;
 pub mod convergence;
 pub mod linearizability;
+pub mod monotonic;
 pub mod session;
 pub mod staleness;
 
@@ -41,5 +44,6 @@ pub use convergence::{check_convergence, ConvergenceReport, Divergence};
 pub use linearizability::{
     check_linearizable_register_bounded, check_trace_linearizable, Interval, LinCheckError, RegOp,
 };
+pub use monotonic::{check_monotonic_values, MonotonicValueReport};
 pub use session::{check_session_guarantees, SessionReport};
 pub use staleness::{measure_staleness, StalenessReport};

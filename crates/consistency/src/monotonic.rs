@@ -1,0 +1,153 @@
+//! Monotonic reads over *values* rather than stamps.
+//!
+//! The session checker ([`crate::session`]) judges monotonic reads by
+//! comparing Lamport stamps, which is the right lens for register
+//! semantics: a version's stamp names its place in the install order.
+//! CRDT counter reads don't fit that lens — a merged `crdt` counter has
+//! no single installing write, and replicas stamp counter reads with
+//! whatever their local clock happens to hold. What *is* meaningful for
+//! an inflationary CRDT (a counter that only ever grows under merge) is
+//! the read value itself: within a session, per key, the observed value
+//! must never go backwards. A backwards step means the session's replica
+//! lost state it had already exposed — e.g. a crash-amnesia restart of a
+//! scheme whose durability layer was supposed to persist merged state.
+//!
+//! A read that returns nothing after the session has observed a non-zero
+//! value is the degenerate backwards step (the counter "reset to 0") and
+//! counts as a violation. Only successful operations participate, in
+//! per-session issue order (`op_id`), matching the other checkers.
+
+use serde::{Deserialize, Serialize};
+use simnet::{OpKind, OpTrace};
+use std::collections::BTreeMap;
+
+/// Outcome of the value-monotonicity check for one trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonotonicValueReport {
+    /// Reads compared against an established per-session floor.
+    pub checked: u64,
+    /// Reads that observed a smaller value than an earlier read of the
+    /// same key in the same session.
+    pub violations: u64,
+}
+
+impl MonotonicValueReport {
+    /// Violation rate, 0 when nothing was checked.
+    pub fn rate(&self) -> f64 {
+        if self.checked == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.checked as f64
+        }
+    }
+
+    /// True when no read went backwards.
+    pub fn clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// The scalar a read observed: the sum of its returned values (a counter
+/// read returns a single element; an empty read sums to 0).
+fn observed(values: &[u64]) -> u64 {
+    values.iter().sum()
+}
+
+/// Check that per-session, per-key read values never decrease.
+pub fn check_monotonic_values(trace: &OpTrace) -> MonotonicValueReport {
+    let mut report = MonotonicValueReport::default();
+    for session in trace.sessions() {
+        let mut ops: Vec<_> = trace.session(session).filter(|r| r.ok).collect();
+        ops.sort_by_key(|r| r.op_id);
+        let mut floor: BTreeMap<u64, u64> = BTreeMap::new(); // key -> max value read
+        for op in ops {
+            if op.kind != OpKind::Read {
+                continue;
+            }
+            let v = observed(&op.value_read);
+            if let Some(&f) = floor.get(&op.key) {
+                report.checked += 1;
+                if v < f {
+                    report.violations += 1;
+                }
+            }
+            let f = floor.entry(op.key).or_insert(v);
+            *f = (*f).max(v);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{NodeId, OpRecord, SimTime};
+
+    fn read(session: u64, op_id: u64, key: u64, values: Vec<u64>, ok: bool) -> OpRecord {
+        OpRecord {
+            session,
+            op_id,
+            key,
+            kind: OpKind::Read,
+            value_written: None,
+            value_read: values,
+            invoked: SimTime::from_millis(op_id),
+            completed: SimTime::from_millis(op_id + 1),
+            replica: NodeId(0),
+            ok,
+            version_ts: None,
+            stamp: None,
+        }
+    }
+
+    #[test]
+    fn non_decreasing_values_are_clean() {
+        let mut t = OpTrace::new();
+        t.push(read(1, 1, 5, vec![3], true));
+        t.push(read(1, 2, 5, vec![3], true));
+        t.push(read(1, 3, 5, vec![9], true));
+        let r = check_monotonic_values(&t);
+        assert_eq!(r.checked, 2);
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn backwards_value_is_a_violation() {
+        let mut t = OpTrace::new();
+        t.push(read(1, 1, 5, vec![9], true));
+        t.push(read(1, 2, 5, vec![3], true));
+        let r = check_monotonic_values(&t);
+        assert_eq!(r.violations, 1);
+        assert!((r.rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_read_after_nonzero_is_a_violation() {
+        let mut t = OpTrace::new();
+        t.push(read(1, 1, 5, vec![4], true));
+        t.push(read(1, 2, 5, vec![], true));
+        let r = check_monotonic_values(&t);
+        assert_eq!(r.violations, 1);
+    }
+
+    #[test]
+    fn sessions_and_keys_are_independent() {
+        let mut t = OpTrace::new();
+        t.push(read(1, 1, 5, vec![9], true));
+        t.push(read(2, 1, 5, vec![3], true)); // other session
+        t.push(read(1, 2, 6, vec![1], true)); // other key
+        let r = check_monotonic_values(&t);
+        assert_eq!(r.checked, 0);
+        assert!(r.clean());
+    }
+
+    #[test]
+    fn failed_reads_are_ignored() {
+        let mut t = OpTrace::new();
+        t.push(read(1, 1, 5, vec![9], true));
+        t.push(read(1, 2, 5, vec![0], false));
+        let r = check_monotonic_values(&t);
+        assert_eq!(r.checked, 0);
+        assert!(r.clean());
+    }
+}

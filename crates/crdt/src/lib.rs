@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # crdt — convergent conflict resolution
 //!
 //! The tutorial's answer to "what happens when concurrent writes meet?" is

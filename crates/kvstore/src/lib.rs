@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # kvstore — the single-replica storage substrate
 //!
 //! Every replica in the `replication` crate is backed by one of these: a

@@ -23,10 +23,12 @@ use crate::grid::par_map;
 use crate::runner::Experiment;
 use crate::scheme::{ClientPlacement, Scheme};
 use consistency::{
-    check_session_guarantees, check_trace_linearizable, measure_staleness, LinCheckError,
+    check_monotonic_values, check_session_guarantees, check_trace_linearizable, measure_staleness,
+    LinCheckError,
 };
 use replication::common::Guarantees;
 use replication::eventual::ConflictMode;
+use replication::Composition;
 use serde::{Deserialize, Serialize};
 use simnet::nemesis::{self, IntensityProfile, NemesisEvent};
 use simnet::{Duration, LatencyModel, SimTime};
@@ -76,6 +78,14 @@ pub enum FuzzScheme {
     /// guarantee enforcement. Sticky + durable WAL means read-your-writes
     /// should still hold.
     EventualSticky,
+    /// Kernel composition: multi-master + anti-entropy gossip + CRDT
+    /// counter merge + fsynced state, 3 replicas. Inflationary state that
+    /// survives amnesia: a session must never watch a counter shrink.
+    MultiMasterCrdt,
+    /// Kernel composition: multi-master eager broadcast that defers the
+    /// client ack until every peer has durably applied (acks = n-1), LWW,
+    /// 3 replicas. Acked writes are everywhere, so no read may be stale.
+    EagerAckedEventual,
 }
 
 /// What the checker pipeline asserts for a scheme.
@@ -89,6 +99,9 @@ pub enum Expectation {
     /// Sessions read their own writes ([`check_session_guarantees`]
     /// reports zero RYW violations).
     ReadYourWrites,
+    /// No session watches an inflationary counter value go backwards
+    /// ([`check_monotonic_values`] reports zero violations).
+    MonotonicReads,
 }
 
 /// Which guarantee a run violated.
@@ -100,6 +113,8 @@ pub enum ViolationKind {
     StaleReads,
     /// A session failed to read its own write.
     ReadYourWrites,
+    /// A session watched a counter value decrease.
+    MonotonicReads,
 }
 
 /// The outcome of running one fuzz case through its checkers.
@@ -129,13 +144,15 @@ impl Verdict {
 
 impl FuzzScheme {
     /// Every scheme the fuzzer knows, in campaign order.
-    pub const ALL: [FuzzScheme; 6] = [
+    pub const ALL: [FuzzScheme; 8] = [
         FuzzScheme::Paxos,
         FuzzScheme::MajorityQuorum,
         FuzzScheme::PartialQuorum,
         FuzzScheme::PrimarySync,
         FuzzScheme::Causal,
         FuzzScheme::EventualSticky,
+        FuzzScheme::MultiMasterCrdt,
+        FuzzScheme::EagerAckedEventual,
     ];
 
     /// The concrete deployment this variant names.
@@ -166,6 +183,8 @@ impl FuzzScheme {
                 guarantees: Guarantees::none(),
                 placement: ClientPlacement::Sticky,
             },
+            FuzzScheme::MultiMasterCrdt => Scheme::composed(Composition::mm_gossip_crdt(3)),
+            FuzzScheme::EagerAckedEventual => Scheme::composed(Composition::mm_eager_acked(3)),
         }
     }
 
@@ -181,6 +200,8 @@ impl FuzzScheme {
             FuzzScheme::MajorityQuorum | FuzzScheme::PrimarySync => Expectation::NoStaleReads,
             FuzzScheme::PartialQuorum => Expectation::NoStaleReads,
             FuzzScheme::Causal | FuzzScheme::EventualSticky => Expectation::ReadYourWrites,
+            FuzzScheme::MultiMasterCrdt => Expectation::MonotonicReads,
+            FuzzScheme::EagerAckedEventual => Expectation::NoStaleReads,
         }
     }
 
@@ -203,6 +224,8 @@ impl FuzzScheme {
             FuzzScheme::PrimarySync => "primary-sync",
             FuzzScheme::Causal => "causal",
             FuzzScheme::EventualSticky => "eventual-sticky",
+            FuzzScheme::MultiMasterCrdt => "mm-gossip-crdt",
+            FuzzScheme::EagerAckedEventual => "mm-eager-acked",
         }
     }
 }
@@ -279,6 +302,14 @@ pub fn run_case_recorded(case: &FuzzCase, recorder: obs::Recorder) -> Verdict {
                     kind: ViolationKind::ReadYourWrites,
                     count: report.ryw_violations,
                 }
+            }
+        }
+        Expectation::MonotonicReads => {
+            let report = check_monotonic_values(&result.trace);
+            if report.violations == 0 {
+                Verdict::Pass
+            } else {
+                Verdict::Violation { kind: ViolationKind::MonotonicReads, count: report.violations }
             }
         }
     }
@@ -507,6 +538,16 @@ mod tests {
     fn verdicts_are_deterministic() {
         let case = generate_case(FuzzScheme::EventualSticky, 12, &IntensityProfile::medium());
         assert_eq!(run_case(&case), run_case(&case));
+    }
+
+    #[test]
+    fn composed_schemes_pass_on_quiet_network() {
+        // The two kernel compositions hold their expectations when no
+        // nemesis interferes; anything else is a harness bug, not a find.
+        for scheme in [FuzzScheme::MultiMasterCrdt, FuzzScheme::EagerAckedEventual] {
+            let case = FuzzCase { scheme, seed: 5, events: vec![] };
+            assert_eq!(run_case(&case), Verdict::Pass, "{} must pass quiet", scheme.label());
+        }
     }
 
     #[test]

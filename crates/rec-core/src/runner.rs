@@ -1,12 +1,17 @@
 //! Deployment builder and experiment runner.
+//!
+//! [`Experiment::run`] normalizes the scheme to its kernel
+//! [`Composition`] ([`Scheme::normalize`]) and materializes *that* — the
+//! legacy presets and explicit [`Scheme::Composed`] schemes share one
+//! deployment path, which is what makes legacy-vs-composed byte parity
+//! structural rather than coincidental.
 
 use crate::scheme::{ClientPlacement, Scheme};
 use obs::{MetricsReport, Recorder, TsMetric, DEFAULT_TS_BUCKET_US};
 use replication::causal::{CausalClient, CausalReplica};
-use replication::common::{expand_script, ScriptOp};
-use replication::eventual::{
-    EventualClient, EventualConfig, EventualReplica, GossipConfig, TargetPolicy,
-};
+use replication::common::{expand_script, Guarantees, ScriptOp};
+use replication::eventual::{EventualClient, EventualConfig, EventualReplica, TargetPolicy};
+use replication::kernel::{Composition, PropagationPolicy, ShipMode, UpdateSite};
 use replication::paxos::{PaxosClient, PaxosConfig, PaxosNode};
 use replication::primary::{PrimaryClient, PrimaryConfig, PrimaryReplica, ReadFrom};
 use replication::quorum::{QuorumClient, QuorumConfig, QuorumNode};
@@ -136,125 +141,10 @@ impl Experiment {
             .recorder(self.recorder.clone())
             .trace_base(self.trace_base);
         let scripts = self.scripts();
-        let n = self.scheme.replica_count();
+        let (comp, guarantees, placement) = self.scheme.normalize();
 
-        let (delivered, dropped, ended) = match &self.scheme {
-            Scheme::Eventual { replicas, eager, gossip, mode, guarantees, placement } => {
-                let ecfg = EventualConfig {
-                    replicas: *replicas,
-                    eager: *eager,
-                    gossip: gossip.map(|(interval, fanout)| GossipConfig { interval, fanout }),
-                    mode: *mode,
-                };
-                let mut sim = Sim::new(cfg);
-                for _ in 0..*replicas {
-                    sim.add_node(Box::new(EventualReplica::new(ecfg.clone())));
-                }
-                for (i, script) in scripts.into_iter().enumerate() {
-                    let policy = match placement {
-                        ClientPlacement::Sticky => TargetPolicy::Sticky(NodeId(i % n)),
-                        ClientPlacement::Random => TargetPolicy::Random,
-                    };
-                    sim.add_node(Box::new(EventualClient::new(
-                        i as u64 + 1,
-                        script,
-                        trace.clone(),
-                        *replicas,
-                        policy,
-                        *guarantees,
-                        *mode,
-                    )));
-                }
-                drive(sim, self.horizon)
-            }
-            Scheme::SloppyQuorum { n: qn, r, w, spares } => {
-                let qcfg =
-                    QuorumConfig { r: *r, w: *w, ..QuorumConfig::sloppy_majority(*qn, *spares) };
-                let mut sim = Sim::new(cfg);
-                for _ in 0..qcfg.total_nodes() {
-                    sim.add_node(Box::new(QuorumNode::new(qcfg)));
-                }
-                for (i, script) in scripts.into_iter().enumerate() {
-                    sim.add_node(Box::new(QuorumClient::new(
-                        i as u64 + 1,
-                        script,
-                        trace.clone(),
-                        *qn,
-                        Some(NodeId(i % qn)),
-                    )));
-                }
-                drive(sim, self.horizon)
-            }
-            Scheme::Quorum { n: qn, r, w, read_repair, placement } => {
-                let qcfg = QuorumConfig {
-                    r: *r,
-                    w: *w,
-                    read_repair: *read_repair,
-                    ..QuorumConfig::majority(*qn)
-                };
-                let mut sim = Sim::new(cfg);
-                for _ in 0..*qn {
-                    sim.add_node(Box::new(QuorumNode::new(qcfg)));
-                }
-                for (i, script) in scripts.into_iter().enumerate() {
-                    let home = match placement {
-                        ClientPlacement::Sticky => Some(NodeId(i % n)),
-                        ClientPlacement::Random => None,
-                    };
-                    sim.add_node(Box::new(QuorumClient::new(
-                        i as u64 + 1,
-                        script,
-                        trace.clone(),
-                        *qn,
-                        home,
-                    )));
-                }
-                drive(sim, self.horizon)
-            }
-            Scheme::PrimarySync { replicas } => {
-                let pcfg = PrimaryConfig::sync_all(*replicas);
-                run_primary(cfg, pcfg, scripts, &trace, self.horizon)
-            }
-            Scheme::PrimaryAsync { replicas, ship_interval } => {
-                let pcfg = PrimaryConfig::async_lag(*replicas, *ship_interval);
-                run_primary(cfg, pcfg, scripts, &trace, self.horizon)
-            }
-            Scheme::PrimaryAsyncFailover { replicas, ship_interval } => {
-                let pcfg = PrimaryConfig::async_lag(*replicas, *ship_interval).with_failover();
-                run_primary(cfg, pcfg, scripts, &trace, self.horizon)
-            }
-            Scheme::Paxos { nodes } => {
-                let pcfg = PaxosConfig::new(*nodes);
-                let mut sim = Sim::new(cfg);
-                for _ in 0..*nodes {
-                    sim.add_node(Box::new(PaxosNode::new(pcfg)));
-                }
-                for (i, script) in scripts.into_iter().enumerate() {
-                    sim.add_node(Box::new(PaxosClient::new(
-                        i as u64 + 1,
-                        script,
-                        trace.clone(),
-                        *nodes,
-                    )));
-                }
-                drive(sim, self.horizon)
-            }
-            Scheme::Causal { replicas } => {
-                let mut sim = Sim::new(cfg);
-                for _ in 0..*replicas {
-                    sim.add_node(Box::new(CausalReplica::new(*replicas)));
-                }
-                for (i, script) in scripts.into_iter().enumerate() {
-                    sim.add_node(Box::new(CausalClient::new(
-                        i as u64 + 1,
-                        script,
-                        trace.clone(),
-                        NodeId(i % n),
-                    )));
-                }
-                drive(sim, self.horizon)
-            }
-        };
+        let (delivered, dropped, ended) =
+            run_composition(cfg, &comp, guarantees, placement, scripts, &trace, self.horizon);
 
         let mut trace = trace.borrow().clone();
         trace.sort_by_completion();
@@ -265,6 +155,138 @@ impl Experiment {
             ended_at: ended,
             metrics: self.recorder.report(),
         }
+    }
+}
+
+/// Materialize a kernel [`Composition`] into a concrete actor deployment
+/// and drive it to the horizon. This is the single deployment path every
+/// [`Scheme`] goes through.
+///
+/// `guarantees` applies only to multi-master eventual compositions
+/// (other protocols enforce their guarantees server-side); `placement`
+/// applies where the protocol has a per-client replica choice (causal
+/// and primary clients are always sticky, Paxos clients always talk to
+/// the leader's group).
+fn run_composition(
+    cfg: SimConfig,
+    comp: &Composition,
+    guarantees: Guarantees,
+    placement: ClientPlacement,
+    scripts: Vec<Vec<ScriptOp>>,
+    trace: &simnet::SharedTrace,
+    horizon: SimTime,
+) -> (u64, u64, SimTime) {
+    let n = comp.replicas;
+    match (comp.update, &comp.propagation) {
+        (
+            UpdateSite::MultiMaster,
+            PropagationPolicy::EagerBroadcast { .. } | PropagationPolicy::AntiEntropyGossip(_),
+        ) => {
+            let (eager, gossip, eager_acks) = match comp.propagation {
+                PropagationPolicy::EagerBroadcast { acks, gossip } => (true, gossip, acks),
+                PropagationPolicy::AntiEntropyGossip(g) => (false, Some(g), 0),
+                _ => unreachable!(),
+            };
+            let mode = comp.resolution.conflict_mode();
+            let ecfg = EventualConfig {
+                replicas: n,
+                eager,
+                gossip,
+                mode,
+                eager_acks,
+                durability: comp.durability,
+            };
+            let mut sim = Sim::new(cfg);
+            for _ in 0..n {
+                sim.add_node(Box::new(EventualReplica::new(ecfg.clone())));
+            }
+            for (i, script) in scripts.into_iter().enumerate() {
+                let policy = match placement {
+                    ClientPlacement::Sticky => TargetPolicy::Sticky(NodeId(i % n)),
+                    ClientPlacement::Random => TargetPolicy::Random,
+                };
+                sim.add_node(Box::new(EventualClient::new(
+                    i as u64 + 1,
+                    script,
+                    trace.clone(),
+                    n,
+                    policy,
+                    guarantees,
+                    mode,
+                )));
+            }
+            drive(sim, horizon)
+        }
+        (
+            UpdateSite::Coordinator,
+            &PropagationPolicy::QuorumFanout { r, w, read_repair, spares },
+        ) => {
+            let qcfg = QuorumConfig {
+                r,
+                w,
+                read_repair,
+                sloppy: spares > 0,
+                spares,
+                ..QuorumConfig::majority(n)
+            };
+            let mut sim = Sim::new(cfg);
+            for _ in 0..qcfg.total_nodes() {
+                sim.add_node(Box::new(QuorumNode::new(qcfg)));
+            }
+            for (i, script) in scripts.into_iter().enumerate() {
+                let home = match placement {
+                    ClientPlacement::Sticky => Some(NodeId(i % n)),
+                    ClientPlacement::Random => None,
+                };
+                sim.add_node(Box::new(QuorumClient::new(
+                    i as u64 + 1,
+                    script,
+                    trace.clone(),
+                    n,
+                    home,
+                )));
+            }
+            drive(sim, horizon)
+        }
+        (UpdateSite::PrimaryCopy, &PropagationPolicy::PrimaryShip { ship, failover }) => {
+            let pcfg = match ship {
+                ShipMode::Sync => PrimaryConfig::sync_all(n),
+                ShipMode::Async { interval } => PrimaryConfig::async_lag(n, interval),
+            };
+            let pcfg = if failover { pcfg.with_failover() } else { pcfg };
+            run_primary(cfg, pcfg, scripts, trace, horizon)
+        }
+        (UpdateSite::ConsensusGroup, PropagationPolicy::ConsensusLog) => {
+            let pcfg = PaxosConfig::new(n);
+            let mut sim = Sim::new(cfg);
+            for _ in 0..n {
+                sim.add_node(Box::new(PaxosNode::new(pcfg)));
+            }
+            for (i, script) in scripts.into_iter().enumerate() {
+                sim.add_node(Box::new(PaxosClient::new(i as u64 + 1, script, trace.clone(), n)));
+            }
+            drive(sim, horizon)
+        }
+        (UpdateSite::MultiMaster, PropagationPolicy::CausalBroadcast) => {
+            let mut sim = Sim::new(cfg);
+            for _ in 0..n {
+                sim.add_node(Box::new(CausalReplica::new(n)));
+            }
+            for (i, script) in scripts.into_iter().enumerate() {
+                sim.add_node(Box::new(CausalClient::new(
+                    i as u64 + 1,
+                    script,
+                    trace.clone(),
+                    NodeId(i % n),
+                )));
+            }
+            drive(sim, horizon)
+        }
+        _ => panic!(
+            "composition {} pairs an update site with a propagation policy the kernel \
+             has no materialization for",
+            comp.label()
+        ),
     }
 }
 

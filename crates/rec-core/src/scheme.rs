@@ -1,7 +1,15 @@
 //! Points in the replication design space.
+//!
+//! A [`Scheme`] is what experiments name: either one of the legacy
+//! protocol presets or an explicit kernel [`Composition`]. Every legacy
+//! preset maps to a canonical composition via [`Scheme::normalize`], and
+//! the runner materializes *only* compositions — so a legacy scheme and
+//! its composition are byte-identical at the same seed by construction
+//! (and `tests/scheme_parity.rs` proves it).
 
 use replication::common::Guarantees;
 use replication::eventual::ConflictMode;
+use replication::kernel::{Composition, GossipConfig, ShipMode};
 use simnet::Duration;
 
 /// How client sessions attach to replicas.
@@ -86,6 +94,16 @@ pub enum Scheme {
         /// Replica count.
         replicas: usize,
     },
+    /// An explicit kernel composition (durability × propagation ×
+    /// resolution) — the general form every other variant normalizes to.
+    Composed {
+        /// The kernel composition to deploy.
+        comp: Composition,
+        /// Session guarantees enforced client-side (multi-master only).
+        guarantees: Guarantees,
+        /// Client attachment.
+        placement: ClientPlacement,
+    },
 }
 
 impl Scheme {
@@ -107,25 +125,87 @@ impl Scheme {
         Scheme::Quorum { n, r, w, read_repair: true, placement: ClientPlacement::Random }
     }
 
+    /// An explicit composition with sticky clients and no client-side
+    /// guarantees.
+    pub fn composed(comp: Composition) -> Self {
+        Scheme::Composed {
+            comp,
+            guarantees: Guarantees::none(),
+            placement: ClientPlacement::Sticky,
+        }
+    }
+
+    /// The scheme's canonical kernel [`Composition`] plus the client-side
+    /// knobs the composition does not cover. The runner materializes this
+    /// normal form and nothing else, so two schemes that normalize equal
+    /// run identically.
+    pub fn normalize(&self) -> (Composition, Guarantees, ClientPlacement) {
+        match self {
+            Scheme::Eventual { replicas, eager, gossip, mode, guarantees, placement } => {
+                let gossip = gossip.map(|(interval, fanout)| GossipConfig { interval, fanout });
+                let comp = Composition::eventual(*replicas, *eager, gossip, mode.policy());
+                (comp, *guarantees, *placement)
+            }
+            Scheme::SloppyQuorum { n, r, w, spares } => (
+                Composition::quorum(*n, *r, *w, true, *spares),
+                Guarantees::none(),
+                ClientPlacement::Sticky,
+            ),
+            Scheme::Quorum { n, r, w, read_repair, placement } => {
+                (Composition::quorum(*n, *r, *w, *read_repair, 0), Guarantees::none(), *placement)
+            }
+            Scheme::PrimarySync { replicas } => (
+                Composition::primary(*replicas, ShipMode::Sync, false),
+                Guarantees::none(),
+                ClientPlacement::Sticky,
+            ),
+            Scheme::PrimaryAsync { replicas, ship_interval } => (
+                Composition::primary(
+                    *replicas,
+                    ShipMode::Async { interval: *ship_interval },
+                    false,
+                ),
+                Guarantees::none(),
+                ClientPlacement::Sticky,
+            ),
+            Scheme::PrimaryAsyncFailover { replicas, ship_interval } => (
+                Composition::primary(*replicas, ShipMode::Async { interval: *ship_interval }, true),
+                Guarantees::none(),
+                ClientPlacement::Sticky,
+            ),
+            Scheme::Paxos { nodes } => {
+                (Composition::paxos(*nodes), Guarantees::none(), ClientPlacement::Sticky)
+            }
+            Scheme::Causal { replicas } => {
+                (Composition::causal(*replicas), Guarantees::none(), ClientPlacement::Sticky)
+            }
+            Scheme::Composed { comp, guarantees, placement } => {
+                (comp.clone(), *guarantees, *placement)
+            }
+        }
+    }
+
     /// Number of replica (server) nodes the scheme deploys.
     pub fn replica_count(&self) -> usize {
-        match *self {
-            Scheme::Eventual { replicas, .. } => replicas,
-            Scheme::Quorum { n, .. } => n,
-            Scheme::SloppyQuorum { n, .. } => n,
-            Scheme::PrimarySync { replicas } => replicas,
-            Scheme::PrimaryAsync { replicas, .. } => replicas,
-            Scheme::PrimaryAsyncFailover { replicas, .. } => replicas,
-            Scheme::Paxos { nodes } => nodes,
-            Scheme::Causal { replicas } => replicas,
+        match self {
+            Scheme::Eventual { replicas, .. } => *replicas,
+            Scheme::Quorum { n, .. } => *n,
+            Scheme::SloppyQuorum { n, .. } => *n,
+            Scheme::PrimarySync { replicas } => *replicas,
+            Scheme::PrimaryAsync { replicas, .. } => *replicas,
+            Scheme::PrimaryAsyncFailover { replicas, .. } => *replicas,
+            Scheme::Paxos { nodes } => *nodes,
+            Scheme::Causal { replicas } => *replicas,
+            Scheme::Composed { comp, .. } => comp.replicas,
         }
     }
 
     /// Total server nodes deployed (replicas + any spares); client actors
     /// get node ids starting at this offset.
     pub fn server_node_count(&self) -> usize {
-        match *self {
+        match self {
             Scheme::SloppyQuorum { n, spares, .. } => n + spares,
+            Scheme::Composed { comp, .. } => comp.server_node_count(),
             _ => self.replica_count(),
         }
     }
@@ -152,6 +232,7 @@ impl Scheme {
             }
             Scheme::Paxos { .. } => "paxos".to_string(),
             Scheme::Causal { .. } => "causal".to_string(),
+            Scheme::Composed { comp, .. } => comp.label(),
         }
     }
 }
@@ -159,12 +240,14 @@ impl Scheme {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use replication::kernel::{DurabilityPolicy, ResolutionPolicy, UpdateSite};
 
     #[test]
     fn replica_counts() {
         assert_eq!(Scheme::eventual(3).replica_count(), 3);
         assert_eq!(Scheme::quorum(5, 2, 3).replica_count(), 5);
         assert_eq!(Scheme::Paxos { nodes: 7 }.replica_count(), 7);
+        assert_eq!(Scheme::composed(Composition::mm_gossip_crdt(4)).replica_count(), 4);
     }
 
     #[test]
@@ -175,5 +258,31 @@ mod tests {
             Scheme::PrimaryAsync { replicas: 2, ship_interval: Duration::from_millis(100) }.label(),
             "primary-async(100ms)"
         );
+        assert_eq!(Scheme::composed(Composition::mm_gossip_crdt(3)).label(), "mm+gossip+crdt");
+    }
+
+    #[test]
+    fn legacy_schemes_normalize_to_their_canonical_compositions() {
+        let (comp, _, _) = Scheme::eventual(3).normalize();
+        assert_eq!(comp, Composition::eventual_lww(3));
+        let (comp, _, _) = Scheme::quorum(3, 2, 2).normalize();
+        assert_eq!(comp, Composition::quorum(3, 2, 2, true, 0));
+        let (comp, _, _) = Scheme::Paxos { nodes: 5 }.normalize();
+        assert_eq!(comp, Composition::paxos(5));
+        let (comp, _, _) = Scheme::Causal { replicas: 3 }.normalize();
+        assert_eq!(comp, Composition::causal(3));
+        let (comp, _, _) = Scheme::PrimarySync { replicas: 3 }.normalize();
+        assert_eq!(comp.update, UpdateSite::PrimaryCopy);
+        assert_eq!(comp.durability, DurabilityPolicy::CheckpointedWal);
+        assert_eq!(comp.resolution, ResolutionPolicy::LwwRegister);
+    }
+
+    #[test]
+    fn composed_roundtrips_through_normalize() {
+        let comp = Composition::mm_eager_acked(3);
+        let (back, g, p) = Scheme::composed(comp.clone()).normalize();
+        assert_eq!(back, comp);
+        assert_eq!(g, Guarantees::none());
+        assert_eq!(p, ClientPlacement::Sticky);
     }
 }

@@ -14,8 +14,10 @@
 //! demonstrates on the `eventual` protocol.
 
 use crate::common::{ClientCore, OpOutcome, ScriptOp, TimerAction};
+use crate::kernel::durability::WalState;
+use crate::kernel::propagation::peers;
 use clocks::{LamportClock, LamportTimestamp, VersionVector};
-use kvstore::{Key, MvStore, Value, Wal};
+use kvstore::{Key, MvStore, Value};
 use obs::EventKind;
 use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime, SpanStatus};
 use std::collections::BTreeMap;
@@ -91,7 +93,10 @@ pub struct CausalReplica {
     /// `versions`, `my_seq`) is modeled as fsynced alongside each append:
     /// rolling the applied vector back after a restart would break
     /// origin-seq contiguity and wedge dependency buffering forever.
-    wal: Wal,
+    /// Appends go through `dur.wal` directly (not `WalState::log`):
+    /// `apply` has no simulator context, so appends here are un-evented —
+    /// the WAL metrics contract covers the store protocols' data path.
+    dur: WalState,
     clock: LamportClock,
     /// `applied[r]` = how many of replica r's writes have been applied.
     applied: VersionVector,
@@ -113,7 +118,7 @@ impl CausalReplica {
         CausalReplica {
             replicas,
             store: MvStore::new(),
-            wal: Wal::new(),
+            dur: WalState::new(),
             clock: LamportClock::new(),
             applied: VersionVector::new(),
             my_seq: 0,
@@ -151,7 +156,7 @@ impl CausalReplica {
             .is_some_and(|&(o, s)| !(o == w.origin && s < w.seq) && w.deps.get(o) < s);
         self.clock.observe(w.ts, 0);
         if self.store.put(w.key, Value::from_u64(w.value), w.ts, w.written_at) {
-            self.wal.append(w.key, Value::from_u64(w.value), w.ts, w.written_at);
+            self.dur.wal.append(w.key, Value::from_u64(w.value), w.ts, w.written_at);
             self.versions.insert(w.key, (w.origin, w.seq));
         }
         self.applied.observe(w.origin, w.seq);
@@ -192,14 +197,7 @@ impl Actor<Msg> for CausalReplica {
         // causally closed — it merely loses un-applied remote writes,
         // which this protocol (no anti-entropy) also loses to a partition.
         self.buffer.clear();
-        self.store = self.wal.recover(None);
-        for rec in self.wal.tail(0) {
-            self.clock.observe(rec.ts, 0);
-        }
-        ctx.record(EventKind::WalReplay {
-            node: ctx.self_id().0 as u64,
-            records: self.wal.len() as u64,
-        });
+        self.store = self.dur.replay(ctx, None, Some(&mut self.clock));
     }
 
     fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
@@ -237,7 +235,7 @@ impl Actor<Msg> for CausalReplica {
                 ctx.send(from, Msg::PutResp { op_id, stamp: (ts.counter, ts.actor) });
                 // Replicate fan-out still inside the replica span, so the
                 // propagation hops belong to the write's span tree.
-                for peer in (0..self.replicas).map(NodeId).filter(|&p| p != me) {
+                for peer in peers(self.replicas, me) {
                     ctx.send(peer, Msg::Replicate { write: w.clone() });
                 }
                 ctx.span_close(span, SpanStatus::Ok);

@@ -1,10 +1,13 @@
 //! Asynchronous multi-master replication ("eventual consistency proper").
 //!
 //! Every replica accepts reads and writes locally and propagates updates
-//! asynchronously, by eager one-way broadcast ([`EventualConfig::eager`])
-//! and/or periodic push-pull anti-entropy gossip
-//! ([`EventualConfig::gossip`]). Conflicts are resolved by the configured
-//! [`ConflictMode`]:
+//! by eager one-way broadcast ([`EventualConfig::eager`]) and/or periodic
+//! push-pull anti-entropy gossip ([`EventualConfig::gossip`]). This is
+//! the kernel's multi-master replica: storage and merges come from
+//! [`crate::kernel::resolution::ResolvingStore`], crash behaviour from
+//! [`crate::kernel::durability`], and gossip/ack mechanics from
+//! [`crate::kernel::propagation`]. Conflicts are resolved by the
+//! configured [`ConflictMode`]:
 //!
 //! * [`ConflictMode::Lww`] — last-writer-wins on Lamport stamps (loses one
 //!   of two concurrent writes; experiment E6 counts how many).
@@ -13,38 +16,30 @@
 //! * [`ConflictMode::Counter`] — values are PN-counters merged as CRDTs
 //!   (writes are increments; nothing is ever lost).
 //!
+//! Two kernel knobs extend the legacy protocol into new compositions:
+//! [`EventualConfig::eager_acks`] withholds the client ack until that
+//! many peers confirm durable application (a synchronous flavour of
+//! update-anywhere), and [`EventualConfig::durability`] chooses what an
+//! amnesia crash erases (the legacy protocol persists exactly the
+//! adopted LWW versions; `FsyncedState` keeps everything).
+//!
 //! Clients are scripted sessions ([`EventualClient`]) that can enforce the
 //! four Bayou session guarantees client-side (see
 //! [`crate::common::Guarantees`]): read floors with bounded retries for
 //! RYW/MR, Lamport-stamp piggybacking for MW/WFR.
 
 use crate::common::{ClientCore, Guarantees, IssueOp, OpOutcome, ScriptOp, TimerAction};
+use crate::kernel::durability::{DurabilityPolicy, WalState};
+use crate::kernel::propagation::{peers, AckTracker, Gossip};
+use crate::kernel::resolution::{Digests, ResolvingStore, WriteEffect};
 use clocks::{LamportClock, LamportTimestamp, VersionVector};
-use crdt::{CvRdt, PnCounter};
-use kvstore::{siblings::Sibling, Key, MvStore, SiblingStore, Value, Wal};
+use kvstore::Key;
 use obs::EventKind;
 use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime, SpanStatus};
 use std::collections::BTreeMap;
 
-/// Conflict-resolution policy for the replicated store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ConflictMode {
-    /// Last-writer-wins on `(Lamport counter, replica)` stamps.
-    Lww,
-    /// Keep concurrent siblings (dotted version vectors).
-    Siblings,
-    /// Values are PN-counters; a write of `v` means "increment by v".
-    Counter,
-}
-
-/// Gossip (anti-entropy) configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct GossipConfig {
-    /// Interval between gossip rounds.
-    pub interval: Duration,
-    /// Number of peers contacted per round.
-    pub fanout: usize,
-}
+pub use crate::kernel::propagation::GossipConfig;
+pub use crate::kernel::resolution::{ConflictMode, Item};
 
 /// Configuration for one eventual-consistency deployment.
 #[derive(Debug, Clone)]
@@ -57,6 +52,14 @@ pub struct EventualConfig {
     pub gossip: Option<GossipConfig>,
     /// Conflict policy.
     pub mode: ConflictMode,
+    /// Peer acks required before the client's write is acknowledged
+    /// (requires [`EventualConfig::eager`]; 0 = legacy fire-and-forget).
+    pub eager_acks: usize,
+    /// What survives an amnesia crash. The legacy protocol is
+    /// [`DurabilityPolicy::WalReplay`]: adopted LWW versions are logged
+    /// and replayed; sibling and counter state is modeled volatile
+    /// (anti-entropy refills it from peers).
+    pub durability: DurabilityPolicy,
 }
 
 impl EventualConfig {
@@ -67,38 +70,10 @@ impl EventualConfig {
             eager: true,
             gossip: Some(GossipConfig { interval: Duration::from_millis(50), fanout: 1 }),
             mode: ConflictMode::Lww,
+            eager_acks: 0,
+            durability: DurabilityPolicy::WalReplay,
         }
     }
-}
-
-/// One replicated data item in flight.
-#[derive(Debug, Clone)]
-pub enum Item {
-    /// An LWW version.
-    Lww {
-        /// Key.
-        key: Key,
-        /// Unique write id.
-        value: u64,
-        /// LWW stamp.
-        ts: LamportTimestamp,
-        /// Origin write time (µs).
-        written_at: u64,
-    },
-    /// A DVV sibling.
-    Sib {
-        /// Key.
-        key: Key,
-        /// The sibling (value + dotted version vector).
-        sibling: Sibling,
-    },
-    /// Full CRDT counter state for a key.
-    Counter {
-        /// Key.
-        key: Key,
-        /// Counter state.
-        state: PnCounter,
-    },
 }
 
 /// Protocol messages.
@@ -148,6 +123,15 @@ pub enum Msg {
     Replicate {
         /// Items to apply.
         items: Vec<Item>,
+        /// When set, the receiver confirms durable application with a
+        /// [`Msg::ReplicateAck`] carrying this request id (the
+        /// eager-acked composition; `None` is fire-and-forget).
+        ack: Option<u64>,
+    },
+    /// Durable-application confirmation for an acked [`Msg::Replicate`].
+    ReplicateAck {
+        /// The originator's request id.
+        req: u64,
     },
     /// Gossip round 1: the initiator's digest.
     SyncReq {
@@ -174,182 +158,104 @@ pub enum Msg {
     },
 }
 
-/// LWW and sibling-mode gossip digests, paired.
-type Digests = (Vec<(Key, LamportTimestamp)>, Vec<(Key, VersionVector)>);
-
-/// Replica-side storage, by conflict mode.
-#[derive(Debug)]
-enum Store {
-    Lww(MvStore),
-    Sib(SiblingStore),
-    Counter(BTreeMap<Key, PnCounter>),
-}
-
 const TAG_GOSSIP: u64 = 1;
+
+/// A write awaiting peer acks before the client is acknowledged
+/// (volatile coordination state: an amnesia crash drops it and the
+/// client times out).
+#[derive(Debug)]
+struct PendingWrite {
+    client: NodeId,
+    op_id: u64,
+    stamp: (u64, u64),
+    tracker: AckTracker,
+}
 
 /// A replica actor.
 pub struct EventualReplica {
     cfg: EventualConfig,
-    store: Store,
-    /// Durable log of adopted LWW versions; replayed on amnesia restart.
-    /// Sibling and counter state is modeled volatile (anti-entropy refills
-    /// it from peers), so only LWW mode writes here.
-    wal: Wal,
+    store: ResolvingStore,
+    /// Durable log of adopted LWW versions; replayed on amnesia restart
+    /// under [`DurabilityPolicy::WalReplay`].
+    dur: WalState,
     clock: LamportClock,
+    /// Eager-acked writes awaiting their peer quorum.
+    pending: BTreeMap<u64, PendingWrite>,
+    next_req: u64,
 }
 
 impl EventualReplica {
     /// Create a replica (its node id is assigned by the simulator; the
     /// replica learns it from the context on first callback).
     pub fn new(cfg: EventualConfig) -> Self {
-        let store = match cfg.mode {
-            ConflictMode::Lww => Store::Lww(MvStore::new()),
-            // Actor id is patched on first use; 0 placeholder is safe
-            // because `SiblingStore::new` only fixes the dot-minting id.
-            ConflictMode::Siblings => Store::Sib(SiblingStore::new(u64::MAX)),
-            ConflictMode::Counter => Store::Counter(BTreeMap::new()),
-        };
-        EventualReplica { cfg, store, wal: Wal::new(), clock: LamportClock::new() }
+        let store = ResolvingStore::new(cfg.mode.policy());
+        EventualReplica {
+            cfg,
+            store,
+            dur: WalState::new(),
+            clock: LamportClock::new(),
+            pending: BTreeMap::new(),
+            next_req: 1,
+        }
     }
 
     /// Read access to the LWW store (experiments check convergence).
-    pub fn lww_store(&self) -> Option<&MvStore> {
-        match &self.store {
-            Store::Lww(s) => Some(s),
-            _ => None,
-        }
+    pub fn lww_store(&self) -> Option<&kvstore::MvStore> {
+        self.store.lww()
     }
 
     /// Read access to the sibling store.
-    pub fn sibling_store(&self) -> Option<&SiblingStore> {
-        match &self.store {
-            Store::Sib(s) => Some(s),
-            _ => None,
-        }
+    pub fn sibling_store(&self) -> Option<&kvstore::SiblingStore> {
+        self.store.siblings()
     }
 
     /// Counter value for `key` (counter mode).
     pub fn counter_value(&self, key: Key) -> Option<i64> {
-        match &self.store {
-            Store::Counter(m) => m.get(&key).map(|c| c.value()),
-            _ => None,
-        }
+        self.store.counter_value(key)
     }
 
-    fn ensure_sib_actor(&mut self, me: NodeId) {
-        if let Store::Sib(s) = &mut self.store {
-            if s.key_count() == 0 {
-                // Re-key the store to this node id before first write.
-                *s = SiblingStore::new(me.0 as u64);
-            }
-        }
+    /// Whether adopted LWW versions go to the WAL under the configured
+    /// durability policy.
+    fn wal_enabled(&self) -> bool {
+        matches!(
+            self.cfg.durability,
+            DurabilityPolicy::WalReplay | DurabilityPolicy::CheckpointedWal
+        )
     }
 
-    fn peers(&self, me: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.cfg.replicas).map(NodeId).filter(move |&n| n != me)
+    fn gossip(&self) -> Option<Gossip> {
+        self.cfg.gossip.map(|g| Gossip::new(g, TAG_GOSSIP))
     }
 
-    fn digest(&self) -> Digests {
-        match &self.store {
-            Store::Lww(s) => (s.scan(..).map(|(k, v)| (k, v.ts)).collect(), Vec::new()),
-            Store::Sib(s) => (Vec::new(), s.keys().map(|k| (k, s.read(k).context)).collect()),
-            // Counters have no cheap digest; gossip ships full state.
-            Store::Counter(_) => (Vec::new(), Vec::new()),
-        }
-    }
-
-    /// Items this replica has that the remote digest lacks.
-    fn missing_at_remote(
-        &self,
-        digest: &[(Key, LamportTimestamp)],
-        vv_digest: &[(Key, VersionVector)],
-    ) -> Vec<Item> {
-        match &self.store {
-            Store::Lww(s) => {
-                let remote: BTreeMap<Key, LamportTimestamp> = digest.iter().copied().collect();
-                s.scan(..)
-                    .filter(|(k, v)| remote.get(k).map(|&ts| v.ts > ts).unwrap_or(true))
-                    .map(|(k, v)| Item::Lww {
-                        key: k,
-                        value: v.value.as_u64().unwrap_or(0),
-                        ts: v.ts,
-                        written_at: v.written_at,
-                    })
-                    .collect()
-            }
-            Store::Sib(s) => {
-                let remote: BTreeMap<Key, &VersionVector> =
-                    vv_digest.iter().map(|(k, vv)| (*k, vv)).collect();
-                let mut items = Vec::new();
-                for k in s.keys().collect::<Vec<_>>() {
-                    for sib in s.siblings(k) {
-                        let unseen =
-                            remote.get(&k).map(|vv| !sib.dvv.covered_by(vv)).unwrap_or(true);
-                        if unseen {
-                            items.push(Item::Sib { key: k, sibling: sib.clone() });
-                        }
-                    }
+    /// Log and record a local write's durable/observable effect.
+    fn apply_effect(&mut self, ctx: &mut Context<Msg>, effect: WriteEffect) {
+        let node = ctx.self_id().0 as u64;
+        match effect {
+            WriteEffect::Adopted { key, value, ts, written_at } => {
+                if self.wal_enabled() {
+                    self.dur.log(ctx, key, value, ts, written_at);
                 }
-                items
             }
-            Store::Counter(m) => {
-                m.iter().map(|(&k, c)| Item::Counter { key: k, state: c.clone() }).collect()
+            WriteEffect::SiblingConflict { key, siblings } => {
+                ctx.record(EventKind::ConflictDetected { node, key, siblings });
             }
+            WriteEffect::SiblingResolved { key } => {
+                ctx.record(EventKind::ConflictResolved { node, key, survivors: 1 });
+            }
+            WriteEffect::None => {}
         }
     }
 
-    /// Apply replicated items; returns how many changed local state plus
-    /// the keys left with concurrent siblings (detected conflicts).
-    // A guard with a side effect (clippy's collapse suggestion) would be
-    // worse than the nested `if`.
-    #[allow(clippy::collapsible_match)]
-    fn apply_items(
-        &mut self,
-        ctx: &mut Context<Msg>,
-        items: Vec<Item>,
-    ) -> (usize, Vec<(Key, u64)>) {
-        let mut changed = 0;
-        let mut conflicts = Vec::new();
-        for item in items {
-            match (&mut self.store, item) {
-                (Store::Lww(s), Item::Lww { key, value, ts, written_at }) => {
-                    // Keep the Lamport clock ahead of everything stored.
-                    self.clock.observe(ts, 0);
-                    let v = Value::from_u64(value);
-                    // Log exactly the adopted versions so a WAL replay
-                    // rebuilds this store byte-for-byte.
-                    if s.put(key, v.clone(), ts, written_at) {
-                        ctx.record(EventKind::WalAppend {
-                            node: ctx.self_id().0 as u64,
-                            key,
-                            bytes: v.len() as u64,
-                        });
-                        self.wal.append(key, v, ts, written_at);
-                        changed += 1;
-                    }
-                }
-                (Store::Sib(s), Item::Sib { key, sibling }) => {
-                    if s.apply_remote(key, sibling) {
-                        changed += 1;
-                        let n = s.siblings(key).len();
-                        if n > 1 {
-                            conflicts.push((key, n as u64));
-                        }
-                    }
-                }
-                (Store::Counter(m), Item::Counter { key, state }) => {
-                    let e = m.entry(key).or_default();
-                    let before = e.clone();
-                    e.merge(&state);
-                    if *e != before {
-                        changed += 1;
-                    }
-                }
-                // Mode mismatch: a deployment bug; drop the item.
-                _ => {}
+    /// Apply replicated items and log whatever the WAL must capture;
+    /// returns the keys left with concurrent siblings.
+    fn apply_and_log(&mut self, ctx: &mut Context<Msg>, items: Vec<Item>) -> Vec<(Key, u64)> {
+        let out = self.store.apply(items, &mut self.clock);
+        if self.wal_enabled() {
+            for (key, value, ts, written_at) in out.adopted {
+                self.dur.log(ctx, key, value, ts, written_at);
             }
         }
-        (changed, conflicts)
+        out.conflicts
     }
 
     /// Record one [`EventKind::ConflictDetected`] per conflicted key.
@@ -362,46 +268,17 @@ impl EventualReplica {
 
     fn handle_get(&mut self, ctx: &mut Context<Msg>, from: NodeId, op_id: u64, key: Key) {
         let span = ctx.span_open("replica_read");
-        let resp = match &self.store {
-            Store::Lww(s) => match s.get(key) {
-                Some(v) => Msg::GetResp {
-                    op_id,
-                    values: v.value.as_u64().into_iter().collect(),
-                    stamp: Some((v.ts.counter, v.ts.actor)),
-                    version_ts: Some(v.written_at),
-                    ctx: VersionVector::new(),
-                },
-                None => Msg::GetResp {
-                    op_id,
-                    values: vec![],
-                    stamp: None,
-                    version_ts: None,
-                    ctx: VersionVector::new(),
-                },
+        let view = self.store.read(key);
+        ctx.send(
+            from,
+            Msg::GetResp {
+                op_id,
+                values: view.values,
+                stamp: view.stamp,
+                version_ts: view.version_ts,
+                ctx: view.ctx,
             },
-            Store::Sib(s) => {
-                let r = s.read(key);
-                let newest = s.siblings(key).iter().map(|x| x.written_at).max();
-                Msg::GetResp {
-                    op_id,
-                    values: r.values.iter().filter_map(|v| v.as_u64()).collect(),
-                    stamp: Some((r.context.total(), 0)),
-                    version_ts: newest,
-                    ctx: r.context,
-                }
-            }
-            Store::Counter(m) => {
-                let v = m.get(&key).map(|c| c.value()).unwrap_or(0);
-                Msg::GetResp {
-                    op_id,
-                    values: vec![v as u64],
-                    stamp: None,
-                    version_ts: None,
-                    ctx: VersionVector::new(),
-                }
-            }
-        };
-        ctx.send(from, resp);
+        );
         ctx.span_close(span, SpanStatus::Ok);
     }
 
@@ -417,54 +294,38 @@ impl EventualReplica {
         client_ctx: VersionVector,
     ) {
         let me = ctx.self_id();
-        self.ensure_sib_actor(me);
         let span = ctx.span_open("replica_write");
         let now_us = ctx.now().as_micros();
-        let (stamp, items) = match &mut self.store {
-            Store::Lww(s) => {
-                // Piggybacked session stamp keeps MW/WFR ordering: tick past
-                // everything the session has observed.
-                self.clock.observe(LamportTimestamp::new(observed.0, observed.1), me.0 as u64);
-                let ts = self.clock.tick(me.0 as u64);
-                let v = Value::from_u64(value);
-                if s.put(key, v.clone(), ts, now_us) {
-                    ctx.record(EventKind::WalAppend {
-                        node: me.0 as u64,
-                        key,
-                        bytes: v.len() as u64,
-                    });
-                    self.wal.append(key, v, ts, now_us);
+        let out =
+            self.store.write_local(me, key, value, observed, &client_ctx, now_us, &mut self.clock);
+        self.apply_effect(ctx, out.effect);
+        let all_peers: Vec<NodeId> = peers(self.cfg.replicas, me).collect();
+        let need = if self.cfg.eager { self.cfg.eager_acks.min(all_peers.len()) } else { 0 };
+        if need == 0 {
+            ctx.send(from, Msg::PutResp { op_id, stamp: out.stamp });
+            if self.cfg.eager {
+                // Still inside the replica span, so the eager fan-out is
+                // part of the write's span tree.
+                for p in all_peers {
+                    ctx.send(p, Msg::Replicate { items: out.items.clone(), ack: None });
                 }
-                ((ts.counter, ts.actor), vec![Item::Lww { key, value, ts, written_at: now_us }])
             }
-            Store::Sib(s) => {
-                let before = s.siblings(key).len();
-                s.write(key, Value::from_u64(value), &client_ctx, now_us);
-                let after = s.siblings(key).len();
-                let node = me.0 as u64;
-                if after > 1 {
-                    // The write landed next to concurrent siblings.
-                    ctx.record(EventKind::ConflictDetected { node, key, siblings: after as u64 });
-                } else if before > 1 {
-                    // The client's context covered every sibling: resolved.
-                    ctx.record(EventKind::ConflictResolved { node, key, survivors: 1 });
-                }
-                let sib = s.siblings(key).last().expect("just wrote").clone();
-                ((s.read(key).context.total(), 0), vec![Item::Sib { key, sibling: sib }])
-            }
-            Store::Counter(m) => {
-                let c = m.entry(key).or_default();
-                c.increment(me.0 as u64, value);
-                ((0, 0), vec![Item::Counter { key, state: c.clone() }])
-            }
-        };
-        ctx.send(from, Msg::PutResp { op_id, stamp });
-        if self.cfg.eager {
-            // Still inside the replica span, so the eager fan-out is part
-            // of the write's span tree.
-            let peers: Vec<NodeId> = self.peers(me).collect();
-            for p in peers {
-                ctx.send(p, Msg::Replicate { items: items.clone() });
+        } else {
+            // Eager-acked composition: the client ack waits for `need`
+            // peers to confirm durable application.
+            let req = self.next_req;
+            self.next_req += 1;
+            self.pending.insert(
+                req,
+                PendingWrite {
+                    client: from,
+                    op_id,
+                    stamp: out.stamp,
+                    tracker: AckTracker::new(need),
+                },
+            );
+            for p in all_peers {
+                ctx.send(p, Msg::Replicate { items: out.items.clone(), ack: Some(req) });
             }
         }
         ctx.span_close(span, SpanStatus::Ok);
@@ -472,93 +333,75 @@ impl EventualReplica {
 
     fn start_gossip_round(&mut self, ctx: &mut Context<Msg>) {
         let me = ctx.self_id();
-        let peers: Vec<NodeId> = self.peers(me).collect();
-        if peers.is_empty() {
+        let all_peers: Vec<NodeId> = peers(self.cfg.replicas, me).collect();
+        if all_peers.is_empty() {
             return;
         }
-        let fanout = self.cfg.gossip.map(|g| g.fanout).unwrap_or(1).min(peers.len());
+        let gossip = self.gossip().expect("gossip round without gossip config");
+        let fanout = gossip.cfg.fanout.min(all_peers.len());
         ctx.record(EventKind::AntiEntropyRound { node: me.0 as u64, fanout: fanout as u64 });
-        let (digest, vv_digest) = self.digest();
-        // Choose `fanout` distinct peers.
-        let mut idxs: Vec<usize> = (0..peers.len()).collect();
-        ctx.rng().shuffle(&mut idxs);
-        for &i in idxs.iter().take(fanout) {
-            ctx.send(
-                peers[i],
-                Msg::SyncReq { digest: digest.clone(), vv_digest: vv_digest.clone() },
-            );
+        let (digest, vv_digest): Digests = self.store.digest();
+        for target in gossip.choose_targets(ctx, &all_peers) {
+            ctx.send(target, Msg::SyncReq { digest: digest.clone(), vv_digest: vv_digest.clone() });
         }
     }
 }
 
 impl Actor<Msg> for EventualReplica {
     fn key_versions(&self) -> Vec<(u64, u64)> {
-        match &self.store {
-            // Unique write ids identify LWW versions directly.
-            Store::Lww(s) => s.scan(..).map(|(k, v)| (k, v.value.as_u64().unwrap_or(0))).collect(),
-            // Sibling sets are fingerprinted order-independently (XOR of
-            // values + count): replicas holding different sets diverge.
-            Store::Sib(s) => s
-                .keys()
-                .map(|k| {
-                    let sibs = s.siblings(k);
-                    let fp = sibs
-                        .iter()
-                        .filter_map(|x| x.value.as_u64())
-                        .fold(sibs.len() as u64, |acc, v| acc ^ v);
-                    (k, fp)
-                })
-                .collect(),
-            // A counter's "version" is its current value.
-            Store::Counter(m) => m.iter().map(|(&k, c)| (k, c.value() as u64)).collect(),
-        }
+        self.store.key_versions()
     }
 
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
-        if let Some(g) = self.cfg.gossip {
+        if let Some(g) = self.gossip() {
             // Desynchronize replicas' rounds.
-            let jitter = ctx.rng().below(g.interval.as_micros().max(1));
-            ctx.set_timer(Duration::from_micros(jitter), TAG_GOSSIP);
+            g.arm_jittered(ctx);
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<Msg>, _id: u64, tag: u64) {
         if tag == TAG_GOSSIP {
-            if let Some(g) = self.cfg.gossip {
+            if let Some(g) = self.gossip() {
                 self.start_gossip_round(ctx);
-                ctx.set_timer(g.interval, TAG_GOSSIP);
+                g.rearm(ctx);
             }
         }
     }
 
     fn on_recover(&mut self, ctx: &mut Context<Msg>, amnesia: bool) {
         if amnesia {
-            let me = ctx.self_id();
-            match self.cfg.mode {
-                ConflictMode::Lww => {
-                    // LWW versions are durable: rebuild store and clock
-                    // from the WAL.
-                    self.store = Store::Lww(self.wal.recover(None));
-                    for rec in self.wal.tail(0) {
-                        self.clock.observe(rec.ts, 0);
+            // In-flight ack coordination is always volatile: affected
+            // clients time out and retry.
+            self.pending.clear();
+            match self.cfg.durability {
+                // Everything applied was fsynced before acknowledgement;
+                // the store survives as-is.
+                DurabilityPolicy::FsyncedState => {}
+                DurabilityPolicy::WalReplay | DurabilityPolicy::CheckpointedWal => {
+                    match self.cfg.mode {
+                        // LWW versions are durable: rebuild store and
+                        // clock from the WAL.
+                        ConflictMode::Lww => {
+                            self.store = ResolvingStore::Lww(self.dur.replay(
+                                ctx,
+                                None,
+                                Some(&mut self.clock),
+                            ));
+                        }
+                        // Sibling and counter state is modeled volatile:
+                        // the replica restarts empty and anti-entropy
+                        // refills it from peers — the convergence path
+                        // the protocol already has.
+                        ConflictMode::Siblings | ConflictMode::Counter => self.store.reset(),
                     }
-                    ctx.record(EventKind::WalReplay {
-                        node: me.0 as u64,
-                        records: self.wal.len() as u64,
-                    });
                 }
-                // Sibling and counter state is modeled volatile: the
-                // replica restarts empty and anti-entropy refills it from
-                // peers — the convergence path the protocol already has.
-                ConflictMode::Siblings => self.store = Store::Sib(SiblingStore::new(u64::MAX)),
-                ConflictMode::Counter => self.store = Store::Counter(BTreeMap::new()),
+                DurabilityPolicy::Volatile => self.store.reset(),
             }
         }
         // The crash killed the gossip timer chain; re-arm it with the same
         // jitter `on_start` uses.
-        if let Some(g) = self.cfg.gossip {
-            let jitter = ctx.rng().below(g.interval.as_micros().max(1));
-            ctx.set_timer(Duration::from_micros(jitter), TAG_GOSSIP);
+        if let Some(g) = self.gossip() {
+            g.arm_jittered(ctx);
         }
     }
 
@@ -568,29 +411,41 @@ impl Actor<Msg> for EventualReplica {
             Msg::Put { op_id, key, value, observed, ctx: client_ctx } => {
                 self.handle_put(ctx, from, op_id, key, value, observed, client_ctx)
             }
-            Msg::Replicate { items } => {
+            Msg::Replicate { items, ack } => {
                 // Traced when the originating write was (envelope context);
                 // inert for untraced background traffic.
                 let span = ctx.span_open("replicate_apply");
-                let (_, conflicts) = self.apply_items(ctx, items);
+                let conflicts = self.apply_and_log(ctx, items);
                 Self::record_conflicts(ctx, conflicts);
+                if let Some(req) = ack {
+                    // The WAL append above is the durable point; confirm.
+                    ctx.send(from, Msg::ReplicateAck { req });
+                }
                 ctx.span_close(span, SpanStatus::Ok);
             }
+            Msg::ReplicateAck { req } => {
+                if let Some(p) = self.pending.get_mut(&req) {
+                    if p.tracker.ack(from) {
+                        let p = self.pending.remove(&req).expect("pending entry exists");
+                        ctx.send(p.client, Msg::PutResp { op_id: p.op_id, stamp: p.stamp });
+                    }
+                }
+            }
             Msg::SyncReq { digest, vv_digest } => {
-                let items = self.missing_at_remote(&digest, &vv_digest);
-                let (my_digest, my_vv) = self.digest();
+                let items = self.store.missing_at_remote(&digest, &vv_digest);
+                let (my_digest, my_vv) = self.store.digest();
                 ctx.send(from, Msg::SyncResp { items, digest: my_digest, vv_digest: my_vv });
             }
             Msg::SyncResp { items, digest, vv_digest } => {
-                let (_, conflicts) = self.apply_items(ctx, items);
+                let conflicts = self.apply_and_log(ctx, items);
                 Self::record_conflicts(ctx, conflicts);
-                let back = self.missing_at_remote(&digest, &vv_digest);
+                let back = self.store.missing_at_remote(&digest, &vv_digest);
                 if !back.is_empty() {
                     ctx.send(from, Msg::SyncPush { items: back });
                 }
             }
             Msg::SyncPush { items } => {
-                let (_, conflicts) = self.apply_items(ctx, items);
+                let conflicts = self.apply_and_log(ctx, items);
                 Self::record_conflicts(ctx, conflicts);
             }
             // Responses are client-side messages; a replica ignores them.
@@ -978,7 +833,7 @@ mod tests {
             eager: true,
             gossip: Some(GossipConfig { interval: Duration::from_millis(10), fanout: 2 }),
             mode: ConflictMode::Counter,
-            replicas: 3,
+            ..EventualConfig::default_lww(3)
         };
         // Three sessions increment the same counter key at three replicas;
         // a final read must see the sum (increment amount = the unique
@@ -1021,6 +876,7 @@ mod tests {
             gossip: Some(GossipConfig { interval: Duration::from_millis(10), fanout: 2 }),
             mode: ConflictMode::Siblings,
             replicas: 2,
+            ..EventualConfig::default_lww(2)
         };
         let w1 = EventualClient::new(
             1,
@@ -1059,6 +915,98 @@ mod tests {
             vals,
             vec![ClientCore::unique_value(1, 1), ClientCore::unique_value(2, 1)],
             "both concurrent writes must surface as siblings"
+        );
+    }
+
+    #[test]
+    fn eager_acked_defers_put_resp_until_all_peers_apply() {
+        // acks = replicas - 1: by the time the client sees PutResp, every
+        // replica holds the write, so an immediate read anywhere is fresh.
+        let trace = optrace::shared_trace();
+        let cfg = EventualConfig { eager_acks: 2, ..EventualConfig::default_lww(3) };
+        let writer = EventualClient::new(
+            1,
+            script(&[(OpKind::Write, 7), (OpKind::Read, 7)]),
+            trace.clone(),
+            3,
+            TargetPolicy::Sticky(NodeId(0)),
+            Guarantees::none(),
+            ConflictMode::Lww,
+        );
+        // A remote reader that reads right after the writer's ack window.
+        let reader = EventualClient::new(
+            2,
+            vec![ScriptOp { gap_us: 50_000, kind: OpKind::Read, key: 7 }],
+            trace.clone(),
+            3,
+            TargetPolicy::Sticky(NodeId(2)),
+            Guarantees::none(),
+            ConflictMode::Lww,
+        );
+        let mut sim = build_sim(cfg, vec![writer, reader], 9);
+        sim.run_until(SimTime::from_secs(2));
+        let t = trace.borrow();
+        assert_eq!(t.len(), 3, "all ops completed");
+        let write = t.records().iter().find(|r| r.kind == OpKind::Write).unwrap();
+        assert!(write.ok, "acked write must complete once peers confirm");
+        for r in t.records().iter().filter(|r| r.kind == OpKind::Read) {
+            assert_eq!(
+                r.value_read,
+                vec![ClientCore::unique_value(1, 1)],
+                "replica {} must hold the write before the client ack",
+                r.replica
+            );
+        }
+    }
+
+    #[test]
+    fn fsynced_counter_state_survives_amnesia() {
+        use simnet::FaultSchedule;
+        // Durable-CRDT composition: a counter incremented before a crash
+        // with amnesia must read back its full value afterwards without
+        // any gossip refill (gossip is disabled here on a 1-replica
+        // deployment so the only possible source is the fsynced state).
+        let trace = optrace::shared_trace();
+        let cfg = EventualConfig {
+            replicas: 1,
+            eager: false,
+            gossip: None,
+            mode: ConflictMode::Counter,
+            eager_acks: 0,
+            durability: DurabilityPolicy::FsyncedState,
+        };
+        let client = EventualClient::new(
+            1,
+            vec![
+                ScriptOp { gap_us: 1_000, kind: OpKind::Write, key: 3 },
+                ScriptOp { gap_us: 2_000_000, kind: OpKind::Read, key: 3 },
+            ],
+            trace.clone(),
+            1,
+            TargetPolicy::Sticky(NodeId(0)),
+            Guarantees::none(),
+            ConflictMode::Counter,
+        );
+        let mut sim = Sim::new(
+            SimConfig::default()
+                .seed(4)
+                .latency(LatencyModel::Constant(Duration::from_millis(5)))
+                .faults(FaultSchedule::none().crash_amnesia(
+                    NodeId(0),
+                    SimTime::from_millis(500),
+                    SimTime::from_millis(900),
+                )),
+        );
+        sim.add_node(Box::new(EventualReplica::new(cfg)));
+        sim.add_node(Box::new(client));
+        sim.run_until(SimTime::from_secs(4));
+        let t = trace.borrow();
+        let read = t.records().iter().find(|r| r.kind == OpKind::Read).expect("read recorded");
+        assert!(read.ok);
+        assert_eq!(
+            read.value_read,
+            vec![ClientCore::unique_value(1, 1)],
+            "fsynced counter state must survive the amnesia crash"
         );
     }
 }

@@ -1,0 +1,191 @@
+//! The propagation layer: how updates travel between replicas.
+//!
+//! Policies are named by [`PropagationPolicy`]; the mechanism pieces the
+//! protocols share live here: peer enumeration ([`peers`]), gossip
+//! round timing with jittered desynchronization ([`Gossip`]), and
+//! threshold ack counting ([`AckTracker`] — write quorums, sync-backup
+//! acks, Paxos promise/accept tallies, and eager-broadcast acks are all
+//! the same "count distinct responders up to a need" loop).
+
+use simnet::{Context, Duration, NodeId};
+use std::collections::BTreeSet;
+
+/// How updates propagate (the propagation axis of a
+/// [`super::Composition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropagationPolicy {
+    /// Writes are pushed to every peer as they happen; `acks` peers must
+    /// confirm durable application before the client is acknowledged
+    /// (`acks == 0` is the legacy fire-and-forget broadcast). Optional
+    /// background gossip heals whatever the broadcast missed.
+    EagerBroadcast {
+        /// Peer acks required before the client ack (0 = none).
+        acks: usize,
+        /// Background anti-entropy, if any.
+        gossip: Option<GossipConfig>,
+    },
+    /// Periodic push-pull anti-entropy only: digests exchange, missing
+    /// items flow both ways.
+    AntiEntropyGossip(GossipConfig),
+    /// Eager broadcast with causal dependency metadata; receivers buffer
+    /// out-of-order writes until their dependencies are applied.
+    CausalBroadcast,
+    /// Per-operation coordinator fans out to N home replicas and waits
+    /// for R (reads) / W (writes) acks; optional sloppy spares take
+    /// hinted handoffs.
+    QuorumFanout {
+        /// Read quorum.
+        r: usize,
+        /// Write quorum.
+        w: usize,
+        /// Repair stale replicas on read.
+        read_repair: bool,
+        /// Hint-holding spare nodes (0 = strict quorum).
+        spares: usize,
+    },
+    /// Primary ships its log to backups.
+    PrimaryShip {
+        /// Synchronous acks or asynchronous interval shipping.
+        ship: ShipMode,
+        /// Heartbeat-driven view-change failover.
+        failover: bool,
+    },
+    /// A consensus-sequenced replicated log (Multi-Paxos).
+    ConsensusLog,
+}
+
+/// How a primary ships updates to its backups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipMode {
+    /// Every backup must ack before the client is acknowledged.
+    Sync,
+    /// Log records ship on a timer; the client is acknowledged
+    /// immediately (the replication-lag knob).
+    Async {
+        /// Shipping interval.
+        interval: Duration,
+    },
+}
+
+/// Gossip (anti-entropy) configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Interval between gossip rounds.
+    pub interval: Duration,
+    /// Number of peers contacted per round.
+    pub fanout: usize,
+}
+
+/// All peers of `me` among server nodes `0..n`, in id order.
+pub fn peers(n: usize, me: NodeId) -> impl Iterator<Item = NodeId> {
+    (0..n).map(NodeId).filter(move |&p| p != me)
+}
+
+/// Gossip round scheduling: a repeating timer with a jittered first
+/// firing so replicas desynchronize, plus seeded peer sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct Gossip {
+    /// Interval and fanout.
+    pub cfg: GossipConfig,
+    /// The timer tag gossip rounds fire under.
+    pub tag: u64,
+}
+
+impl Gossip {
+    /// A gossip schedule firing under `tag`.
+    pub fn new(cfg: GossipConfig, tag: u64) -> Self {
+        Gossip { cfg, tag }
+    }
+
+    /// Arm the first round at a random offset within one interval
+    /// (desynchronizes replicas; also used after a crash killed the
+    /// timer chain).
+    pub fn arm_jittered<M>(&self, ctx: &mut Context<M>) {
+        let jitter = ctx.rng().below(self.cfg.interval.as_micros().max(1));
+        ctx.set_timer(Duration::from_micros(jitter), self.tag);
+    }
+
+    /// Arm the next round one full interval out.
+    pub fn rearm<M>(&self, ctx: &mut Context<M>) {
+        ctx.set_timer(self.cfg.interval, self.tag);
+    }
+
+    /// Choose this round's targets: `fanout` distinct peers, sampled by
+    /// shuffling indices with the actor's deterministic RNG.
+    pub fn choose_targets<M>(&self, ctx: &mut Context<M>, peers: &[NodeId]) -> Vec<NodeId> {
+        let fanout = self.cfg.fanout.min(peers.len());
+        let mut idxs: Vec<usize> = (0..peers.len()).collect();
+        ctx.rng().shuffle(&mut idxs);
+        idxs.iter().take(fanout).map(|&i| peers[i]).collect()
+    }
+}
+
+/// Count distinct acking nodes toward a threshold.
+#[derive(Debug, Clone, Default)]
+pub struct AckTracker {
+    need: usize,
+    from: BTreeSet<NodeId>,
+}
+
+impl AckTracker {
+    /// A tracker needing `need` distinct acks.
+    pub fn new(need: usize) -> Self {
+        AckTracker { need, from: BTreeSet::new() }
+    }
+
+    /// Record an ack. Returns `true` exactly once: when this ack first
+    /// reaches the threshold (duplicates and over-acks return `false`).
+    pub fn ack(&mut self, from: NodeId) -> bool {
+        let was_reached = self.reached();
+        self.from.insert(from);
+        !was_reached && self.reached()
+    }
+
+    /// Whether the threshold has been met.
+    pub fn reached(&self) -> bool {
+        self.from.len() >= self.need
+    }
+
+    /// Distinct acks so far.
+    pub fn count(&self) -> usize {
+        self.from.len()
+    }
+
+    /// The nodes that have acked, in id order.
+    pub fn acked(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.from.iter().copied()
+    }
+
+    /// The configured threshold.
+    pub fn need(&self) -> usize {
+        self.need
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peers_excludes_self() {
+        let p: Vec<NodeId> = peers(4, NodeId(2)).collect();
+        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn ack_tracker_fires_once_at_threshold() {
+        let mut t = AckTracker::new(2);
+        assert!(!t.ack(NodeId(1)));
+        assert!(!t.ack(NodeId(1)), "duplicate acks don't count");
+        assert!(t.ack(NodeId(2)), "threshold crossing fires");
+        assert!(!t.ack(NodeId(3)), "over-ack does not re-fire");
+        assert_eq!(t.count(), 3);
+        assert!(t.reached());
+    }
+
+    #[test]
+    fn zero_need_is_immediately_reached() {
+        let t = AckTracker::new(0);
+        assert!(t.reached());
+    }
+}

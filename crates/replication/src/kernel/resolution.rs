@@ -1,0 +1,510 @@
+//! The resolution layer: how concurrent updates reconcile.
+//!
+//! A [`ResolvingStore`] is replica-side storage whose merge behaviour is
+//! chosen by [`ResolutionPolicy`]: last-writer-wins over an
+//! [`kvstore::MvStore`], dotted-version-vector siblings over a
+//! [`kvstore::SiblingStore`], or CRDT join over [`crdt::PnCounter`]
+//! state (wired to `crates/crdt`; `tests/crdt_semilattice.rs`
+//! cross-checks the store's merges against direct CRDT merges). The
+//! store also knows how to summarize itself for anti-entropy
+//! ([`ResolvingStore::digest`] / [`ResolvingStore::missing_at_remote`])
+//! so propagation policies stay resolution-agnostic.
+
+use clocks::{LamportClock, LamportTimestamp, VersionVector};
+use crdt::{CvRdt, PnCounter};
+use kvstore::{siblings::Sibling, Key, MvStore, SiblingStore, Value};
+use simnet::NodeId;
+use std::collections::BTreeMap;
+
+/// How conflicts resolve (the resolution axis of a
+/// [`super::Composition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolutionPolicy {
+    /// Last-writer-wins on `(Lamport counter, replica)` stamps.
+    LwwRegister,
+    /// Concurrent writes survive as dotted-version-vector siblings the
+    /// client must reconcile (the Dynamo model).
+    VersionVectorSiblings,
+    /// Values are state-based CRDTs merged by join (PN-counters here);
+    /// concurrent updates commute, nothing is lost.
+    CrdtMerge,
+}
+
+/// Conflict-resolution policy of the eventual protocol — the legacy
+/// client-facing name for [`ResolutionPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictMode {
+    /// Last-writer-wins on `(Lamport counter, replica)` stamps.
+    Lww,
+    /// Keep concurrent siblings (dotted version vectors).
+    Siblings,
+    /// Values are PN-counters; a write of `v` means "increment by v".
+    Counter,
+}
+
+impl ConflictMode {
+    /// The kernel resolution policy this mode names.
+    pub fn policy(self) -> ResolutionPolicy {
+        match self {
+            ConflictMode::Lww => ResolutionPolicy::LwwRegister,
+            ConflictMode::Siblings => ResolutionPolicy::VersionVectorSiblings,
+            ConflictMode::Counter => ResolutionPolicy::CrdtMerge,
+        }
+    }
+}
+
+impl ResolutionPolicy {
+    /// The legacy [`ConflictMode`] naming this policy.
+    pub fn conflict_mode(self) -> ConflictMode {
+        match self {
+            ResolutionPolicy::LwwRegister => ConflictMode::Lww,
+            ResolutionPolicy::VersionVectorSiblings => ConflictMode::Siblings,
+            ResolutionPolicy::CrdtMerge => ConflictMode::Counter,
+        }
+    }
+}
+
+/// One replicated data item in flight.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// An LWW version.
+    Lww {
+        /// Key.
+        key: Key,
+        /// Unique write id.
+        value: u64,
+        /// LWW stamp.
+        ts: LamportTimestamp,
+        /// Origin write time (µs).
+        written_at: u64,
+    },
+    /// A DVV sibling.
+    Sib {
+        /// Key.
+        key: Key,
+        /// The sibling (value + dotted version vector).
+        sibling: Sibling,
+    },
+    /// Full CRDT counter state for a key.
+    Counter {
+        /// Key.
+        key: Key,
+        /// Counter state.
+        state: PnCounter,
+    },
+}
+
+/// LWW and sibling-mode gossip digests, paired.
+pub type Digests = (Vec<(Key, LamportTimestamp)>, Vec<(Key, VersionVector)>);
+
+/// What a local read returned, in wire shape.
+#[derive(Debug, Clone)]
+pub struct ReadView {
+    /// Observed values (unique write ids, sibling values, or the counter
+    /// sum); empty if the key is absent.
+    pub values: Vec<u64>,
+    /// Max stamp across returned versions (LWW/sibling policies).
+    pub stamp: Option<(u64, u64)>,
+    /// Origin write time of the newest returned version (µs).
+    pub version_ts: Option<u64>,
+    /// Causal context (sibling policy; empty otherwise).
+    pub ctx: VersionVector,
+}
+
+/// The durable/observable side effect of a local write, for the caller
+/// to log and record (the store itself stays event-free so it can be
+/// shared across protocols with different durability policies).
+#[derive(Debug, Clone)]
+pub enum WriteEffect {
+    /// An LWW version was adopted: log it to the WAL.
+    Adopted {
+        /// Key.
+        key: Key,
+        /// Stored value.
+        value: Value,
+        /// LWW stamp.
+        ts: LamportTimestamp,
+        /// Origin write time (µs).
+        written_at: u64,
+    },
+    /// The write landed next to concurrent siblings.
+    SiblingConflict {
+        /// Key.
+        key: Key,
+        /// Sibling count after the write.
+        siblings: u64,
+    },
+    /// The client's context covered every sibling: conflict resolved.
+    SiblingResolved {
+        /// Key.
+        key: Key,
+    },
+    /// Nothing to log or record (counter inflation, superseded LWW).
+    None,
+}
+
+/// The outcome of a local client write.
+#[derive(Debug, Clone)]
+pub struct WriteOutcome {
+    /// Stamp the replica assigned (what the client's session observes).
+    pub stamp: (u64, u64),
+    /// Items to propagate to peers.
+    pub items: Vec<Item>,
+    /// Durable/observable side effect for the caller.
+    pub effect: WriteEffect,
+}
+
+/// The outcome of applying remote items.
+#[derive(Debug, Default)]
+pub struct ApplyOutcome {
+    /// Items that changed local state.
+    pub changed: usize,
+    /// Keys left with concurrent siblings (detected conflicts), with
+    /// the sibling count.
+    pub conflicts: Vec<(Key, u64)>,
+    /// LWW versions adopted (for the caller's WAL).
+    pub adopted: Vec<(Key, Value, LamportTimestamp, u64)>,
+}
+
+/// Replica-side storage with pluggable conflict resolution.
+#[derive(Debug)]
+pub enum ResolvingStore {
+    /// Last-writer-wins register per key.
+    Lww(MvStore),
+    /// Dotted-version-vector sibling sets.
+    Sib(SiblingStore),
+    /// PN-counter per key, merged as a CRDT.
+    Crdt(BTreeMap<Key, PnCounter>),
+}
+
+impl ResolvingStore {
+    /// An empty store under `policy`. For siblings, the dot-minting
+    /// actor id is patched on first use ([`ResolvingStore::ensure_actor`]);
+    /// the `u64::MAX` placeholder is safe because `SiblingStore::new`
+    /// only fixes that id.
+    pub fn new(policy: ResolutionPolicy) -> Self {
+        match policy {
+            ResolutionPolicy::LwwRegister => ResolvingStore::Lww(MvStore::new()),
+            ResolutionPolicy::VersionVectorSiblings => {
+                ResolvingStore::Sib(SiblingStore::new(u64::MAX))
+            }
+            ResolutionPolicy::CrdtMerge => ResolvingStore::Crdt(BTreeMap::new()),
+        }
+    }
+
+    /// The policy this store resolves under.
+    pub fn policy(&self) -> ResolutionPolicy {
+        match self {
+            ResolvingStore::Lww(_) => ResolutionPolicy::LwwRegister,
+            ResolvingStore::Sib(_) => ResolutionPolicy::VersionVectorSiblings,
+            ResolvingStore::Crdt(_) => ResolutionPolicy::CrdtMerge,
+        }
+    }
+
+    /// Reset to empty (volatile-state amnesia).
+    pub fn reset(&mut self) {
+        *self = ResolvingStore::new(self.policy());
+    }
+
+    /// Fix the sibling store's dot-minting id to this node before its
+    /// first write (no-op for other policies or once keys exist).
+    pub fn ensure_actor(&mut self, me: NodeId) {
+        if let ResolvingStore::Sib(s) = self {
+            if s.key_count() == 0 {
+                *s = SiblingStore::new(me.0 as u64);
+            }
+        }
+    }
+
+    /// Read access to the LWW store (experiments check convergence).
+    pub fn lww(&self) -> Option<&MvStore> {
+        match self {
+            ResolvingStore::Lww(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Read access to the sibling store.
+    pub fn siblings(&self) -> Option<&SiblingStore> {
+        match self {
+            ResolvingStore::Sib(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Counter value for `key` (CRDT policy).
+    pub fn counter_value(&self, key: Key) -> Option<i64> {
+        match self {
+            ResolvingStore::Crdt(m) => m.get(&key).map(|c| c.value()),
+            _ => None,
+        }
+    }
+
+    /// Serve a local read.
+    pub fn read(&self, key: Key) -> ReadView {
+        match self {
+            ResolvingStore::Lww(s) => match s.get(key) {
+                Some(v) => ReadView {
+                    values: v.value.as_u64().into_iter().collect(),
+                    stamp: Some((v.ts.counter, v.ts.actor)),
+                    version_ts: Some(v.written_at),
+                    ctx: VersionVector::new(),
+                },
+                None => ReadView {
+                    values: vec![],
+                    stamp: None,
+                    version_ts: None,
+                    ctx: VersionVector::new(),
+                },
+            },
+            ResolvingStore::Sib(s) => {
+                let r = s.read(key);
+                let newest = s.siblings(key).iter().map(|x| x.written_at).max();
+                ReadView {
+                    values: r.values.iter().filter_map(|v| v.as_u64()).collect(),
+                    stamp: Some((r.context.total(), 0)),
+                    version_ts: newest,
+                    ctx: r.context,
+                }
+            }
+            ResolvingStore::Crdt(m) => {
+                let v = m.get(&key).map(|c| c.value()).unwrap_or(0);
+                ReadView {
+                    values: vec![v as u64],
+                    stamp: None,
+                    version_ts: None,
+                    ctx: VersionVector::new(),
+                }
+            }
+        }
+    }
+
+    /// Apply a local client write at `me`, stamping with `clock`.
+    ///
+    /// `observed` is the session's piggybacked stamp floor (MW/WFR
+    /// ordering under LWW), `client_ctx` its causal context (siblings).
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_local(
+        &mut self,
+        me: NodeId,
+        key: Key,
+        value: u64,
+        observed: (u64, u64),
+        client_ctx: &VersionVector,
+        now_us: u64,
+        clock: &mut LamportClock,
+    ) -> WriteOutcome {
+        self.ensure_actor(me);
+        match self {
+            ResolvingStore::Lww(s) => {
+                // Piggybacked session stamp keeps MW/WFR ordering: tick
+                // past everything the session has observed.
+                clock.observe(LamportTimestamp::new(observed.0, observed.1), me.0 as u64);
+                let ts = clock.tick(me.0 as u64);
+                let v = Value::from_u64(value);
+                let effect = if s.put(key, v.clone(), ts, now_us) {
+                    WriteEffect::Adopted { key, value: v, ts, written_at: now_us }
+                } else {
+                    WriteEffect::None
+                };
+                WriteOutcome {
+                    stamp: (ts.counter, ts.actor),
+                    items: vec![Item::Lww { key, value, ts, written_at: now_us }],
+                    effect,
+                }
+            }
+            ResolvingStore::Sib(s) => {
+                let before = s.siblings(key).len();
+                s.write(key, Value::from_u64(value), client_ctx, now_us);
+                let after = s.siblings(key).len();
+                let effect = if after > 1 {
+                    WriteEffect::SiblingConflict { key, siblings: after as u64 }
+                } else if before > 1 {
+                    WriteEffect::SiblingResolved { key }
+                } else {
+                    WriteEffect::None
+                };
+                let sib = s.siblings(key).last().expect("just wrote").clone();
+                WriteOutcome {
+                    stamp: (s.read(key).context.total(), 0),
+                    items: vec![Item::Sib { key, sibling: sib }],
+                    effect,
+                }
+            }
+            ResolvingStore::Crdt(m) => {
+                let c = m.entry(key).or_default();
+                c.increment(me.0 as u64, value);
+                WriteOutcome {
+                    stamp: (0, 0),
+                    items: vec![Item::Counter { key, state: c.clone() }],
+                    effect: WriteEffect::None,
+                }
+            }
+        }
+    }
+
+    /// Apply replicated items, resolving by policy. LWW adoptions are
+    /// returned for the caller's WAL; conflict keys for its events.
+    // A guard with a side effect (clippy's collapse suggestion) would be
+    // worse than the nested `if`.
+    #[allow(clippy::collapsible_match)]
+    pub fn apply(&mut self, items: Vec<Item>, clock: &mut LamportClock) -> ApplyOutcome {
+        let mut out = ApplyOutcome::default();
+        for item in items {
+            match (&mut *self, item) {
+                (ResolvingStore::Lww(s), Item::Lww { key, value, ts, written_at }) => {
+                    // Keep the Lamport clock ahead of everything stored.
+                    clock.observe(ts, 0);
+                    let v = Value::from_u64(value);
+                    if s.put(key, v.clone(), ts, written_at) {
+                        out.adopted.push((key, v, ts, written_at));
+                        out.changed += 1;
+                    }
+                }
+                (ResolvingStore::Sib(s), Item::Sib { key, sibling }) => {
+                    if s.apply_remote(key, sibling) {
+                        out.changed += 1;
+                        let n = s.siblings(key).len();
+                        if n > 1 {
+                            out.conflicts.push((key, n as u64));
+                        }
+                    }
+                }
+                (ResolvingStore::Crdt(m), Item::Counter { key, state }) => {
+                    let e = m.entry(key).or_default();
+                    let before = e.clone();
+                    e.merge(&state);
+                    if *e != before {
+                        out.changed += 1;
+                    }
+                }
+                // Policy mismatch: a deployment bug; drop the item.
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// This store's anti-entropy digest.
+    pub fn digest(&self) -> Digests {
+        match self {
+            ResolvingStore::Lww(s) => (s.scan(..).map(|(k, v)| (k, v.ts)).collect(), Vec::new()),
+            ResolvingStore::Sib(s) => {
+                (Vec::new(), s.keys().map(|k| (k, s.read(k).context)).collect())
+            }
+            // Counters have no cheap digest; gossip ships full state.
+            ResolvingStore::Crdt(_) => (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Items this store has that the remote digest lacks.
+    pub fn missing_at_remote(
+        &self,
+        digest: &[(Key, LamportTimestamp)],
+        vv_digest: &[(Key, VersionVector)],
+    ) -> Vec<Item> {
+        match self {
+            ResolvingStore::Lww(s) => {
+                let remote: BTreeMap<Key, LamportTimestamp> = digest.iter().copied().collect();
+                s.scan(..)
+                    .filter(|(k, v)| remote.get(k).map(|&ts| v.ts > ts).unwrap_or(true))
+                    .map(|(k, v)| Item::Lww {
+                        key: k,
+                        value: v.value.as_u64().unwrap_or(0),
+                        ts: v.ts,
+                        written_at: v.written_at,
+                    })
+                    .collect()
+            }
+            ResolvingStore::Sib(s) => {
+                let remote: BTreeMap<Key, &VersionVector> =
+                    vv_digest.iter().map(|(k, vv)| (*k, vv)).collect();
+                let mut items = Vec::new();
+                for k in s.keys().collect::<Vec<_>>() {
+                    for sib in s.siblings(k) {
+                        let unseen =
+                            remote.get(&k).map(|vv| !sib.dvv.covered_by(vv)).unwrap_or(true);
+                        if unseen {
+                            items.push(Item::Sib { key: k, sibling: sib.clone() });
+                        }
+                    }
+                }
+                items
+            }
+            ResolvingStore::Crdt(m) => {
+                m.iter().map(|(&k, c)| Item::Counter { key: k, state: c.clone() }).collect()
+            }
+        }
+    }
+
+    /// Per-key version fingerprints for divergence probing
+    /// ([`simnet::Actor::key_versions`]).
+    pub fn key_versions(&self) -> Vec<(u64, u64)> {
+        match self {
+            // Unique write ids identify LWW versions directly.
+            ResolvingStore::Lww(s) => {
+                s.scan(..).map(|(k, v)| (k, v.value.as_u64().unwrap_or(0))).collect()
+            }
+            // Sibling sets are fingerprinted order-independently (XOR of
+            // values + count): replicas holding different sets diverge.
+            ResolvingStore::Sib(s) => s
+                .keys()
+                .map(|k| {
+                    let sibs = s.siblings(k);
+                    let fp = sibs
+                        .iter()
+                        .filter_map(|x| x.value.as_u64())
+                        .fold(sibs.len() as u64, |acc, v| acc ^ v);
+                    (k, fp)
+                })
+                .collect(),
+            // A counter's "version" is its current value.
+            ResolvingStore::Crdt(m) => m.iter().map(|(&k, c)| (k, c.value() as u64)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_roundtrips_through_conflict_mode() {
+        for p in [
+            ResolutionPolicy::LwwRegister,
+            ResolutionPolicy::VersionVectorSiblings,
+            ResolutionPolicy::CrdtMerge,
+        ] {
+            assert_eq!(p.conflict_mode().policy(), p);
+        }
+    }
+
+    #[test]
+    fn crdt_apply_merges_like_the_crdt_crate() {
+        // The store's counter merge must agree with a direct
+        // `crdt::PnCounter` merge of the same states.
+        let mut a = PnCounter::default();
+        a.increment(1, 5);
+        let mut b = PnCounter::default();
+        b.increment(2, 7);
+        let mut store = ResolvingStore::new(ResolutionPolicy::CrdtMerge);
+        let mut clock = LamportClock::new();
+        store.apply(vec![Item::Counter { key: 9, state: a.clone() }], &mut clock);
+        store.apply(vec![Item::Counter { key: 9, state: b.clone() }], &mut clock);
+        let mut direct = a.clone();
+        direct.merge(&b);
+        assert_eq!(store.counter_value(9), Some(direct.value()));
+    }
+
+    #[test]
+    fn lww_write_then_read() {
+        let mut store = ResolvingStore::new(ResolutionPolicy::LwwRegister);
+        let mut clock = LamportClock::new();
+        let out =
+            store.write_local(NodeId(0), 3, 42, (0, 0), &VersionVector::new(), 10, &mut clock);
+        assert!(matches!(out.effect, WriteEffect::Adopted { key: 3, .. }));
+        let view = store.read(3);
+        assert_eq!(view.values, vec![42]);
+        assert_eq!(view.stamp, Some(out.stamp));
+    }
+}

@@ -12,15 +12,26 @@
 //! | [`paxos`] | consensus log | elected leader | Multi-Paxos majority commit | linearizable ops |
 //! | [`causal`] | multi-master | any replica | dependency-delayed broadcast | causal+ (COPS-style) |
 //!
+//! The protocols are built from the shared layers in [`kernel`]:
+//! durability ([`kernel::durability`]), propagation mechanics
+//! ([`kernel::propagation`]), and conflict resolution
+//! ([`kernel::resolution`]). A [`kernel::Composition`] names one point
+//! of the durability × propagation × resolution space; the five legacy
+//! schemes are canonical compositions, and new compositions reuse the
+//! same layers without a new protocol monolith.
+//!
 //! Shared client plumbing lives in [`common`]: scripted sessions that
 //! issue reads/writes, time out, and record every operation into the
 //! `simnet` op-trace that the `consistency` crate's checkers consume.
+#![deny(missing_docs)]
 
 pub mod causal;
 pub mod common;
 pub mod eventual;
+pub mod kernel;
 pub mod paxos;
 pub mod primary;
 pub mod quorum;
 
 pub use common::{ClientCore, Guarantees, OpOutcome, ScriptOp};
+pub use kernel::Composition;

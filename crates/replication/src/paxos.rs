@@ -17,6 +17,7 @@
 //! timeouts with round-robin retry.
 
 use crate::common::{ClientCore, IssueOp, OpOutcome, ScriptOp, TimerAction};
+use crate::kernel::propagation::{peers, AckTracker};
 use clocks::LamportTimestamp;
 use kvstore::{Key, MvStore, Value};
 use obs::{EventKind, QuorumKind};
@@ -179,11 +180,9 @@ pub struct PaxosNode {
     /// Leader: next free slot.
     next_slot: u64,
     /// Leader: Phase 2 quorum tracking per slot (distinct acceptors).
-    p2_acks: BTreeMap<u64, usize>,
-    /// Leader: which acceptors have been counted per slot.
-    p2_voters: BTreeMap<u64, Vec<NodeId>>,
-    /// Candidate: Phase 1 quorum tracking.
-    p1_promises: usize,
+    p2: BTreeMap<u64, AckTracker>,
+    /// Candidate: Phase 1 quorum tracking (distinct promisers).
+    p1: AckTracker,
     p1_adopted: BTreeMap<u64, AcceptedEntry>,
     /// Who I believe leads (for NotLeader hints).
     leader_hint: Option<NodeId>,
@@ -213,9 +212,8 @@ impl PaxosNode {
             store: MvStore::new(),
             my_ballot: (0, 0),
             next_slot: 1,
-            p2_acks: BTreeMap::new(),
-            p2_voters: BTreeMap::new(),
-            p1_promises: 0,
+            p2: BTreeMap::new(),
+            p1: AckTracker::new(cfg.majority()),
             p1_adopted: BTreeMap::new(),
             leader_hint: None,
             election_timer: None,
@@ -240,8 +238,7 @@ impl PaxosNode {
     }
 
     fn peers(&self, me: NodeId) -> impl Iterator<Item = NodeId> {
-        let n = self.cfg.nodes;
-        (0..n).map(NodeId).filter(move |&p| p != me)
+        peers(self.cfg.nodes, me)
     }
 
     fn reset_election_timer(&mut self, ctx: &mut Context<Msg>) {
@@ -259,7 +256,8 @@ impl PaxosNode {
         self.role = Role::Candidate;
         let round = self.promised.0.max(self.my_ballot.0) + 1;
         self.my_ballot = (round, me.0 as u64);
-        self.p1_promises = 1; // self-promise
+        self.p1 = AckTracker::new(self.cfg.majority());
+        self.p1.ack(me); // self-promise
         self.p1_adopted = self.accepted.clone();
         self.promised = self.my_ballot;
         let peers: Vec<NodeId> = self.peers(me).collect();
@@ -271,7 +269,7 @@ impl PaxosNode {
     }
 
     fn maybe_become_leader(&mut self, ctx: &mut Context<Msg>) {
-        if self.role != Role::Candidate || self.p1_promises < self.cfg.majority() {
+        if self.role != Role::Candidate || !self.p1.reached() {
             return;
         }
         self.role = Role::Leader;
@@ -294,8 +292,9 @@ impl PaxosNode {
         let me = ctx.self_id();
         // Self-accept.
         self.accepted.insert(slot, AcceptedEntry { ballot: self.my_ballot, cmd: cmd.clone() });
-        self.p2_acks.insert(slot, 1);
-        self.p2_voters.insert(slot, vec![ctx.self_id()]);
+        let mut tracker = AckTracker::new(self.cfg.majority());
+        tracker.ack(me);
+        self.p2.insert(slot, tracker);
         let peers: Vec<NodeId> = self.peers(me).collect();
         for p in peers {
             ctx.send(p, Msg::Accept { ballot: self.my_ballot, slot, cmd: cmd.clone() });
@@ -307,7 +306,7 @@ impl PaxosNode {
         if self.role != Role::Leader {
             return;
         }
-        let acks = self.p2_acks.get(&slot).copied().unwrap_or(0);
+        let acks = self.p2.get(&slot).map(AckTracker::count).unwrap_or(0);
         if acks < self.cfg.majority() || self.committed.contains_key(&slot) {
             return;
         }
@@ -389,10 +388,9 @@ impl Actor<Msg> for PaxosNode {
             // order — without re-answering clients.
             self.role = Role::Follower;
             self.abandon_proposals(ctx);
-            self.p1_promises = 0;
+            self.p1 = AckTracker::new(self.cfg.majority());
             self.p1_adopted.clear();
-            self.p2_acks.clear();
-            self.p2_voters.clear();
+            self.p2.clear();
             self.leader_hint = None;
             self.store = MvStore::new();
             self.apply_index = 1;
@@ -442,7 +440,12 @@ impl Actor<Msg> for PaxosNode {
                     .take(32)
                     .collect();
                 for (slot, cmd) in stalled {
-                    self.p2_acks.entry(slot).or_insert(1);
+                    let majority = self.cfg.majority();
+                    self.p2.entry(slot).or_insert_with(|| {
+                        let mut tracker = AckTracker::new(majority);
+                        tracker.ack(me);
+                        tracker
+                    });
                     for p in &peers {
                         ctx.send(
                             *p,
@@ -533,7 +536,7 @@ impl Actor<Msg> for PaxosNode {
             }
             Msg::Promise { ballot, accepted } => {
                 if self.role == Role::Candidate && ballot == self.my_ballot {
-                    self.p1_promises += 1;
+                    self.p1.ack(from);
                     for (slot, b, cmd) in accepted {
                         let e = self.p1_adopted.get(&slot);
                         if e.map(|x| b > x.ballot).unwrap_or(true) {
@@ -560,10 +563,9 @@ impl Actor<Msg> for PaxosNode {
             }
             Msg::Accepted { ballot, slot } => {
                 if self.role == Role::Leader && ballot == self.my_ballot {
-                    let voters = self.p2_voters.entry(slot).or_default();
-                    if !voters.contains(&from) {
-                        voters.push(from);
-                        *self.p2_acks.entry(slot).or_insert(0) += 1;
+                    let majority = self.cfg.majority();
+                    let tracker = self.p2.entry(slot).or_insert_with(|| AckTracker::new(majority));
+                    if tracker.ack(from) {
                         self.maybe_commit(ctx, slot);
                     }
                 }

@@ -29,8 +29,10 @@
 //! real asynchronous replication does.
 
 use crate::common::{ClientCore, OpOutcome, ScriptOp, TimerAction};
+use crate::kernel::durability::WalState;
+use crate::kernel::propagation::peers;
 use clocks::LamportTimestamp;
-use kvstore::{Key, LogRecord, MvStore, Value, Wal};
+use kvstore::{Key, LogRecord, MvStore, Value};
 use obs::{EventKind, QuorumKind};
 use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime, SpanId, SpanStatus};
 use std::collections::BTreeMap;
@@ -209,7 +211,9 @@ const TAG_WRITE_TIMEOUT_BASE: u64 = 1_000;
 pub struct PrimaryReplica {
     cfg: PrimaryConfig,
     store: MvStore,
-    wal: Wal,
+    /// Checkpointed log: `dur.wal` is truncated at each checkpoint and
+    /// recovery replays the tail over the snapshot.
+    dur: WalState,
     /// Backup: highest contiguously applied seq.
     applied_seq: u64,
     /// Primary: per-backup acked seq.
@@ -238,7 +242,7 @@ impl PrimaryReplica {
         PrimaryReplica {
             cfg,
             store: MvStore::new(),
-            wal: Wal::new(),
+            dur: WalState::new(),
             applied_seq: 0,
             acked: BTreeMap::new(),
             pending: BTreeMap::new(),
@@ -265,13 +269,13 @@ impl PrimaryReplica {
         self.applied_seq
     }
 
-    fn backups(&self, me: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.cfg.replicas).map(NodeId).filter(move |&n| n != me)
+    fn backups(&self, me: NodeId) -> impl Iterator<Item = NodeId> {
+        peers(self.cfg.replicas, me)
     }
 
     fn ship_to(&mut self, ctx: &mut Context<Msg>, backup: NodeId) {
         let from = self.acked.get(&backup).copied().unwrap_or(0);
-        if from < self.wal.truncated_through() {
+        if from < self.dur.wal.truncated_through() {
             // The suffix the backup needs predates this primary's log
             // (it was promoted with `reset_to`): install a snapshot.
             let items: Vec<(Key, u64, u64, u64)> = self
@@ -281,10 +285,10 @@ impl PrimaryReplica {
                 .collect();
             ctx.send(
                 backup,
-                Msg::Snapshot { view: self.view, through: self.wal.truncated_through(), items },
+                Msg::Snapshot { view: self.view, through: self.dur.wal.truncated_through(), items },
             );
         }
-        let records = self.wal.tail(from.max(self.wal.truncated_through())).to_vec();
+        let records = self.dur.wal.tail(from.max(self.dur.wal.truncated_through())).to_vec();
         if !records.is_empty() {
             ctx.send(backup, Msg::Append { view: self.view, records });
         }
@@ -295,7 +299,7 @@ impl PrimaryReplica {
     /// discarded prefix contained.
     fn checkpoint_and_reset_log(&mut self) {
         self.durable_snapshot = Some(self.store.clone());
-        self.wal.reset_to(self.applied_seq);
+        self.dur.wal.reset_to(self.applied_seq);
     }
 
     fn is_primary(&self, me: NodeId) -> bool {
@@ -344,13 +348,12 @@ impl PrimaryReplica {
         }
         let span = ctx.span_open("primary_write");
         let val = Value::from_u64(value);
-        ctx.record(EventKind::WalAppend { node: me.0 as u64, key, bytes: val.len() as u64 });
         // Stamp the record with the seq the WAL is about to assign, so a
         // replay rebuilds the store with the exact same timestamps.
         let now_us = ctx.now().as_micros();
-        let seq = self.wal.next_seq();
+        let seq = self.dur.wal.next_seq();
         let ts = LamportTimestamp::new(seq, 0);
-        let appended = self.wal.append(key, val, ts, now_us);
+        let appended = self.dur.log(ctx, key, val, ts, now_us);
         debug_assert_eq!(appended, seq);
         self.store.put(key, Value::from_u64(value), ts, now_us);
         match self.cfg.mode {
@@ -400,16 +403,10 @@ impl PrimaryReplica {
     }
 
     fn apply_ready(&mut self, ctx: &mut Context<Msg>) {
-        let me = ctx.self_id();
         while let Some(rec) = self.reorder.remove(&(self.applied_seq + 1)) {
             // A backup's apply is durable: the record lands in its own
             // WAL before the store, so an amnesia restart replays it.
-            ctx.record(EventKind::WalAppend {
-                node: me.0 as u64,
-                key: rec.key,
-                bytes: rec.value.len() as u64,
-            });
-            let seq = self.wal.append(rec.key, rec.value.clone(), rec.ts, rec.written_at);
+            let seq = self.dur.log(ctx, rec.key, rec.value.clone(), rec.ts, rec.written_at);
             debug_assert_eq!(seq, rec.seq);
             // Backup stores with the seq as stamp; written_at comes from
             // the record's origin time.
@@ -477,10 +474,8 @@ impl Actor<Msg> for PrimaryReplica {
             }
             self.reorder.clear();
             self.acked.clear();
-            let replayed = self.wal.len() as u64;
-            self.store = self.wal.recover(self.durable_snapshot.as_ref());
-            self.applied_seq = self.wal.last_seq();
-            ctx.record(EventKind::WalReplay { node: me.0 as u64, records: replayed });
+            self.store = self.dur.replay(ctx, self.durable_snapshot.as_ref(), None);
+            self.applied_seq = self.dur.wal.last_seq();
         }
         // The simulator dropped all pending timers at crash time; re-arm
         // the periodic chains for whatever role the durable view implies.

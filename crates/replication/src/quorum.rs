@@ -12,8 +12,10 @@
 //! every read (ablation in E1).
 
 use crate::common::{ClientCore, IssueOp, OpOutcome, ScriptOp, TimerAction};
+use crate::kernel::durability::WalState;
+use crate::kernel::propagation::peers;
 use clocks::{LamportClock, LamportTimestamp};
-use kvstore::{Key, MvStore, Value, Wal};
+use kvstore::{Key, MvStore, Value};
 use obs::{Counter, EventKind, QuorumKind};
 use simnet::{Actor, Context, Duration, NodeId, OpKind, SharedTrace, SimTime, SpanId, SpanStatus};
 use std::collections::BTreeMap;
@@ -258,7 +260,7 @@ pub struct QuorumNode {
     store: MvStore,
     /// Durable log of every version this replica has adopted. On an
     /// amnesia restart the store is rebuilt by replaying it.
-    wal: Wal,
+    dur: WalState,
     clock: LamportClock,
     pending: BTreeMap<u64, PendingOp>,
     next_req: u64,
@@ -278,7 +280,7 @@ impl QuorumNode {
         QuorumNode {
             cfg,
             store: MvStore::new(),
-            wal: Wal::new(),
+            dur: WalState::new(),
             clock: LamportClock::new(),
             pending: BTreeMap::new(),
             next_req: 0,
@@ -294,10 +296,6 @@ impl QuorumNode {
         &self.store
     }
 
-    fn replicas(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.cfg.n).map(NodeId)
-    }
-
     fn local_version(&self, key: Key) -> Option<WireVersion> {
         self.store.get(key).map(|v| WireVersion {
             value: v.value.as_u64().unwrap_or(0),
@@ -309,15 +307,10 @@ impl QuorumNode {
     fn apply_version(&mut self, ctx: &mut Context<Msg>, key: Key, v: WireVersion) {
         self.clock.observe(v.ts, 0);
         let value = Value::from_u64(v.value);
-        // Log-before-apply, and only for versions the store actually
-        // adopts, so `wal.recover(None)` rebuilds this exact store.
+        // Log only versions the store actually adopts, so replay rebuilds
+        // this exact store.
         if self.store.put(key, value.clone(), v.ts, v.written_at) {
-            ctx.record(EventKind::WalAppend {
-                node: ctx.self_id().0 as u64,
-                key,
-                bytes: value.len() as u64,
-            });
-            self.wal.append(key, value, v.ts, v.written_at);
+            self.dur.log(ctx, key, value, v.ts, v.written_at);
         }
     }
 
@@ -342,7 +335,7 @@ impl QuorumNode {
             span,
         };
         self.pending.insert(req_id, pending);
-        for peer in self.replicas().filter(|&p| p != me) {
+        for peer in peers(self.cfg.n, me) {
             ctx.send(peer, Msg::RGet { req_id, key });
         }
         ctx.set_timer(self.cfg.op_timeout, TAG_OPTIMEOUT_BASE + req_id);
@@ -381,7 +374,7 @@ impl QuorumNode {
                 span,
             },
         );
-        for peer in self.replicas().filter(|&p| p != me) {
+        for peer in peers(self.cfg.n, me) {
             ctx.send(peer, Msg::RPut { req_id, key, version });
         }
         ctx.set_timer(self.cfg.op_timeout, TAG_OPTIMEOUT_BASE + req_id);
@@ -554,11 +547,7 @@ impl Actor<Msg> for QuorumNode {
                 ctx.span_close(op.span(), SpanStatus::Abandoned);
             }
             self.hints.clear();
-            self.store = self.wal.recover(None);
-            for rec in self.wal.tail(0) {
-                self.clock.observe(rec.ts, 0);
-            }
-            ctx.record(EventKind::WalReplay { node: me.0 as u64, records: self.wal.len() as u64 });
+            self.store = self.dur.replay(ctx, None, Some(&mut self.clock));
         }
         // A crash killed every pending timer, so the spare's hint-retry
         // chain must be re-armed in both recovery modes.

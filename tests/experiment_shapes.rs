@@ -156,10 +156,10 @@ fn e6_shape_crdt_counters_lose_nothing() {
 
     let trace = optrace::shared_trace();
     let cfg = EventualConfig {
-        replicas: 3,
         eager: true,
         gossip: Some(GossipConfig { interval: Duration::from_millis(10), fanout: 2 }),
         mode: ConflictMode::Counter,
+        ..EventualConfig::default_lww(3)
     };
     let mut sim = Sim::new(SimConfig::default().seed(6).latency(LatencyModel::Uniform {
         min: Duration::from_millis(1),

@@ -158,10 +158,9 @@ fn gossip_repairs_divergence_after_partition_heals() {
 
     let trace = optrace::shared_trace();
     let cfg = EventualConfig {
-        replicas: 3,
         eager: true,
         gossip: Some(GossipConfig { interval: Duration::from_millis(50), fanout: 2 }),
-        mode: ConflictMode::Lww,
+        ..EventualConfig::default_lww(3)
     };
     let mut sim = Sim::new(
         SimConfig::default()

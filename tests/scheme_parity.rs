@@ -1,0 +1,137 @@
+//! Integration: legacy scheme names and their kernel compositions are the
+//! same machine.
+//!
+//! `Scheme::normalize()` maps every legacy variant onto a
+//! `replication::Composition` (update site × propagation × resolution ×
+//! durability), and `Experiment::run` materializes *only* compositions.
+//! This test is the parity proof the refactor hangs on: for each legacy
+//! family — under faults, not just on a quiet network — running the
+//! legacy `Scheme` and running `Scheme::composed(normalize().0)` must
+//! yield byte-identical operation traces, JSONL event logs, and metrics
+//! reports for the same seed. Any drift means the kernel decomposition
+//! changed protocol behaviour rather than re-expressing it.
+//!
+//! The two genuinely new compositions (`mm+gossip+crdt`,
+//! `mm+eager-acked`) have no legacy twin; for them the test pins
+//! determinism (same seed → same bytes) and basic liveness instead.
+
+use rethinking_ec::core::scheme::ClientPlacement;
+use rethinking_ec::core::{Experiment, Scheme};
+use rethinking_ec::obs::Recorder;
+use rethinking_ec::replication::Composition;
+use rethinking_ec::simnet::{Duration, FaultSchedule, LatencyModel, NodeId, SimTime};
+use rethinking_ec::workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec {
+        keys: 8,
+        distribution: KeyDistribution::Zipfian { theta: 0.9 },
+        mix: OpMix::ycsb_a(),
+        arrival: Arrival::Closed { think_us: 5_000 },
+        sessions: 3,
+        ops_per_session: 25,
+    }
+}
+
+/// A fault schedule that exercises recovery paths: one replica suffers
+/// crash-amnesia mid-run, another is partitioned off for a window.
+fn nemesis() -> FaultSchedule {
+    FaultSchedule::none()
+        .crash_amnesia(NodeId(1), SimTime::from_millis(800), SimTime::from_millis(1_400))
+        .partition(vec![NodeId(0)], SimTime::from_secs(3), SimTime::from_secs(5))
+}
+
+/// Run a scheme to comparable bytes: `(op trace, metrics, event log)`.
+fn run_bytes(scheme: Scheme, seed: u64) -> (String, String, String) {
+    let recorder = Recorder::with_event_log();
+    let result = Experiment::new(scheme)
+        .workload(workload())
+        .latency(LatencyModel::Uniform {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+        })
+        .faults(nemesis())
+        .seed(seed)
+        .horizon(SimTime::from_secs(20))
+        .recorder(recorder.clone())
+        .run();
+    (
+        serde_json::to_string(result.trace.records()).expect("trace serializes"),
+        serde_json::to_string(&result.metrics).expect("metrics serialize"),
+        recorder.export_jsonl(),
+    )
+}
+
+/// Assert a legacy scheme and its normalized composition produce the
+/// same bytes across two seeds.
+fn assert_parity(legacy: Scheme) {
+    let (comp, guarantees, placement) = legacy.normalize();
+    let composed = Scheme::Composed { comp, guarantees, placement };
+    for seed in [11, 42] {
+        let a = run_bytes(legacy.clone(), seed);
+        let b = run_bytes(composed.clone(), seed);
+        assert_eq!(a.0, b.0, "{}: op trace differs from composition (seed {seed})", legacy.label());
+        assert_eq!(a.1, b.1, "{}: metrics differ from composition (seed {seed})", legacy.label());
+        assert_eq!(
+            a.2,
+            b.2,
+            "{}: event log differs from composition (seed {seed})",
+            legacy.label()
+        );
+    }
+}
+
+#[test]
+fn eventual_matches_its_composition() {
+    assert_parity(Scheme::eventual(3));
+}
+
+#[test]
+fn quorum_matches_its_composition() {
+    assert_parity(Scheme::Quorum {
+        n: 3,
+        r: 2,
+        w: 2,
+        read_repair: true,
+        placement: ClientPlacement::Sticky,
+    });
+}
+
+#[test]
+fn sloppy_quorum_matches_its_composition() {
+    assert_parity(Scheme::SloppyQuorum { n: 3, r: 2, w: 2, spares: 2 });
+}
+
+#[test]
+fn primary_sync_matches_its_composition() {
+    assert_parity(Scheme::PrimarySync { replicas: 3 });
+}
+
+#[test]
+fn primary_async_failover_matches_its_composition() {
+    assert_parity(Scheme::PrimaryAsyncFailover {
+        replicas: 3,
+        ship_interval: Duration::from_millis(50),
+    });
+}
+
+#[test]
+fn paxos_matches_its_composition() {
+    assert_parity(Scheme::Paxos { nodes: 3 });
+}
+
+#[test]
+fn causal_matches_its_composition() {
+    assert_parity(Scheme::Causal { replicas: 3 });
+}
+
+#[test]
+fn new_compositions_are_deterministic_and_live() {
+    for comp in [Composition::mm_gossip_crdt(3), Composition::mm_eager_acked(3)] {
+        let label = comp.label();
+        let a = run_bytes(Scheme::composed(comp.clone()), 7);
+        let b = run_bytes(Scheme::composed(comp), 7);
+        assert_eq!(a, b, "{label}: same seed must replay byte-identically");
+        assert!(a.0.contains("\"ok\":true"), "{label}: no operation ever succeeded");
+    }
+}

@@ -153,10 +153,9 @@ fn eventual_store_converges_after_fault_horizon() {
         // fault horizon (all faults heal by t = 10s).
         let trace = optrace::shared_trace();
         let cfg = EventualConfig {
-            replicas: 3,
             eager: true,
             gossip: Some(GossipConfig { interval: Duration::from_millis(50), fanout: 2 }),
-            mode: ConflictMode::Lww,
+            ..EventualConfig::default_lww(3)
         };
         let rec = RecorderSpec::Counters.make();
         let mut sim = Sim::new(
