@@ -16,7 +16,8 @@ use replication::paxos::{PaxosClient, PaxosConfig, PaxosNode};
 use replication::primary::{PrimaryClient, PrimaryConfig, PrimaryReplica, ReadFrom};
 use replication::quorum::{QuorumClient, QuorumConfig, QuorumNode};
 use simnet::{
-    optrace, FaultSchedule, LatencyModel, NodeId, OpTrace, Sim, SimConfig, SimRng, SimTime,
+    optrace, FaultSchedule, LatencyModel, NodeId, OpTrace, QueueKind, Sim, SimConfig, SimRng,
+    SimTime,
 };
 use workload::WorkloadSpec;
 
@@ -42,6 +43,10 @@ pub struct Experiment {
     /// [`simnet::SimConfig::trace_base`]); a grid gives each cell a
     /// disjoint range so concatenated trace files keep unique ids.
     pub trace_base: u64,
+    /// Event-queue backend for the simulator core (timing wheel by
+    /// default; the binary heap is kept as a reference for parity tests
+    /// and benchmarks — see docs/PERFORMANCE.md).
+    pub queue: QueueKind,
 }
 
 /// What a run produced.
@@ -55,6 +60,9 @@ pub struct RunResult {
     pub dropped_messages: u64,
     /// Virtual time when the run ended.
     pub ended_at: SimTime,
+    /// Total simulator events processed (messages, timers, faults) —
+    /// the denominator benchmarks use for events/sec.
+    pub events: u64,
     /// Aggregated counters and latency summaries from the run's
     /// recorder (all zeros when no recorder was attached).
     pub metrics: MetricsReport,
@@ -73,6 +81,7 @@ impl Experiment {
             horizon: SimTime::from_secs(60),
             recorder: Recorder::disabled(),
             trace_base: 0,
+            queue: QueueKind::default(),
         }
     }
 
@@ -120,6 +129,13 @@ impl Experiment {
         self
     }
 
+    /// Select the simulator's event-queue backend (parity tests and
+    /// benchmarks pin this; everything else takes the default wheel).
+    pub fn queue(mut self, kind: QueueKind) -> Self {
+        self.queue = kind;
+        self
+    }
+
     /// Generate the per-session scripts (deterministic in the seed).
     fn scripts(&self) -> Vec<Vec<ScriptOp>> {
         let root = SimRng::new(self.seed ^ 0x5eed_f00d);
@@ -139,11 +155,12 @@ impl Experiment {
             .latency(self.latency.clone())
             .faults(self.faults.clone())
             .recorder(self.recorder.clone())
-            .trace_base(self.trace_base);
+            .trace_base(self.trace_base)
+            .queue(self.queue);
         let scripts = self.scripts();
         let (comp, guarantees, placement) = self.scheme.normalize();
 
-        let (delivered, dropped, ended) =
+        let (delivered, dropped, events, ended) =
             run_composition(cfg, &comp, guarantees, placement, scripts, &trace, self.horizon);
 
         let mut trace = trace.borrow().clone();
@@ -153,6 +170,7 @@ impl Experiment {
             delivered_messages: delivered,
             dropped_messages: dropped,
             ended_at: ended,
+            events,
             metrics: self.recorder.report(),
         }
     }
@@ -175,7 +193,7 @@ fn run_composition(
     scripts: Vec<Vec<ScriptOp>>,
     trace: &simnet::SharedTrace,
     horizon: SimTime,
-) -> (u64, u64, SimTime) {
+) -> (u64, u64, u64, SimTime) {
     let n = comp.replicas;
     match (comp.update, &comp.propagation) {
         (
@@ -296,7 +314,7 @@ fn run_primary(
     scripts: Vec<Vec<ScriptOp>>,
     trace: &simnet::SharedTrace,
     horizon: SimTime,
-) -> (u64, u64, SimTime) {
+) -> (u64, u64, u64, SimTime) {
     let n = pcfg.replicas;
     let mut sim = Sim::new(cfg);
     for _ in 0..n {
@@ -321,16 +339,17 @@ fn run_primary(
 /// (distinct versions across nodes, via [`simnet::Actor::key_versions`])
 /// and the in-flight message depth. Probes only read simulator state, so
 /// a sliced run is event-for-event identical to an unsliced one.
-fn drive<M>(mut sim: Sim<M>, horizon: SimTime) -> (u64, u64, SimTime) {
+fn drive<M>(mut sim: Sim<M>, horizon: SimTime) -> (u64, u64, u64, SimTime) {
     if !sim.recorder().is_enabled() {
-        sim.run_until(horizon);
-        return (sim.delivered_messages, sim.dropped_messages, sim.now());
+        let events = sim.run_until(horizon);
+        return (sim.delivered_messages, sim.dropped_messages, events, sim.now());
     }
     let horizon_us = horizon.as_micros();
     let mut t = 0u64;
+    let mut events = 0u64;
     while t < horizon_us {
         t = (t + DEFAULT_TS_BUCKET_US).min(horizon_us);
-        sim.run_until(SimTime::from_micros(t));
+        events += sim.run_until(SimTime::from_micros(t));
         sim.recorder().sample(t, TsMetric::InflightDepth, sim.inflight_messages());
         let mut per_key: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>> =
             std::collections::BTreeMap::new();
@@ -341,7 +360,7 @@ fn drive<M>(mut sim: Sim<M>, horizon: SimTime) -> (u64, u64, SimTime) {
             sim.recorder().sample(t, TsMetric::ReplicaDivergence, versions.len() as u64);
         }
     }
-    (sim.delivered_messages, sim.dropped_messages, sim.now())
+    (sim.delivered_messages, sim.dropped_messages, events, sim.now())
 }
 
 #[cfg(test)]

@@ -62,8 +62,9 @@ pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
+mod wheel;
 
-pub use event::{Event, EventPayload};
+pub use event::{Event, EventPayload, QueueKind};
 pub use faults::{FaultEvent, FaultSchedule, Partition};
 pub use latency::LatencyModel;
 pub use nemesis::{IntensityProfile, NemesisEvent};

@@ -7,7 +7,7 @@
 //! turns into future events. This is what makes every run a pure function
 //! of `(config, seed)`.
 
-use crate::event::{EventPayload, EventQueue};
+use crate::event::{Event, EventPayload, EventQueue, QueueKind};
 use crate::faults::{FaultSchedule, FaultState};
 use crate::latency::LatencyModel;
 use crate::rng::SimRng;
@@ -285,6 +285,10 @@ pub struct SimConfig {
     /// pure function of the cell's grid position, never of scheduling,
     /// so traces remain byte-identical across `--jobs` levels.
     pub trace_base: u64,
+    /// Event-queue backend. Both kinds produce byte-identical runs
+    /// (`tests/queue_parity.rs`); the timing wheel is the fast default,
+    /// the binary heap the benchmark baseline. See `docs/PERFORMANCE.md`.
+    pub queue: QueueKind,
 }
 
 impl Default for SimConfig {
@@ -295,6 +299,7 @@ impl Default for SimConfig {
             faults: FaultSchedule::none(),
             recorder: Recorder::disabled(),
             trace_base: 0,
+            queue: QueueKind::default(),
         }
     }
 }
@@ -330,6 +335,12 @@ impl SimConfig {
         self.trace_base = base;
         self
     }
+
+    /// Select the event-queue backend (see [`SimConfig::queue`]).
+    pub fn queue(mut self, kind: QueueKind) -> Self {
+        self.queue = kind;
+        self
+    }
 }
 
 /// The deterministic simulator.
@@ -342,6 +353,10 @@ pub struct Sim<M> {
     faults: FaultState,
     next_timer_id: u64,
     cancelled_timers: HashSet<u64>,
+    /// Reusable effects buffer handed to each [`Context`]: callbacks
+    /// append into it and the drained capacity is kept, so the steady
+    /// state of the event loop performs no per-callback allocation.
+    effects_scratch: Vec<Effect<M>>,
     started: bool,
     /// Count of messages dropped by partitions or loss (for availability
     /// accounting in experiments).
@@ -356,7 +371,7 @@ impl<M> Sim<M> {
     /// Create a simulator from a config. Add actors with
     /// [`Sim::add_node`], then drive it with [`Sim::run_until`].
     pub fn new(config: SimConfig) -> Self {
-        let mut queue = EventQueue::new();
+        let mut queue = EventQueue::with_kind(config.queue);
         for (at, ev) in config.faults.compile() {
             queue.push(at, EventPayload::Fault(ev));
         }
@@ -369,6 +384,7 @@ impl<M> Sim<M> {
             faults: FaultState::default(),
             next_timer_id: 0,
             cancelled_timers: HashSet::new(),
+            effects_scratch: Vec::new(),
             started: false,
             dropped_messages: 0,
             delivered_messages: 0,
@@ -481,14 +497,14 @@ impl<M> Sim<M> {
             rng: &mut self.rng,
             recorder: &self.recorder,
             next_timer_id: &mut self.next_timer_id,
-            effects: Vec::new(),
+            effects: std::mem::take(&mut self.effects_scratch),
             active_trace: trace,
             active_span: span,
             spans: &mut self.spans,
         };
         f(self.actors[id.0].as_mut(), &mut ctx);
-        let effects = ctx.effects;
-        for eff in effects {
+        let mut effects = ctx.effects;
+        for eff in effects.drain(..) {
             match eff {
                 Effect::Send { to, msg, trace, span } => {
                     let now_us = self.now.as_micros();
@@ -577,6 +593,7 @@ impl<M> Sim<M> {
                 }
             }
         }
+        self.effects_scratch = effects;
     }
 
     /// Process a single event. Returns `false` when the queue is empty.
@@ -585,6 +602,12 @@ impl<M> Sim<M> {
         let Some(ev) = self.queue.pop() else {
             return false;
         };
+        self.dispatch(ev);
+        true
+    }
+
+    /// Apply one popped event: advance the clock and run the handler.
+    fn dispatch(&mut self, ev: Event<M>) {
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
         match ev.payload {
@@ -662,19 +685,20 @@ impl<M> Sim<M> {
                 }
             }
         }
-        true
     }
 
     /// Run until the queue drains or virtual time passes `deadline`.
     /// Returns the number of events processed.
+    ///
+    /// The loop pops due events with a single combined probe
+    /// ([`EventQueue::pop_if_at_most`]); the wheel backend answers it
+    /// from its same-tick batch buffer, so a burst of simultaneous
+    /// deliveries costs one wheel walk for the whole tick.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         self.start_if_needed();
         let mut n = 0;
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            self.step();
+        while let Some(ev) = self.queue.pop_if_at_most(deadline) {
+            self.dispatch(ev);
             n += 1;
         }
         // Advance the clock to the deadline even if the queue drained early,

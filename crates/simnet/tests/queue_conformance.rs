@@ -1,0 +1,234 @@
+//! Queue-backend conformance: the binary heap and the timing wheel are
+//! the same queue.
+//!
+//! The ordering contract (`simnet::event`): pops come in strictly
+//! ascending `(time, seq)` order, with `seq` the insertion counter.
+//! These tests drive both backends through randomized schedules —
+//! near-future scatter, same-tick bursts, far-future timers beyond the
+//! wheel span, interleaved pops — and require identical pop sequences,
+//! then pin the slab's no-aliasing guarantee and cancel/re-arm
+//! equivalence at the simulator level. Whole-protocol byte parity lives
+//! in the workspace-root `tests/queue_parity.rs`.
+
+use simnet::event::{EventPayload, EventQueue};
+use simnet::sim::NodeId;
+use simnet::{Actor, Context, Duration, QueueKind, Sim, SimConfig, SimRng, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn push_timer(q: &mut EventQueue<u64>, at: u64, tag: u64) {
+    q.push(
+        SimTime::from_micros(at),
+        EventPayload::Timer { node: NodeId(0), timer_id: 0, tag, trace: 0, span: 0 },
+    );
+}
+
+fn pop_key(q: &mut EventQueue<u64>) -> Option<(u64, u64, u64)> {
+    q.pop().map(|ev| match ev.payload {
+        EventPayload::Timer { tag, .. } => (ev.at.as_micros(), ev.seq, tag),
+        _ => panic!("schedule only pushes timers"),
+    })
+}
+
+/// One randomized schedule: a deterministic (seeded) interleaving of
+/// pushes and pops over a mix of time horizons. Returns the pop
+/// sequence observed by `kind`.
+fn run_schedule(kind: QueueKind, seed: u64) -> Vec<(u64, u64, u64)> {
+    let mut rng = SimRng::new(seed);
+    let mut q: EventQueue<u64> = EventQueue::with_kind(kind);
+    let mut out = Vec::new();
+    let mut now = 0u64; // lower bound for new pushes: the last popped time
+    let mut tag = 0u64;
+    for _ in 0..600 {
+        match rng.below(10) {
+            // 60%: push somewhere between "now" and a few wheel levels out.
+            0..=5 => {
+                let horizon = match rng.below(4) {
+                    0 => 64,         // same level-0 window
+                    1 => 10_000,     // a few ms
+                    2 => 50_000_000, // ~a minute of virtual time
+                    _ => 1 << 40,    // beyond the wheel span: overflow
+                };
+                push_timer(&mut q, now + rng.below(horizon), tag);
+                tag += 1;
+            }
+            // 20%: a same-tick burst (ties must pop in insertion order).
+            6..=7 => {
+                let at = now + rng.below(1000);
+                for _ in 0..rng.below(6) + 2 {
+                    push_timer(&mut q, at, tag);
+                    tag += 1;
+                }
+            }
+            // 20%: pop (advancing the floor for future pushes).
+            _ => {
+                if let Some(k) = pop_key(&mut q) {
+                    now = k.0;
+                    out.push(k);
+                }
+            }
+        }
+    }
+    while let Some(k) = pop_key(&mut q) {
+        out.push(k);
+    }
+    out
+}
+
+#[test]
+fn randomized_schedules_pop_identically_on_both_backends() {
+    for seed in 0..200 {
+        let wheel = run_schedule(QueueKind::TimingWheel, seed);
+        let heap = run_schedule(QueueKind::BinaryHeap, seed);
+        assert_eq!(wheel, heap, "pop sequences diverged at schedule seed {seed}");
+    }
+}
+
+#[test]
+fn pop_order_is_ascending_time_then_seq() {
+    for seed in [1, 99] {
+        for kind in QueueKind::ALL {
+            let popped = run_schedule(kind, seed);
+            for w in popped.windows(2) {
+                assert!(
+                    (w[0].0, w[0].1) < (w[1].0, w[1].1),
+                    "{kind:?}: contract violated: {:?} popped before {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+}
+
+/// Slab reuse must never alias a live envelope: every pushed payload
+/// comes back exactly once, unmodified, even under heavy slot churn.
+#[test]
+fn slab_reuse_never_aliases_live_envelopes() {
+    let mut rng = SimRng::new(0xa11a5);
+    let mut q: EventQueue<u64> = EventQueue::with_kind(QueueKind::TimingWheel);
+    let mut pushed = Vec::new();
+    let mut popped = Vec::new();
+    let mut now = 0u64;
+    let mut tag = 0u64;
+    // Heavy churn: bursts of pushes fully drained, repeatedly, so freed
+    // slab slots are recycled across rounds.
+    for _round in 0..50 {
+        for _ in 0..rng.below(40) + 10 {
+            let at = now + rng.below(5_000);
+            push_timer(&mut q, at, tag);
+            pushed.push(tag);
+            tag += 1;
+        }
+        for _ in 0..rng.below(30) + 10 {
+            if let Some((at, _, t)) = pop_key(&mut q) {
+                now = at;
+                popped.push(t);
+            }
+        }
+    }
+    while let Some((_, _, t)) = pop_key(&mut q) {
+        popped.push(t);
+    }
+    pushed.sort_unstable();
+    popped.sort_unstable();
+    assert_eq!(pushed, popped, "a slab slot was lost, duplicated, or aliased");
+}
+
+/// An actor that randomly arms, cancels, and re-arms timers (driven by
+/// the shared deterministic RNG), logging every firing. Cancellation
+/// and re-arming is simulator state layered over the queue; runs must
+/// be identical whichever backend is underneath.
+struct TimerChurn {
+    fired: Rc<RefCell<Vec<(u64, u64, u64)>>>,
+    armed: Vec<u64>,
+}
+
+impl Actor<u64> for TimerChurn {
+    fn on_start(&mut self, ctx: &mut Context<u64>) {
+        for tag in 0..4 {
+            self.armed.push(ctx.set_timer(Duration::from_micros(500 + tag * 137), tag));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<u64>, timer_id: u64, tag: u64) {
+        self.fired.borrow_mut().push((ctx.now().as_micros(), timer_id, tag));
+        self.armed.retain(|&id| id != timer_id);
+        // Re-arm: sometimes near, sometimes beyond the wheel span.
+        let far = ctx.rng().chance(0.1);
+        let delay = if far {
+            Duration::from_micros(1 << 37)
+        } else {
+            let us = ctx.rng().below(20_000) + 1;
+            Duration::from_micros(us)
+        };
+        self.armed.push(ctx.set_timer(delay, tag + 100));
+        // Occasionally cancel a random armed timer.
+        if !self.armed.is_empty() && ctx.rng().chance(0.3) {
+            let victim = ctx.rng().index(self.armed.len());
+            let id = self.armed.swap_remove(victim);
+            ctx.cancel_timer(id);
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<u64>, _from: NodeId, _msg: u64) {}
+}
+
+#[test]
+fn cancel_and_rearm_schedules_match_across_backends() {
+    let run = |kind: QueueKind, seed: u64| {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Sim<u64> = Sim::new(SimConfig::default().seed(seed).queue(kind));
+        for _ in 0..3 {
+            sim.add_node(Box::new(TimerChurn { fired: fired.clone(), armed: Vec::new() }));
+        }
+        sim.run_until(SimTime::from_secs(2));
+        let log = fired.borrow().clone();
+        log
+    };
+    for seed in [7, 21] {
+        let wheel = run(QueueKind::TimingWheel, seed);
+        let heap = run(QueueKind::BinaryHeap, seed);
+        assert!(!wheel.is_empty(), "churn actors never fired a timer");
+        assert_eq!(wheel, heap, "timer cancel/re-arm diverged across backends (seed {seed})");
+    }
+}
+
+/// `run_until` + later injection: the wheel may pre-drain its next tick
+/// while peeking past a deadline; an event injected earlier than that
+/// pre-drained tick must still fire first.
+struct Sink {
+    got: Rc<RefCell<Vec<(u64, u64)>>>,
+}
+
+impl Actor<u64> for Sink {
+    fn on_start(&mut self, ctx: &mut Context<u64>) {
+        ctx.set_timer(Duration::from_millis(100), 42);
+    }
+    fn on_message(&mut self, ctx: &mut Context<u64>, _from: NodeId, msg: u64) {
+        self.got.borrow_mut().push((ctx.now().as_micros(), msg));
+    }
+    fn on_timer(&mut self, ctx: &mut Context<u64>, _timer_id: u64, tag: u64) {
+        self.got.borrow_mut().push((ctx.now().as_micros(), tag));
+    }
+}
+
+#[test]
+fn injection_between_run_until_calls_fires_before_predrained_events() {
+    for kind in QueueKind::ALL {
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Sim<u64> = Sim::new(SimConfig::default().queue(kind));
+        sim.add_node(Box::new(Sink { got: got.clone() }));
+        // Runs past every queued event except the t=100ms timer; the
+        // peek at the deadline boundary pre-drains that tick.
+        sim.run_until(SimTime::from_millis(10));
+        // Now inject something earlier than the pending timer.
+        sim.inject_at(SimTime::from_millis(50), NodeId(0), NodeId(0), 7);
+        sim.run_until(SimTime::from_millis(200));
+        assert_eq!(
+            *got.borrow(),
+            vec![(50_000, 7), (100_000, 42)],
+            "{kind:?}: injected event must precede the pre-drained timer"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Integration: the timing-wheel event queue and the reference binary
+//! heap are the same simulator.
+//!
+//! The wheel rebuild (see docs/PERFORMANCE.md) is a pure performance
+//! change; the parity bar is byte identity, in the same sense as
+//! `tests/scheme_parity.rs`: for each protocol family — under the
+//! nemesis schedule, not just on a quiet network — running with
+//! `QueueKind::TimingWheel` and with `QueueKind::BinaryHeap` must yield
+//! byte-identical operation traces, JSONL event logs, and metrics
+//! reports for the same seed. Any drift means the wheel reordered
+//! events rather than just scheduling them faster.
+//!
+//! The final test pins that wheel-backed grid runs stay byte-identical
+//! across `--jobs` levels (the property `tests/grid_determinism.rs`
+//! establishes for the default backend).
+
+use rethinking_ec::core::grid::{Grid, RecorderSpec};
+use rethinking_ec::core::{Experiment, Scheme};
+use rethinking_ec::obs::Recorder;
+use rethinking_ec::simnet::{Duration, FaultSchedule, LatencyModel, NodeId, QueueKind, SimTime};
+use rethinking_ec::workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec {
+        keys: 8,
+        distribution: KeyDistribution::Zipfian { theta: 0.9 },
+        mix: OpMix::ycsb_a(),
+        arrival: Arrival::Closed { think_us: 5_000 },
+        sessions: 3,
+        ops_per_session: 25,
+    }
+}
+
+/// Crash-amnesia plus a partition window: the schedule from
+/// `tests/scheme_parity.rs`, so the queues are compared on recovery
+/// paths, fault timers, and redelivery — not only the happy path.
+fn nemesis() -> FaultSchedule {
+    FaultSchedule::none()
+        .crash_amnesia(NodeId(1), SimTime::from_millis(800), SimTime::from_millis(1_400))
+        .partition(vec![NodeId(0)], SimTime::from_secs(3), SimTime::from_secs(5))
+}
+
+/// Run a scheme on the given queue backend to comparable bytes:
+/// `(op trace, metrics, event log)`.
+fn run_bytes(scheme: Scheme, seed: u64, queue: QueueKind) -> (String, String, String) {
+    let recorder = Recorder::with_event_log();
+    let result = Experiment::new(scheme)
+        .workload(workload())
+        .latency(LatencyModel::Uniform {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+        })
+        .faults(nemesis())
+        .seed(seed)
+        .horizon(SimTime::from_secs(20))
+        .recorder(recorder.clone())
+        .queue(queue)
+        .run();
+    (
+        serde_json::to_string(result.trace.records()).expect("trace serializes"),
+        serde_json::to_string(&result.metrics).expect("metrics serialize"),
+        recorder.export_jsonl(),
+    )
+}
+
+/// Assert wheel and heap produce the same bytes across two seeds.
+fn assert_parity(scheme: Scheme) {
+    for seed in [11, 42] {
+        let wheel = run_bytes(scheme.clone(), seed, QueueKind::TimingWheel);
+        let heap = run_bytes(scheme.clone(), seed, QueueKind::BinaryHeap);
+        assert_eq!(wheel.0, heap.0, "{}: op trace differs from heap (seed {seed})", scheme.label());
+        assert_eq!(wheel.1, heap.1, "{}: metrics differ from heap (seed {seed})", scheme.label());
+        assert_eq!(
+            wheel.2,
+            heap.2,
+            "{}: event log differs from heap (seed {seed})",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn eventual_runs_identically_on_wheel_and_heap() {
+    assert_parity(Scheme::eventual(3));
+}
+
+#[test]
+fn quorum_runs_identically_on_wheel_and_heap() {
+    assert_parity(Scheme::quorum(3, 2, 2));
+}
+
+#[test]
+fn primary_async_failover_runs_identically_on_wheel_and_heap() {
+    assert_parity(Scheme::PrimaryAsyncFailover {
+        replicas: 3,
+        ship_interval: Duration::from_millis(50),
+    });
+}
+
+#[test]
+fn paxos_runs_identically_on_wheel_and_heap() {
+    assert_parity(Scheme::Paxos { nodes: 3 });
+}
+
+#[test]
+fn causal_runs_identically_on_wheel_and_heap() {
+    assert_parity(Scheme::Causal { replicas: 3 });
+}
+
+/// Wheel-backed grid runs must be byte-identical across `--jobs` levels:
+/// parallelism lives between cells, and each cell's queue is private, so
+/// the backend cannot observe scheduling.
+#[test]
+fn wheel_grid_is_byte_identical_across_jobs_levels() {
+    let run = |jobs: usize| {
+        let mut grid = Grid::new();
+        for scheme in [Scheme::eventual(3), Scheme::quorum(3, 2, 2)] {
+            grid.push(
+                scheme.label(),
+                Experiment::new(scheme)
+                    .workload(workload())
+                    .faults(nemesis())
+                    .seed(11)
+                    .horizon(SimTime::from_secs(10))
+                    .queue(QueueKind::TimingWheel),
+            );
+        }
+        let grid = grid.seeds(2);
+        grid.run(jobs, RecorderSpec::EventLog)
+            .into_iter()
+            .map(|cell| {
+                (
+                    serde_json::to_string(cell.result.trace.records()).expect("serializes"),
+                    cell.recorder.export_jsonl(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(1), run(4), "wheel grid output depends on --jobs");
+}
