@@ -81,6 +81,64 @@ pub fn check_convergence(trace: &OpTrace, grace: Duration) -> Option<Convergence
     Some(report)
 }
 
+/// One key's owner-set disagreement at the end of a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OwnerDivergence {
+    /// The key.
+    pub key: u64,
+    /// `(owner, version)` per owner; `None` when the owner holds no copy.
+    pub versions: Vec<(usize, Option<u64>)>,
+}
+
+/// Result of the ownership-aware convergence check.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OwnerConvergenceReport {
+    /// Keys whose owners all agree on the stored version.
+    pub converged_keys: u64,
+    /// Keys whose owners disagree (or miss the key entirely).
+    pub diverged: Vec<OwnerDivergence>,
+}
+
+impl OwnerConvergenceReport {
+    /// True if every key's owners agree.
+    pub fn converged(&self) -> bool {
+        self.diverged.is_empty()
+    }
+}
+
+/// Ownership-aware convergence over final store state: for every key
+/// present anywhere, all of its *owners* (per the caller's placement
+/// function — e.g. a consistent-hashing ring's preference list) must
+/// hold the same version. An owner missing the key counts as divergence;
+/// copies on non-owners (hints still parked, pre-rebalance residue) are
+/// ignored — ownership, not residence, is the contract.
+///
+/// `versions` is `(node, key, version)` as produced by
+/// `simnet::Actor::key_versions`.
+pub fn check_owner_convergence(
+    versions: &[(simnet::NodeId, u64, u64)],
+    owners: impl Fn(u64) -> Vec<simnet::NodeId>,
+) -> OwnerConvergenceReport {
+    let mut by_key: BTreeMap<u64, BTreeMap<usize, u64>> = BTreeMap::new();
+    for &(node, key, version) in versions {
+        by_key.entry(key).or_default().insert(node.0, version);
+    }
+    let mut report = OwnerConvergenceReport::default();
+    for (&key, held) in &by_key {
+        let owner_views: Vec<(usize, Option<u64>)> =
+            owners(key).into_iter().map(|o| (o.0, held.get(&o.0).copied())).collect();
+        let mut distinct: Vec<Option<u64>> = owner_views.iter().map(|&(_, v)| v).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.len() <= 1 && distinct.first().map(|v| v.is_some()).unwrap_or(true) {
+            report.converged_keys += 1;
+        } else {
+            report.diverged.push(OwnerDivergence { key, versions: owner_views });
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +240,32 @@ mod tests {
         t.push(read(1, vec![10, 7], 110, 1));
         let r = check_convergence(&t, Duration::from_millis(20)).unwrap();
         assert!(r.converged());
+    }
+
+    #[test]
+    fn owner_convergence_checks_owners_only() {
+        // Key 1 owned by {0, 1}: both agree. Key 2 owned by {1, 2}:
+        // node 2 misses its copy. A stray copy of key 1 on non-owner 3
+        // is ignored.
+        let versions =
+            vec![(NodeId(0), 1, 42), (NodeId(1), 1, 42), (NodeId(3), 1, 7), (NodeId(1), 2, 9)];
+        let owners = |key: u64| match key {
+            1 => vec![NodeId(0), NodeId(1)],
+            _ => vec![NodeId(1), NodeId(2)],
+        };
+        let r = check_owner_convergence(&versions, owners);
+        assert_eq!(r.converged_keys, 1);
+        assert_eq!(r.diverged.len(), 1);
+        assert_eq!(r.diverged[0].key, 2);
+        assert_eq!(r.diverged[0].versions, vec![(1, Some(9)), (2, None)]);
+        assert!(!r.converged());
+    }
+
+    #[test]
+    fn owner_disagreement_is_divergence() {
+        let versions = vec![(NodeId(0), 5, 10), (NodeId(1), 5, 11)];
+        let r = check_owner_convergence(&versions, |_| vec![NodeId(0), NodeId(1)]);
+        assert!(!r.converged());
+        assert_eq!(r.diverged[0].versions, vec![(0, Some(10)), (1, Some(11))]);
     }
 }

@@ -40,7 +40,10 @@ pub use attribution::{
     AttributionSummary, SpanAt, ViolationContext,
 };
 pub use causal::{check_causal, CausalReport};
-pub use convergence::{check_convergence, ConvergenceReport, Divergence};
+pub use convergence::{
+    check_convergence, check_owner_convergence, ConvergenceReport, Divergence,
+    OwnerConvergenceReport, OwnerDivergence,
+};
 pub use linearizability::{
     check_linearizable_register_bounded, check_trace_linearizable, Interval, LinCheckError, RegOp,
 };

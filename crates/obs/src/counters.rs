@@ -63,11 +63,21 @@ pub enum Counter {
     /// Trace spans closed as abandoned at shutdown (subset of
     /// `spans_closed`).
     SpansAbandoned,
+    /// Hinted-handoff hints parked on spare nodes.
+    HintsStored,
+    /// Hints successfully delivered to their home replica and dropped
+    /// from the spare.
+    HintsDrained,
+    /// Hints lost before delivery (amnesia crash of the holder, or still
+    /// undelivered at the run horizon).
+    HintsDropped,
+    /// Keys pushed to new owners during ring membership rebalancing.
+    RebalancedKeys,
 }
 
 impl Counter {
     /// All counters, in export order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 29] = [
         Counter::MessagesSent,
         Counter::MessagesDelivered,
         Counter::MessagesDropped,
@@ -93,6 +103,10 @@ impl Counter {
         Counter::SpansOpened,
         Counter::SpansClosed,
         Counter::SpansAbandoned,
+        Counter::HintsStored,
+        Counter::HintsDrained,
+        Counter::HintsDropped,
+        Counter::RebalancedKeys,
     ];
 
     /// Number of distinct counters.
@@ -126,6 +140,10 @@ impl Counter {
             Counter::SpansOpened => "spans_opened",
             Counter::SpansClosed => "spans_closed",
             Counter::SpansAbandoned => "spans_abandoned",
+            Counter::HintsStored => "hints_stored",
+            Counter::HintsDrained => "hints_drained",
+            Counter::HintsDropped => "hints_dropped",
+            Counter::RebalancedKeys => "rebalanced_keys",
         }
     }
 }

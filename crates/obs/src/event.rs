@@ -176,6 +176,15 @@ pub enum EventKind {
         /// The recovered node.
         node: u64,
     },
+    /// Cluster membership changed: `node` joined (`join`) or left the
+    /// logical cluster, triggering deterministic ring rebalancing in
+    /// ring-aware protocols.
+    MembershipChange {
+        /// The node joining or leaving.
+        node: u64,
+        /// `true` = join, `false` = leave.
+        join: bool,
+    },
     /// `node` rebuilt its store by replaying its write-ahead log after an
     /// amnesia (state-wiping) restart.
     WalReplay {
@@ -228,6 +237,7 @@ impl EventKind {
             EventKind::PartitionHeal => "partition_heal",
             EventKind::Crash { .. } => "crash",
             EventKind::Recover { .. } => "recover",
+            EventKind::MembershipChange { .. } => "membership_change",
             EventKind::WalReplay { .. } => "wal_replay",
             EventKind::SpanOpen { .. } => "span_open",
             EventKind::SpanClose { .. } => "span_close",
@@ -273,6 +283,9 @@ impl EventKind {
             EventKind::PartitionHeal => vec![(Counter::PartitionsHealed, None, 1)],
             EventKind::Crash { node } => vec![(Counter::Crashes, Some(node), 1)],
             EventKind::Recover { node } => vec![(Counter::Recoveries, Some(node), 1)],
+            // Membership itself bumps no counter; the rebalancing it
+            // triggers is counted by actors (`rebalanced_keys`).
+            EventKind::MembershipChange { .. } => vec![],
             EventKind::WalReplay { node, records } => {
                 vec![(Counter::WalReplayedRecords, Some(node), records)]
             }
@@ -380,6 +393,11 @@ impl TracedEvent {
             EventKind::Crash { node } | EventKind::Recover { node } => {
                 field(&mut s, "node", *node);
             }
+            EventKind::MembershipChange { node, join } => {
+                field(&mut s, "node", *node);
+                s.push_str(",\"join\":");
+                s.push_str(if *join { "true" } else { "false" });
+            }
             EventKind::WalReplay { node, records } => {
                 field(&mut s, "node", *node);
                 field(&mut s, "records", *records);
@@ -481,6 +499,7 @@ mod tests {
             EventKind::PartitionHeal,
             EventKind::Crash { node: 2 },
             EventKind::Recover { node: 2 },
+            EventKind::MembershipChange { node: 4, join: true },
             EventKind::WalReplay { node: 2, records: 5 },
             EventKind::SpanOpen { trace: 1, span: 1, parent: 0, node: 0, name: "op_write" },
             EventKind::SpanClose { trace: 1, span: 1, node: 0, status: SpanStatus::Abandoned },

@@ -15,6 +15,7 @@ use replication::kernel::{Composition, PropagationPolicy, ShipMode, UpdateSite};
 use replication::paxos::{PaxosClient, PaxosConfig, PaxosNode};
 use replication::primary::{PrimaryClient, PrimaryConfig, PrimaryReplica, ReadFrom};
 use replication::quorum::{QuorumClient, QuorumConfig, QuorumNode};
+use replication::sharded::ShardedConfig;
 use simnet::{
     optrace, FaultSchedule, LatencyModel, NodeId, OpTrace, QueueKind, Sim, SimConfig, SimRng,
     SimTime,
@@ -66,6 +67,10 @@ pub struct RunResult {
     /// Aggregated counters and latency summaries from the run's
     /// recorder (all zeros when no recorder was attached).
     pub metrics: MetricsReport,
+    /// Final `(node, key, version)` triples from every server store at
+    /// the horizon (see [`simnet::Actor::key_versions`]) — what
+    /// ownership-aware convergence checks consume.
+    pub final_versions: Vec<(NodeId, u64, u64)>,
 }
 
 impl Experiment {
@@ -150,18 +155,33 @@ impl Experiment {
     /// Run the experiment to its horizon and collect the trace.
     pub fn run(&self) -> RunResult {
         let trace = optrace::shared_trace();
+        let mut faults = self.faults.clone();
+        if let Scheme::Sharded { churn, .. } = &self.scheme {
+            // Churn rides the compiled fault pipeline, so membership
+            // events interleave deterministically with partitions and
+            // crashes (identical across `--jobs`).
+            for &(at, node, join) in &churn.events {
+                faults = faults.membership(at, node, join);
+            }
+        }
         let cfg = SimConfig::default()
             .seed(self.seed)
             .latency(self.latency.clone())
-            .faults(self.faults.clone())
+            .faults(faults)
             .recorder(self.recorder.clone())
             .trace_base(self.trace_base)
             .queue(self.queue);
         let scripts = self.scripts();
-        let (comp, guarantees, placement) = self.scheme.normalize();
 
-        let (delivered, dropped, events, ended) =
-            run_composition(cfg, &comp, guarantees, placement, scripts, &trace, self.horizon);
+        let (delivered, dropped, events, ended, final_versions) = match &self.scheme {
+            Scheme::Sharded { inner, nodes, vnodes, .. } => {
+                run_sharded(cfg, inner, *nodes, *vnodes, scripts, &trace, self.horizon)
+            }
+            _ => {
+                let (comp, guarantees, placement) = self.scheme.normalize();
+                run_composition(cfg, &comp, guarantees, placement, scripts, &trace, self.horizon)
+            }
+        };
 
         let mut trace = trace.borrow().clone();
         trace.sort_by_completion();
@@ -172,9 +192,15 @@ impl Experiment {
             ended_at: ended,
             events,
             metrics: self.recorder.report(),
+            final_versions,
         }
     }
 }
+
+/// What [`drive`] hands back from a finished simulation: delivered and
+/// dropped message counts, total events, the final virtual time, and
+/// every replica's `(node, key, version)` store contents.
+type DriveOutcome = (u64, u64, u64, SimTime, Vec<(NodeId, u64, u64)>);
 
 /// Materialize a kernel [`Composition`] into a concrete actor deployment
 /// and drive it to the horizon. This is the single deployment path every
@@ -193,7 +219,7 @@ fn run_composition(
     scripts: Vec<Vec<ScriptOp>>,
     trace: &simnet::SharedTrace,
     horizon: SimTime,
-) -> (u64, u64, u64, SimTime) {
+) -> DriveOutcome {
     let n = comp.replicas;
     match (comp.update, &comp.propagation) {
         (
@@ -308,13 +334,65 @@ fn run_composition(
     }
 }
 
+/// Materialize a [`Scheme::Sharded`] deployment: a consistent-hashing
+/// ring of `nodes` physical nodes (each with `vnodes` virtual nodes)
+/// running the inner quorum composition per key. Clients stick to node
+/// `i % nodes` as their coordinator; any node can coordinate any key
+/// (Dynamo-style), with per-key preference lists from the ring.
+fn run_sharded(
+    cfg: SimConfig,
+    comp: &Composition,
+    nodes: usize,
+    vnodes: usize,
+    scripts: Vec<Vec<ScriptOp>>,
+    trace: &simnet::SharedTrace,
+    horizon: SimTime,
+) -> DriveOutcome {
+    let n = comp.replicas;
+    match (comp.update, &comp.propagation) {
+        (
+            UpdateSite::Coordinator,
+            &PropagationPolicy::QuorumFanout { r, w, read_repair, spares },
+        ) => {
+            let qcfg = QuorumConfig {
+                r,
+                w,
+                read_repair,
+                sloppy: spares > 0,
+                spares,
+                ..QuorumConfig::majority(n)
+            };
+            let scfg = ShardedConfig::new(qcfg, nodes, vnodes);
+            let mut sim = Sim::new(cfg);
+            for node in scfg.build_nodes() {
+                sim.add_node(Box::new(node));
+            }
+            for (i, script) in scripts.into_iter().enumerate() {
+                sim.add_node(Box::new(QuorumClient::new(
+                    i as u64 + 1,
+                    script,
+                    trace.clone(),
+                    nodes,
+                    Some(NodeId(i % nodes)),
+                )));
+            }
+            drive(sim, horizon)
+        }
+        _ => panic!(
+            "ring sharding runs a coordinator/quorum composition per key; {} has no \
+             sharded materialization",
+            comp.label()
+        ),
+    }
+}
+
 fn run_primary(
     cfg: SimConfig,
     pcfg: PrimaryConfig,
     scripts: Vec<Vec<ScriptOp>>,
     trace: &simnet::SharedTrace,
     horizon: SimTime,
-) -> (u64, u64, u64, SimTime) {
+) -> DriveOutcome {
     let n = pcfg.replicas;
     let mut sim = Sim::new(cfg);
     for _ in 0..n {
@@ -339,10 +417,11 @@ fn run_primary(
 /// (distinct versions across nodes, via [`simnet::Actor::key_versions`])
 /// and the in-flight message depth. Probes only read simulator state, so
 /// a sliced run is event-for-event identical to an unsliced one.
-fn drive<M>(mut sim: Sim<M>, horizon: SimTime) -> (u64, u64, u64, SimTime) {
+fn drive<M>(mut sim: Sim<M>, horizon: SimTime) -> DriveOutcome {
     if !sim.recorder().is_enabled() {
         let events = sim.run_until(horizon);
-        return (sim.delivered_messages, sim.dropped_messages, events, sim.now());
+        let versions = sim.key_versions();
+        return (sim.delivered_messages, sim.dropped_messages, events, sim.now(), versions);
     }
     let horizon_us = horizon.as_micros();
     let mut t = 0u64;
@@ -360,7 +439,8 @@ fn drive<M>(mut sim: Sim<M>, horizon: SimTime) -> (u64, u64, u64, SimTime) {
             sim.recorder().sample(t, TsMetric::ReplicaDivergence, versions.len() as u64);
         }
     }
-    (sim.delivered_messages, sim.dropped_messages, events, sim.now())
+    let versions = sim.key_versions();
+    (sim.delivered_messages, sim.dropped_messages, events, sim.now(), versions)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 use replication::common::Guarantees;
 use replication::eventual::ConflictMode;
 use replication::kernel::{Composition, GossipConfig, ShipMode};
-use simnet::Duration;
+use simnet::{Duration, NodeId, SimTime};
 
 /// How client sessions attach to replicas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +20,47 @@ pub enum ClientPlacement {
     /// Every operation goes to a uniformly random replica (load-balanced
     /// anycast; the setting where session anomalies surface).
     Random,
+}
+
+/// A deterministic membership-churn schedule for ring-sharded schemes.
+///
+/// Each entry is `(time, node, join)` and is merged into the run's
+/// [`simnet::FaultSchedule`] as a membership fault event, so churn flows
+/// through the same compiled fault pipeline as partitions and crashes
+/// (and is byte-deterministic across `--jobs`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnPlan {
+    /// `(time, node, join)` membership transitions, in schedule order.
+    pub events: Vec<(SimTime, NodeId, bool)>,
+}
+
+impl ChurnPlan {
+    /// No churn: the ring membership is static for the whole run.
+    pub fn none() -> Self {
+        ChurnPlan::default()
+    }
+
+    /// A rolling restart: event `k` (for `k < count`) removes node
+    /// `k % nodes` at `start + k * period` and rejoins it half a period
+    /// later. Models steady operational churn (deploys, reboots).
+    pub fn rolling(nodes: usize, period: Duration, count: usize, start: SimTime) -> Self {
+        let mut events = Vec::with_capacity(count * 2);
+        let period_us = period.as_micros();
+        for k in 0..count {
+            let node = NodeId(k % nodes);
+            let leave = SimTime::from_micros(start.as_micros() + k as u64 * period_us);
+            let rejoin = SimTime::from_micros(leave.as_micros() + period_us / 2);
+            events.push((leave, node, false));
+            events.push((rejoin, node, true));
+        }
+        events.sort_by_key(|&(at, node, join)| (at, node, join));
+        ChurnPlan { events }
+    }
+
+    /// Whether the plan has any events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
 }
 
 /// A replication scheme — one point in the tutorial's taxonomy.
@@ -94,6 +135,22 @@ pub enum Scheme {
         /// Replica count.
         replicas: usize,
     },
+    /// A ring-sharded cluster: `nodes` physical nodes on a consistent-
+    /// hashing ring with `vnodes` virtual nodes each, running the inner
+    /// quorum composition per key (preference lists of size `inner.n`,
+    /// sloppy fall-through to ring spares, hinted handoff, and
+    /// deterministic key rebalancing under `churn`).
+    Sharded {
+        /// The per-key quorum composition (must be a coordinator/quorum
+        /// composition; other kernels have no ring materialization).
+        inner: Composition,
+        /// Physical node count.
+        nodes: usize,
+        /// Virtual nodes per physical node.
+        vnodes: usize,
+        /// Membership-churn schedule.
+        churn: ChurnPlan,
+    },
     /// An explicit kernel composition (durability × propagation ×
     /// resolution) — the general form every other variant normalizes to.
     Composed {
@@ -123,6 +180,18 @@ impl Scheme {
     /// Quorum with explicit R/W, read repair on, random coordinators.
     pub fn quorum(n: usize, r: usize, w: usize) -> Self {
         Scheme::Quorum { n, r, w, read_repair: true, placement: ClientPlacement::Random }
+    }
+
+    /// A ring-sharded majority quorum (`R = W = n/2 + 1`, read repair
+    /// on) over `nodes` physical nodes with `vnodes` virtual nodes each
+    /// and no churn.
+    pub fn sharded(n: usize, r: usize, w: usize, nodes: usize, vnodes: usize) -> Self {
+        Scheme::Sharded {
+            inner: Composition::quorum(n, r, w, true, 0),
+            nodes,
+            vnodes,
+            churn: ChurnPlan::none(),
+        }
     }
 
     /// An explicit composition with sticky clients and no client-side
@@ -182,6 +251,10 @@ impl Scheme {
             Scheme::Composed { comp, guarantees, placement } => {
                 (comp.clone(), *guarantees, *placement)
             }
+            Scheme::Sharded { .. } => panic!(
+                "sharded schemes deploy a ring topology on top of the inner composition; \
+                 the runner materializes them directly rather than through a flat composition"
+            ),
         }
     }
 
@@ -197,6 +270,7 @@ impl Scheme {
             Scheme::Paxos { nodes } => *nodes,
             Scheme::Causal { replicas } => *replicas,
             Scheme::Composed { comp, .. } => comp.replicas,
+            Scheme::Sharded { inner, .. } => inner.replicas,
         }
     }
 
@@ -206,6 +280,7 @@ impl Scheme {
         match self {
             Scheme::SloppyQuorum { n, spares, .. } => n + spares,
             Scheme::Composed { comp, .. } => comp.server_node_count(),
+            Scheme::Sharded { nodes, .. } => *nodes,
             _ => self.replica_count(),
         }
     }
@@ -233,6 +308,11 @@ impl Scheme {
             Scheme::Paxos { .. } => "paxos".to_string(),
             Scheme::Causal { .. } => "causal".to_string(),
             Scheme::Composed { comp, .. } => comp.label(),
+            Scheme::Sharded { inner, nodes, vnodes, churn } => format!(
+                "ring({nodes}x{vnodes},{}{})",
+                inner.label(),
+                if churn.is_empty() { "" } else { ",churn" }
+            ),
         }
     }
 }

@@ -23,10 +23,12 @@
 pub mod durability;
 pub mod propagation;
 pub mod resolution;
+pub mod ring;
 
 pub use durability::{DurabilityPolicy, WalState};
 pub use propagation::{peers, AckTracker, Gossip, GossipConfig, PropagationPolicy, ShipMode};
 pub use resolution::{ConflictMode, Item, ReadView, ResolutionPolicy, ResolvingStore, WriteEffect};
+pub use ring::Ring;
 
 use simnet::Duration;
 

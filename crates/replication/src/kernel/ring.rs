@@ -1,0 +1,276 @@
+//! Consistent-hashing ring with virtual nodes — the partitioning layer.
+//!
+//! A [`Ring`] maps every key to a *preference list* of physical nodes:
+//! each member node projects `vnodes` points onto a 64-bit circle, a key
+//! hashes to a point on the same circle, and its owners are the first
+//! `replication` **distinct physical nodes** met walking clockwise from
+//! that point. Virtual nodes smooth the load distribution (more points
+//! per node ⇒ smaller variance in arc length) and bound rebalancing: when
+//! a node leaves, only the keys in the departed node's arcs move, ~K/M of
+//! the keyspace for K keys over M members.
+//!
+//! The ring is a pure function of `(replication, vnodes, member set)`:
+//! [`Ring::join`] and [`Ring::leave`] rebuild the point table from the
+//! member set alone, so a join/leave/rejoin round-trip restores a ring
+//! equal to the original — the property `tests/ring_properties.rs` pins.
+//! Hashing is seedless splitmix64, so two processes (or two `--jobs`
+//! workers) always agree on ownership.
+
+use kvstore::Key;
+use simnet::NodeId;
+use std::collections::BTreeSet;
+
+/// Finalizer from splitmix64 — a cheap, statistically strong 64-bit
+/// mixer. Used both for vnode placement and key lookup so the two share
+/// one circle.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Where `vnode` replica-point `i` of physical `node` sits on the circle.
+/// XOR (not OR) combines the fields: it is injective over
+/// `(node, vnode)` pairs below 2^32, so no two points ever collide by
+/// construction.
+fn point_hash(node: usize, vnode: usize) -> u64 {
+    mix64(((node as u64) << 32) ^ vnode as u64 ^ 0xda7a_ba5e_0000_0000)
+}
+
+/// Where a key sits on the circle.
+fn key_hash(key: Key) -> u64 {
+    mix64(key ^ 0x5ca1_ab1e_c0ff_ee00)
+}
+
+/// A consistent-hashing ring: `vnodes` points per member on a 64-bit
+/// circle, preference lists of `replication` distinct physical nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring {
+    /// Preference-list size N — how many distinct owners each key has
+    /// (clamped to the member count when fewer nodes are live).
+    replication: usize,
+    /// Virtual nodes (points) per physical member.
+    vnodes: usize,
+    /// Current physical members.
+    members: BTreeSet<usize>,
+    /// The circle: `(point, node)` sorted by point (node id breaks the
+    /// astronomically unlikely hash tie). Rebuilt from `members` on every
+    /// change so the table is a pure function of the member set.
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    /// Build a ring over `members` with `replication`-way ownership and
+    /// `vnodes` points per member. Panics on a zero `replication` or
+    /// `vnodes`, or an empty member set.
+    pub fn new(
+        replication: usize,
+        vnodes: usize,
+        members: impl IntoIterator<Item = NodeId>,
+    ) -> Ring {
+        assert!(replication >= 1, "ring replication factor must be at least 1");
+        assert!(vnodes >= 1, "ring needs at least one virtual node per member");
+        let members: BTreeSet<usize> = members.into_iter().map(|n| n.0).collect();
+        assert!(!members.is_empty(), "ring needs at least one member");
+        let mut ring = Ring { replication, vnodes, members, points: Vec::new() };
+        ring.rebuild();
+        ring
+    }
+
+    fn rebuild(&mut self) {
+        self.points.clear();
+        self.points.reserve(self.members.len() * self.vnodes);
+        for &node in &self.members {
+            for vnode in 0..self.vnodes {
+                self.points.push((point_hash(node, vnode), node));
+            }
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Preference-list size N this ring was built with.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Virtual nodes per member.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Current members in ascending id order.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().map(|&n| NodeId(n))
+    }
+
+    /// Number of physical members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ring has no members (never observable via `new`,
+    /// only via `leave` of the last member being refused).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True if `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node.0)
+    }
+
+    /// Add a member; returns false (and changes nothing) if it was
+    /// already present.
+    pub fn join(&mut self, node: NodeId) -> bool {
+        if !self.members.insert(node.0) {
+            return false;
+        }
+        self.rebuild();
+        true
+    }
+
+    /// Remove a member; returns false (and changes nothing) if it was
+    /// absent or the last remaining member.
+    pub fn leave(&mut self, node: NodeId) -> bool {
+        if self.members.len() == 1 || !self.members.remove(&node.0) {
+            return false;
+        }
+        self.rebuild();
+        true
+    }
+
+    /// The first `want` **distinct physical nodes** clockwise from
+    /// `key`'s point, in walk order. Fewer than `want` are returned only
+    /// when the ring has fewer members.
+    pub fn preference_list(&self, key: Key, want: usize) -> Vec<NodeId> {
+        let h = key_hash(key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut out: Vec<NodeId> = Vec::with_capacity(want);
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            let id = NodeId(node);
+            if !out.contains(&id) {
+                out.push(id);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The key's home replica set: the first `replication` distinct
+    /// members clockwise from its point, in walk order.
+    pub fn owners(&self, key: Key) -> Vec<NodeId> {
+        self.preference_list(key, self.replication)
+    }
+
+    /// The next `want` distinct members *after* the owners — the sloppy-
+    /// quorum spares that accept hinted writes when owners are down.
+    pub fn spares(&self, key: Key, want: usize) -> Vec<NodeId> {
+        let list = self.preference_list(key, self.replication + want);
+        list.into_iter().skip(self.replication).collect()
+    }
+
+    /// True if `node` is one of `key`'s home owners.
+    pub fn is_owner(&self, key: Key, node: NodeId) -> bool {
+        self.owners(key).contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize, repl: usize, vnodes: usize) -> Ring {
+        Ring::new(repl, vnodes, (0..n).map(NodeId))
+    }
+
+    #[test]
+    fn every_key_gets_exactly_n_distinct_owners() {
+        let r = ring(10, 3, 16);
+        for key in 0..500u64 {
+            let owners = r.owners(key);
+            assert_eq!(owners.len(), 3);
+            let set: BTreeSet<usize> = owners.iter().map(|n| n.0).collect();
+            assert_eq!(set.len(), 3, "owners must be distinct physical nodes");
+        }
+    }
+
+    #[test]
+    fn ownership_clamps_to_member_count() {
+        let r = ring(2, 3, 8);
+        assert_eq!(r.owners(42).len(), 2);
+    }
+
+    #[test]
+    fn leave_only_remaps_departed_nodes_keys() {
+        let mut r = ring(12, 3, 32);
+        let before: Vec<Vec<NodeId>> = (0..2000u64).map(|k| r.owners(k)).collect();
+        assert!(r.leave(NodeId(5)));
+        for (k, old) in before.iter().enumerate() {
+            let new = r.owners(k as u64);
+            if !old.contains(&NodeId(5)) {
+                assert_eq!(*old, new, "key {k} had no owner leave but was remapped");
+            } else {
+                assert!(!new.contains(&NodeId(5)));
+            }
+        }
+    }
+
+    #[test]
+    fn join_leave_rejoin_restores_identical_ring() {
+        let orig = ring(8, 3, 16);
+        let mut r = orig.clone();
+        assert!(r.leave(NodeId(3)));
+        assert_ne!(orig, r);
+        assert!(r.join(NodeId(3)));
+        assert_eq!(orig, r, "membership round-trip must restore the exact ring");
+    }
+
+    #[test]
+    fn duplicate_join_and_absent_leave_are_noops() {
+        let mut r = ring(4, 2, 8);
+        let snap = r.clone();
+        assert!(!r.join(NodeId(2)));
+        assert!(!r.leave(NodeId(99)));
+        assert_eq!(snap, r);
+    }
+
+    #[test]
+    fn last_member_cannot_leave() {
+        let mut r = ring(1, 1, 4);
+        assert!(!r.leave(NodeId(0)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn spares_are_disjoint_from_owners() {
+        let r = ring(10, 3, 16);
+        for key in 0..200u64 {
+            let owners = r.owners(key);
+            for s in r.spares(key, 2) {
+                assert!(!owners.contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_full_replication_owns_everything() {
+        // The parity configuration: nodes = N, vnodes = 1, replication = N
+        // makes every node an owner of every key.
+        let r = ring(3, 3, 1);
+        for key in 0..100u64 {
+            let mut owners = r.owners(key);
+            owners.sort();
+            assert_eq!(owners, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn zero_replication_panics() {
+        Ring::new(0, 4, [NodeId(0)]);
+    }
+}

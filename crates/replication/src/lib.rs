@@ -32,6 +32,8 @@ pub mod kernel;
 pub mod paxos;
 pub mod primary;
 pub mod quorum;
+pub mod sharded;
 
 pub use common::{ClientCore, Guarantees, OpOutcome, ScriptOp};
 pub use kernel::Composition;
+pub use sharded::ShardedConfig;

@@ -13,7 +13,7 @@
 
 use crate::common::{ClientCore, IssueOp, OpOutcome, ScriptOp, TimerAction};
 use crate::kernel::durability::WalState;
-use crate::kernel::propagation::peers;
+use crate::kernel::ring::Ring;
 use clocks::{LamportClock, LamportTimestamp};
 use kvstore::{Key, MvStore, Value};
 use obs::{Counter, EventKind, QuorumKind};
@@ -271,6 +271,13 @@ pub struct QuorumNode {
     next_hint: u64,
     /// Hints successfully handed off (exported metric).
     pub hints_delivered: u64,
+    /// Sharded mode: the consistent-hashing ring mapping each key to its
+    /// preference list. `None` = classic mode (every node replicates the
+    /// whole keyspace, spares are the dedicated tail ids `n..n+spares`).
+    ring: Option<Ring>,
+    /// Ring mode: whether the lazy hint-retry timer chain is running.
+    /// (Classic spares keep a perpetual chain instead.)
+    hint_timer_armed: bool,
 }
 
 impl QuorumNode {
@@ -288,12 +295,39 @@ impl QuorumNode {
             hints: BTreeMap::new(),
             next_hint: 0,
             hints_delivered: 0,
+            ring: None,
+            hint_timer_armed: false,
         }
+    }
+
+    /// Create a node in sharded mode: `ring` maps each key to its
+    /// preference list, `cfg.n` is the per-key replication factor (must
+    /// match the ring's), and `cfg.spares` is the number of preference-
+    /// list spares a sloppy write may fall through to. Every node is
+    /// replica, coordinator, *and* potential spare for some keys.
+    pub fn with_ring(cfg: QuorumConfig, ring: Ring) -> Self {
+        assert_eq!(ring.replication(), cfg.n, "ring replication factor must equal the quorum's N");
+        QuorumNode { ring: Some(ring), ..QuorumNode::new(cfg) }
     }
 
     /// The local store (integration tests check convergence).
     pub fn store(&self) -> &MvStore {
         &self.store
+    }
+
+    /// The key's home replicas in ascending node-id order: the ring's
+    /// preference list in sharded mode, all of `0..n` in classic mode.
+    /// Ascending order keeps the fan-out byte-identical to the classic
+    /// `peers()` path when the ring degenerates to full replication.
+    fn homes(&self, key: Key) -> Vec<NodeId> {
+        match &self.ring {
+            Some(ring) => {
+                let mut owners = ring.owners(key);
+                owners.sort_unstable_by_key(|n| n.0);
+                owners
+            }
+            None => (0..self.cfg.n).map(NodeId).collect(),
+        }
     }
 
     fn local_version(&self, key: Key) -> Option<WireVersion> {
@@ -321,8 +355,11 @@ impl QuorumNode {
         // Child of the client's op span: the fan-out sends and the op
         // timeout below all carry this coordinator span.
         let span = ctx.span_open("quorum_read");
+        let homes = self.homes(key);
         let mut responses = Vec::with_capacity(self.cfg.n);
-        responses.push((me, self.local_version(key)));
+        if homes.contains(&me) {
+            responses.push((me, self.local_version(key)));
+        }
         let pending = PendingOp::Read {
             client,
             op_id,
@@ -335,7 +372,7 @@ impl QuorumNode {
             span,
         };
         self.pending.insert(req_id, pending);
-        for peer in peers(self.cfg.n, me) {
+        for peer in homes.into_iter().filter(|&p| p != me) {
             ctx.send(peer, Msg::RGet { req_id, key });
         }
         ctx.set_timer(self.cfg.op_timeout, TAG_OPTIMEOUT_BASE + req_id);
@@ -356,7 +393,14 @@ impl QuorumNode {
         let ts = self.clock.tick(me.0 as u64);
         let version = WireVersion { value, ts, written_at: ctx.now().as_micros() };
         let span = ctx.span_open("quorum_write");
-        self.apply_version(ctx, key, version);
+        let homes = self.homes(key);
+        // A coordinator that happens to own the key stores and acks its
+        // own copy; a non-owner coordinator (sharded mode with sticky
+        // clients) only fans out.
+        let is_owner = homes.contains(&me);
+        if is_owner {
+            self.apply_version(ctx, key, version);
+        }
         self.pending.insert(
             req_id,
             PendingOp::Write {
@@ -364,8 +408,8 @@ impl QuorumNode {
                 op_id,
                 key,
                 version,
-                acks: 1,
-                acked_from: vec![me],
+                acks: usize::from(is_owner),
+                acked_from: if is_owner { vec![me] } else { Vec::new() },
                 needed: self.cfg.w,
                 stamp: ts,
                 done: false,
@@ -374,7 +418,7 @@ impl QuorumNode {
                 span,
             },
         );
-        for peer in peers(self.cfg.n, me) {
+        for peer in homes.into_iter().filter(|&p| p != me) {
             ctx.send(peer, Msg::RPut { req_id, key, version });
         }
         ctx.set_timer(self.cfg.op_timeout, TAG_OPTIMEOUT_BASE + req_id);
@@ -505,10 +549,18 @@ impl QuorumNode {
             return;
         }
         *hinted = true;
+        let (key, version, acked) = (*key, *version, acked_from.clone());
         let missing: Vec<NodeId> =
-            (0..self.cfg.n).map(NodeId).filter(|nid| !acked_from.contains(nid)).collect();
-        let (key, version) = (*key, *version);
-        let spares: Vec<NodeId> = (self.cfg.n..self.cfg.total_nodes()).map(NodeId).collect();
+            self.homes(key).into_iter().filter(|nid| !acked.contains(nid)).collect();
+        let spares: Vec<NodeId> = match &self.ring {
+            // Sharded mode: the next distinct nodes on the key's walk.
+            Some(ring) => ring.spares(key, self.cfg.spares),
+            // Classic mode: the dedicated spare tail.
+            None => (self.cfg.n..self.cfg.total_nodes()).map(NodeId).collect(),
+        };
+        if spares.is_empty() {
+            return;
+        }
         for (i, target) in missing.into_iter().enumerate() {
             let spare = spares[i % spares.len()];
             ctx.send(spare, Msg::HintedPut { req_id, target, key, version });
@@ -524,8 +576,10 @@ impl Actor<Msg> for QuorumNode {
     }
 
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
-        if ctx.self_id().0 >= self.cfg.n {
-            // Spare role: periodically retry hint delivery.
+        if self.ring.is_none() && ctx.self_id().0 >= self.cfg.n {
+            // Classic spare role: periodically retry hint delivery. In
+            // ring mode any node can hold hints, so the retry chain is
+            // armed lazily on the first hint instead.
             ctx.set_timer(self.cfg.handoff_interval, TAG_HINT_RETRY);
         }
     }
@@ -546,13 +600,93 @@ impl Actor<Msg> for QuorumNode {
                 // abandoned now rather than lingering to the horizon.
                 ctx.span_close(op.span(), SpanStatus::Abandoned);
             }
+            if !self.hints.is_empty() {
+                ctx.recorder().count_node(
+                    me.0 as u64,
+                    Counter::HintsDropped,
+                    self.hints.len() as u64,
+                );
+            }
             self.hints.clear();
             self.store = self.dur.replay(ctx, None, Some(&mut self.clock));
         }
-        // A crash killed every pending timer, so the spare's hint-retry
-        // chain must be re-armed in both recovery modes.
-        if me.0 >= self.cfg.n {
-            ctx.set_timer(self.cfg.handoff_interval, TAG_HINT_RETRY);
+        // A crash killed every pending timer, so the hint-retry chain
+        // must be re-armed in both recovery modes.
+        if self.ring.is_none() {
+            if me.0 >= self.cfg.n {
+                ctx.set_timer(self.cfg.handoff_interval, TAG_HINT_RETRY);
+            }
+        } else {
+            self.hint_timer_armed = !self.hints.is_empty();
+            if self.hint_timer_armed {
+                ctx.set_timer(self.cfg.handoff_interval, TAG_HINT_RETRY);
+            }
+        }
+    }
+
+    fn on_membership(&mut self, ctx: &mut Context<Msg>, node: NodeId, join: bool) {
+        // Classic mode has no ring to rebalance; membership events are
+        // meaningless there.
+        let Some(ring) = self.ring.as_mut() else { return };
+        let old = ring.clone();
+        let changed = if join { ring.join(node) } else { ring.leave(node) };
+        if !changed {
+            return;
+        }
+        let new_ring = ring.clone();
+        let me = ctx.self_id();
+        // Deterministic rebalancing: for each locally stored key, one
+        // designated sender — the lowest-id previous owner still in the
+        // ring (falling back to the lowest-id previous owner, which for a
+        // leave is the departing node itself: still a live actor, merely
+        // retiring) — pushes the version to every owner the key *gained*.
+        // Repair is idempotent LWW apply, so duplicates and reorderings
+        // are harmless; under a partition the push is simply lost, and
+        // read repair picks up the slack after the heal.
+        let mut moves: Vec<(Key, WireVersion, NodeId)> = Vec::new();
+        let mut rebalanced = 0u64;
+        for (key, v) in self.store.scan(..) {
+            let old_owners = old.owners(key);
+            let sender = old_owners
+                .iter()
+                .copied()
+                .filter(|o| new_ring.contains(*o))
+                .min_by_key(|o| o.0)
+                .or_else(|| old_owners.iter().copied().min_by_key(|o| o.0));
+            if sender != Some(me) {
+                continue;
+            }
+            let gained: Vec<NodeId> =
+                new_ring.owners(key).into_iter().filter(|o| !old_owners.contains(o)).collect();
+            if gained.is_empty() {
+                continue;
+            }
+            rebalanced += 1;
+            let version = WireVersion {
+                value: v.value.as_u64().unwrap_or(0),
+                ts: v.ts,
+                written_at: v.written_at,
+            };
+            moves.extend(gained.into_iter().map(|target| (key, version, target)));
+        }
+        if rebalanced > 0 {
+            ctx.recorder().count_node(me.0 as u64, Counter::RebalancedKeys, rebalanced);
+        }
+        for (key, version, target) in moves {
+            ctx.send(target, Msg::Repair { key, version });
+        }
+    }
+
+    fn on_shutdown(&mut self, ctx: &mut Context<Msg>) {
+        // Hints still parked here at the end of the run never reached
+        // their home replica — account for them so the conservation
+        // identity hints_stored == hints_drained + hints_dropped holds.
+        if !self.hints.is_empty() {
+            ctx.recorder().count_node(
+                ctx.self_id().0 as u64,
+                Counter::HintsDropped,
+                self.hints.len() as u64,
+            );
         }
     }
 
@@ -561,7 +695,16 @@ impl Actor<Msg> for QuorumNode {
             for (&hint_id, &(target, key, version)) in &self.hints {
                 ctx.send(target, Msg::HintDeliver { hint_id, key, version });
             }
-            ctx.set_timer(self.cfg.handoff_interval, TAG_HINT_RETRY);
+            if self.ring.is_none() {
+                // Classic spare: perpetual retry chain.
+                ctx.set_timer(self.cfg.handoff_interval, TAG_HINT_RETRY);
+            } else if !self.hints.is_empty() {
+                ctx.set_timer(self.cfg.handoff_interval, TAG_HINT_RETRY);
+            } else {
+                // Ring mode: let the chain die once every hint drained;
+                // the next HintedPut re-arms it.
+                self.hint_timer_armed = false;
+            }
         } else if (TAG_SLOPPY_BASE..TAG_OPTIMEOUT_BASE).contains(&tag) {
             self.sloppy_handoff(ctx, tag - TAG_SLOPPY_BASE);
         } else if tag >= TAG_OPTIMEOUT_BASE {
@@ -595,8 +738,13 @@ impl Actor<Msg> for QuorumNode {
                             (_, Some(v)) => {
                                 // The late responder is *newer*: adopt it
                                 // locally so future reads here are fresher.
+                                // Only if we are a home replica for the key —
+                                // a ring coordinator outside the preference
+                                // list must not grow a stray copy.
                                 let key = *key;
-                                self.apply_version(ctx, key, v);
+                                if self.homes(key).contains(&ctx.self_id()) {
+                                    self.apply_version(ctx, key, v);
+                                }
                             }
                             _ => {}
                         }
@@ -629,6 +777,11 @@ impl Actor<Msg> for QuorumNode {
                 let span = ctx.span_open("hint_store");
                 self.next_hint += 1;
                 self.hints.insert(self.next_hint, (target, key, version));
+                ctx.recorder().count_node(ctx.self_id().0 as u64, Counter::HintsStored, 1);
+                if self.ring.is_some() && !self.hint_timer_armed {
+                    self.hint_timer_armed = true;
+                    ctx.set_timer(self.cfg.handoff_interval, TAG_HINT_RETRY);
+                }
                 ctx.send(from, Msg::HintAck { req_id });
                 ctx.span_close(span, SpanStatus::Ok);
             }
@@ -645,6 +798,7 @@ impl Actor<Msg> for QuorumNode {
             Msg::HintDeliverAck { hint_id } => {
                 if self.hints.remove(&hint_id).is_some() {
                     self.hints_delivered += 1;
+                    ctx.recorder().count_node(ctx.self_id().0 as u64, Counter::HintsDrained, 1);
                 }
             }
             Msg::Repair { key, version } => {

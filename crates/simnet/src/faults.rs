@@ -70,16 +70,63 @@ pub enum FaultEvent {
         /// Latency multiplier in percent (clamped to at least 1).
         factor_pct: u64,
     },
+    /// Cluster membership change: `node` joins (or leaves) the logical
+    /// cluster. The node's actor stays deployed either way — membership
+    /// is a routing-layer notion. Every actor's `on_membership` hook is
+    /// invoked so ring-aware protocols rebalance ownership
+    /// deterministically. (Appended last so existing corpus JSON
+    /// round-trips unchanged.)
+    MembershipChange {
+        /// The node joining or leaving.
+        node: NodeId,
+        /// `true` = join, `false` = leave.
+        join: bool,
+    },
 }
 
 /// A declarative schedule of faults for one run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct FaultSchedule {
     partitions: Vec<Partition>,
     crashes: Vec<(SimTime, NodeId)>,
     recoveries: Vec<(SimTime, NodeId, bool)>,
     loss_changes: Vec<(SimTime, f64)>,
     latency_changes: Vec<(SimTime, u64)>,
+    /// `(time, node, join)` membership transitions. Defaults to empty
+    /// when absent from JSON (hand-written `Deserialize` below) so
+    /// pre-ring corpus reproducers keep loading.
+    membership: Vec<(SimTime, NodeId, bool)>,
+}
+
+// Hand-written so the `membership` field — added after the reproducer
+// corpus was pinned — defaults to empty instead of failing on corpus
+// JSON that predates it. Every other field stays required, preserving
+// the derive's strictness.
+impl serde::Deserialize for FaultSchedule {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v.as_object().ok_or_else(|| serde::Error::custom("expected object"))?;
+        fn req<T: serde::Deserialize>(
+            obj: &[(String, serde::Value)],
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            match obj.iter().find(|(k, _)| k == name) {
+                Some((_, v)) => T::from_value(v),
+                None => Err(serde::Error::custom(format!("missing field `{name}`"))),
+            }
+        }
+        let membership = match obj.iter().find(|(k, _)| k == "membership") {
+            Some((_, v)) => Vec::from_value(v)?,
+            None => Vec::new(),
+        };
+        Ok(FaultSchedule {
+            partitions: req(obj, "partitions")?,
+            crashes: req(obj, "crashes")?,
+            recoveries: req(obj, "recoveries")?,
+            loss_changes: req(obj, "loss_changes")?,
+            latency_changes: req(obj, "latency_changes")?,
+            membership,
+        })
+    }
 }
 
 impl FaultSchedule {
@@ -128,6 +175,14 @@ impl FaultSchedule {
         self
     }
 
+    /// At `at`, have `node` join (`join = true`) or leave (`join =
+    /// false`) the logical cluster. Ring-aware actors rebalance key
+    /// ownership in their `on_membership` hook.
+    pub fn membership(mut self, at: SimTime, node: NodeId, join: bool) -> Self {
+        self.membership.push((at, node, join));
+        self
+    }
+
     /// Flatten the schedule into `(time, event)` pairs for the event queue.
     pub fn compile(&self) -> Vec<(SimTime, FaultEvent)> {
         let mut out = Vec::new();
@@ -146,6 +201,9 @@ impl FaultSchedule {
         }
         for &(t, factor_pct) in &self.latency_changes {
             out.push((t, FaultEvent::SetLatencyFactor { factor_pct }));
+        }
+        for &(t, node, join) in &self.membership {
+            out.push((t, FaultEvent::MembershipChange { node, join }));
         }
         // Stable order: by time, then by construction order (Vec is stable).
         out.sort_by_key(|(t, _)| *t);
@@ -199,6 +257,9 @@ impl FaultState {
             FaultEvent::SetLatencyFactor { factor_pct } => {
                 self.latency_factor_pct = (*factor_pct).max(1);
             }
+            // Membership is a routing-layer notion consumed by actors'
+            // `on_membership` hooks; the network itself is unaffected.
+            FaultEvent::MembershipChange { .. } => {}
         }
     }
 
@@ -310,6 +371,8 @@ mod tests {
             FaultEvent::Recover { node: NodeId(1), amnesia: false },
             FaultEvent::SetLatencyFactor { factor_pct: 400 },
             FaultEvent::Crash { node: NodeId(2) },
+            FaultEvent::MembershipChange { node: NodeId(7), join: false },
+            FaultEvent::MembershipChange { node: NodeId(7), join: true },
         ] {
             let json = serde_json::to_string(&ev).unwrap();
             let back: FaultEvent = serde_json::from_str(&json).unwrap();
@@ -321,5 +384,27 @@ mod tests {
     #[should_panic(expected = "must end after")]
     fn bad_partition_window_panics() {
         let _ = FaultSchedule::none().partition(vec![NodeId(0)], t(10), t(5));
+    }
+
+    #[test]
+    fn membership_compiles_in_time_order() {
+        let s = FaultSchedule::none()
+            .membership(t(20), NodeId(4), false)
+            .membership(t(40), NodeId(4), true)
+            .crash(NodeId(1), t(30), t(35));
+        let evs = s.compile();
+        let times: Vec<u64> = evs.iter().map(|(t, _)| t.as_micros() / 1000).collect();
+        assert_eq!(times, vec![20, 30, 35, 40]);
+        assert_eq!(evs[0].1, FaultEvent::MembershipChange { node: NodeId(4), join: false });
+        assert_eq!(evs[3].1, FaultEvent::MembershipChange { node: NodeId(4), join: true });
+    }
+
+    #[test]
+    fn pre_ring_schedule_json_still_deserializes() {
+        // Corpus files written before the membership field existed must
+        // keep loading (serde default).
+        let json = r#"{"partitions":[],"crashes":[],"recoveries":[],"loss_changes":[],"latency_changes":[]}"#;
+        let s: FaultSchedule = serde_json::from_str(json).unwrap();
+        assert!(s.compile().is_empty());
     }
 }

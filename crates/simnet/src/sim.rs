@@ -54,6 +54,23 @@ pub trait Actor<M> {
     /// timers, so periodic timer chains must be re-armed here.
     fn on_recover(&mut self, _ctx: &mut Context<M>, _amnesia: bool) {}
 
+    /// Cluster membership changed: `node` joined (`join == true`) or
+    /// left (`join == false`) the logical cluster. Every actor observes
+    /// every membership event (in node-id order), so ring-aware
+    /// protocols keep identical ownership views and rebalance
+    /// deterministically. Crashed actors observe it too — a down node
+    /// must not wake up with a stale ring — but their effects are
+    /// discarded. The default ignores membership (fixed-replica-set
+    /// protocols and clients).
+    fn on_membership(&mut self, _ctx: &mut Context<M>, _node: NodeId, _join: bool) {}
+
+    /// The simulation is being torn down (horizon reached). Effects
+    /// requested here are discarded — the run is over — but recorder
+    /// access works, so actors can account for still-held state (e.g.
+    /// undrained hinted-handoff hints) and keep conservation identities
+    /// exact. The default does nothing.
+    fn on_shutdown(&mut self, _ctx: &mut Context<M>) {}
+
     /// The versions of keys this actor currently stores, as `(key,
     /// version)` pairs, for replica-divergence telemetry probes: the
     /// driver counts distinct versions of each key across replicas at
@@ -491,6 +508,23 @@ impl<M> Sim<M> {
     where
         F: FnOnce(&mut dyn Actor<M>, &mut Context<M>),
     {
+        self.call_actor_inner(id, trace, span, false, f)
+    }
+
+    /// Like [`Sim::call_actor`] but throws the produced effects away:
+    /// used for hooks on crashed nodes (they observe, e.g., membership
+    /// changes but cannot send or arm timers while down).
+    fn call_actor_discard<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Actor<M>, &mut Context<M>),
+    {
+        self.call_actor_inner(id, 0, 0, true, f)
+    }
+
+    fn call_actor_inner<F>(&mut self, id: NodeId, trace: u64, span: u64, discard: bool, f: F)
+    where
+        F: FnOnce(&mut dyn Actor<M>, &mut Context<M>),
+    {
         let mut ctx = Context {
             now: self.now,
             self_id: id,
@@ -504,6 +538,11 @@ impl<M> Sim<M> {
         };
         f(self.actors[id.0].as_mut(), &mut ctx);
         let mut effects = ctx.effects;
+        if discard {
+            effects.clear();
+            self.effects_scratch = effects;
+            return;
+        }
         for eff in effects.drain(..) {
             match eff {
                 Effect::Send { to, msg, trace, span } => {
@@ -681,6 +720,29 @@ impl<M> Sim<M> {
                         self.recorder.record(now_us, EventKind::PartitionHeal);
                         self.faults.apply(&fev);
                     }
+                    MembershipChange { node, join } => {
+                        let (node, join) = (*node, *join);
+                        self.recorder.record(
+                            now_us,
+                            EventKind::MembershipChange { node: node.0 as u64, join },
+                        );
+                        self.faults.apply(&fev);
+                        // Every actor observes the change in id order so
+                        // ownership views stay identical; crashed nodes
+                        // observe it with their effects discarded (a
+                        // down node cannot send or arm timers).
+                        for i in 0..self.actors.len() {
+                            if self.faults.is_crashed(NodeId(i)) {
+                                self.call_actor_discard(NodeId(i), |actor, ctx| {
+                                    actor.on_membership(ctx, node, join)
+                                });
+                            } else {
+                                self.call_actor(NodeId(i), 0, 0, |actor, ctx| {
+                                    actor.on_membership(ctx, node, join)
+                                });
+                            }
+                        }
+                    }
                     _ => self.faults.apply(&fev),
                 }
             }
@@ -736,6 +798,23 @@ impl<M> Drop for Sim<M> {
     /// `spans_opened == spans_closed` (see `docs/METRICS.md`).
     fn drop(&mut self) {
         let now_us = self.now.as_micros();
+        // Let every actor account for state it still holds (undrained
+        // hints, unshipped batches) before the queue drain below; the
+        // hook's effects are discarded — the run is over.
+        for i in 0..self.actors.len() {
+            let mut ctx = Context {
+                now: self.now,
+                self_id: NodeId(i),
+                rng: &mut self.rng,
+                recorder: &self.recorder,
+                next_timer_id: &mut self.next_timer_id,
+                effects: Vec::new(),
+                active_trace: 0,
+                active_span: 0,
+                spans: &mut self.spans,
+            };
+            self.actors[i].on_shutdown(&mut ctx);
+        }
         while let Some(ev) = self.queue.pop() {
             if let EventPayload::Deliver { from, to, trace, span, .. } = ev.payload {
                 self.dropped_messages += 1;

@@ -309,6 +309,130 @@ fn amnesia_and_fail_pause_agree_on_client_outcomes_for_paxos() {
     }
 }
 
+/// Sloppy quorum under a partition that cuts two of the three home
+/// replicas: writes fall through to hint-holding spares, and after the
+/// heal every hint drains to its home replica. The conservation
+/// identity `hints_stored == hints_drained + hints_dropped` is the
+/// ledger: a hint that neither drained nor was accounted lost is a
+/// silently vanished write.
+#[test]
+fn hinted_handoff_conserves_hints_and_lands_them_home() {
+    use rethinking_ec::obs::Counter;
+    let res = Experiment::new(Scheme::SloppyQuorum { n: 3, r: 2, w: 2, spares: 2 })
+        .workload(WorkloadSpec {
+            keys: 10,
+            distribution: KeyDistribution::Uniform,
+            mix: OpMix::ycsb_a(),
+            arrival: Arrival::Closed { think_us: 50_000 },
+            sessions: 3,
+            ops_per_session: 240,
+        })
+        .latency(LatencyModel::Uniform {
+            min: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+        })
+        .faults(FaultSchedule::none().partition(
+            vec![NodeId(1), NodeId(2)],
+            SimTime::from_secs(1),
+            SimTime::from_secs(4),
+        ))
+        .seed(13)
+        .horizon(SimTime::from_secs(25))
+        .recorder(rethinking_ec::obs::Recorder::enabled())
+        .run();
+
+    let stored = res.metrics.counter(Counter::HintsStored);
+    let drained = res.metrics.counter(Counter::HintsDrained);
+    let dropped = res.metrics.counter(Counter::HintsDropped);
+    assert!(stored > 0, "cutting two of three homes must force hinted writes");
+    assert_eq!(
+        stored,
+        drained + dropped,
+        "hint ledger must balance: stored={stored} drained={drained} dropped={dropped}"
+    );
+    assert_eq!(dropped, 0, "no amnesia and a long post-heal tail: every hint must drain");
+
+    // Spares (ids 3, 4) park hints in a side table, never in their
+    // store: a key in a spare's store would be a misdelivered write.
+    assert!(
+        res.final_versions.iter().all(|&(node, _, _)| node.0 < 3),
+        "spares must hold hints, not store copies: {:?}",
+        res.final_versions
+    );
+    // And the drained hints landed: the cut homes hold every key the
+    // always-connected home holds (drain + post-heal read repair).
+    for home in [1usize, 2] {
+        for &(node, key, _) in &res.final_versions {
+            if node.0 == 0 {
+                assert!(
+                    res.final_versions.iter().any(|&(n, k, _)| n.0 == home && k == key),
+                    "home {home} never received key {key} (hint lost in flight)"
+                );
+            }
+        }
+    }
+}
+
+/// The same ledger holds on a consistent-hashing ring, where spares are
+/// the next distinct nodes on the key's hash walk rather than dedicated
+/// hint parks — and at the horizon every key's ring owners agree
+/// (ownership-aware convergence).
+#[test]
+fn ring_hinted_handoff_conserves_hints_and_owners_converge() {
+    use rethinking_ec::consistency::check_owner_convergence;
+    use rethinking_ec::core::scheme::ChurnPlan;
+    use rethinking_ec::obs::Counter;
+    use rethinking_ec::replication::sharded::Ring;
+    use rethinking_ec::replication::Composition;
+
+    let nodes = 8;
+    let ring = Ring::new(3, 16, (0..nodes).map(NodeId));
+    // Cut two owners of key 0 so writes to it must hint to ring spares.
+    let cut = ring.owners(0);
+    let res = Experiment::new(Scheme::Sharded {
+        inner: Composition::quorum(3, 2, 2, true, 2),
+        nodes,
+        vnodes: 16,
+        churn: ChurnPlan::none(),
+    })
+    .workload(WorkloadSpec {
+        keys: 10,
+        distribution: KeyDistribution::Uniform,
+        mix: OpMix::ycsb_a(),
+        arrival: Arrival::Closed { think_us: 50_000 },
+        sessions: 3,
+        ops_per_session: 240,
+    })
+    .latency(LatencyModel::Uniform { min: Duration::from_millis(1), max: Duration::from_millis(8) })
+    .faults(FaultSchedule::none().partition(
+        vec![cut[0], cut[1]],
+        SimTime::from_secs(1),
+        SimTime::from_secs(4),
+    ))
+    .seed(17)
+    .horizon(SimTime::from_secs(25))
+    .recorder(rethinking_ec::obs::Recorder::enabled())
+    .run();
+
+    let stored = res.metrics.counter(Counter::HintsStored);
+    let drained = res.metrics.counter(Counter::HintsDrained);
+    let dropped = res.metrics.counter(Counter::HintsDropped);
+    assert!(stored > 0, "cutting two owners of key 0 must force hinted writes");
+    assert_eq!(
+        stored,
+        drained + dropped,
+        "ring hint ledger must balance: stored={stored} drained={drained} dropped={dropped}"
+    );
+
+    // Ownership-aware convergence: at the horizon, every key's ring
+    // owners hold the same version (hints drained home, read repair
+    // healed the partition-era divergence).
+    let server_versions: Vec<_> =
+        res.final_versions.iter().copied().filter(|&(n, _, _)| n.0 < nodes).collect();
+    let report = check_owner_convergence(&server_versions, |k| ring.owners(k));
+    assert!(report.converged(), "ring owners diverged at horizon: {:?}", report.diverged);
+}
+
 #[test]
 fn message_loss_slows_but_does_not_wedge_quorums() {
     let faults = FaultSchedule::none().loss_rate(SimTime::ZERO, 0.10);

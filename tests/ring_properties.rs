@@ -1,0 +1,170 @@
+//! Property battery for the consistent-hashing ring (satellite of the
+//! ring-sharding PR): ownership cardinality, minimal remapping on
+//! membership change, join/leave/rejoin identity, and determinism of
+//! preference lists — each over 100 random seeds.
+
+use rethinking_ec::replication::sharded::Ring;
+use rethinking_ec::simnet::{NodeId, SimRng};
+
+const SEEDS: u64 = 100;
+const KEYS: u64 = 512;
+
+/// A random ring config drawn from a seed: 1–4 replication, enough
+/// nodes to cover it, 1–32 vnodes.
+fn random_ring(seed: u64) -> Ring {
+    let mut rng = SimRng::new(seed ^ 0x71f6_0bee);
+    let replication = 1 + rng.below(4) as usize;
+    let nodes = replication + rng.below(20) as usize;
+    let vnodes = 1 + rng.below(32) as usize;
+    Ring::new(replication, vnodes, (0..nodes).map(NodeId))
+}
+
+/// Random keys spread across the hash space (the ring hashes keys
+/// itself, so raw integers are fine; draw them wide anyway).
+fn random_keys(seed: u64) -> Vec<u64> {
+    let mut rng = SimRng::new(seed ^ 0xd00d_cafe);
+    (0..KEYS).map(|_| rng.below(u64::MAX)).collect()
+}
+
+#[test]
+fn every_key_has_exactly_n_distinct_owners() {
+    for seed in 0..SEEDS {
+        let ring = random_ring(seed);
+        let want = ring.replication().min(ring.len());
+        for key in random_keys(seed) {
+            let owners = ring.owners(key);
+            assert_eq!(owners.len(), want, "seed {seed} key {key}: wrong owner count");
+            let mut dedup = owners.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), owners.len(), "seed {seed} key {key}: duplicate owner");
+            for o in owners {
+                assert!(ring.contains(o), "seed {seed}: owner {} not a member", o.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn leave_only_remaps_keys_owned_by_the_departed_node() {
+    for seed in 0..SEEDS {
+        let ring = random_ring(seed);
+        if ring.len() < 2 {
+            continue;
+        }
+        let keys = random_keys(seed);
+        let mut rng = SimRng::new(seed ^ 0x1eaf);
+        let departing = NodeId(rng.index(ring.len()));
+        let mut after = ring.clone();
+        assert!(after.leave(departing));
+
+        let mut remapped = 0u64;
+        let mut owned_by_departed = 0u64;
+        for &key in &keys {
+            let before_owners = ring.owners(key);
+            if before_owners.contains(&departing) {
+                owned_by_departed += 1;
+            }
+            let after_owners = after.owners(key);
+            if before_owners == after_owners {
+                continue;
+            }
+            remapped += 1;
+            // A key may only change owners if the departed node was one
+            // of them (consistent hashing's minimal-disruption bound).
+            assert!(
+                before_owners.contains(&departing),
+                "seed {seed} key {key}: remapped but node {} was not an owner",
+                departing.0
+            );
+            // Surviving owners keep their copies: the change is additive.
+            for o in before_owners.iter().filter(|&&o| o != departing) {
+                assert!(
+                    after_owners.contains(o),
+                    "seed {seed} key {key}: surviving owner {} lost the key",
+                    o.0
+                );
+            }
+        }
+        // The remap set is *exactly* the departed node's keys: losing an
+        // owner always changes the list, and nothing else may change.
+        assert_eq!(
+            remapped, owned_by_departed,
+            "seed {seed}: remapped keys must be exactly the departed node's keys"
+        );
+    }
+}
+
+#[test]
+fn remap_volume_tracks_the_k_over_nodes_bound_with_enough_vnodes() {
+    // With many vnodes per node the arcs even out and the departed
+    // node's share of keys approaches replication/nodes — the classic
+    // consistent-hashing ~K/nodes disruption bound.
+    let ring = Ring::new(3, 64, (0..20).map(NodeId));
+    let keys = random_keys(7);
+    let mut after = ring.clone();
+    assert!(after.leave(NodeId(4)));
+    let remapped = keys.iter().filter(|&&k| ring.owners(k) != after.owners(k)).count();
+    let expected = KEYS as f64 * 3.0 / 20.0;
+    assert!(
+        (remapped as f64) < 2.0 * expected,
+        "{remapped} keys remapped, expected ~{expected:.0} (2x slack)"
+    );
+}
+
+#[test]
+fn join_leave_rejoin_restores_the_identical_ring() {
+    for seed in 0..SEEDS {
+        let ring = random_ring(seed);
+        if ring.len() < 2 {
+            continue;
+        }
+        let mut rng = SimRng::new(seed ^ 0x0707);
+        let node = NodeId(rng.index(ring.len()));
+        let mut churned = ring.clone();
+        assert!(churned.leave(node));
+        assert_ne!(churned, ring);
+        assert!(churned.join(node));
+        assert_eq!(churned, ring, "seed {seed}: leave+rejoin must be identity");
+
+        // And a brand-new node joining then leaving is also identity.
+        let newcomer = NodeId(ring.len() + 100);
+        assert!(churned.join(newcomer));
+        assert!(churned.leave(newcomer));
+        assert_eq!(churned, ring, "seed {seed}: join+leave of a newcomer must be identity");
+    }
+}
+
+#[test]
+fn preference_lists_are_deterministic_and_order_independent() {
+    for seed in 0..SEEDS {
+        let ring = random_ring(seed);
+        // Rebuild the same membership in a different insertion order:
+        // the ring is a pure function of the member *set*.
+        let mut members: Vec<NodeId> = ring.members().collect();
+        members.reverse();
+        let reordered = Ring::new(ring.replication(), ring.vnodes(), members);
+        assert_eq!(reordered, ring, "seed {seed}: member order must not matter");
+        for key in random_keys(seed).into_iter().take(64) {
+            assert_eq!(
+                ring.preference_list(key, ring.replication() + 2),
+                reordered.preference_list(key, ring.replication() + 2),
+                "seed {seed} key {key}: preference lists must be deterministic"
+            );
+        }
+    }
+}
+
+#[test]
+fn spares_extend_the_preference_list_without_overlap() {
+    for seed in 0..SEEDS {
+        let ring = random_ring(seed);
+        for key in random_keys(seed).into_iter().take(64) {
+            let owners = ring.owners(key);
+            let spares = ring.spares(key, 2);
+            for s in &spares {
+                assert!(!owners.contains(s), "seed {seed} key {key}: spare {} is an owner", s.0);
+            }
+        }
+    }
+}
