@@ -122,6 +122,158 @@ pub fn causal_chain(events: &[TracedEvent], span_id: u64) -> Vec<SpanAt> {
     chain
 }
 
+/// One link in a windowed causal chain: either a resident ancestor span
+/// or an explanation of why it is absent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChainLink {
+    /// The ancestor is resident in the window.
+    Span(SpanAt),
+    /// The ancestor was evicted at a watermark advance; the chain stops
+    /// here (its own parent is unknowable without the full table).
+    Evicted {
+        /// The evicted span's id.
+        span: u64,
+        /// The retention window that aged it out (µs).
+        window_us: u64,
+    },
+    /// The ancestor never appeared in the observed event stream.
+    Missing {
+        /// The unresolved span id.
+        span: u64,
+    },
+}
+
+impl ChainLink {
+    /// One-line description for reports and `tracequery` output.
+    pub fn describe(&self) -> String {
+        match self {
+            ChainLink::Span(s) => format!("span {} ({}) on node {}", s.span, s.name, s.node),
+            ChainLink::Evicted { span, window_us } => {
+                format!("span {span}: evicted, window={window_us}us")
+            }
+            ChainLink::Missing { span } => format!("span {span}: not in log"),
+        }
+    }
+}
+
+/// Bounded-memory span table for **online** attribution.
+///
+/// [`all_spans`]/[`causal_chain`] assume the full event log is resident,
+/// which the streaming checkers (see [`crate::stream`]) deliberately
+/// avoid. `SpanWindow` keeps only spans that are still open or closed
+/// within the retention window behind the watermark; walking a causal
+/// chain through an evicted ancestor yields an explicit
+/// [`ChainLink::Evicted`] marker instead of a panic or a silently
+/// truncated chain.
+///
+/// Span ids are allocated serially by the recorder, so an absent id at
+/// or below the highest evicted id is reported as evicted; higher
+/// absent ids were never observed.
+#[derive(Debug, Default)]
+pub struct SpanWindow {
+    window_us: u64,
+    spans: std::collections::BTreeMap<u64, SpanAt>,
+    max_evicted_span: Option<u64>,
+    evicted: u64,
+}
+
+impl SpanWindow {
+    /// A span table retaining closed spans for `window_us` behind the
+    /// watermark.
+    pub fn new(window_us: u64) -> Self {
+        SpanWindow { window_us, ..Default::default() }
+    }
+
+    /// Observe one event from the log; non-span events are ignored.
+    pub fn observe(&mut self, ev: &TracedEvent) {
+        match &ev.kind {
+            EventKind::SpanOpen { trace, span, parent, node, name } => {
+                self.spans.insert(
+                    *span,
+                    SpanAt {
+                        trace: *trace,
+                        span: *span,
+                        parent: *parent,
+                        node: *node,
+                        name: (*name).to_string(),
+                        open_t_us: ev.t_us,
+                        close_t_us: None,
+                        status: None,
+                    },
+                );
+            }
+            EventKind::SpanClose { span, status, .. } => {
+                if let Some(s) = self.spans.get_mut(span) {
+                    s.close_t_us = Some(ev.t_us);
+                    s.status = Some(status.name().to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Advance the watermark: spans closed before `t_us - window` are
+    /// evicted (open spans are always retained — they may still close).
+    /// Returns how many were dropped.
+    pub fn advance(&mut self, t_us: u64) -> u64 {
+        let cut = t_us.saturating_sub(self.window_us);
+        let before = self.spans.len();
+        let max_evicted = &mut self.max_evicted_span;
+        self.spans.retain(|&id, s| {
+            let keep = s.close_t_us.is_none_or(|c| c >= cut);
+            if !keep {
+                *max_evicted = Some(max_evicted.map_or(id, |m| m.max(id)));
+            }
+            keep
+        });
+        let dropped = (before - self.spans.len()) as u64;
+        self.evicted += dropped;
+        dropped
+    }
+
+    /// Total spans evicted so far.
+    pub fn events_evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Number of spans currently resident.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no spans are resident.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The causal chain of `span_id` from the windowed state: the span
+    /// and its ancestors up to the trace root, ending in an
+    /// [`ChainLink::Evicted`] or [`ChainLink::Missing`] marker if the
+    /// walk leaves the window. Equals [`causal_chain`] (wrapped in
+    /// [`ChainLink::Span`]) whenever nothing on the path was evicted.
+    pub fn causal_chain(&self, span_id: u64) -> Vec<ChainLink> {
+        let mut chain = Vec::new();
+        let mut cursor = span_id;
+        while cursor != 0 {
+            match self.spans.get(&cursor) {
+                Some(s) => {
+                    chain.push(ChainLink::Span(s.clone()));
+                    cursor = s.parent;
+                }
+                None => {
+                    if self.max_evicted_span.is_some_and(|m| cursor <= m) {
+                        chain.push(ChainLink::Evicted { span: cursor, window_us: self.window_us });
+                    } else {
+                        chain.push(ChainLink::Missing { span: cursor });
+                    }
+                    break;
+                }
+            }
+        }
+        chain
+    }
+}
+
 impl ViolationContext {
     /// Total drops in the window, all reasons combined.
     pub fn total_drops(&self) -> u64 {
@@ -302,6 +454,78 @@ mod tests {
         // attribute_violation carries the in-flight spans along.
         let ctx = attribute_violation(&events, 250, 0);
         assert_eq!(ctx.in_flight_spans.len(), 2);
+    }
+
+    #[test]
+    fn windowed_chain_matches_full_table_when_nothing_evicted() {
+        use obs::SpanStatus;
+        let events = vec![
+            ev(0, 100, EventKind::SpanOpen { trace: 1, span: 1, parent: 0, node: 9, name: "op" }),
+            ev(
+                1,
+                200,
+                EventKind::SpanOpen { trace: 1, span: 2, parent: 1, node: 3, name: "replica" },
+            ),
+            ev(2, 300, EventKind::SpanClose { trace: 1, span: 2, node: 3, status: SpanStatus::Ok }),
+        ];
+        let mut w = SpanWindow::new(1_000_000);
+        for e in &events {
+            w.observe(e);
+        }
+        w.advance(400);
+        let windowed = w.causal_chain(2);
+        let full = causal_chain(&events, 2);
+        assert_eq!(windowed.len(), full.len());
+        for (link, span) in windowed.iter().zip(&full) {
+            assert_eq!(link, &ChainLink::Span(span.clone()));
+        }
+        assert_eq!(w.events_evicted(), 0);
+    }
+
+    #[test]
+    fn evicted_cause_is_reported_not_missed() {
+        use obs::SpanStatus;
+        // Root span 1 closes early; its grandchild's violation is
+        // investigated long after the root aged out of the window.
+        let mut w = SpanWindow::new(100);
+        w.observe(&ev(
+            0,
+            10,
+            EventKind::SpanOpen { trace: 1, span: 1, parent: 0, node: 0, name: "op" },
+        ));
+        w.observe(&ev(
+            1,
+            20,
+            EventKind::SpanClose { trace: 1, span: 1, node: 0, status: SpanStatus::Ok },
+        ));
+        w.observe(&ev(
+            2,
+            30,
+            EventKind::SpanOpen { trace: 1, span: 2, parent: 1, node: 3, name: "replica" },
+        ));
+        assert_eq!(w.advance(500), 1, "the closed root ages out");
+        let chain = w.causal_chain(2);
+        assert_eq!(chain.len(), 2);
+        assert!(matches!(chain[0], ChainLink::Span(ref s) if s.span == 2));
+        assert_eq!(chain[1], ChainLink::Evicted { span: 1, window_us: 100 });
+        assert!(chain[1].describe().contains("evicted, window="));
+        // A parent id that was never observed is distinguishable from an
+        // evicted one.
+        let ghost = w.causal_chain(99);
+        assert_eq!(ghost, vec![ChainLink::Missing { span: 99 }]);
+    }
+
+    #[test]
+    fn open_spans_survive_eviction() {
+        let mut w = SpanWindow::new(0);
+        w.observe(&ev(
+            0,
+            10,
+            EventKind::SpanOpen { trace: 1, span: 1, parent: 0, node: 0, name: "op" },
+        ));
+        assert_eq!(w.advance(1_000_000), 0, "open spans are never evicted");
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! * [`attribution`] — given the structured simulation event log
 //!   (`obs`), *why* was a guarantee violated: partition, crash, message
 //!   loss, or pure replication lag?
+//! * [`stream`] — the same checkers as incremental streaming operators
+//!   with watermark-driven state eviction, so arbitrarily long runs
+//!   verify online in flat memory (the materialized checkers above stay
+//!   the executable reference oracle; see `docs/CHECKERS.md`).
 //!
 //! Conventions shared by all checkers: every write carries a globally
 //! unique value, so a read unambiguously identifies the write it observed;
@@ -34,10 +38,11 @@ pub mod linearizability;
 pub mod monotonic;
 pub mod session;
 pub mod staleness;
+pub mod stream;
 
 pub use attribution::{
     all_spans, attribute_violation, causal_chain, spans_at, summarize_attributions,
-    AttributionSummary, SpanAt, ViolationContext,
+    AttributionSummary, ChainLink, SpanAt, SpanWindow, ViolationContext,
 };
 pub use causal::{check_causal, CausalReport};
 pub use convergence::{
@@ -50,3 +55,7 @@ pub use linearizability::{
 pub use monotonic::{check_monotonic_values, MonotonicValueReport};
 pub use session::{check_session_guarantees, SessionReport};
 pub use staleness::{measure_staleness, StalenessReport};
+pub use stream::{
+    ConvergenceStream, MonotonicStream, SessionStream, StalenessStream, StreamChecker,
+    StreamConfig, StreamReports, StreamVerifier, StreamViolation, ViolationKind, Watermark,
+};

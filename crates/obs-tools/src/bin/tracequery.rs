@@ -7,20 +7,34 @@
 //!                                                   fault + span context at t_us
 //! tracequery chrome  <trace.jsonl> [-o <out.json>]  Chrome trace_event export
 //! tracequery check   <trace.jsonl>                  span conservation invariants
+//! tracequery check --stream <trace.jsonl> [--window-ms N]
+//!                                                   streaming consistency check
 //! ```
 //!
+//! `check --stream` feeds the log's `op_complete` events through the
+//! incremental consistency checkers line by line — pass `-` to read
+//! from stdin, so a live `--trace-out` pipe can be monitored while the
+//! run is still producing it. `--window-ms N` bounds checker memory by
+//! evicting state older than N milliseconds behind the event clock
+//! (violations older than the window can then go unreported; see
+//! `docs/CHECKERS.md`).
+//!
 //! Exit codes: `0` success, `1` analysis failure (parse error, unknown
-//! trace id, conservation violation), `2` usage error.
+//! trace id, conservation or consistency violation), `2` usage error.
 
 use obs::TracedEvent;
-use obs_tools::{build_tree, check_spans, chrome_trace, parse_jsonl, render_tree, trace_summaries};
+use obs_tools::{
+    build_tree, check_spans, chrome_trace, parse_jsonl, parse_line, render_stream_report,
+    render_tree, trace_summaries, StreamTraceChecker,
+};
 
 const USAGE: &str = "usage:
   tracequery list    <trace.jsonl>
   tracequery op      <trace_id> <trace.jsonl>
   tracequery explain <t_us> <trace.jsonl> [--window-us N]
   tracequery chrome  <trace.jsonl> [-o <out.json>]
-  tracequery check   <trace.jsonl>";
+  tracequery check   <trace.jsonl>
+  tracequery check --stream <trace.jsonl | -> [--window-ms N]";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("tracequery: {msg}\n{USAGE}");
@@ -161,7 +175,12 @@ fn main() {
             }
         }
         "check" => {
-            let [path] = &args[1..] else { usage_error("check takes <trace.jsonl>") };
+            let rest = &args[1..];
+            if rest.iter().any(|a| a == "--stream") {
+                check_stream(rest);
+                return;
+            }
+            let [path] = rest else { usage_error("check takes <trace.jsonl>") };
             let report = check_spans(&load(path));
             emit(&format!("{report}\n"));
             if !report.ok() {
@@ -169,5 +188,79 @@ fn main() {
             }
         }
         other => usage_error(&format!("unknown command `{other}`")),
+    }
+}
+
+/// `check --stream`: run the incremental consistency checkers over the
+/// log's `op_complete` events, line by line. Reads stdin when the path
+/// is `-`, so a live trace pipe can be monitored as it grows. Exits 1
+/// if any violation was flagged.
+fn check_stream(rest: &[String]) {
+    use std::io::BufRead;
+    let mut path: Option<String> = None;
+    let mut window_ms: Option<u64> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--stream" {
+            continue;
+        }
+        match a
+            .strip_prefix("--window-ms=")
+            .map(str::to_string)
+            .or_else(|| (a == "--window-ms").then(|| it.next().cloned()).flatten())
+        {
+            Some(n) => {
+                window_ms =
+                    Some(n.parse().unwrap_or_else(|_| usage_error("--window-ms expects ms")))
+            }
+            None if path.is_none() => path = Some(a.clone()),
+            None => usage_error(&format!("unknown flag `{a}`")),
+        }
+    }
+    let path = path.unwrap_or_else(|| usage_error("check --stream takes <trace.jsonl | ->"));
+    let config = consistency::StreamConfig {
+        window: window_ms.map(simnet::Duration::from_millis),
+        // The per-read staleness sample vectors grow with the trace;
+        // a bounded window asks for flat memory, so drop them there.
+        retain_samples: window_ms.is_none(),
+        ..consistency::StreamConfig::default()
+    };
+    let mut checker = StreamTraceChecker::new(config);
+    let mut feed = |line: &str, lineno: usize| {
+        if line.trim().is_empty() {
+            return;
+        }
+        let ev = parse_line(line, lineno).unwrap_or_else(|e| {
+            eprintln!("tracequery: {path}: {e}");
+            std::process::exit(1);
+        });
+        checker.observe(&ev);
+    };
+    if path == "-" {
+        let stdin = std::io::stdin();
+        for (i, line) in stdin.lock().lines().enumerate() {
+            let line = line.unwrap_or_else(|e| {
+                eprintln!("tracequery: stdin: {e}");
+                std::process::exit(1);
+            });
+            feed(&line, i + 1);
+        }
+    } else {
+        let file = std::fs::File::open(&path).unwrap_or_else(|e| {
+            eprintln!("tracequery: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
+            let line = line.unwrap_or_else(|e| {
+                eprintln!("tracequery: {path}: {e}");
+                std::process::exit(1);
+            });
+            feed(&line, i + 1);
+        }
+    }
+    let (ops, reports) = checker.finish();
+    emit(&render_stream_report(ops, &reports));
+    if !reports.violations.is_empty() {
+        std::process::exit(1);
     }
 }

@@ -6,8 +6,10 @@
 //! This crate is the offline side: [`parse`] reads a JSONL file back
 //! into the same [`obs::TracedEvent`] values the recorder produced,
 //! [`tree`] reconstructs per-operation span trees, [`check`] verifies
-//! the span conservation invariants, and [`chrome`] converts a trace to
-//! Chrome `trace_event` JSON for Perfetto / `chrome://tracing`.
+//! the span conservation invariants, [`stream`] runs the incremental
+//! consistency checkers over the `op_complete` events (file or live
+//! pipe, bounded memory), and [`chrome`] converts a trace to Chrome
+//! `trace_event` JSON for Perfetto / `chrome://tracing`.
 //!
 //! The `tracequery` binary is the CLI front-end:
 //!
@@ -17,6 +19,7 @@
 //! tracequery explain 1500000 trace.jsonl    # why was t=1.5s anomalous?
 //! tracequery chrome  trace.jsonl -o out.json
 //! tracequery check   trace.jsonl            # span conservation; exit 1 on violation
+//! tracequery check --stream trace.jsonl     # streaming consistency check (`-` = stdin)
 //! ```
 
 #![warn(missing_docs)]
@@ -24,9 +27,11 @@
 pub mod check;
 pub mod chrome;
 pub mod parse;
+pub mod stream;
 pub mod tree;
 
 pub use check::{check_spans, CheckReport};
 pub use chrome::chrome_trace;
 pub use parse::{parse_jsonl, parse_line, ParseError};
+pub use stream::{op_record, render_stream_report, StreamTraceChecker};
 pub use tree::{build_tree, render_tree, trace_summaries, SpanNode, SpanTree, TraceSummary};

@@ -6,7 +6,7 @@
 //! field *set* per event type, so a malformed or truncated trace fails
 //! loudly instead of silently skewing analysis.
 
-use obs::{DropReason, EventKind, QuorumKind, SpanStatus, TracedEvent};
+use obs::{ClientOpKind, DropReason, EventKind, QuorumKind, SpanStatus, TracedEvent};
 use serde_json::Value;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -54,6 +54,31 @@ fn str_field<'a>(v: &'a Value, name: &str) -> Result<&'a str, String> {
     v.get(name)
         .and_then(Value::as_str)
         .ok_or_else(|| format!("missing or non-string field `{name}`"))
+}
+
+fn bool_field(v: &Value, name: &str) -> Result<bool, String> {
+    match v.get(name) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing or non-boolean field `{name}`")),
+    }
+}
+
+/// An optional integer field: absent is `None`, present-but-malformed
+/// is an error (a half-written trace must not silently degrade).
+fn opt_u64_field(v: &Value, name: &str) -> Result<Option<u64>, String> {
+    match v.get(name) {
+        None => Ok(None),
+        Some(f) => f.as_u64().map(Some).ok_or_else(|| format!("non-integer field `{name}`")),
+    }
+}
+
+fn u64_array_field(v: &Value, name: &str) -> Result<Vec<u64>, String> {
+    v.get(name)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("missing or non-array field `{name}`"))?
+        .iter()
+        .map(|n| n.as_u64().ok_or_else(|| format!("non-integer element in `{name}`")))
+        .collect()
 }
 
 fn parse_kind(v: &Value) -> Result<EventKind, String> {
@@ -128,6 +153,10 @@ fn parse_kind(v: &Value) -> Result<EventKind, String> {
         "partition_heal" => EventKind::PartitionHeal,
         "crash" => EventKind::Crash { node: u64_field(v, "node")? },
         "recover" => EventKind::Recover { node: u64_field(v, "node")? },
+        "membership_change" => EventKind::MembershipChange {
+            node: u64_field(v, "node")?,
+            join: bool_field(v, "join")?,
+        },
         "wal_replay" => {
             EventKind::WalReplay { node: u64_field(v, "node")?, records: u64_field(v, "records")? }
         }
@@ -148,6 +177,35 @@ fn parse_kind(v: &Value) -> Result<EventKind, String> {
                 "abandoned" => SpanStatus::Abandoned,
                 other => return Err(format!("unknown span status `{other}`")),
             },
+        },
+        "op_complete" => EventKind::OpComplete {
+            session: u64_field(v, "session")?,
+            op: u64_field(v, "op")?,
+            key: u64_field(v, "key")?,
+            kind: match str_field(v, "kind")? {
+                "read" => ClientOpKind::Read,
+                "write" => ClientOpKind::Write,
+                other => return Err(format!("unknown op kind `{other}`")),
+            },
+            ok: bool_field(v, "ok")?,
+            invoked_us: u64_field(v, "invoked_us")?,
+            replica: u64_field(v, "replica")?,
+            // The encoder omits absent optionals entirely, so presence
+            // is the Some/None signal (a present-but-malformed field is
+            // still an error).
+            value: opt_u64_field(v, "value")?,
+            values: u64_array_field(v, "values")?,
+            stamp: match v.get("stamp") {
+                None => None,
+                Some(_) => {
+                    let pair = u64_array_field(v, "stamp")?;
+                    match pair[..] {
+                        [ctr, actor] => Some((ctr, actor)),
+                        _ => return Err("`stamp` must be a [counter, actor] pair".to_string()),
+                    }
+                }
+            },
+            version_ts_us: opt_u64_field(v, "version_ts_us")?,
         },
         other => return Err(format!("unknown event type `{other}`")),
     };
@@ -213,6 +271,33 @@ mod tests {
             EventKind::WalReplay { node: 2, records: 5 },
             EventKind::SpanOpen { trace: 1, span: 2, parent: 0, node: 3, name: "op_read" },
             EventKind::SpanClose { trace: 1, span: 2, node: 3, status: SpanStatus::Abandoned },
+            EventKind::MembershipChange { node: 4, join: true },
+            EventKind::OpComplete {
+                session: 2,
+                op: 17,
+                key: 7,
+                kind: ClientOpKind::Read,
+                ok: true,
+                invoked_us: 1_000,
+                replica: 1,
+                value: None,
+                values: vec![3, 9],
+                stamp: Some((9, 1)),
+                version_ts_us: Some(950),
+            },
+            EventKind::OpComplete {
+                session: 0,
+                op: 3,
+                key: 1,
+                kind: ClientOpKind::Write,
+                ok: false,
+                invoked_us: 2_000,
+                replica: 0,
+                value: Some(5),
+                values: vec![],
+                stamp: None,
+                version_ts_us: None,
+            },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let ev = TracedEvent { seq: i as u64, t_us: 10 * i as u64, kind };

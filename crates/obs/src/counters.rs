@@ -73,11 +73,16 @@ pub enum Counter {
     HintsDropped,
     /// Keys pushed to new owners during ring membership rebalancing.
     RebalancedKeys,
+    /// Violations flagged by the online streaming consistency checkers.
+    StreamViolations,
+    /// State entries the streaming checkers evicted at watermark
+    /// advances (bounded-memory operation; see `docs/CHECKERS.md`).
+    CheckerEventsEvicted,
 }
 
 impl Counter {
     /// All counters, in export order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 31] = [
         Counter::MessagesSent,
         Counter::MessagesDelivered,
         Counter::MessagesDropped,
@@ -107,6 +112,8 @@ impl Counter {
         Counter::HintsDrained,
         Counter::HintsDropped,
         Counter::RebalancedKeys,
+        Counter::StreamViolations,
+        Counter::CheckerEventsEvicted,
     ];
 
     /// Number of distinct counters.
@@ -144,6 +151,8 @@ impl Counter {
             Counter::HintsDrained => "hints_drained",
             Counter::HintsDropped => "hints_dropped",
             Counter::RebalancedKeys => "rebalanced_keys",
+            Counter::StreamViolations => "stream_violations",
+            Counter::CheckerEventsEvicted => "checker_events_evicted",
         }
     }
 }

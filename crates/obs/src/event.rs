@@ -61,6 +61,28 @@ impl QuorumKind {
     }
 }
 
+/// Whether a completed client operation was a read or a write.
+///
+/// Mirrors the simulator's `OpKind` without importing it — `obs` stays
+/// independent of `simnet` (see [`EventKind`] docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientOpKind {
+    /// A read operation.
+    Read,
+    /// A write operation.
+    Write,
+}
+
+impl ClientOpKind {
+    /// Stable snake_case name used in the JSONL encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClientOpKind::Read => "read",
+            ClientOpKind::Write => "write",
+        }
+    }
+}
+
 /// A structured simulation event.
 ///
 /// Node ids are raw `u64`s (the simulator's `NodeId` index) so that this
@@ -219,6 +241,36 @@ pub enum EventKind {
         /// How the step ended.
         status: SpanStatus,
     },
+    /// A client operation completed (or timed out) — the event-stream
+    /// mirror of the simulator's `OpRecord`, emitted at completion time
+    /// so the streaming consistency checkers (`consistency::stream`,
+    /// `tracequery check --stream`) can verify guarantees online from
+    /// the JSONL log alone, without a materialized trace.
+    OpComplete {
+        /// The session (client) that issued the operation.
+        session: u64,
+        /// Per-session operation id, in issue order.
+        op: u64,
+        /// The key operated on.
+        key: u64,
+        /// Read or write.
+        kind: ClientOpKind,
+        /// Whether the operation succeeded (false = timeout).
+        ok: bool,
+        /// When the client invoked the operation (simulation µs); the
+        /// event's own `t_us` is the completion time.
+        invoked_us: u64,
+        /// The replica that served (or was targeted by) the operation.
+        replica: u64,
+        /// For writes: the globally unique value written.
+        value: Option<u64>,
+        /// For reads: the observed value(s); empty if the key was absent.
+        values: Vec<u64>,
+        /// Lamport `(counter, actor)` stamp of the version written/read.
+        stamp: Option<(u64, u64)>,
+        /// Origin wall time (µs) of the version a read returned.
+        version_ts_us: Option<u64>,
+    },
 }
 
 impl EventKind {
@@ -241,6 +293,7 @@ impl EventKind {
             EventKind::WalReplay { .. } => "wal_replay",
             EventKind::SpanOpen { .. } => "span_open",
             EventKind::SpanClose { .. } => "span_close",
+            EventKind::OpComplete { .. } => "op_complete",
         }
     }
 
@@ -297,6 +350,10 @@ impl EventKind {
                 }
                 v
             }
+            // Operation completions bump no counter: the op trace is the
+            // source of truth for operation counts, and the streaming
+            // checkers count their own findings (`stream_violations`).
+            EventKind::OpComplete { .. } => vec![],
         }
     }
 }
@@ -419,6 +476,53 @@ impl TracedEvent {
                 s.push_str(status.name());
                 s.push('"');
             }
+            EventKind::OpComplete {
+                session,
+                op,
+                key,
+                kind,
+                ok,
+                invoked_us,
+                replica,
+                value,
+                values,
+                stamp,
+                version_ts_us,
+            } => {
+                field(&mut s, "session", *session);
+                field(&mut s, "op", *op);
+                field(&mut s, "key", *key);
+                s.push_str(",\"kind\":\"");
+                s.push_str(kind.name());
+                s.push('"');
+                s.push_str(",\"ok\":");
+                s.push_str(if *ok { "true" } else { "false" });
+                field(&mut s, "invoked_us", *invoked_us);
+                field(&mut s, "replica", *replica);
+                // Optional fields are omitted when absent; the parser
+                // reads by name, so presence is the None/Some signal.
+                if let Some(v) = value {
+                    field(&mut s, "value", *v);
+                }
+                s.push_str(",\"values\":[");
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&v.to_string());
+                }
+                s.push(']');
+                if let Some((ctr, actor)) = stamp {
+                    s.push_str(",\"stamp\":[");
+                    s.push_str(&ctr.to_string());
+                    s.push(',');
+                    s.push_str(&actor.to_string());
+                    s.push(']');
+                }
+                if let Some(ts) = version_ts_us {
+                    field(&mut s, "version_ts_us", *ts);
+                }
+            }
         }
         s.push('}');
         s
@@ -503,6 +607,19 @@ mod tests {
             EventKind::WalReplay { node: 2, records: 5 },
             EventKind::SpanOpen { trace: 1, span: 1, parent: 0, node: 0, name: "op_write" },
             EventKind::SpanClose { trace: 1, span: 1, node: 0, status: SpanStatus::Abandoned },
+            EventKind::OpComplete {
+                session: 1,
+                op: 2,
+                key: 7,
+                kind: ClientOpKind::Read,
+                ok: true,
+                invoked_us: 500,
+                replica: 0,
+                value: None,
+                values: vec![42],
+                stamp: Some((3, 1)),
+                version_ts_us: None,
+            },
         ];
         for kind in kinds {
             let tag = kind.type_name();

@@ -72,7 +72,7 @@ mod span;
 mod timeseries;
 
 pub use counters::Counter;
-pub use event::{DropReason, EventKind, QuorumKind, TracedEvent};
+pub use event::{ClientOpKind, DropReason, EventKind, QuorumKind, TracedEvent};
 pub use hist::{Histogram, HistogramSummary, Metric};
 pub use recorder::{Recorder, DEFAULT_EVENT_CAP};
 pub use report::{MetricsReport, NodeCounters};

@@ -154,7 +154,46 @@ impl Experiment {
 
     /// Run the experiment to its horizon and collect the trace.
     pub fn run(&self) -> RunResult {
+        self.run_inner(optrace::shared_trace(), None)
+    }
+
+    /// Run the experiment with a live monitor: at every time-series
+    /// bucket boundary the operations newly completed since the last
+    /// boundary are handed to `monitor` in `(completed, session,
+    /// op_id)` order — the exact feed order the streaming checkers
+    /// ([`consistency::stream`]) require — together with the current
+    /// virtual time (a watermark: every future op completes at or after
+    /// it). Monitoring slices the run exactly like an attached recorder
+    /// does, and slicing is event-for-event identical to an unsliced
+    /// run, so the trace and verdicts are unchanged by observation.
+    pub fn run_monitored(
+        &self,
+        monitor: &mut dyn FnMut(&[simnet::OpRecord], SimTime),
+    ) -> RunResult {
         let trace = optrace::shared_trace();
+        let hook_trace = trace.clone();
+        let mut fed = 0usize;
+        let mut hook = |now: SimTime| {
+            let slice = {
+                let tr = hook_trace.borrow();
+                let mut slice = tr.records()[fed..].to_vec();
+                fed = tr.len();
+                // Records are pushed at completion time, so the slice is
+                // already nearly sorted; the explicit key also fixes the
+                // order of same-instant completions.
+                slice.sort_by_key(|r| (r.completed, r.session, r.op_id));
+                slice
+            };
+            monitor(&slice, now);
+        };
+        self.run_inner(trace, Some(&mut hook))
+    }
+
+    fn run_inner(
+        &self,
+        trace: simnet::SharedTrace,
+        monitor: Option<&mut dyn FnMut(SimTime)>,
+    ) -> RunResult {
         let mut faults = self.faults.clone();
         if let Scheme::Sharded { churn, .. } = &self.scheme {
             // Churn rides the compiled fault pipeline, so membership
@@ -175,11 +214,20 @@ impl Experiment {
 
         let (delivered, dropped, events, ended, final_versions) = match &self.scheme {
             Scheme::Sharded { inner, nodes, vnodes, .. } => {
-                run_sharded(cfg, inner, *nodes, *vnodes, scripts, &trace, self.horizon)
+                run_sharded(cfg, inner, *nodes, *vnodes, scripts, &trace, self.horizon, monitor)
             }
             _ => {
                 let (comp, guarantees, placement) = self.scheme.normalize();
-                run_composition(cfg, &comp, guarantees, placement, scripts, &trace, self.horizon)
+                run_composition(
+                    cfg,
+                    &comp,
+                    guarantees,
+                    placement,
+                    scripts,
+                    &trace,
+                    self.horizon,
+                    monitor,
+                )
             }
         };
 
@@ -211,6 +259,7 @@ type DriveOutcome = (u64, u64, u64, SimTime, Vec<(NodeId, u64, u64)>);
 /// applies where the protocol has a per-client replica choice (causal
 /// and primary clients are always sticky, Paxos clients always talk to
 /// the leader's group).
+#[allow(clippy::too_many_arguments)]
 fn run_composition(
     cfg: SimConfig,
     comp: &Composition,
@@ -219,6 +268,7 @@ fn run_composition(
     scripts: Vec<Vec<ScriptOp>>,
     trace: &simnet::SharedTrace,
     horizon: SimTime,
+    monitor: Option<&mut dyn FnMut(SimTime)>,
 ) -> DriveOutcome {
     let n = comp.replicas;
     match (comp.update, &comp.propagation) {
@@ -259,7 +309,7 @@ fn run_composition(
                     mode,
                 )));
             }
-            drive(sim, horizon)
+            drive(sim, horizon, monitor)
         }
         (
             UpdateSite::Coordinator,
@@ -290,7 +340,7 @@ fn run_composition(
                     home,
                 )));
             }
-            drive(sim, horizon)
+            drive(sim, horizon, monitor)
         }
         (UpdateSite::PrimaryCopy, &PropagationPolicy::PrimaryShip { ship, failover }) => {
             let pcfg = match ship {
@@ -298,7 +348,7 @@ fn run_composition(
                 ShipMode::Async { interval } => PrimaryConfig::async_lag(n, interval),
             };
             let pcfg = if failover { pcfg.with_failover() } else { pcfg };
-            run_primary(cfg, pcfg, scripts, trace, horizon)
+            run_primary(cfg, pcfg, scripts, trace, horizon, monitor)
         }
         (UpdateSite::ConsensusGroup, PropagationPolicy::ConsensusLog) => {
             let pcfg = PaxosConfig::new(n);
@@ -309,7 +359,7 @@ fn run_composition(
             for (i, script) in scripts.into_iter().enumerate() {
                 sim.add_node(Box::new(PaxosClient::new(i as u64 + 1, script, trace.clone(), n)));
             }
-            drive(sim, horizon)
+            drive(sim, horizon, monitor)
         }
         (UpdateSite::MultiMaster, PropagationPolicy::CausalBroadcast) => {
             let mut sim = Sim::new(cfg);
@@ -324,7 +374,7 @@ fn run_composition(
                     NodeId(i % n),
                 )));
             }
-            drive(sim, horizon)
+            drive(sim, horizon, monitor)
         }
         _ => panic!(
             "composition {} pairs an update site with a propagation policy the kernel \
@@ -339,6 +389,7 @@ fn run_composition(
 /// running the inner quorum composition per key. Clients stick to node
 /// `i % nodes` as their coordinator; any node can coordinate any key
 /// (Dynamo-style), with per-key preference lists from the ring.
+#[allow(clippy::too_many_arguments)]
 fn run_sharded(
     cfg: SimConfig,
     comp: &Composition,
@@ -347,6 +398,7 @@ fn run_sharded(
     scripts: Vec<Vec<ScriptOp>>,
     trace: &simnet::SharedTrace,
     horizon: SimTime,
+    monitor: Option<&mut dyn FnMut(SimTime)>,
 ) -> DriveOutcome {
     let n = comp.replicas;
     match (comp.update, &comp.propagation) {
@@ -376,7 +428,7 @@ fn run_sharded(
                     Some(NodeId(i % nodes)),
                 )));
             }
-            drive(sim, horizon)
+            drive(sim, horizon, monitor)
         }
         _ => panic!(
             "ring sharding runs a coordinator/quorum composition per key; {} has no \
@@ -392,6 +444,7 @@ fn run_primary(
     scripts: Vec<Vec<ScriptOp>>,
     trace: &simnet::SharedTrace,
     horizon: SimTime,
+    monitor: Option<&mut dyn FnMut(SimTime)>,
 ) -> DriveOutcome {
     let n = pcfg.replicas;
     let mut sim = Sim::new(cfg);
@@ -407,18 +460,25 @@ fn run_primary(
             ReadFrom::Replica(NodeId(i % n)),
         )));
     }
-    drive(sim, horizon)
+    drive(sim, horizon, monitor)
 }
 
-/// Run the simulation to its horizon. With a recorder attached, the run
-/// is sliced into probe windows (one per time-series bucket, so probe
-/// samples and client-side staleness samples share bucket boundaries):
-/// at each boundary the driver samples per-key replica divergence
-/// (distinct versions across nodes, via [`simnet::Actor::key_versions`])
-/// and the in-flight message depth. Probes only read simulator state, so
-/// a sliced run is event-for-event identical to an unsliced one.
-fn drive<M>(mut sim: Sim<M>, horizon: SimTime) -> DriveOutcome {
-    if !sim.recorder().is_enabled() {
+/// Run the simulation to its horizon. With a recorder attached or a
+/// monitor installed, the run is sliced into probe windows (one per
+/// time-series bucket, so probe samples and client-side staleness
+/// samples share bucket boundaries): at each boundary the driver samples
+/// per-key replica divergence (distinct versions across nodes, via
+/// [`simnet::Actor::key_versions`]) and the in-flight message depth, and
+/// hands the boundary time to the monitor. Probes only read simulator
+/// state, so a sliced run is event-for-event identical to an unsliced
+/// one.
+fn drive<M>(
+    mut sim: Sim<M>,
+    horizon: SimTime,
+    mut monitor: Option<&mut dyn FnMut(SimTime)>,
+) -> DriveOutcome {
+    let probing = sim.recorder().is_enabled();
+    if !probing && monitor.is_none() {
         let events = sim.run_until(horizon);
         let versions = sim.key_versions();
         return (sim.delivered_messages, sim.dropped_messages, events, sim.now(), versions);
@@ -429,14 +489,19 @@ fn drive<M>(mut sim: Sim<M>, horizon: SimTime) -> DriveOutcome {
     while t < horizon_us {
         t = (t + DEFAULT_TS_BUCKET_US).min(horizon_us);
         events += sim.run_until(SimTime::from_micros(t));
-        sim.recorder().sample(t, TsMetric::InflightDepth, sim.inflight_messages());
-        let mut per_key: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>> =
-            std::collections::BTreeMap::new();
-        for (_, key, version) in sim.key_versions() {
-            per_key.entry(key).or_default().insert(version);
+        if probing {
+            sim.recorder().sample(t, TsMetric::InflightDepth, sim.inflight_messages());
+            let mut per_key: std::collections::BTreeMap<u64, std::collections::BTreeSet<u64>> =
+                std::collections::BTreeMap::new();
+            for (_, key, version) in sim.key_versions() {
+                per_key.entry(key).or_default().insert(version);
+            }
+            for versions in per_key.values() {
+                sim.recorder().sample(t, TsMetric::ReplicaDivergence, versions.len() as u64);
+            }
         }
-        for versions in per_key.values() {
-            sim.recorder().sample(t, TsMetric::ReplicaDivergence, versions.len() as u64);
+        if let Some(m) = monitor.as_deref_mut() {
+            m(SimTime::from_micros(t));
         }
     }
     let versions = sim.key_versions();
@@ -498,6 +563,35 @@ mod tests {
         let c = run(6);
         assert_eq!(a.records(), b.records());
         assert_ne!(a.records(), c.records());
+    }
+
+    #[test]
+    fn monitored_run_is_identical_and_feeds_every_op() {
+        let exp = Experiment::new(Scheme::quorum(3, 2, 2)).workload(tiny_workload()).seed(5);
+        let plain = exp.run();
+        let mut fed: Vec<simnet::OpRecord> = Vec::new();
+        let monitored = exp.run_monitored(&mut |ops, _now| fed.extend_from_slice(ops));
+        assert_eq!(plain.trace.records(), monitored.trace.records());
+        // The concatenated slices are exactly the sorted trace: slices
+        // partition virtual time, so cross-slice order is completion
+        // order and within-slice order is enforced by the sort.
+        assert_eq!(fed.as_slice(), monitored.trace.records());
+    }
+
+    #[test]
+    fn streaming_checkers_agree_with_batch_on_a_monitored_run() {
+        use consistency::{StreamConfig, StreamVerifier, Watermark};
+        let exp = Experiment::new(Scheme::eventual(3)).workload(tiny_workload()).seed(8);
+        let mut verifier = StreamVerifier::new(StreamConfig::default());
+        let res = exp.run_monitored(&mut |ops, now| {
+            for op in ops {
+                verifier.feed(op);
+            }
+            verifier.advance(Watermark::at(now));
+        });
+        let reports = verifier.finish();
+        assert_eq!(reports.session, check_session_guarantees(&res.trace));
+        assert_eq!(reports.staleness, consistency::measure_staleness(&res.trace));
     }
 
     #[test]

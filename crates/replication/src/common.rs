@@ -229,7 +229,7 @@ impl ClientCore {
             match &self.pending {
                 Some(p) if p.op_id == op_id => {
                     ctx.span_close(p.span, SpanStatus::Failed);
-                    self.record(ctx.now(), OpOutcome::failed());
+                    self.record(ctx, OpOutcome::failed());
                     self.schedule_next(ctx);
                     TimerAction::TimedOut(op_id)
                 }
@@ -290,7 +290,7 @@ impl ClientCore {
                     ctx.recorder().sample(now_us, TsMetric::StalenessVersions, missed);
                     ctx.recorder().sample(now_us, TsMetric::VisibilityLagUs, lag_us);
                 }
-                self.record(ctx.now(), outcome);
+                self.record(ctx, outcome);
                 self.schedule_next(ctx);
                 true
             }
@@ -298,8 +298,31 @@ impl ClientCore {
         }
     }
 
-    fn record(&mut self, now: SimTime, outcome: OpOutcome) {
+    fn record<M>(&mut self, ctx: &mut Context<M>, outcome: OpOutcome) {
+        let now = ctx.now();
         let p = self.pending.take().expect("record without pending op");
+        // Mirror the trace row into the event stream so online monitors
+        // (the streaming consistency checkers) can observe completions
+        // without access to the in-process SharedTrace.
+        ctx.recorder().record(
+            now.as_micros(),
+            obs::EventKind::OpComplete {
+                session: self.session,
+                op: p.op_id,
+                key: p.key,
+                kind: match p.kind {
+                    OpKind::Read => obs::ClientOpKind::Read,
+                    OpKind::Write => obs::ClientOpKind::Write,
+                },
+                ok: outcome.ok,
+                invoked_us: p.invoked.as_micros(),
+                replica: p.replica.0 as u64,
+                value: p.value,
+                values: outcome.values.clone(),
+                stamp: outcome.stamp,
+                version_ts_us: outcome.version_ts.map(|t| t.as_micros()),
+            },
+        );
         self.trace.borrow_mut().push(OpRecord {
             session: self.session,
             op_id: p.op_id,

@@ -1,0 +1,118 @@
+//! Differential batch-vs-stream verification.
+//!
+//! The streaming checkers (`consistency::stream`) promise *exact*
+//! agreement with the materialized batch checkers when run unbounded:
+//! same reports, byte for byte, on every scheme family, under faults.
+//! This suite is that promise, held at integration scale:
+//!
+//! * every fuzz scheme family × two seeds under a crash-amnesia +
+//!   partition nemesis, streaming reports serialized against batch
+//!   reports — any byte of drift fails;
+//! * the differential fuzz campaign (`rec_core::fuzz`) is `--jobs`
+//!   invariant: the same cells judged on 1 worker and 4 workers must
+//!   produce identical JSON, and every cell must agree with its batch
+//!   oracle.
+
+use rethinking_ec::consistency::{
+    check_convergence, check_monotonic_values, check_session_guarantees, measure_staleness,
+    StreamConfig, StreamVerifier,
+};
+use rethinking_ec::core::fuzz::{differential_campaign, FuzzScheme};
+use rethinking_ec::core::Experiment;
+use rethinking_ec::simnet::{Duration, FaultSchedule, LatencyModel, NodeId, SimTime};
+use rethinking_ec::workload::{Arrival, KeyDistribution, OpMix, WorkloadSpec};
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec {
+        keys: 8,
+        distribution: KeyDistribution::Zipfian { theta: 0.9 },
+        mix: OpMix::ycsb_a(),
+        arrival: Arrival::Closed { think_us: 5_000 },
+        sessions: 3,
+        ops_per_session: 25,
+    }
+}
+
+/// The scheme_parity nemesis: one replica suffers crash-amnesia
+/// mid-run, another is partitioned off for a window.
+fn nemesis() -> FaultSchedule {
+    FaultSchedule::none()
+        .crash_amnesia(NodeId(1), SimTime::from_millis(800), SimTime::from_millis(1_400))
+        .partition(vec![NodeId(0)], SimTime::from_secs(3), SimTime::from_secs(5))
+}
+
+/// Every scheme family × seed cell: the unbounded streaming checkers,
+/// fed op-by-op while the simulation runs, must produce reports that
+/// serialize byte-identically to the batch checkers' reports over the
+/// finished trace — identical violation sets, not just verdicts.
+#[test]
+fn stream_reports_are_byte_identical_to_batch_for_every_scheme_family() {
+    for fs in FuzzScheme::ALL {
+        for seed in [11u64, 42] {
+            let mut verifier = StreamVerifier::new(StreamConfig::default());
+            let result = Experiment::new(fs.to_scheme())
+                .workload(workload())
+                .latency(LatencyModel::Uniform {
+                    min: Duration::from_millis(1),
+                    max: Duration::from_millis(8),
+                })
+                .faults(nemesis())
+                .seed(seed)
+                .horizon(SimTime::from_secs(20))
+                .run_monitored(&mut |ops, _now| verifier.feed_slice(ops));
+            let reports = verifier.finish();
+            let grace = StreamConfig::default().grace;
+            let batch = serde_json::to_string(&(
+                check_session_guarantees(&result.trace),
+                measure_staleness(&result.trace),
+                check_monotonic_values(&result.trace),
+                check_convergence(&result.trace, grace),
+            ))
+            .expect("batch reports serialize");
+            let stream = serde_json::to_string(&(
+                &reports.session,
+                &reports.staleness,
+                &reports.monotonic,
+                &reports.convergence,
+            ))
+            .expect("stream reports serialize");
+            assert_eq!(
+                stream,
+                batch,
+                "{} seed {seed}: streaming reports diverged from the batch oracle",
+                fs.label()
+            );
+            assert_eq!(reports.events_evicted, 0, "unbounded verifier must evict nothing");
+        }
+    }
+}
+
+/// The differential campaign judges every cell twice (batch and
+/// stream); its result must be byte-identical for any worker count and
+/// every cell must agree.
+#[test]
+fn differential_campaign_is_jobs_invariant_and_agrees() {
+    let a = differential_campaign(&FuzzScheme::ALL, 2, 7, "medium", 1);
+    let b = differential_campaign(&FuzzScheme::ALL, 2, 7, "medium", 4);
+    let a_json = serde_json::to_string(&a).expect("campaign serializes");
+    let b_json = serde_json::to_string(&b).expect("campaign serializes");
+    assert_eq!(a_json, b_json, "differential campaign must be --jobs invariant");
+    for cell in &a {
+        assert!(
+            cell.outcome.agree(),
+            "{} seed {}: batch={:?} stream={:?} reports_match={}",
+            cell.scheme.label(),
+            cell.seed,
+            cell.outcome.batch,
+            cell.outcome.stream,
+            cell.outcome.reports_match
+        );
+    }
+    // The positive control must actually violate, or the differential
+    // suite is only ever comparing clean runs.
+    assert!(
+        a.iter().any(|c| c.scheme.violation_expected()
+            && c.outcome.batch != rethinking_ec::core::fuzz::Verdict::Pass),
+        "partial quorum never violated: the nemesis lost its teeth"
+    );
+}

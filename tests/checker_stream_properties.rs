@@ -1,0 +1,198 @@
+//! Property tests for the streaming checkers on randomized synthetic
+//! op traces, plus corpus regression.
+//!
+//! For 100 LCG-derived traces (deliberately anomalous: reads may
+//! observe arbitrarily old versions, so staleness, session, and
+//! monotonicity violations all occur naturally):
+//!
+//! * **unbounded = exact**: a windowless streaming run reproduces the
+//!   batch reports field-for-field;
+//! * **bounded = subset**: a windowed run never *invents* a violation —
+//!   every flagged violation also appears in the unbounded run
+//!   (eviction only drops floors and evidence, it cannot fabricate
+//!   them), and violations whose evidence sits inside the watermark
+//!   window are still caught;
+//! * every checked-in fuzz reproducer in `tests/corpus/` still trips
+//!   its streaming checker, in agreement with the batch verdict.
+
+use rethinking_ec::consistency::{
+    check_convergence, check_monotonic_values, check_session_guarantees, measure_staleness,
+    StreamConfig, StreamVerifier, Watermark,
+};
+use rethinking_ec::simnet::{Duration, NodeId, OpKind, OpRecord, OpTrace, SimTime};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A randomized trace where reads observe a uniformly random *earlier*
+/// write to their key — old versions included — so violations of every
+/// streaming kind arise across the seed sweep.
+fn synth_trace(seed: u64) -> OpTrace {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed | 1);
+    let mut t = OpTrace::new();
+    let mut history: Vec<Vec<(u64, (u64, u64))>> = vec![Vec::new(); 4];
+    let mut now_ms = 0u64;
+    for i in 0..60u64 {
+        now_ms += 1 + lcg(&mut s) % 25;
+        let session = lcg(&mut s) % 4;
+        let key = lcg(&mut s) % 4;
+        let write = lcg(&mut s).is_multiple_of(2);
+        let rec = if write || history[key as usize].is_empty() {
+            let value = i + 1;
+            let stamp = (i + 1, session);
+            history[key as usize].push((value, stamp));
+            OpRecord {
+                session,
+                op_id: i,
+                key,
+                kind: OpKind::Write,
+                value_written: Some(value),
+                value_read: vec![],
+                invoked: SimTime::from_millis(now_ms),
+                completed: SimTime::from_millis(now_ms + 1),
+                replica: NodeId((lcg(&mut s) % 3) as usize),
+                ok: true,
+                version_ts: None,
+                stamp: Some(stamp),
+            }
+        } else {
+            let hist = &history[key as usize];
+            let (value, stamp) = hist[(lcg(&mut s) as usize) % hist.len()];
+            OpRecord {
+                session,
+                op_id: i,
+                key,
+                kind: OpKind::Read,
+                value_written: None,
+                value_read: vec![value],
+                invoked: SimTime::from_millis(now_ms),
+                completed: SimTime::from_millis(now_ms + 1),
+                replica: NodeId((lcg(&mut s) % 3) as usize),
+                ok: true,
+                version_ts: None,
+                stamp: Some(stamp),
+            }
+        };
+        t.push(rec);
+    }
+    t.sort_by_completion();
+    t
+}
+
+/// A violation as an identity tuple, for set comparison.
+fn key_of(v: &rethinking_ec::consistency::StreamViolation) -> (u8, u64, u64, u64, u64) {
+    (v.kind as u8, v.session, v.op_id, v.key, v.t_us)
+}
+
+#[test]
+fn unbounded_stream_is_exact_on_100_random_traces() {
+    let grace = StreamConfig::default().grace;
+    let mut total_violations = 0usize;
+    for seed in 0..100u64 {
+        let trace = synth_trace(seed);
+        let mut v = StreamVerifier::new(StreamConfig::default());
+        for r in trace.records() {
+            v.feed(r);
+        }
+        let reports = v.finish();
+        assert_eq!(reports.session, check_session_guarantees(&trace), "seed {seed}");
+        assert_eq!(reports.staleness, measure_staleness(&trace), "seed {seed}");
+        assert_eq!(reports.monotonic, check_monotonic_values(&trace), "seed {seed}");
+        assert_eq!(reports.convergence, check_convergence(&trace, grace), "seed {seed}");
+        total_violations += reports.violations.len();
+    }
+    // The sweep must actually exercise the checkers, not vacuously pass
+    // on 100 clean traces.
+    assert!(total_violations > 100, "sweep too clean: {total_violations} violations in 100 traces");
+}
+
+#[test]
+fn bounded_window_never_invents_violations_on_100_random_traces() {
+    let window = Duration::from_millis(120);
+    let mut evicted_somewhere = false;
+    for seed in 0..100u64 {
+        let trace = synth_trace(seed);
+        let mut exact = StreamVerifier::new(StreamConfig::default());
+        for r in trace.records() {
+            exact.feed(r);
+        }
+        let exact = exact.finish();
+        let exact_set: std::collections::BTreeSet<_> =
+            exact.violations.iter().map(key_of).collect();
+
+        let mut bounded =
+            StreamVerifier::new(StreamConfig { window: Some(window), ..StreamConfig::default() });
+        for r in trace.records() {
+            bounded.feed(r);
+            bounded.advance(Watermark::at(r.completed));
+        }
+        let bounded = bounded.finish();
+        evicted_somewhere |= bounded.events_evicted > 0;
+        for v in &bounded.violations {
+            assert!(
+                exact_set.contains(&key_of(v)),
+                "seed {seed}: bounded run invented {v:?} — eviction caused a false verdict"
+            );
+        }
+        // Violations whose evidence sits inside the watermark window
+        // are still caught: a stale read observes a version and the
+        // fresher write it missed; if both fall within `window` of the
+        // read, eviction cannot have dropped the evidence.
+        let windowed_staleness: Vec<_> = exact
+            .violations
+            .iter()
+            .filter(|v| {
+                v.kind == rethinking_ec::consistency::ViolationKind::StaleRead
+                    && v.t_us <= window.as_micros()
+            })
+            .collect();
+        let bounded_set: std::collections::BTreeSet<_> =
+            bounded.violations.iter().map(key_of).collect();
+        for v in windowed_staleness {
+            assert!(
+                bounded_set.contains(&key_of(v)),
+                "seed {seed}: in-window violation {v:?} was missed by the bounded run"
+            );
+        }
+        assert!(
+            bounded.session.ryw_violations <= exact.session.ryw_violations
+                && bounded.staleness.stale_reads <= exact.staleness.stale_reads
+                && bounded.monotonic.violations <= exact.monotonic.violations,
+            "seed {seed}: bounded counts exceeded exact counts"
+        );
+    }
+    assert!(evicted_somewhere, "window never evicted: the bounded property was not exercised");
+}
+
+/// Every checked-in fuzz reproducer must still trip its *streaming*
+/// checker, and the streaming verdict must agree with the batch verdict
+/// it was shrunk against.
+#[test]
+fn corpus_reproducers_still_trip_the_streaming_checkers() {
+    use rethinking_ec::core::fuzz::{run_case_differential, FuzzCase, Verdict};
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let json = std::fs::read_to_string(&path).expect("corpus file reads");
+        let case: FuzzCase = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("{} is not a FuzzCase: {e}", path.display()));
+        let outcome = run_case_differential(&case);
+        assert!(outcome.agree(), "{}: stream diverged from batch: {outcome:?}", path.display());
+        assert_ne!(
+            outcome.stream,
+            Verdict::Pass,
+            "{}: reproducer no longer trips the streaming checker",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 3, "corpus shrank to {checked} reproducers");
+}
