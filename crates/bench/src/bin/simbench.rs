@@ -32,10 +32,14 @@
 //! Flags: `--smoke` (≈10% of the events, same queue depths), `--out
 //! <path>`, `--check <baseline.json>` (exit 1 on >20% events/sec
 //! regression), `--determinism-check` (same-seed byte-identity at
-//! `--jobs 1` vs `--jobs N`, then exit), `--jobs <n>`, `--in-process`.
-//! `--one <name> --queue <heap|wheel>` is the internal subprocess mode.
+//! `--jobs 1` vs `--jobs N`, then exit), `--profile` (per-handler
+//! profile of every proto config → `results/profile_protos.json` +
+//! `.folded`, then exit; see `docs/PROFILING.md`), `--jobs <n>`,
+//! `--in-process`. `--one <name> --queue <heap|wheel>` is the internal
+//! subprocess mode.
 
-use bench::print_table;
+use bench::{print_table, results_dir, save_json};
+use obs::{FoldWeight, Recorder};
 use rec_core::fuzz::{fuzz_workload, generate_case, FuzzScheme, FUZZ_HORIZON_MS};
 use rec_core::grid::{Grid, RecorderSpec};
 use rec_core::Experiment;
@@ -282,6 +286,77 @@ fn row_from_value(v: &serde::Value) -> Row {
     }
 }
 
+/// `--profile` mode: run every proto config under the in-sim handler
+/// profiler and write `results/profile_protos.json` (a `profile` block
+/// per scheme) plus `results/profile_protos.folded` (call-count-weighted
+/// flamegraph stacks). Counts and allocation tallies are jobs-invariant,
+/// so both files are reproducible artifacts; query them with
+/// `profquery` (see `docs/PROFILING.md`).
+fn profile_protos(jobs: usize, smoke: bool) {
+    let mut grid = Grid::new();
+    for scheme in FuzzScheme::ALL {
+        let case = generate_case(scheme, 42, &IntensityProfile::medium());
+        let mut workload = fuzz_workload();
+        workload.sessions = 8;
+        workload.ops_per_session = if smoke { 40 } else { 400 };
+        workload.arrival = workload::Arrival::Closed { think_us: 2_000 };
+        grid.push(
+            scheme.label(),
+            Experiment::new(scheme.to_scheme())
+                .workload(workload)
+                .latency(LatencyModel::lan())
+                .faults(nemesis::to_schedule(&case.events))
+                .seed(42)
+                .horizon(SimTime::from_millis(FUZZ_HORIZON_MS)),
+        );
+    }
+    let cells = grid.profile(true).run(jobs, RecorderSpec::Counters);
+    let agg = Recorder::enabled();
+    for cell in &cells {
+        agg.absorb(&cell.recorder);
+    }
+    let report = agg.report();
+    let profile = report.profile.as_ref().expect("profiled grid produces a profile");
+
+    let mut hot: Vec<(String, u64, u64, u64)> = profile
+        .schemes
+        .iter()
+        .flat_map(|s| {
+            s.handlers.iter().map(|h| {
+                (format!("{};{}", s.scheme, h.frame()), h.invocations, h.alloc_bytes, h.alloc_count)
+            })
+        })
+        .collect();
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let rows: Vec<Vec<String>> = hot
+        .iter()
+        .take(10)
+        .map(|(frame, calls, bytes, count)| {
+            vec![frame.clone(), calls.to_string(), bytes.to_string(), count.to_string()]
+        })
+        .collect();
+    print_table("hot handlers (by calls)", &["frame", "calls", "alloc_bytes", "allocs"], &rows);
+
+    let doc = serde::Value::Object(vec![
+        ("schema_version".to_string(), serde::Value::U64(SCHEMA_VERSION)),
+        ("tool".to_string(), serde::Value::String("simbench".to_string())),
+        (
+            "mode".to_string(),
+            serde::Value::String(if smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        ("profile".to_string(), profile.to_value()),
+    ]);
+    save_json("profile_protos", &doc);
+    let path = results_dir().join("profile_protos.folded");
+    match std::fs::write(&path, profile.to_folded(FoldWeight::Calls)) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => {
+            eprintln!("simbench: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Same-seed byte-identity across `--jobs` levels, on the wheel backend:
 /// the cheap standing guard the CI smoke job runs on every PR.
 fn determinism_check(jobs: usize) -> bool {
@@ -407,6 +482,7 @@ struct Args {
     smoke: bool,
     in_process: bool,
     determinism: bool,
+    profile: bool,
     jobs: usize,
     out: String,
     check: Option<String>,
@@ -419,6 +495,7 @@ fn parse_args() -> Args {
         smoke: false,
         in_process: false,
         determinism: false,
+        profile: false,
         jobs: 8,
         out: "BENCH_simnet.json".to_string(),
         check: None,
@@ -440,6 +517,8 @@ fn parse_args() -> Args {
             args.in_process = true;
         } else if a == "--determinism-check" {
             args.determinism = true;
+        } else if a == "--profile" {
+            args.profile = true;
         } else if let Some(n) = take(&a, "--jobs", &mut it) {
             args.jobs = n.parse().expect("--jobs expects a positive integer");
         } else if let Some(p) = take(&a, "--out", &mut it) {
@@ -475,6 +554,11 @@ fn main() {
 
     if args.determinism {
         std::process::exit(if determinism_check(args.jobs) { 0 } else { 1 });
+    }
+
+    if args.profile {
+        profile_protos(args.jobs, args.smoke);
+        return;
     }
 
     let mode = if args.smoke { "smoke" } else { "full" };

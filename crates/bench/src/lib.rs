@@ -16,6 +16,13 @@ use std::cell::RefCell;
 use std::fs;
 use std::path::PathBuf;
 
+/// Count heap traffic so `--profile` can attribute allocations to
+/// handlers (see `docs/PROFILING.md`). The counting wrapper is two
+/// thread-local adds over the system allocator — cheap enough to leave
+/// installed unconditionally in every harness binary linking this crate.
+#[global_allocator]
+static ALLOC: obs::CountingAlloc = obs::CountingAlloc;
+
 /// Observability and grid wiring shared by every experiment binary:
 /// `--jobs N` / `--seeds N` / `--trace-out <path>` handling, the
 /// parallel sweep drivers ([`Obs::run_grid`], [`Obs::sweep`]), and the
@@ -40,8 +47,13 @@ pub struct Obs {
     pub seeds: u64,
     /// Drop the windowed `timeseries` buckets from the saved results
     /// (`--summary-only`): counters, histograms, and rows survive, so the
-    /// checked-in `results/*.json` stay compact and diffable.
+    /// checked-in `results/*.json` stay compact and diffable. Also drops
+    /// the `profile` block when `--profile` is on.
     pub summary_only: bool,
+    /// Profile every handler invocation (`--profile`): the saved results
+    /// gain a `profile` block and a `results/<name>.folded` flamegraph
+    /// stack file. See `docs/PROFILING.md`.
+    pub profile: bool,
     trace_out: Option<PathBuf>,
     /// Per-cell JSONL chunks in grid order, for the concatenated export.
     trace_chunks: RefCell<Vec<String>>,
@@ -52,16 +64,22 @@ pub struct Obs {
 impl Obs {
     /// Build from `std::env::args`: recognizes `--trace-out <path>`,
     /// `--jobs <n>`, `--seeds <n>` (and their `=` forms) plus the bare
-    /// `--summary-only` flag; other arguments are ignored.
+    /// `--summary-only` and `--profile` flags; other arguments are
+    /// ignored.
     pub fn from_args() -> Self {
         let mut trace_out = None;
         let mut jobs = default_jobs();
         let mut seeds = 1u64;
         let mut summary_only = false;
+        let mut profile = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             if a == "--summary-only" {
                 summary_only = true;
+                continue;
+            }
+            if a == "--profile" {
+                profile = true;
                 continue;
             }
             let take = |flag: &str, args: &mut dyn Iterator<Item = String>| -> Option<String> {
@@ -86,6 +104,7 @@ impl Obs {
             jobs,
             seeds,
             summary_only,
+            profile,
             trace_out,
             trace_chunks: RefCell::new(Vec::new()),
             cells_done: RefCell::new(0),
@@ -108,7 +127,8 @@ impl Obs {
     /// variant's seed column. Per-cell metrics are folded into
     /// [`Obs::recorder`] and per-cell traces staged for [`Obs::save`].
     pub fn run_grid(&self, grid: Grid) -> Vec<CellResult> {
-        let cells = grid.seeds(self.seeds).run(self.jobs, self.cell_recorder_spec());
+        let cells =
+            grid.seeds(self.seeds).profile(self.profile).run(self.jobs, self.cell_recorder_spec());
         for cell in &cells {
             self.finish_cell(&cell.recorder);
         }
@@ -132,8 +152,16 @@ impl Obs {
         let spec = self.cell_recorder_spec();
         let flat: Vec<(usize, u64)> =
             (0..params.len()).flat_map(|p| (0..self.seeds).map(move |s| (p, s))).collect();
+        // Copy the flag out so the worker closure doesn't capture the
+        // whole `Obs` (its RefCell trace staging is not Sync).
+        let profile = self.profile;
         let mut results: Vec<(Recorder, R)> = par_map(&flat, self.jobs, |_, &(p, s)| {
             let rec = spec.make();
+            if profile {
+                // Direct-Sim harness: samples key under the default
+                // "sim" scheme label unless the run sets one itself.
+                rec.enable_profiling();
+            }
             let r = run(&params[p], base_seed + s, &rec);
             (rec, r)
         });
@@ -185,11 +213,24 @@ impl Obs {
 
     /// Save `results/<name>.json` as `{"rows": ..., "metrics": ...}` and
     /// write the JSONL event trace(s) if `--trace-out` was given (the
-    /// concatenation of all per-cell logs, in grid order).
+    /// concatenation of all per-cell logs, in grid order). With
+    /// `--profile`, a flamegraph stack file lands beside the JSON as
+    /// `results/<name>.folded` (call-count weighted, so the checked-in
+    /// file is deterministic; see `docs/PROFILING.md`).
     pub fn save<T: Serialize>(&self, name: &str, rows: &T) {
-        let mut metrics = self.recorder.report().to_value();
+        let report = self.recorder.report();
+        if let Some(profile) = &report.profile {
+            let folded = profile.to_folded(obs::FoldWeight::Calls);
+            let path = results_dir().join(format!("{name}.folded"));
+            match fs::write(&path, folded) {
+                Ok(()) => println!("[saved {}]", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
+        let mut metrics = report.to_value();
         if self.summary_only {
             strip_timeseries(&mut metrics);
+            strip_profile(&mut metrics);
         }
         let doc = serde::Value::Object(vec![
             ("rows".to_string(), rows.to_value()),
@@ -258,6 +299,15 @@ pub fn pm(stat: SeedStat, fmt: impl Fn(f64) -> String) -> String {
 pub fn strip_timeseries(metrics: &mut serde::Value) {
     if let serde::Value::Object(members) = metrics {
         members.retain(|(k, _)| k != "timeseries");
+    }
+}
+
+/// Remove the `profile` member from a serialized metrics object
+/// (`--summary-only` drops the per-handler detail; the
+/// `handler_invocations` / `alloc_bytes` counters survive).
+pub fn strip_profile(metrics: &mut serde::Value) {
+    if let serde::Value::Object(members) = metrics {
+        members.retain(|(k, _)| k != "profile");
     }
 }
 

@@ -1,0 +1,145 @@
+//! `profquery`: query the `profile` block of a `--profile` results
+//! document (see `docs/PROFILING.md`).
+//!
+//! ```text
+//! profquery top    <results.json> [--by calls|time|alloc] [-k N]
+//! profquery diff   <old.json> <new.json> [--by calls|alloc]
+//! profquery folded <results.json> [--by calls|time|alloc]
+//! ```
+//!
+//! `top` ranks handler cells by the chosen weight. `diff` compares two
+//! runs cell-by-cell and prints relative change, biggest regression
+//! first — use jobs-invariant weights (`calls`, `alloc`) to compare
+//! runs from different machines; `time` is host-dependent. `folded`
+//! re-emits the profile as flamegraph stacks
+//! (`scheme;role;handler[:variant] weight`), byte-identical to the
+//! `.folded` file the harness writes beside the JSON.
+//!
+//! Exit codes: `0` success, `1` analysis failure (unreadable file, no
+//! profile block), `2` usage error.
+
+use obs::FoldWeight;
+use obs_tools::{diff_rows, parse_profile, to_folded, top_rows, ProfRow};
+
+const USAGE: &str = "usage:
+  profquery top    <results.json> [--by calls|time|alloc] [-k N]
+  profquery diff   <old.json> <new.json> [--by calls|alloc]
+  profquery folded <results.json> [--by calls|time|alloc]";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("profquery: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Write to stdout without panicking on a closed pipe (`profquery top
+/// big.json | head` must exit cleanly).
+fn emit(text: &str) {
+    use std::io::Write;
+    if std::io::stdout().write_all(text.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn load(path: &str) -> Vec<ProfRow> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("profquery: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    parse_profile(&text).unwrap_or_else(|e| {
+        eprintln!("profquery: {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn weight_by_name(name: &str) -> FoldWeight {
+    match name {
+        "calls" => FoldWeight::Calls,
+        "time" => FoldWeight::Time,
+        "alloc" => FoldWeight::AllocBytes,
+        other => usage_error(&format!("--by expects calls|time|alloc, got {other:?}")),
+    }
+}
+
+/// Parse trailing `[--by X] [-k N]` flags shared by the subcommands.
+fn parse_flags(rest: &[String]) -> (FoldWeight, usize) {
+    let mut weight = FoldWeight::Calls;
+    let mut k = 10usize;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if let Some(w) = a
+            .strip_prefix("--by=")
+            .map(str::to_string)
+            .or_else(|| (a == "--by").then(|| it.next().cloned()).flatten())
+        {
+            weight = weight_by_name(&w);
+        } else if let Some(n) = a
+            .strip_prefix("-k=")
+            .map(str::to_string)
+            .or_else(|| (a == "-k").then(|| it.next().cloned()).flatten())
+        {
+            k = n.parse().unwrap_or_else(|_| usage_error("-k expects a positive integer"));
+        } else {
+            usage_error(&format!("unknown flag `{a}`"));
+        }
+    }
+    (weight, k)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or_else(|| usage_error("missing command"));
+    match cmd {
+        "top" => {
+            let [path, rest @ ..] = &args[1..] else { usage_error("top takes <results.json>") };
+            let (weight, k) = parse_flags(rest);
+            let rows = load(path);
+            let top = top_rows(&rows, weight, k);
+            let mut out = format!(
+                "{:>12}  {:>14}  {:>10}  {:>14}  cell\n",
+                "calls", "alloc_bytes", "allocs", "time_total_ns"
+            );
+            for r in &top {
+                out.push_str(&format!(
+                    "{:>12}  {:>14}  {:>10}  {:>14}  {};{}\n",
+                    r.invocations,
+                    r.alloc_bytes,
+                    r.alloc_count,
+                    r.time_total_ns,
+                    r.scheme,
+                    r.frame()
+                ));
+            }
+            emit(&out);
+        }
+        "diff" => {
+            let [old_path, new_path, rest @ ..] = &args[1..] else {
+                usage_error("diff takes <old.json> <new.json>")
+            };
+            let (weight, _) = parse_flags(rest);
+            let old = load(old_path);
+            let new = load(new_path);
+            let diff = diff_rows(&old, &new, weight);
+            if diff.is_empty() {
+                emit("no differences\n");
+                return;
+            }
+            let mut out = format!("{:>14}  {:>14}  {:>9}  cell\n", "old", "new", "change");
+            for d in &diff {
+                let pct = d.pct();
+                let change =
+                    if pct.is_infinite() { "+new".to_string() } else { format!("{pct:+.1}%") };
+                out.push_str(&format!(
+                    "{:>14}  {:>14}  {:>9}  {};{}\n",
+                    d.old, d.new, change, d.scheme, d.frame
+                ));
+            }
+            emit(&out);
+        }
+        "folded" => {
+            let [path, rest @ ..] = &args[1..] else { usage_error("folded takes <results.json>") };
+            let (weight, _) = parse_flags(rest);
+            emit(&to_folded(&load(path), weight));
+        }
+        other => usage_error(&format!("unknown command `{other}`")),
+    }
+}

@@ -21,17 +21,29 @@
 //! tracequery check   trace.jsonl            # span conservation; exit 1 on violation
 //! tracequery check --stream trace.jsonl     # streaming consistency check (`-` = stdin)
 //! ```
+//!
+//! [`prof`] is the offline side of the in-sim handler profiler
+//! (`--profile` runs; see `docs/PROFILING.md`), fronted by the
+//! `profquery` binary:
+//!
+//! ```text
+//! profquery top    results/profile_protos.json           # hottest handlers
+//! profquery diff   old.json new.json                     # regression percentages
+//! profquery folded results/profile_protos.json           # flamegraph stacks
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod check;
 pub mod chrome;
 pub mod parse;
+pub mod prof;
 pub mod stream;
 pub mod tree;
 
 pub use check::{check_spans, CheckReport};
 pub use chrome::chrome_trace;
 pub use parse::{parse_jsonl, parse_line, ParseError};
+pub use prof::{diff_rows, find_profile, parse_profile, to_folded, top_rows, DiffRow, ProfRow};
 pub use stream::{op_record, render_stream_report, StreamTraceChecker};
 pub use tree::{build_tree, render_tree, trace_summaries, SpanNode, SpanTree, TraceSummary};

@@ -78,11 +78,18 @@ pub enum Counter {
     /// State entries the streaming checkers evicted at watermark
     /// advances (bounded-memory operation; see `docs/CHECKERS.md`).
     CheckerEventsEvicted,
+    /// Actor handler invocations measured by the profiler (0 unless
+    /// profiling is enabled; see `docs/PROFILING.md`).
+    HandlerInvocations,
+    /// Gross bytes allocated inside profiled handlers (0 unless
+    /// profiling is enabled and the binary installs
+    /// [`crate::CountingAlloc`]).
+    AllocBytes,
 }
 
 impl Counter {
     /// All counters, in export order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 33] = [
         Counter::MessagesSent,
         Counter::MessagesDelivered,
         Counter::MessagesDropped,
@@ -114,6 +121,8 @@ impl Counter {
         Counter::RebalancedKeys,
         Counter::StreamViolations,
         Counter::CheckerEventsEvicted,
+        Counter::HandlerInvocations,
+        Counter::AllocBytes,
     ];
 
     /// Number of distinct counters.
@@ -153,14 +162,23 @@ impl Counter {
             Counter::RebalancedKeys => "rebalanced_keys",
             Counter::StreamViolations => "stream_violations",
             Counter::CheckerEventsEvicted => "checker_events_evicted",
+            Counter::HandlerInvocations => "handler_invocations",
+            Counter::AllocBytes => "alloc_bytes",
         }
     }
 }
 
 /// A flat, fixed-size set of counter values.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct CounterSet {
     values: [u64; Counter::COUNT],
+}
+
+// Derived `Default` stops at 32-element arrays; spell it out.
+impl Default for CounterSet {
+    fn default() -> Self {
+        CounterSet { values: [0; Counter::COUNT] }
+    }
 }
 
 impl CounterSet {

@@ -57,7 +57,7 @@ impl Metric {
 const BUCKETS: usize = 65;
 
 /// A log-bucketed histogram over `u64` values.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     count: u64,
     sum: u64,
@@ -101,6 +101,11 @@ impl Histogram {
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all observations (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// Mean of all observations, or 0.0 if empty.

@@ -66,6 +66,7 @@
 mod counters;
 mod event;
 mod hist;
+mod prof;
 mod recorder;
 mod report;
 mod span;
@@ -74,6 +75,10 @@ mod timeseries;
 pub use counters::Counter;
 pub use event::{ClientOpKind, DropReason, EventKind, QuorumKind, TracedEvent};
 pub use hist::{Histogram, HistogramSummary, Metric};
+pub use prof::{
+    alloc_totals, CountingAlloc, FoldWeight, HandlerKind, HandlerProfile, PauseAlloc, Probe,
+    ProfSample, Profile, ProfileReport, SchemeProfile, NO_VARIANT,
+};
 pub use recorder::{Recorder, DEFAULT_EVENT_CAP};
 pub use report::{MetricsReport, NodeCounters};
 pub use span::{SpanId, SpanStatus, TraceId};

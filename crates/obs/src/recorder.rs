@@ -6,6 +6,7 @@ use std::sync::{Arc, Mutex};
 use crate::counters::{Counter, CounterSet};
 use crate::event::{EventKind, TracedEvent};
 use crate::hist::{Histogram, Metric};
+use crate::prof::{HandlerKind, PauseAlloc, ProfSample, Profile};
 use crate::report::{MetricsReport, NodeCounters};
 use crate::timeseries::{TimeSeries, TsMetric};
 
@@ -24,6 +25,8 @@ struct ObsCore {
     per_node: Vec<CounterSet>,
     hists: [Histogram; Metric::COUNT],
     series: [TimeSeries; TsMetric::COUNT],
+    /// `Some` iff the in-sim profiler is enabled (see [`crate::prof`]).
+    profile: Option<Profile>,
 }
 
 impl ObsCore {
@@ -37,6 +40,7 @@ impl ObsCore {
             per_node: Vec::new(),
             hists: std::array::from_fn(|_| Histogram::default()),
             series: std::array::from_fn(|_| TimeSeries::default()),
+            profile: None,
         }
     }
 
@@ -115,6 +119,9 @@ impl ObsCore {
         for (s, o) in self.series.iter_mut().zip(other.series.iter()) {
             s.merge(o);
         }
+        if let Some(theirs) = &other.profile {
+            self.profile.get_or_insert_with(Profile::default).merge(theirs);
+        }
     }
 
     fn report(&self) -> MetricsReport {
@@ -145,6 +152,7 @@ impl ObsCore {
                 .map(|&m| (m.name().to_string(), self.series[m as usize].summary()))
                 .filter(|(_, s)| !s.points.is_empty())
                 .collect(),
+            profile: self.profile.as_ref().map(|p| p.report()),
         }
     }
 }
@@ -207,6 +215,61 @@ impl Recorder {
     pub fn set_event_cap(&self, cap: usize) {
         if let Some(core) = &self.core {
             core.lock().unwrap().event_cap = cap;
+        }
+    }
+
+    /// Enable the in-sim profiler on this recorder: subsequent
+    /// [`Recorder::prof_record`] calls accumulate per-handler samples
+    /// and the [`MetricsReport`] grows a `profile` block. No-op on a
+    /// disabled recorder; idempotent (re-enabling keeps existing
+    /// samples).
+    pub fn enable_profiling(&self) {
+        if let Some(core) = &self.core {
+            core.lock().unwrap().profile.get_or_insert_with(Profile::default);
+        }
+    }
+
+    /// Whether profiling is enabled. The simulator caches this at
+    /// construction, so enable profiling before building the `Sim`.
+    pub fn profiling_enabled(&self) -> bool {
+        match &self.core {
+            Some(core) => core.lock().unwrap().profile.is_some(),
+            None => false,
+        }
+    }
+
+    /// Attribute subsequent profiler samples to `scheme` (experiment
+    /// runners pass their scheme label). No-op unless profiling is
+    /// enabled.
+    pub fn set_profile_scheme(&self, scheme: &str) {
+        if let Some(core) = &self.core {
+            if let Some(profile) = &mut core.lock().unwrap().profile {
+                profile.set_scheme(scheme);
+            }
+        }
+    }
+
+    /// Fold one handler probe sample into the profile and bump the
+    /// `handler_invocations` / `alloc_bytes` counters. The profile
+    /// bookkeeping runs under a [`PauseAlloc`] guard so its own
+    /// allocations are never tallied against an enclosing probe
+    /// (nested-probe reentrancy; see `docs/PROFILING.md`). No-op unless
+    /// profiling is enabled.
+    pub fn prof_record(
+        &self,
+        role: &'static str,
+        kind: HandlerKind,
+        variant: &'static str,
+        sample: ProfSample,
+    ) {
+        if let Some(core) = &self.core {
+            let _pause = PauseAlloc::new();
+            let mut core = core.lock().unwrap();
+            if let Some(profile) = &mut core.profile {
+                profile.record(role, kind, variant, sample);
+                core.global.add(Counter::HandlerInvocations, 1);
+                core.global.add(Counter::AllocBytes, sample.alloc_bytes);
+            }
         }
     }
 
@@ -446,6 +509,46 @@ mod tests {
         on.absorb(&off);
         on.absorb(&on.clone()); // same core: must not deadlock or double
         assert_eq!(on.report().counter(Counter::TxnCommits), 3);
+    }
+
+    #[test]
+    fn profiling_is_opt_in_and_absorbs_across_recorders() {
+        use crate::prof::{HandlerKind, ProfSample, NO_VARIANT};
+        let sample = ProfSample { wall_ns: 10, alloc_bytes: 128, alloc_count: 4 };
+
+        // Off by default: prof_record is inert.
+        let plain = Recorder::enabled();
+        plain.prof_record("replica", HandlerKind::Message, "Put", sample);
+        assert!(!plain.profiling_enabled());
+        assert!(plain.report().profile.is_none());
+        assert_eq!(plain.report().counter(Counter::HandlerInvocations), 0);
+
+        // Two profiled cells folded equal one shared profiled recorder.
+        let shared = Recorder::enabled();
+        shared.enable_profiling();
+        let cell_a = Recorder::enabled();
+        cell_a.enable_profiling();
+        let cell_b = Recorder::enabled();
+        cell_b.enable_profiling();
+        for rec in [&shared, &cell_a] {
+            rec.set_profile_scheme("paxos");
+            rec.prof_record("replica", HandlerKind::Message, "Put", sample);
+        }
+        for rec in [&shared, &cell_b] {
+            rec.set_profile_scheme("causal");
+            rec.prof_record("client", HandlerKind::Timer, NO_VARIANT, sample);
+        }
+        let folded = Recorder::enabled();
+        folded.absorb(&cell_a);
+        folded.absorb(&cell_b);
+        assert_eq!(folded.report(), shared.report());
+        let profile = folded.report().profile.expect("profile absorbed");
+        assert_eq!(profile.total_invocations(), 2);
+        assert_eq!(folded.report().counter(Counter::HandlerInvocations), 2);
+        assert_eq!(folded.report().counter(Counter::AllocBytes), 256);
+        // Absorbing a profiled cell into an unprofiled aggregate turns
+        // profiling on there (the grid path relies on this).
+        assert!(folded.profiling_enabled());
     }
 
     #[test]

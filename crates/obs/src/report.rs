@@ -4,6 +4,7 @@ use serde::{Serialize, Value};
 
 use crate::counters::Counter;
 use crate::hist::HistogramSummary;
+use crate::prof::ProfileReport;
 use crate::timeseries::TimeSeriesSummary;
 
 /// Non-zero counters for one node.
@@ -56,6 +57,11 @@ pub struct MetricsReport {
     /// Windowed time series as `(metric_name, summary)`, empty series
     /// omitted. See [`crate::TsMetric`] for the sampled quantities.
     pub timeseries: Vec<(String, TimeSeriesSummary)>,
+    /// Per-handler profiler output, present only when profiling was
+    /// enabled ([`crate::Recorder::enable_profiling`]); serialized as a
+    /// `profile` member only when present, so unprofiled reports keep
+    /// their historical JSON shape. See `docs/PROFILING.md`.
+    pub profile: Option<ProfileReport>,
 }
 
 impl MetricsReport {
@@ -118,6 +124,7 @@ impl MetricsReport {
             per_node,
             latencies: self.latencies.clone(),
             timeseries: self.timeseries.clone(),
+            profile: self.profile.clone(),
         }
     }
 
@@ -154,7 +161,7 @@ impl Serialize for NodeCounters {
 
 impl Serialize for MetricsReport {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut members = vec![
             ("events_recorded".to_string(), Value::U64(self.events_recorded)),
             ("events_dropped".to_string(), Value::U64(self.events_dropped)),
             (
@@ -179,7 +186,11 @@ impl Serialize for MetricsReport {
                     self.timeseries.iter().map(|(n, s)| (n.clone(), s.to_value())).collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(profile) = &self.profile {
+            members.push(("profile".to_string(), profile.to_value()));
+        }
+        Value::Object(members)
     }
 }
 

@@ -95,12 +95,13 @@ pub struct CellResult {
 pub struct Grid {
     variants: Vec<(String, Experiment)>,
     seeds_per_variant: u64,
+    profile: bool,
 }
 
 impl Grid {
     /// An empty grid (one seed per variant until [`Grid::seeds`]).
     pub fn new() -> Self {
-        Grid { variants: Vec::new(), seeds_per_variant: 1 }
+        Grid { variants: Vec::new(), seeds_per_variant: 1, profile: false }
     }
 
     /// Add a variant. The experiment's own seed becomes the base seed
@@ -112,6 +113,14 @@ impl Grid {
     /// Set the number of seeds per variant (clamped to at least 1).
     pub fn seeds(mut self, n: u64) -> Self {
         self.seeds_per_variant = n.max(1);
+        self
+    }
+
+    /// Enable per-handler profiling in every cell (see
+    /// `docs/PROFILING.md`). Each cell profiles into its own recorder;
+    /// absorbing cell recorders in grid order yields the merged profile.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 
@@ -154,7 +163,8 @@ impl Grid {
                 .clone()
                 .seed(base.seed + seed_index)
                 .recorder(recorder.clone())
-                .trace_base((cell_index as u64) << 40);
+                .trace_base((cell_index as u64) << 40)
+                .profile(self.profile || base.profile);
             let result = experiment.run();
             CellResult {
                 variant,

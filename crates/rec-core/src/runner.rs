@@ -48,6 +48,10 @@ pub struct Experiment {
     /// default; the binary heap is kept as a reference for parity tests
     /// and benchmarks — see docs/PERFORMANCE.md).
     pub queue: QueueKind,
+    /// Enable the in-sim handler profiler for this run (see
+    /// `docs/PROFILING.md`). Turns profiling on in the attached
+    /// recorder and labels its samples with the scheme under test.
+    pub profile: bool,
 }
 
 /// What a run produced.
@@ -87,6 +91,7 @@ impl Experiment {
             recorder: Recorder::disabled(),
             trace_base: 0,
             queue: QueueKind::default(),
+            profile: false,
         }
     }
 
@@ -138,6 +143,13 @@ impl Experiment {
     /// benchmarks pin this; everything else takes the default wheel).
     pub fn queue(mut self, kind: QueueKind) -> Self {
         self.queue = kind;
+        self
+    }
+
+    /// Enable per-handler profiling for this run (see
+    /// `docs/PROFILING.md`).
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 
@@ -194,6 +206,12 @@ impl Experiment {
         trace: simnet::SharedTrace,
         monitor: Option<&mut dyn FnMut(SimTime)>,
     ) -> RunResult {
+        if self.profile {
+            // Must happen before `Sim::new` caches the recorder's
+            // profiling flag; the scheme label keys every sample.
+            self.recorder.enable_profiling();
+            self.recorder.set_profile_scheme(&self.scheme.label());
+        }
         let mut faults = self.faults.clone();
         if let Scheme::Sharded { churn, .. } = &self.scheme {
             // Churn rides the compiled fault pipeline, so membership
@@ -472,7 +490,7 @@ fn run_primary(
 /// hands the boundary time to the monitor. Probes only read simulator
 /// state, so a sliced run is event-for-event identical to an unsliced
 /// one.
-fn drive<M>(
+fn drive<M: simnet::MsgMeta>(
     mut sim: Sim<M>,
     horizon: SimTime,
     mut monitor: Option<&mut dyn FnMut(SimTime)>,

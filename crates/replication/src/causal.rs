@@ -85,6 +85,18 @@ pub enum Msg {
     },
 }
 
+impl simnet::MsgMeta for Msg {
+    fn variant_name(&self) -> &'static str {
+        match self {
+            Msg::Get { .. } => "get",
+            Msg::GetResp { .. } => "get_resp",
+            Msg::Put { .. } => "put",
+            Msg::PutResp { .. } => "put_resp",
+            Msg::Replicate { .. } => "replicate",
+        }
+    }
+}
+
 /// A causal replica.
 pub struct CausalReplica {
     replicas: usize,
@@ -186,6 +198,10 @@ impl CausalReplica {
 }
 
 impl Actor<Msg> for CausalReplica {
+    fn role(&self) -> &'static str {
+        "replica"
+    }
+
     fn on_recover(&mut self, ctx: &mut Context<Msg>, amnesia: bool) {
         if !amnesia {
             return;
@@ -284,6 +300,10 @@ impl CausalClient {
 }
 
 impl Actor<Msg> for CausalClient {
+    fn role(&self) -> &'static str {
+        "client"
+    }
+
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
         self.core.start(ctx);
     }

@@ -411,6 +411,8 @@ mod tests {
         Resp { op_id: u64 },
     }
 
+    impl simnet::MsgMeta for TestMsg {}
+
     struct Server;
     impl Actor<TestMsg> for Server {
         fn on_message(&mut self, ctx: &mut Context<TestMsg>, from: NodeId, msg: TestMsg) {

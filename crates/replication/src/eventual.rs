@@ -158,6 +158,22 @@ pub enum Msg {
     },
 }
 
+impl simnet::MsgMeta for Msg {
+    fn variant_name(&self) -> &'static str {
+        match self {
+            Msg::Get { .. } => "get",
+            Msg::GetResp { .. } => "get_resp",
+            Msg::Put { .. } => "put",
+            Msg::PutResp { .. } => "put_resp",
+            Msg::Replicate { .. } => "replicate",
+            Msg::ReplicateAck { .. } => "replicate_ack",
+            Msg::SyncReq { .. } => "sync_req",
+            Msg::SyncResp { .. } => "sync_resp",
+            Msg::SyncPush { .. } => "sync_push",
+        }
+    }
+}
+
 const TAG_GOSSIP: u64 = 1;
 
 /// A write awaiting peer acks before the client is acknowledged
@@ -305,9 +321,14 @@ impl EventualReplica {
             ctx.send(from, Msg::PutResp { op_id, stamp: out.stamp });
             if self.cfg.eager {
                 // Still inside the replica span, so the eager fan-out is
-                // part of the write's span tree.
-                for p in all_peers {
-                    ctx.send(p, Msg::Replicate { items: out.items.clone(), ack: None });
+                // part of the write's span tree. The last peer takes the
+                // item buffer itself instead of a clone — this fan-out is
+                // the write hot path.
+                if let Some((&last, rest)) = all_peers.split_last() {
+                    for &p in rest {
+                        ctx.send(p, Msg::Replicate { items: out.items.clone(), ack: None });
+                    }
+                    ctx.send(last, Msg::Replicate { items: out.items, ack: None });
                 }
             }
         } else {
@@ -324,8 +345,12 @@ impl EventualReplica {
                     tracker: AckTracker::new(need),
                 },
             );
-            for p in all_peers {
-                ctx.send(p, Msg::Replicate { items: out.items.clone(), ack: Some(req) });
+            // As above: move the buffer into the final send.
+            if let Some((&last, rest)) = all_peers.split_last() {
+                for &p in rest {
+                    ctx.send(p, Msg::Replicate { items: out.items.clone(), ack: Some(req) });
+                }
+                ctx.send(last, Msg::Replicate { items: out.items, ack: Some(req) });
             }
         }
         ctx.span_close(span, SpanStatus::Ok);
@@ -348,6 +373,10 @@ impl EventualReplica {
 }
 
 impl Actor<Msg> for EventualReplica {
+    fn role(&self) -> &'static str {
+        "replica"
+    }
+
     fn key_versions(&self) -> Vec<(u64, u64)> {
         self.store.key_versions()
     }
@@ -549,6 +578,10 @@ impl EventualClient {
 }
 
 impl Actor<Msg> for EventualClient {
+    fn role(&self) -> &'static str {
+        "client"
+    }
+
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
         self.core.start(ctx);
     }

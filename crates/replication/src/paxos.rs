@@ -116,6 +116,22 @@ pub enum Msg {
     },
 }
 
+impl simnet::MsgMeta for Msg {
+    fn variant_name(&self) -> &'static str {
+        match self {
+            Msg::Request { .. } => "request",
+            Msg::Response { .. } => "response",
+            Msg::NotLeader { .. } => "not_leader",
+            Msg::Prepare { .. } => "prepare",
+            Msg::Promise { .. } => "promise",
+            Msg::Accept { .. } => "accept",
+            Msg::Accepted { .. } => "accepted",
+            Msg::Commit { .. } => "commit",
+            Msg::Heartbeat { .. } => "heartbeat",
+        }
+    }
+}
+
 /// Per-slot acceptor state.
 #[derive(Debug, Clone)]
 struct AcceptedEntry {
@@ -377,6 +393,10 @@ impl PaxosNode {
 }
 
 impl Actor<Msg> for PaxosNode {
+    fn role(&self) -> &'static str {
+        "replica"
+    }
+
     fn on_recover(&mut self, ctx: &mut Context<Msg>, amnesia: bool) {
         if amnesia {
             // Classic Paxos durability: `promised`, `accepted`, and my
@@ -641,6 +661,10 @@ impl PaxosClient {
 }
 
 impl Actor<Msg> for PaxosClient {
+    fn role(&self) -> &'static str {
+        "client"
+    }
+
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
         self.core.start(ctx);
     }

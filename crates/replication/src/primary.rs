@@ -190,6 +190,21 @@ pub enum Msg {
     },
 }
 
+impl simnet::MsgMeta for Msg {
+    fn variant_name(&self) -> &'static str {
+        match self {
+            Msg::Put { .. } => "put",
+            Msg::PutResp { .. } => "put_resp",
+            Msg::Get { .. } => "get",
+            Msg::GetResp { .. } => "get_resp",
+            Msg::Append { .. } => "append",
+            Msg::AppendAck { .. } => "append_ack",
+            Msg::Heartbeat { .. } => "heartbeat",
+            Msg::Snapshot { .. } => "snapshot",
+        }
+    }
+}
+
 /// A sync write waiting for backup acks at the primary.
 #[derive(Debug, Clone, Copy)]
 struct PendingWrite {
@@ -445,6 +460,10 @@ impl PrimaryReplica {
 }
 
 impl Actor<Msg> for PrimaryReplica {
+    fn role(&self) -> &'static str {
+        "replica"
+    }
+
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
         if ctx.self_id() == self.cfg.primary() {
             if let PrimaryMode::Async { ship_interval } = self.cfg.mode {
@@ -680,6 +699,10 @@ impl PrimaryClient {
 }
 
 impl Actor<Msg> for PrimaryClient {
+    fn role(&self) -> &'static str {
+        "client"
+    }
+
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
         self.core.start(ctx);
     }

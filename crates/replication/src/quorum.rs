@@ -202,6 +202,26 @@ pub enum Msg {
     },
 }
 
+impl simnet::MsgMeta for Msg {
+    fn variant_name(&self) -> &'static str {
+        match self {
+            Msg::Get { .. } => "get",
+            Msg::Put { .. } => "put",
+            Msg::GetResp { .. } => "get_resp",
+            Msg::PutResp { .. } => "put_resp",
+            Msg::RGet { .. } => "r_get",
+            Msg::RGetResp { .. } => "r_get_resp",
+            Msg::RPut { .. } => "r_put",
+            Msg::RPutAck { .. } => "r_put_ack",
+            Msg::Repair { .. } => "repair",
+            Msg::HintedPut { .. } => "hinted_put",
+            Msg::HintAck { .. } => "hint_ack",
+            Msg::HintDeliver { .. } => "hint_deliver",
+            Msg::HintDeliverAck { .. } => "hint_deliver_ack",
+        }
+    }
+}
+
 #[derive(Debug)]
 enum PendingOp {
     Read {
@@ -569,6 +589,10 @@ impl QuorumNode {
 }
 
 impl Actor<Msg> for QuorumNode {
+    fn role(&self) -> &'static str {
+        "replica"
+    }
+
     fn key_versions(&self) -> Vec<(u64, u64)> {
         // Unique write ids identify versions; divergence probes count
         // distinct ids per key across replicas.
@@ -853,6 +877,10 @@ impl QuorumClient {
 }
 
 impl Actor<Msg> for QuorumClient {
+    fn role(&self) -> &'static str {
+        "client"
+    }
+
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
         self.core.start(ctx);
     }

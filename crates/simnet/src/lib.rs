@@ -70,7 +70,7 @@ pub use latency::LatencyModel;
 pub use nemesis::{IntensityProfile, NemesisEvent};
 pub use optrace::{OpKind, OpRecord, OpTrace, SharedTrace};
 pub use rng::SimRng;
-pub use sim::{Actor, Context, NodeId, Sim, SimConfig};
+pub use sim::{Actor, Context, MsgMeta, NodeId, Sim, SimConfig};
 pub use time::{Duration, SimTime};
 
 // Trace/span vocabulary used by the `Context` tracing API, re-exported

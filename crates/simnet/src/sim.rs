@@ -12,7 +12,10 @@ use crate::faults::{FaultSchedule, FaultState};
 use crate::latency::LatencyModel;
 use crate::rng::SimRng;
 use crate::time::{Duration, SimTime};
-use obs::{Counter, DropReason, EventKind, Recorder, SpanId, SpanStatus, TraceId};
+use obs::{
+    Counter, DropReason, EventKind, HandlerKind, Probe, Recorder, SpanId, SpanStatus, TraceId,
+    NO_VARIANT,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
@@ -81,7 +84,37 @@ pub trait Actor<M> {
     fn key_versions(&self) -> Vec<(u64, u64)> {
         Vec::new()
     }
+
+    /// Stable role name the profiler keys this actor's handler samples
+    /// by (e.g. `"replica"`, `"client"`; see `docs/PROFILING.md`).
+    /// Purely observational — the simulator never branches on it.
+    fn role(&self) -> &'static str {
+        "node"
+    }
 }
+
+/// Message-variant metadata the profiler uses to attribute handler
+/// samples to message kinds.
+///
+/// Protocol `Msg` enums implement [`MsgMeta::variant_name`] with a
+/// `match` returning each variant's name; driving a [`Sim`]
+/// ([`Sim::step`]/[`Sim::run_until`]) requires the bound. The default
+/// (`"msg"`) suits opaque message types, and blanket impls cover the
+/// primitive message types tests and microbenchmarks use.
+pub trait MsgMeta {
+    /// Stable, static name of this message's variant, used as the
+    /// profiler's `variant` key (see `docs/PROFILING.md`).
+    fn variant_name(&self) -> &'static str {
+        "msg"
+    }
+}
+
+macro_rules! msg_meta_opaque {
+    ($($t:ty),*) => {
+        $(impl MsgMeta for $t {})*
+    };
+}
+msg_meta_opaque!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, (), String);
 
 /// Effects an actor requests during a callback; applied by the simulator
 /// afterwards (sampling latencies, assigning timer ids). Sends and
@@ -382,6 +415,9 @@ pub struct Sim<M> {
     pub delivered_messages: u64,
     recorder: Recorder,
     spans: SpanBook,
+    /// Cached `recorder.profiling_enabled()` (checked per handler call;
+    /// enable profiling on the recorder *before* building the `Sim`).
+    prof: bool,
 }
 
 impl<M> Sim<M> {
@@ -405,6 +441,7 @@ impl<M> Sim<M> {
             started: false,
             dropped_messages: 0,
             delivered_messages: 0,
+            prof: config.recorder.profiling_enabled(),
             recorder: config.recorder,
             spans: SpanBook::new(config.trace_base),
         }
@@ -498,33 +535,70 @@ impl<M> Sim<M> {
         }
         self.started = true;
         for i in 0..self.actors.len() {
-            self.call_actor(NodeId(i), 0, 0, |actor, ctx| actor.on_start(ctx));
+            self.call_actor(
+                NodeId(i),
+                0,
+                0,
+                self.prof_key(HandlerKind::Start, NO_VARIANT),
+                |actor, ctx| actor.on_start(ctx),
+            );
+        }
+    }
+
+    /// The profiler key for a handler about to run, or `None` when
+    /// profiling is off (the probe then costs nothing).
+    fn prof_key(
+        &self,
+        kind: HandlerKind,
+        variant: &'static str,
+    ) -> Option<(HandlerKind, &'static str)> {
+        if self.prof {
+            Some((kind, variant))
+        } else {
+            None
         }
     }
 
     /// Run a callback on one actor — under the trace/span context the
     /// triggering event carried — and apply the effects it produced.
-    fn call_actor<F>(&mut self, id: NodeId, trace: u64, span: u64, f: F)
-    where
+    fn call_actor<F>(
+        &mut self,
+        id: NodeId,
+        trace: u64,
+        span: u64,
+        prof: Option<(HandlerKind, &'static str)>,
+        f: F,
+    ) where
         F: FnOnce(&mut dyn Actor<M>, &mut Context<M>),
     {
-        self.call_actor_inner(id, trace, span, false, f)
+        self.call_actor_inner(id, trace, span, false, prof, f)
     }
 
     /// Like [`Sim::call_actor`] but throws the produced effects away:
     /// used for hooks on crashed nodes (they observe, e.g., membership
     /// changes but cannot send or arm timers while down).
-    fn call_actor_discard<F>(&mut self, id: NodeId, f: F)
+    fn call_actor_discard<F>(&mut self, id: NodeId, prof: Option<(HandlerKind, &'static str)>, f: F)
     where
         F: FnOnce(&mut dyn Actor<M>, &mut Context<M>),
     {
-        self.call_actor_inner(id, 0, 0, true, f)
+        self.call_actor_inner(id, 0, 0, true, prof, f)
     }
 
-    fn call_actor_inner<F>(&mut self, id: NodeId, trace: u64, span: u64, discard: bool, f: F)
-    where
+    fn call_actor_inner<F>(
+        &mut self,
+        id: NodeId,
+        trace: u64,
+        span: u64,
+        discard: bool,
+        prof: Option<(HandlerKind, &'static str)>,
+        f: F,
+    ) where
         F: FnOnce(&mut dyn Actor<M>, &mut Context<M>),
     {
+        // The probe brackets only the actor callback itself: effect
+        // application below (latency sampling, queue pushes, network
+        // bookkeeping) is simulator cost, not handler cost.
+        let probe = prof.map(|_| Probe::start());
         let mut ctx = Context {
             now: self.now,
             self_id: id,
@@ -538,6 +612,10 @@ impl<M> Sim<M> {
         };
         f(self.actors[id.0].as_mut(), &mut ctx);
         let mut effects = ctx.effects;
+        if let (Some((kind, variant)), Some(probe)) = (prof, probe) {
+            let sample = probe.finish();
+            self.recorder.prof_record(self.actors[id.0].role(), kind, variant, sample);
+        }
         if discard {
             effects.clear();
             self.effects_scratch = effects;
@@ -635,6 +713,17 @@ impl<M> Sim<M> {
         self.effects_scratch = effects;
     }
 
+    /// Consume the simulator and return the actors (to extract results).
+    pub fn into_actors(mut self) -> Vec<Box<dyn Actor<M>>> {
+        std::mem::take(&mut self.actors)
+    }
+}
+
+/// The run loop. Dispatching a delivery asks the message for its
+/// variant name (profiler attribution), hence the [`MsgMeta`] bound —
+/// construction and inspection ([`Sim::new`], [`Sim::add_node`],
+/// [`Sim::inject_at`]) stay unbounded.
+impl<M: MsgMeta> Sim<M> {
     /// Process a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
@@ -675,7 +764,12 @@ impl<M> Sim<M> {
                             span,
                         },
                     );
-                    self.call_actor(to, trace, span, |actor, ctx| actor.on_message(ctx, from, msg));
+                    // Read the variant name before the message moves
+                    // into the callback closure.
+                    let prof = self.prof_key(HandlerKind::Message, msg.variant_name());
+                    self.call_actor(to, trace, span, prof, |actor, ctx| {
+                        actor.on_message(ctx, from, msg)
+                    });
                 }
             }
             EventPayload::Timer { node, timer_id, tag, trace, span } => {
@@ -683,7 +777,8 @@ impl<M> Sim<M> {
                     // Cancelled, or the node is down: timers are soft state.
                 } else {
                     self.recorder.count_node(node.0 as u64, Counter::TimersFired, 1);
-                    self.call_actor(node, trace, span, |actor, ctx| {
+                    let prof = self.prof_key(HandlerKind::Timer, NO_VARIANT);
+                    self.call_actor(node, trace, span, prof, |actor, ctx| {
                         actor.on_timer(ctx, timer_id, tag)
                     });
                 }
@@ -696,7 +791,8 @@ impl<M> Sim<M> {
                         let node = *node;
                         self.recorder.record(now_us, EventKind::Crash { node: node.0 as u64 });
                         self.faults.apply(&fev);
-                        self.call_actor(node, 0, 0, |actor, ctx| actor.on_crash(ctx));
+                        let prof = self.prof_key(HandlerKind::Crash, NO_VARIANT);
+                        self.call_actor(node, 0, 0, prof, |actor, ctx| actor.on_crash(ctx));
                     }
                     Recover { node, amnesia } => {
                         let (node, amnesia) = (*node, *amnesia);
@@ -705,7 +801,10 @@ impl<M> Sim<M> {
                             self.recorder.count_node(node.0 as u64, Counter::AmnesiaRecoveries, 1);
                         }
                         self.faults.apply(&fev);
-                        self.call_actor(node, 0, 0, |actor, ctx| actor.on_recover(ctx, amnesia));
+                        let prof = self.prof_key(HandlerKind::Recover, NO_VARIANT);
+                        self.call_actor(node, 0, 0, prof, |actor, ctx| {
+                            actor.on_recover(ctx, amnesia)
+                        });
                     }
                     PartitionStart { side_a, .. } => {
                         self.recorder.record(
@@ -731,13 +830,14 @@ impl<M> Sim<M> {
                         // ownership views stay identical; crashed nodes
                         // observe it with their effects discarded (a
                         // down node cannot send or arm timers).
+                        let prof = self.prof_key(HandlerKind::Membership, NO_VARIANT);
                         for i in 0..self.actors.len() {
                             if self.faults.is_crashed(NodeId(i)) {
-                                self.call_actor_discard(NodeId(i), |actor, ctx| {
+                                self.call_actor_discard(NodeId(i), prof, |actor, ctx| {
                                     actor.on_membership(ctx, node, join)
                                 });
                             } else {
-                                self.call_actor(NodeId(i), 0, 0, |actor, ctx| {
+                                self.call_actor(NodeId(i), 0, 0, prof, |actor, ctx| {
                                     actor.on_membership(ctx, node, join)
                                 });
                             }
@@ -781,11 +881,6 @@ impl<M> Sim<M> {
         }
         n
     }
-
-    /// Consume the simulator and return the actors (to extract results).
-    pub fn into_actors(mut self) -> Vec<Box<dyn Actor<M>>> {
-        std::mem::take(&mut self.actors)
-    }
 }
 
 impl<M> Drop for Sim<M> {
@@ -802,6 +897,7 @@ impl<M> Drop for Sim<M> {
         // hints, unshipped batches) before the queue drain below; the
         // hook's effects are discarded — the run is over.
         for i in 0..self.actors.len() {
+            let probe = if self.prof { Some(Probe::start()) } else { None };
             let mut ctx = Context {
                 now: self.now,
                 self_id: NodeId(i),
@@ -814,6 +910,15 @@ impl<M> Drop for Sim<M> {
                 spans: &mut self.spans,
             };
             self.actors[i].on_shutdown(&mut ctx);
+            if let Some(probe) = probe {
+                let sample = probe.finish();
+                self.recorder.prof_record(
+                    self.actors[i].role(),
+                    HandlerKind::Shutdown,
+                    NO_VARIANT,
+                    sample,
+                );
+            }
         }
         while let Some(ev) = self.queue.pop() {
             if let EventPayload::Deliver { from, to, trace, span, .. } = ev.payload {

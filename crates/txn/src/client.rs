@@ -270,6 +270,10 @@ impl TxnClient {
 }
 
 impl Actor<Msg> for TxnClient {
+    fn role(&self) -> &'static str {
+        "client"
+    }
+
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
         self.schedule_next(ctx);
     }

@@ -124,6 +124,23 @@ pub enum Msg {
     },
 }
 
+impl simnet::MsgMeta for Msg {
+    fn variant_name(&self) -> &'static str {
+        match self {
+            Msg::Read { .. } => "read",
+            Msg::ReadResp { .. } => "read_resp",
+            Msg::CommitOne { .. } => "commit_one",
+            Msg::Prepare { .. } => "prepare",
+            Msg::Vote { .. } => "vote",
+            Msg::Decide { .. } => "decide",
+            Msg::DecideAck { .. } => "decide_ack",
+            Msg::Register { .. } => "register",
+            Msg::RegisterAck { .. } => "register_ack",
+            Msg::Outcome { .. } => "outcome",
+        }
+    }
+}
+
 const TAG_EXPIRE: u64 = 1;
 
 /// A node hosting entity groups.
@@ -153,6 +170,10 @@ impl GroupNode {
 }
 
 impl Actor<Msg> for GroupNode {
+    fn role(&self) -> &'static str {
+        "replica"
+    }
+
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
         ctx.set_timer(self.cfg.lock_timeout, TAG_EXPIRE);
     }

@@ -1,0 +1,106 @@
+//! Property tests: `Histogram::merge` is exact.
+//!
+//! The profiler (and every parallel grid aggregation before it) relies
+//! on merge being a true monoid over histogram contents: merging
+//! per-cell histograms in any order or grouping must equal recording
+//! every observation serially into one histogram. These tests pin the
+//! edges — empty identity, top-bucket saturation at `u64::MAX` — and
+//! then check commutativity/associativity/serial-equivalence over
+//! arbitrary values and arbitrary splits.
+
+use proptest::prelude::*;
+use rethinking_ec::obs::Histogram;
+
+#[test]
+fn empty_merge_empty_is_empty() {
+    let mut a = Histogram::default();
+    a.merge(&Histogram::default());
+    assert_eq!(a, Histogram::default());
+    let s = a.summary();
+    assert_eq!((s.count, s.p50, s.p99, s.max), (0, 0, 0, 0));
+    assert_eq!(a.sum(), 0);
+}
+
+#[test]
+fn top_bucket_saturates_without_overflow() {
+    // u64::MAX lands in the last bucket and would overflow any naive
+    // sum; record() and merge() must both saturate instead.
+    let mut a = Histogram::default();
+    a.record(u64::MAX);
+    a.record(u64::MAX);
+    assert_eq!(a.sum(), u64::MAX, "sum must saturate, not wrap");
+    assert_eq!(a.summary().max, u64::MAX);
+    assert_eq!(a.quantile(1.0), u64::MAX);
+
+    let b = a.clone();
+    a.merge(&b);
+    assert_eq!(a.count(), 4);
+    assert_eq!(a.sum(), u64::MAX, "merged sums must saturate too");
+    assert_eq!(a.quantile(0.5), u64::MAX);
+}
+
+/// Record a slice of values into a fresh histogram.
+fn recorded(values: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_commutes_and_equals_serial_recording(
+        values in proptest::collection::vec(any::<u64>(), 0..64),
+        split in any::<usize>(),
+    ) {
+        let split = if values.is_empty() { 0 } else { split % (values.len() + 1) };
+        let serial = recorded(&values);
+        let a = recorded(&values[..split]);
+        let b = recorded(&values[split..]);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        prop_assert_eq!(&ab, &ba, "merge must commute");
+        prop_assert_eq!(&ab, &serial, "merge must equal serial recording");
+    }
+
+    #[test]
+    fn merge_is_associative_and_order_insensitive(
+        values in proptest::collection::vec(any::<u64>(), 3..48),
+        cut in (any::<usize>(), any::<usize>()),
+        swap in proptest::bool::ANY,
+    ) {
+        // Two arbitrary cut points -> three chunks; regroup and reorder.
+        let (x, y) = (cut.0 % (values.len() + 1), cut.1 % (values.len() + 1));
+        let (lo, hi) = (x.min(y), x.max(y));
+        let (a, b, c) = (recorded(&values[..lo]), recorded(&values[lo..hi]), recorded(&values[hi..]));
+
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right, "merge must associate");
+
+        // Any permutation of the chunks agrees with the serial record,
+        // and a permuted serial record agrees as well: histogram
+        // contents are order-free.
+        let mut permuted = if swap { c.clone() } else { b.clone() };
+        permuted.merge(&a);
+        permuted.merge(if swap { &b } else { &c });
+        let serial = recorded(&values);
+        prop_assert_eq!(&permuted, &serial);
+
+        let mut shuffled = values.clone();
+        shuffled.reverse();
+        prop_assert_eq!(&recorded(&shuffled), &serial, "record order must not matter");
+    }
+}
