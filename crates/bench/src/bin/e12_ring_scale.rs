@@ -76,7 +76,7 @@ fn churn(on: bool, nodes: usize) -> ChurnPlan {
 /// ones it is background noise — exactly the availability story the
 /// sweep is after.
 fn nemesis(nodes: usize) -> FaultSchedule {
-    let ring = Ring::new(N, VNODES, (0..nodes).map(NodeId));
+    let ring = Ring::new(N, VNODES, (0..nodes as u32).map(NodeId));
     let owners = ring.owners(0);
     FaultSchedule::none().partition(
         vec![owners[0], owners[1]],
@@ -97,11 +97,11 @@ fn scheme(nodes: usize, with_churn: bool) -> Scheme {
 /// Ownership balance over the full key domain: (max, mean) keys-per-node
 /// counting each key once per owner.
 fn ring_balance(nodes: usize) -> (u64, f64) {
-    let ring = Ring::new(N, VNODES, (0..nodes).map(NodeId));
+    let ring = Ring::new(N, VNODES, (0..nodes as u32).map(NodeId));
     let mut per_node = vec![0u64; nodes];
     for key in 0..KEY_DOMAIN {
         for o in ring.owners(key) {
-            per_node[o.0] += 1;
+            per_node[o.index()] += 1;
         }
     }
     let max = per_node.iter().copied().max().unwrap_or(0);
@@ -137,7 +137,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for (&(nodes, with_churn), seeds) in variants.iter().zip(cells.chunks(obs.seeds as usize)) {
-        let ring = Ring::new(N, VNODES, (0..nodes).map(NodeId));
+        let ring = Ring::new(N, VNODES, (0..nodes as u32).map(NodeId));
         let mean =
             |f: &dyn Fn(usize) -> f64| seed_mean(&(0..seeds.len()).map(f).collect::<Vec<_>>());
         let counter = |c: obs::Counter| mean(&|i| seeds[i].result.metrics.counter(c) as f64);
@@ -147,7 +147,7 @@ fn main() {
                 .final_versions
                 .iter()
                 .copied()
-                .filter(|&(n, _, _)| n.0 < nodes)
+                .filter(|&(n, _, _)| n.index() < nodes)
                 .collect();
             check_owner_convergence(&server, |k| ring.owners(k)).diverged.len() as f64
         });

@@ -48,7 +48,7 @@ fn experiment(scheme: Scheme) -> Experiment {
     let mut side_a = vec![NodeId(0)];
     for c in 0..workload.sessions as usize {
         if c % n == 0 {
-            side_a.push(NodeId(offset + c));
+            side_a.push(NodeId((offset + c) as u32));
         }
     }
     // Sloppy quorums keep their spares reachable from side A (that is the
@@ -56,7 +56,7 @@ fn experiment(scheme: Scheme) -> Experiment {
     // side), so put the spare nodes with the minority.
     if let Scheme::SloppyQuorum { n, spares, .. } = &scheme {
         for sp in 0..*spares {
-            side_a.push(NodeId(n + sp));
+            side_a.push(NodeId((n + sp) as u32));
         }
     }
     let faults =

@@ -81,7 +81,7 @@ fn run(replicas: usize, fanout: usize, interval_ms: u64, seed: u64, rec: &Record
             script,
             trace.clone(),
             replicas,
-            TargetPolicy::Sticky(NodeId(r)),
+            TargetPolicy::Sticky(NodeId(r as u32)),
             Guarantees::none(),
             ConflictMode::Lww,
         )));

@@ -93,7 +93,7 @@ fn run_lww(writers: usize, increments: u64, seed: u64, rec: &Recorder) -> Cell {
             script,
             trace.clone(),
             replicas,
-            TargetPolicy::Sticky(NodeId(wtr % replicas)),
+            TargetPolicy::Sticky(NodeId((wtr % replicas) as u32)),
             Guarantees::none(),
             ConflictMode::Lww,
         )));
@@ -167,7 +167,7 @@ fn run_crdt(writers: usize, increments: u64, seed: u64, rec: &Recorder) -> Cell 
             script,
             trace.clone(),
             replicas,
-            TargetPolicy::Sticky(NodeId(wtr % replicas)),
+            TargetPolicy::Sticky(NodeId((wtr % replicas) as u32)),
             Guarantees::none(),
             ConflictMode::Counter,
         )));

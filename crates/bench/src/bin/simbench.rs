@@ -145,7 +145,7 @@ impl Actor<u64> for StormNode {
 
     fn on_message(&mut self, ctx: &mut Context<u64>, _from: NodeId, hops_left: u64) {
         if hops_left > 0 {
-            let to = NodeId(ctx.rng().index(self.nodes));
+            let to = NodeId(ctx.rng().index(self.nodes) as u32);
             ctx.send(to, hops_left - 1);
         }
     }
@@ -167,7 +167,7 @@ fn run_storm(nodes: usize, inflight: usize, hops: u64, queue: QueueKind) -> (u64
     // stays there until hop budgets drain.
     for i in 0..inflight {
         let at = SimTime::from_micros((i % 1_000) as u64 + 1);
-        sim.inject_at(at, NodeId(i % nodes), NodeId((i * 7 + 1) % nodes), hops);
+        sim.inject_at(at, NodeId((i % nodes) as u32), NodeId(((i * 7 + 1) % nodes) as u32), hops);
     }
     let start = Instant::now();
     let events = sim.run_until(SimTime::from_secs(3_600));

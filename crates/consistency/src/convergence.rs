@@ -19,7 +19,7 @@ pub struct Divergence {
     pub key: u64,
     /// The distinct value sets observed (sorted), with an example replica
     /// that served each.
-    pub views: Vec<(Vec<u64>, usize)>,
+    pub views: Vec<(Vec<u64>, u32)>,
 }
 
 /// Result of the convergence check.
@@ -58,7 +58,7 @@ pub fn check_convergence(trace: &OpTrace, grace: Duration) -> Option<Convergence
     written.dedup();
 
     // Post-quiescence views per key: sorted value set -> example replica.
-    let mut views: BTreeMap<u64, BTreeMap<Vec<u64>, usize>> = BTreeMap::new();
+    let mut views: BTreeMap<u64, BTreeMap<Vec<u64>, u32>> = BTreeMap::new();
     for r in trace.successful() {
         if r.kind == OpKind::Read && r.invoked >= quiescence_at {
             let mut vals = r.value_read.clone();
@@ -87,7 +87,7 @@ pub struct OwnerDivergence {
     /// The key.
     pub key: u64,
     /// `(owner, version)` per owner; `None` when the owner holds no copy.
-    pub versions: Vec<(usize, Option<u64>)>,
+    pub versions: Vec<(u32, Option<u64>)>,
 }
 
 /// Result of the ownership-aware convergence check.
@@ -119,13 +119,13 @@ pub fn check_owner_convergence(
     versions: &[(simnet::NodeId, u64, u64)],
     owners: impl Fn(u64) -> Vec<simnet::NodeId>,
 ) -> OwnerConvergenceReport {
-    let mut by_key: BTreeMap<u64, BTreeMap<usize, u64>> = BTreeMap::new();
+    let mut by_key: BTreeMap<u64, BTreeMap<u32, u64>> = BTreeMap::new();
     for &(node, key, version) in versions {
         by_key.entry(key).or_default().insert(node.0, version);
     }
     let mut report = OwnerConvergenceReport::default();
     for (&key, held) in &by_key {
-        let owner_views: Vec<(usize, Option<u64>)> =
+        let owner_views: Vec<(u32, Option<u64>)> =
             owners(key).into_iter().map(|o| (o.0, held.get(&o.0).copied())).collect();
         let mut distinct: Vec<Option<u64>> = owner_views.iter().map(|&(_, v)| v).collect();
         distinct.sort_unstable();
@@ -161,9 +161,9 @@ mod tests {
         }
     }
 
-    fn read(key: u64, values: Vec<u64>, invoked_ms: u64, replica: usize) -> OpRecord {
+    fn read(key: u64, values: Vec<u64>, invoked_ms: u64, replica: u32) -> OpRecord {
         OpRecord {
-            session: 2 + replica as u64,
+            session: 2 + u64::from(replica),
             op_id: invoked_ms,
             key,
             kind: OpKind::Read,

@@ -524,7 +524,7 @@ pub struct ConvergenceStream {
     grace: Duration,
     last_write_ack: Option<SimTime>,
     written: BTreeSet<u64>,
-    views: BTreeMap<u64, BTreeMap<Vec<u64>, usize>>,
+    views: BTreeMap<u64, BTreeMap<Vec<u64>, u32>>,
     evicted: u64,
 }
 
@@ -790,7 +790,7 @@ mod tests {
         values: Vec<u64>,
         invoked_ms: u64,
         completed_ms: u64,
-        replica: usize,
+        replica: u32,
     ) -> OpRecord {
         OpRecord {
             session,

@@ -51,7 +51,7 @@ pub fn op_record(ev: &TracedEvent) -> Option<OpRecord> {
         value_read: values.clone(),
         invoked: SimTime::from_micros(invoked_us),
         completed: SimTime::from_micros(ev.t_us),
-        replica: NodeId(replica as usize),
+        replica: NodeId(replica as u32),
         ok,
         version_ts: version_ts_us.map(SimTime::from_micros),
         stamp,

@@ -299,62 +299,75 @@ impl EventKind {
 
     /// The counters this event implies, as `(counter, node, delta)`
     /// triples; `node = None` updates only the global set.
-    pub(crate) fn implied_counters(&self) -> Vec<(Counter, Option<u64>, u64)> {
-        match *self {
-            EventKind::MessageSent { from, bytes, .. } => vec![
-                (Counter::MessagesSent, Some(from), 1),
-                (Counter::BytesSent, Some(from), bytes),
+    ///
+    /// No event implies more than two counters, so this returns a
+    /// fixed-size array iterator instead of a `Vec`: the recorder calls
+    /// it once per recorded event (every span open/close on the handler
+    /// hot path), and a heap allocation per event shows up directly in
+    /// the in-sim profiler's per-handler `alloc_bytes`.
+    pub(crate) fn implied_counters(&self) -> impl Iterator<Item = (Counter, Option<u64>, u64)> {
+        type Triple = (Counter, Option<u64>, u64);
+        let pair: [Option<Triple>; 2] = match *self {
+            EventKind::MessageSent { from, bytes, .. } => [
+                Some((Counter::MessagesSent, Some(from), 1)),
+                Some((Counter::BytesSent, Some(from), bytes)),
             ],
-            EventKind::MessageDelivered { to, bytes, .. } => vec![
-                (Counter::MessagesDelivered, Some(to), 1),
-                (Counter::BytesDelivered, Some(to), bytes),
+            EventKind::MessageDelivered { to, bytes, .. } => [
+                Some((Counter::MessagesDelivered, Some(to), 1)),
+                Some((Counter::BytesDelivered, Some(to), bytes)),
             ],
             EventKind::MessageDropped { to, .. } => {
-                vec![(Counter::MessagesDropped, Some(to), 1)]
+                [Some((Counter::MessagesDropped, Some(to), 1)), None]
             }
             EventKind::AntiEntropyRound { node, .. } => {
-                vec![(Counter::AntiEntropyRounds, Some(node), 1)]
+                [Some((Counter::AntiEntropyRounds, Some(node), 1)), None]
             }
-            EventKind::QuorumWait { node, kind, .. } => vec![(
-                match kind {
-                    QuorumKind::Read => Counter::QuorumReads,
-                    QuorumKind::Write => Counter::QuorumWrites,
-                },
-                Some(node),
-                1,
-            )],
+            EventKind::QuorumWait { node, kind, .. } => [
+                Some((
+                    match kind {
+                        QuorumKind::Read => Counter::QuorumReads,
+                        QuorumKind::Write => Counter::QuorumWrites,
+                    },
+                    Some(node),
+                    1,
+                )),
+                None,
+            ],
             EventKind::ConflictDetected { node, .. } => {
-                vec![(Counter::ConflictsDetected, Some(node), 1)]
+                [Some((Counter::ConflictsDetected, Some(node), 1)), None]
             }
             EventKind::ConflictResolved { node, .. } => {
-                vec![(Counter::ConflictsResolved, Some(node), 1)]
+                [Some((Counter::ConflictsResolved, Some(node), 1)), None]
             }
-            EventKind::WalAppend { node, bytes, .. } => {
-                vec![(Counter::WalAppends, Some(node), 1), (Counter::WalBytes, Some(node), bytes)]
-            }
-            EventKind::PartitionStart { .. } => vec![(Counter::PartitionsStarted, None, 1)],
-            EventKind::PartitionHeal => vec![(Counter::PartitionsHealed, None, 1)],
-            EventKind::Crash { node } => vec![(Counter::Crashes, Some(node), 1)],
-            EventKind::Recover { node } => vec![(Counter::Recoveries, Some(node), 1)],
+            EventKind::WalAppend { node, bytes, .. } => [
+                Some((Counter::WalAppends, Some(node), 1)),
+                Some((Counter::WalBytes, Some(node), bytes)),
+            ],
+            EventKind::PartitionStart { .. } => [Some((Counter::PartitionsStarted, None, 1)), None],
+            EventKind::PartitionHeal => [Some((Counter::PartitionsHealed, None, 1)), None],
+            EventKind::Crash { node } => [Some((Counter::Crashes, Some(node), 1)), None],
+            EventKind::Recover { node } => [Some((Counter::Recoveries, Some(node), 1)), None],
             // Membership itself bumps no counter; the rebalancing it
             // triggers is counted by actors (`rebalanced_keys`).
-            EventKind::MembershipChange { .. } => vec![],
+            EventKind::MembershipChange { .. } => [None, None],
             EventKind::WalReplay { node, records } => {
-                vec![(Counter::WalReplayedRecords, Some(node), records)]
+                [Some((Counter::WalReplayedRecords, Some(node), records)), None]
             }
-            EventKind::SpanOpen { node, .. } => vec![(Counter::SpansOpened, Some(node), 1)],
-            EventKind::SpanClose { node, status, .. } => {
-                let mut v = vec![(Counter::SpansClosed, Some(node), 1)];
-                if status == SpanStatus::Abandoned {
-                    v.push((Counter::SpansAbandoned, Some(node), 1));
-                }
-                v
-            }
+            EventKind::SpanOpen { node, .. } => [Some((Counter::SpansOpened, Some(node), 1)), None],
+            EventKind::SpanClose { node, status, .. } => [
+                Some((Counter::SpansClosed, Some(node), 1)),
+                (status == SpanStatus::Abandoned).then_some((
+                    Counter::SpansAbandoned,
+                    Some(node),
+                    1,
+                )),
+            ],
             // Operation completions bump no counter: the op trace is the
             // source of truth for operation counts, and the streaming
             // checkers count their own findings (`stream_violations`).
-            EventKind::OpComplete { .. } => vec![],
-        }
+            EventKind::OpComplete { .. } => [None, None],
+        };
+        pair.into_iter().flatten()
     }
 }
 

@@ -314,7 +314,7 @@ fn run_composition(
             }
             for (i, script) in scripts.into_iter().enumerate() {
                 let policy = match placement {
-                    ClientPlacement::Sticky => TargetPolicy::Sticky(NodeId(i % n)),
+                    ClientPlacement::Sticky => TargetPolicy::Sticky(NodeId((i % n) as u32)),
                     ClientPlacement::Random => TargetPolicy::Random,
                 };
                 sim.add_node(Box::new(EventualClient::new(
@@ -347,7 +347,7 @@ fn run_composition(
             }
             for (i, script) in scripts.into_iter().enumerate() {
                 let home = match placement {
-                    ClientPlacement::Sticky => Some(NodeId(i % n)),
+                    ClientPlacement::Sticky => Some(NodeId((i % n) as u32)),
                     ClientPlacement::Random => None,
                 };
                 sim.add_node(Box::new(QuorumClient::new(
@@ -389,7 +389,7 @@ fn run_composition(
                     i as u64 + 1,
                     script,
                     trace.clone(),
-                    NodeId(i % n),
+                    NodeId((i % n) as u32),
                 )));
             }
             drive(sim, horizon, monitor)
@@ -443,7 +443,7 @@ fn run_sharded(
                     script,
                     trace.clone(),
                     nodes,
-                    Some(NodeId(i % nodes)),
+                    Some(NodeId((i % nodes) as u32)),
                 )));
             }
             drive(sim, horizon, monitor)
@@ -475,7 +475,7 @@ fn run_primary(
             script,
             trace.clone(),
             pcfg,
-            ReadFrom::Replica(NodeId(i % n)),
+            ReadFrom::Replica(NodeId((i % n) as u32)),
         )));
     }
     drive(sim, horizon, monitor)

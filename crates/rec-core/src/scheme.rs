@@ -47,7 +47,7 @@ impl ChurnPlan {
         let mut events = Vec::with_capacity(count * 2);
         let period_us = period.as_micros();
         for k in 0..count {
-            let node = NodeId(k % nodes);
+            let node = NodeId((k % nodes) as u32);
             let leave = SimTime::from_micros(start.as_micros() + k as u64 * period_us);
             let rejoin = SimTime::from_micros(leave.as_micros() + period_us / 2);
             events.push((leave, node, false));

@@ -15,7 +15,7 @@
 
 use crate::common::{ClientCore, OpOutcome, ScriptOp, TimerAction};
 use crate::kernel::durability::WalState;
-use crate::kernel::propagation::peers;
+use crate::kernel::propagation::PeerCache;
 use clocks::{LamportClock, LamportTimestamp, VersionVector};
 use kvstore::{Key, MvStore, Value};
 use obs::EventKind;
@@ -122,6 +122,8 @@ pub struct CausalReplica {
     /// High-water mark of buffered-then-applied writes (metric: how much
     /// delaying causality actually required).
     pub delayed_applies: u64,
+    /// Reusable fan-out peer list (membership is fixed for a run).
+    peer_cache: PeerCache,
 }
 
 impl CausalReplica {
@@ -137,6 +139,7 @@ impl CausalReplica {
             buffer: Vec::new(),
             versions: BTreeMap::new(),
             delayed_applies: 0,
+            peer_cache: PeerCache::default(),
         }
     }
 
@@ -250,10 +253,17 @@ impl Actor<Msg> for CausalReplica {
                 self.apply(&w);
                 ctx.send(from, Msg::PutResp { op_id, stamp: (ts.counter, ts.actor) });
                 // Replicate fan-out still inside the replica span, so the
-                // propagation hops belong to the write's span tree.
-                for peer in peers(self.replicas, me) {
-                    ctx.send(peer, Msg::Replicate { write: w.clone() });
+                // propagation hops belong to the write's span tree. The
+                // write (and its dependency vector) moves into the last
+                // send instead of a clone — this is the write hot path.
+                let all_peers = self.peer_cache.take(self.replicas, me);
+                if let Some((&last, rest)) = all_peers.split_last() {
+                    for &peer in rest {
+                        ctx.send(peer, Msg::Replicate { write: w.clone() });
+                    }
+                    ctx.send(last, Msg::Replicate { write: w });
                 }
+                self.peer_cache.restore(all_peers);
                 ctx.span_close(span, SpanStatus::Ok);
             }
             Msg::Replicate { write } => {
@@ -481,10 +491,10 @@ mod tests {
             let script: Vec<ScriptOp> = (0..10)
                 .map(|i| ScriptOp { gap_us: 2_000, kind: OpKind::Write, key: i % 4 })
                 .collect();
-            clients.push(CausalClient::new(s, script, trace.clone(), NodeId((s as usize) - 1)));
+            clients.push(CausalClient::new(s, script, trace.clone(), NodeId(s as u32 - 1)));
         }
         // Late readers at every replica for every key must agree.
-        for (s, home) in [(10u64, 0usize), (11, 1), (12, 2)] {
+        for (s, home) in [(10u64, 0u32), (11, 1), (12, 2)] {
             let script: Vec<ScriptOp> =
                 (0..4).map(|k| ScriptOp { gap_us: 800_000, kind: OpKind::Read, key: k }).collect();
             clients.push(CausalClient::new(s, script, trace.clone(), NodeId(home)));

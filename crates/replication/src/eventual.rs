@@ -30,7 +30,7 @@
 
 use crate::common::{ClientCore, Guarantees, IssueOp, OpOutcome, ScriptOp, TimerAction};
 use crate::kernel::durability::{DurabilityPolicy, WalState};
-use crate::kernel::propagation::{peers, AckTracker, Gossip};
+use crate::kernel::propagation::{AckTracker, Gossip, PeerCache};
 use crate::kernel::resolution::{Digests, ResolvingStore, WriteEffect};
 use clocks::{LamportClock, LamportTimestamp, VersionVector};
 use kvstore::Key;
@@ -198,6 +198,8 @@ pub struct EventualReplica {
     /// Eager-acked writes awaiting their peer quorum.
     pending: BTreeMap<u64, PendingWrite>,
     next_req: u64,
+    /// Reusable fan-out peer list (membership is fixed for a run).
+    peer_cache: PeerCache,
 }
 
 impl EventualReplica {
@@ -212,6 +214,7 @@ impl EventualReplica {
             clock: LamportClock::new(),
             pending: BTreeMap::new(),
             next_req: 1,
+            peer_cache: PeerCache::default(),
         }
     }
 
@@ -315,7 +318,7 @@ impl EventualReplica {
         let out =
             self.store.write_local(me, key, value, observed, &client_ctx, now_us, &mut self.clock);
         self.apply_effect(ctx, out.effect);
-        let all_peers: Vec<NodeId> = peers(self.cfg.replicas, me).collect();
+        let all_peers = self.peer_cache.take(self.cfg.replicas, me);
         let need = if self.cfg.eager { self.cfg.eager_acks.min(all_peers.len()) } else { 0 };
         if need == 0 {
             ctx.send(from, Msg::PutResp { op_id, stamp: out.stamp });
@@ -353,13 +356,15 @@ impl EventualReplica {
                 ctx.send(last, Msg::Replicate { items: out.items, ack: Some(req) });
             }
         }
+        self.peer_cache.restore(all_peers);
         ctx.span_close(span, SpanStatus::Ok);
     }
 
     fn start_gossip_round(&mut self, ctx: &mut Context<Msg>) {
         let me = ctx.self_id();
-        let all_peers: Vec<NodeId> = peers(self.cfg.replicas, me).collect();
+        let all_peers = self.peer_cache.take(self.cfg.replicas, me);
         if all_peers.is_empty() {
+            self.peer_cache.restore(all_peers);
             return;
         }
         let gossip = self.gossip().expect("gossip round without gossip config");
@@ -369,6 +374,7 @@ impl EventualReplica {
         for target in gossip.choose_targets(ctx, &all_peers) {
             ctx.send(target, Msg::SyncReq { digest: digest.clone(), vv_digest: vv_digest.clone() });
         }
+        self.peer_cache.restore(all_peers);
     }
 }
 
@@ -549,7 +555,7 @@ impl EventualClient {
     fn pick_target(&mut self, ctx: &mut Context<Msg>) -> NodeId {
         match self.policy {
             TargetPolicy::Sticky(n) => n,
-            TargetPolicy::Random => NodeId(ctx.rng().index(self.replicas)),
+            TargetPolicy::Random => NodeId(ctx.rng().index(self.replicas) as u32),
         }
     }
 
@@ -727,7 +733,7 @@ mod tests {
             ConflictMode::Lww,
         );
         let mut clients = vec![writer];
-        for (s, replica) in [(2u64, 1usize), (3, 2)] {
+        for (s, replica) in [(2u64, 1u32), (3, 2)] {
             clients.push(EventualClient::new(
                 s,
                 vec![ScriptOp { gap_us: 100_000, kind: OpKind::Read, key: 1 }],
@@ -880,7 +886,7 @@ mod tests {
                 script(&[(OpKind::Write, 9)]),
                 trace.clone(),
                 3,
-                TargetPolicy::Sticky(NodeId((s - 1) as usize)),
+                TargetPolicy::Sticky(NodeId((s - 1) as u32)),
                 Guarantees::none(),
                 ConflictMode::Counter,
             ));

@@ -78,7 +78,51 @@ pub struct GossipConfig {
 
 /// All peers of `me` among server nodes `0..n`, in id order.
 pub fn peers(n: usize, me: NodeId) -> impl Iterator<Item = NodeId> {
-    (0..n).map(NodeId).filter(move |&p| p != me)
+    (0..n as u32).map(NodeId).filter(move |&p| p != me)
+}
+
+/// A reusable peer list for broadcast fan-out.
+///
+/// Server membership is fixed for a run, but the hot write path used to
+/// rebuild `peers(n, me).collect()` on every operation — one `Vec`
+/// allocation per put in every eager protocol. The cache builds the
+/// list once and hands the same buffer back on every later call.
+///
+/// The take/restore protocol (rather than a borrowing getter) exists
+/// because most fan-out loops call `&mut self` methods per peer
+/// (`ship_to`, quorum bookkeeping), which a borrow held across the loop
+/// would forbid. Callers must pass the buffer back via
+/// [`PeerCache::restore`]; forgetting to merely costs a rebuild on the
+/// next call.
+#[derive(Debug, Clone, Default)]
+pub struct PeerCache {
+    peers: Vec<NodeId>,
+    built_for: Option<(usize, NodeId)>,
+}
+
+impl PeerCache {
+    /// Take the peer list for `me` among servers `0..n`, building it if
+    /// the cache is cold or was built for different parameters.
+    pub fn take(&mut self, n: usize, me: NodeId) -> Vec<NodeId> {
+        if self.built_for != Some((n, me)) {
+            self.peers.clear();
+            self.peers.extend(peers(n, me));
+            self.built_for = Some((n, me));
+        }
+        std::mem::take(&mut self.peers)
+    }
+
+    /// Return a buffer obtained from [`PeerCache::take`]. The contents
+    /// must be unmodified (debug-asserted via the cache key).
+    pub fn restore(&mut self, peers: Vec<NodeId>) {
+        debug_assert!(
+            self.built_for.is_none_or(|(n, me)| {
+                peers.iter().copied().eq(super::propagation::peers(n, me))
+            }),
+            "restored peer buffer was modified"
+        );
+        self.peers = peers;
+    }
 }
 
 /// Gossip round scheduling: a repeating timer with a jittered first

@@ -34,8 +34,8 @@ fn mix64(mut z: u64) -> u64 {
 /// XOR (not OR) combines the fields: it is injective over
 /// `(node, vnode)` pairs below 2^32, so no two points ever collide by
 /// construction.
-fn point_hash(node: usize, vnode: usize) -> u64 {
-    mix64(((node as u64) << 32) ^ vnode as u64 ^ 0xda7a_ba5e_0000_0000)
+fn point_hash(node: u32, vnode: usize) -> u64 {
+    mix64((u64::from(node) << 32) ^ vnode as u64 ^ 0xda7a_ba5e_0000_0000)
 }
 
 /// Where a key sits on the circle.
@@ -53,11 +53,11 @@ pub struct Ring {
     /// Virtual nodes (points) per physical member.
     vnodes: usize,
     /// Current physical members.
-    members: BTreeSet<usize>,
+    members: BTreeSet<u32>,
     /// The circle: `(point, node)` sorted by point (node id breaks the
     /// astronomically unlikely hash tie). Rebuilt from `members` on every
     /// change so the table is a pure function of the member set.
-    points: Vec<(u64, usize)>,
+    points: Vec<(u64, u32)>,
 }
 
 impl Ring {
@@ -71,7 +71,7 @@ impl Ring {
     ) -> Ring {
         assert!(replication >= 1, "ring replication factor must be at least 1");
         assert!(vnodes >= 1, "ring needs at least one virtual node per member");
-        let members: BTreeSet<usize> = members.into_iter().map(|n| n.0).collect();
+        let members: BTreeSet<u32> = members.into_iter().map(|n| n.0).collect();
         assert!(!members.is_empty(), "ring needs at least one member");
         let mut ring = Ring { replication, vnodes, members, points: Vec::new() };
         ring.rebuild();
@@ -144,9 +144,18 @@ impl Ring {
     /// `key`'s point, in walk order. Fewer than `want` are returned only
     /// when the ring has fewer members.
     pub fn preference_list(&self, key: Key, want: usize) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(want);
+        self.preference_list_into(key, want, &mut out);
+        out
+    }
+
+    /// [`Ring::preference_list`] into a caller-owned buffer (cleared
+    /// first), so per-operation walks on the sharded hot path can reuse
+    /// one allocation.
+    pub fn preference_list_into(&self, key: Key, want: usize, out: &mut Vec<NodeId>) {
+        out.clear();
         let h = key_hash(key);
         let start = self.points.partition_point(|&(p, _)| p < h);
-        let mut out: Vec<NodeId> = Vec::with_capacity(want);
         for i in 0..self.points.len() {
             let (_, node) = self.points[(start + i) % self.points.len()];
             let id = NodeId(node);
@@ -157,7 +166,6 @@ impl Ring {
                 }
             }
         }
-        out
     }
 
     /// The key's home replica set: the first `replication` distinct
@@ -166,11 +174,17 @@ impl Ring {
         self.preference_list(key, self.replication)
     }
 
+    /// [`Ring::owners`] into a caller-owned buffer (cleared first).
+    pub fn owners_into(&self, key: Key, out: &mut Vec<NodeId>) {
+        self.preference_list_into(key, self.replication, out);
+    }
+
     /// The next `want` distinct members *after* the owners — the sloppy-
     /// quorum spares that accept hinted writes when owners are down.
     pub fn spares(&self, key: Key, want: usize) -> Vec<NodeId> {
-        let list = self.preference_list(key, self.replication + want);
-        list.into_iter().skip(self.replication).collect()
+        let mut list = self.preference_list(key, self.replication + want);
+        list.drain(..self.replication.min(list.len()));
+        list
     }
 
     /// True if `node` is one of `key`'s home owners.
@@ -184,7 +198,7 @@ mod tests {
     use super::*;
 
     fn ring(n: usize, repl: usize, vnodes: usize) -> Ring {
-        Ring::new(repl, vnodes, (0..n).map(NodeId))
+        Ring::new(repl, vnodes, (0..n as u32).map(NodeId))
     }
 
     #[test]
@@ -193,7 +207,7 @@ mod tests {
         for key in 0..500u64 {
             let owners = r.owners(key);
             assert_eq!(owners.len(), 3);
-            let set: BTreeSet<usize> = owners.iter().map(|n| n.0).collect();
+            let set: BTreeSet<u32> = owners.iter().map(|n| n.0).collect();
             assert_eq!(set.len(), 3, "owners must be distinct physical nodes");
         }
     }

@@ -17,7 +17,7 @@
 //! timeouts with round-robin retry.
 
 use crate::common::{ClientCore, IssueOp, OpOutcome, ScriptOp, TimerAction};
-use crate::kernel::propagation::{peers, AckTracker};
+use crate::kernel::propagation::{AckTracker, PeerCache};
 use clocks::LamportTimestamp;
 use kvstore::{Key, MvStore, Value};
 use obs::{EventKind, QuorumKind};
@@ -206,13 +206,17 @@ pub struct PaxosNode {
     /// slot. At-least-once semantics remain possible across failover (the
     /// new leader may lack the entry); duplicate applies of the same
     /// unique value are idempotent for the register state machine.
-    seen_writes: BTreeMap<(usize, u64), u64>,
+    seen_writes: BTreeMap<(u32, u64), u64>,
     /// Election timer bookkeeping: id of the live timer.
     election_timer: Option<u64>,
     /// Leader: tracing span per proposed slot, closed `Ok` when the slot
     /// commits and the client is answered, `Abandoned` on demotion or
     /// amnesia (the new leader re-proposes under the client's retry).
     slot_spans: BTreeMap<u64, SpanId>,
+    /// Reusable fan-out peer list (membership is fixed for a run).
+    peer_cache: PeerCache,
+    /// Reusable scratch for the heartbeat retransmit sweeps.
+    cmd_scratch: Vec<(u64, Command)>,
 }
 
 impl PaxosNode {
@@ -235,6 +239,8 @@ impl PaxosNode {
             election_timer: None,
             seen_writes: BTreeMap::new(),
             slot_spans: BTreeMap::new(),
+            peer_cache: PeerCache::default(),
+            cmd_scratch: Vec::new(),
         }
     }
 
@@ -251,10 +257,6 @@ impl PaxosNode {
     /// Number of committed slots.
     pub fn committed_count(&self) -> usize {
         self.committed.len()
-    }
-
-    fn peers(&self, me: NodeId) -> impl Iterator<Item = NodeId> {
-        peers(self.cfg.nodes, me)
     }
 
     fn reset_election_timer(&mut self, ctx: &mut Context<Msg>) {
@@ -276,10 +278,11 @@ impl PaxosNode {
         self.p1.ack(me); // self-promise
         self.p1_adopted = self.accepted.clone();
         self.promised = self.my_ballot;
-        let peers: Vec<NodeId> = self.peers(me).collect();
-        for p in peers {
+        let peers = self.peer_cache.take(self.cfg.nodes, me);
+        for &p in &peers {
             ctx.send(p, Msg::Prepare { ballot: self.my_ballot });
         }
+        self.peer_cache.restore(peers);
         self.reset_election_timer(ctx);
         self.maybe_become_leader(ctx);
     }
@@ -311,10 +314,11 @@ impl PaxosNode {
         let mut tracker = AckTracker::new(self.cfg.majority());
         tracker.ack(me);
         self.p2.insert(slot, tracker);
-        let peers: Vec<NodeId> = self.peers(me).collect();
-        for p in peers {
+        let peers = self.peer_cache.take(self.cfg.nodes, me);
+        for &p in &peers {
             ctx.send(p, Msg::Accept { ballot: self.my_ballot, slot, cmd: cmd.clone() });
         }
+        self.peer_cache.restore(peers);
         self.maybe_commit(ctx, slot);
     }
 
@@ -339,10 +343,11 @@ impl PaxosNode {
         });
         self.committed.insert(slot, cmd.clone());
         let me = ctx.self_id();
-        let peers: Vec<NodeId> = self.peers(me).collect();
-        for p in peers {
+        let peers = self.peer_cache.take(self.cfg.nodes, me);
+        for &p in &peers {
             ctx.send(p, Msg::Commit { slot, cmd: cmd.clone() });
         }
+        self.peer_cache.restore(peers);
         self.apply_ready(ctx, true);
     }
 
@@ -444,48 +449,50 @@ impl Actor<Msg> for PaxosNode {
         match tag {
             TAG_HEARTBEAT if self.role == Role::Leader => {
                 let me = ctx.self_id();
-                let peers: Vec<NodeId> = self.peers(me).collect();
-                for p in &peers {
-                    ctx.send(*p, Msg::Heartbeat { ballot: self.my_ballot });
+                let peers = self.peer_cache.take(self.cfg.nodes, me);
+                for &p in &peers {
+                    ctx.send(p, Msg::Heartbeat { ballot: self.my_ballot });
                 }
                 // Retransmit Phase 2 for uncommitted slots (message loss
                 // would otherwise stall a slot — and the apply index —
                 // forever). Bounded: only slots at or above the apply
-                // frontier can block progress.
-                let stalled: Vec<(u64, Command)> = self
-                    .accepted
-                    .range(self.apply_index..)
-                    .filter(|(slot, _)| !self.committed.contains_key(slot))
-                    .map(|(&slot, e)| (slot, e.cmd.clone()))
-                    .take(32)
-                    .collect();
-                for (slot, cmd) in stalled {
+                // frontier can block progress. The sweep buffer is
+                // reused across firings.
+                let mut sweep = std::mem::take(&mut self.cmd_scratch);
+                sweep.clear();
+                sweep.extend(
+                    self.accepted
+                        .range(self.apply_index..)
+                        .filter(|(slot, _)| !self.committed.contains_key(slot))
+                        .map(|(&slot, e)| (slot, e.cmd.clone()))
+                        .take(32),
+                );
+                for (slot, cmd) in sweep.drain(..) {
                     let majority = self.cfg.majority();
                     self.p2.entry(slot).or_insert_with(|| {
                         let mut tracker = AckTracker::new(majority);
                         tracker.ack(me);
                         tracker
                     });
-                    for p in &peers {
-                        ctx.send(
-                            *p,
-                            Msg::Accept { ballot: self.my_ballot, slot, cmd: cmd.clone() },
-                        );
+                    for &p in &peers {
+                        ctx.send(p, Msg::Accept { ballot: self.my_ballot, slot, cmd: cmd.clone() });
                     }
                 }
                 // Re-announce commits the followers may have missed (a
                 // dropped Commit leaves their apply index stalled).
-                let recommit: Vec<(u64, Command)> = self
-                    .committed
-                    .range(self.apply_index.saturating_sub(8)..)
-                    .map(|(&s, c)| (s, c.clone()))
-                    .take(16)
-                    .collect();
-                for (slot, cmd) in recommit {
-                    for p in &peers {
-                        ctx.send(*p, Msg::Commit { slot, cmd: cmd.clone() });
+                sweep.extend(
+                    self.committed
+                        .range(self.apply_index.saturating_sub(8)..)
+                        .map(|(&s, c)| (s, c.clone()))
+                        .take(16),
+                );
+                for (slot, cmd) in sweep.drain(..) {
+                    for &p in &peers {
+                        ctx.send(p, Msg::Commit { slot, cmd: cmd.clone() });
                     }
                 }
+                self.cmd_scratch = sweep;
+                self.peer_cache.restore(peers);
                 ctx.set_timer(self.cfg.heartbeat, TAG_HEARTBEAT);
             }
             TAG_ELECTION => {
@@ -547,7 +554,7 @@ impl Actor<Msg> for PaxosNode {
                         self.role = Role::Follower;
                         self.abandon_proposals(ctx);
                     }
-                    self.leader_hint = Some(NodeId(ballot.1 as usize));
+                    self.leader_hint = Some(NodeId(ballot.1 as u32));
                     let accepted: Vec<(u64, Ballot, Command)> =
                         self.accepted.iter().map(|(&s, e)| (s, e.ballot, e.cmd.clone())).collect();
                     ctx.send(from, Msg::Promise { ballot, accepted });
@@ -573,7 +580,7 @@ impl Actor<Msg> for PaxosNode {
                         self.role = Role::Follower;
                         self.abandon_proposals(ctx);
                     }
-                    self.leader_hint = Some(NodeId(ballot.1 as usize));
+                    self.leader_hint = Some(NodeId(ballot.1 as u32));
                     let span = ctx.span_open("acceptor_accept");
                     self.accepted.insert(slot, AcceptedEntry { ballot, cmd });
                     ctx.send(from, Msg::Accepted { ballot, slot });
@@ -606,7 +613,7 @@ impl Actor<Msg> for PaxosNode {
                             self.abandon_proposals(ctx);
                         }
                     }
-                    self.leader_hint = Some(NodeId(ballot.1 as usize));
+                    self.leader_hint = Some(NodeId(ballot.1 as u32));
                     self.reset_election_timer(ctx);
                 }
             }
@@ -674,7 +681,7 @@ impl Actor<Msg> for PaxosClient {
             let op_id = tag - TAG_ATTEMPT_BASE;
             if self.core.pending_op() == Some(op_id) {
                 // No answer: rotate and retry.
-                self.believed_leader = NodeId((self.believed_leader.0 + 1) % self.nodes);
+                self.believed_leader = NodeId((self.believed_leader.0 + 1) % self.nodes as u32);
                 let target = self.believed_leader;
                 if let Some(op) = self.core.retry(ctx, target) {
                     self.send_op(ctx, op);
@@ -711,7 +718,7 @@ impl Actor<Msg> for PaxosClient {
                 // Follow the hint (or round-robin) and retry.
                 self.believed_leader = hint
                     .filter(|h| *h != self.believed_leader)
-                    .unwrap_or(NodeId((self.believed_leader.0 + 1) % self.nodes));
+                    .unwrap_or(NodeId((self.believed_leader.0 + 1) % self.nodes as u32));
                 let target = self.believed_leader;
                 if let Some(op) = self.core.retry(ctx, target) {
                     self.send_op(ctx, op);

@@ -30,7 +30,7 @@
 
 use crate::common::{ClientCore, OpOutcome, ScriptOp, TimerAction};
 use crate::kernel::durability::WalState;
-use crate::kernel::propagation::peers;
+use crate::kernel::propagation::PeerCache;
 use clocks::LamportTimestamp;
 use kvstore::{Key, LogRecord, MvStore, Value};
 use obs::{EventKind, QuorumKind};
@@ -112,7 +112,7 @@ impl PrimaryConfig {
 
     /// The primary of a given view (round-robin).
     pub fn primary_of_view(&self, view: u64) -> NodeId {
-        NodeId((view % self.replicas as u64) as usize)
+        NodeId((view % self.replicas as u64) as u32)
     }
 }
 
@@ -249,6 +249,10 @@ pub struct PrimaryReplica {
     last_heartbeat_us: u64,
     /// Count of view changes this node performed (exported metric).
     pub promotions: u64,
+    /// Reusable fan-out peer list (membership is fixed for a run).
+    peer_cache: PeerCache,
+    /// Primary: reusable scratch for the ack-driven quorum sweep.
+    ready_scratch: Vec<u64>,
 }
 
 impl PrimaryReplica {
@@ -266,6 +270,8 @@ impl PrimaryReplica {
             view: 0,
             last_heartbeat_us: 0,
             promotions: 0,
+            peer_cache: PeerCache::default(),
+            ready_scratch: Vec::new(),
         }
     }
 
@@ -282,10 +288,6 @@ impl PrimaryReplica {
     /// Highest contiguously applied log sequence.
     pub fn applied_seq(&self) -> u64 {
         self.applied_seq
-    }
-
-    fn backups(&self, me: NodeId) -> impl Iterator<Item = NodeId> {
-        peers(self.cfg.replicas, me)
     }
 
     fn ship_to(&mut self, ctx: &mut Context<Msg>, backup: NodeId) {
@@ -336,10 +338,11 @@ impl PrimaryReplica {
         self.checkpoint_and_reset_log();
         self.acked.clear();
         self.reorder.clear();
-        let peers: Vec<NodeId> = self.backups(me).collect();
-        for b in peers {
+        let peers = self.peer_cache.take(self.cfg.replicas, me);
+        for &b in &peers {
             ctx.send(b, Msg::Heartbeat { view: self.view });
         }
+        self.peer_cache.restore(peers);
         ctx.set_timer(Duration::from_micros(1), TAG_SHIP);
         if let Some(f) = self.cfg.failover {
             ctx.set_timer(f.heartbeat, TAG_HEARTBEAT);
@@ -379,10 +382,11 @@ impl PrimaryReplica {
                 );
                 // Span still active: the synchronous log-ship fan-out and
                 // the write timeout below carry it.
-                let backups: Vec<NodeId> = self.backups(me).collect();
-                for b in backups {
+                let backups = self.peer_cache.take(self.cfg.replicas, me);
+                for &b in &backups {
                     self.ship_to(ctx, b);
                 }
+                self.peer_cache.restore(backups);
                 ctx.set_timer(self.cfg.write_timeout, TAG_WRITE_TIMEOUT_BASE + seq);
                 if acks_required == 0 {
                     self.try_finish_write(ctx, seq);
@@ -400,21 +404,27 @@ impl PrimaryReplica {
             return;
         };
         let acks = self.acked.values().filter(|&&a| a >= seq).count();
-        if let Some(p) = self.pending.get_mut(&seq) {
-            if !p.done && acks >= acks_required {
-                p.done = true;
-                let (client, op_id, issued_at, span) = (p.client, p.op_id, p.issued_at, p.span);
-                ctx.record(EventKind::QuorumWait {
-                    node: ctx.self_id().0 as u64,
-                    kind: QuorumKind::Write,
-                    waited_us: ctx.now().as_micros().saturating_sub(issued_at),
-                    acks: acks as u64,
-                    needed: acks_required as u64,
-                });
-                ctx.send(client, Msg::PutResp { op_id, ok: true, stamp: (seq, 0) });
-                ctx.span_close(span, SpanStatus::Ok);
-            }
+        let quorum = match self.pending.get(&seq) {
+            Some(p) => !p.done && acks >= acks_required,
+            None => false,
+        };
+        if !quorum {
+            return;
         }
+        // Acknowledged writes leave `pending` immediately (the write
+        // timer finds nothing and no-ops), so the ack-driven sweep in
+        // `AppendAck` only ever walks writes still waiting for quorum
+        // instead of every write of the last timeout window.
+        let p = self.pending.remove(&seq).expect("checked above");
+        ctx.record(EventKind::QuorumWait {
+            node: ctx.self_id().0 as u64,
+            kind: QuorumKind::Write,
+            waited_us: ctx.now().as_micros().saturating_sub(p.issued_at),
+            acks: acks as u64,
+            needed: acks_required as u64,
+        });
+        ctx.send(p.client, Msg::PutResp { op_id: p.op_id, ok: true, stamp: (seq, 0) });
+        ctx.span_close(p.span, SpanStatus::Ok);
     }
 
     fn apply_ready(&mut self, ctx: &mut Context<Msg>) {
@@ -519,10 +529,11 @@ impl Actor<Msg> for PrimaryReplica {
             if !self.is_primary(me) {
                 return; // demoted: stop shipping (timer chain ends)
             }
-            let backups: Vec<NodeId> = self.backups(me).collect();
-            for b in backups {
+            let backups = self.peer_cache.take(self.cfg.replicas, me);
+            for &b in &backups {
                 self.ship_to(ctx, b);
             }
+            self.peer_cache.restore(backups);
             let interval = match self.cfg.mode {
                 PrimaryMode::Async { ship_interval } => ship_interval,
                 PrimaryMode::Sync { .. } => Duration::from_millis(50),
@@ -533,11 +544,12 @@ impl Actor<Msg> for PrimaryReplica {
             if !self.is_primary(me) {
                 return; // demoted: stop heartbeating
             }
-            let peers: Vec<NodeId> = self.backups(me).collect();
+            let peers = self.peer_cache.take(self.cfg.replicas, me);
             let view = self.view;
-            for b in peers {
+            for &b in &peers {
                 ctx.send(b, Msg::Heartbeat { view });
             }
+            self.peer_cache.restore(peers);
             if let Some(f) = self.cfg.failover {
                 ctx.set_timer(f.heartbeat, TAG_HEARTBEAT);
             }
@@ -577,7 +589,7 @@ impl Actor<Msg> for PrimaryReplica {
         match msg {
             Msg::Put { op_id, key, value, reply_to } => {
                 // First hop from the client: reply_to is the client itself.
-                let reply = if reply_to == NodeId(usize::MAX) { from } else { reply_to };
+                let reply = if reply_to == NodeId(u32::MAX) { from } else { reply_to };
                 self.handle_put(ctx, op_id, key, value, reply);
             }
             Msg::Get { op_id, key } => {
@@ -640,11 +652,16 @@ impl Actor<Msg> for PrimaryReplica {
                 let prev = self.acked.entry(from).or_insert(0);
                 *prev = (*prev).max(seq);
                 // Any pending write at or below the new ack level may now
-                // have its quorum.
-                let ready: Vec<u64> = self.pending.keys().copied().filter(|&s| s <= seq).collect();
-                for s in ready {
+                // have its quorum. This is the protocol's hottest
+                // handler; the sweep buffer is reused across acks and
+                // `pending` holds only unacknowledged writes.
+                let mut ready = std::mem::take(&mut self.ready_scratch);
+                ready.clear();
+                ready.extend(self.pending.range(..=seq).map(|(&s, _)| s));
+                for &s in &ready {
                     self.try_finish_write(ctx, s);
                 }
+                self.ready_scratch = ready;
             }
             Msg::PutResp { .. } | Msg::GetResp { .. } => {}
         }
@@ -693,7 +710,7 @@ impl PrimaryClient {
         match self.read_from {
             ReadFrom::Primary => self.cfg.primary(),
             ReadFrom::Replica(n) => n,
-            ReadFrom::AnyReplica => NodeId(ctx.rng().index(self.cfg.replicas)),
+            ReadFrom::AnyReplica => NodeId(ctx.rng().index(self.cfg.replicas) as u32),
         }
     }
 }
@@ -726,7 +743,7 @@ impl Actor<Msg> for PrimaryClient {
                             op_id: op.op_id,
                             key: op.key,
                             value: op.value.expect("write without value"),
-                            reply_to: NodeId(usize::MAX),
+                            reply_to: NodeId(u32::MAX),
                         },
                     );
                 }
@@ -883,12 +900,12 @@ mod tests {
             ReadFrom::Primary,
         );
         let mut sim = build(cfg, vec![reader], 5, FaultSchedule::none());
-        let injector = NodeId(cfg.replicas); // the reader client's node id
+        let injector = NodeId(cfg.replicas as u32); // the reader client's node id
         sim.inject_at(
             SimTime::from_millis(1),
             injector,
             NodeId(2), // a backup: must forward
-            Msg::Put { op_id: 99, key: 7, value: 4242, reply_to: NodeId(usize::MAX) },
+            Msg::Put { op_id: 99, key: 7, value: 4242, reply_to: NodeId(u32::MAX) },
         );
         sim.run_until(SimTime::from_secs(1));
         let t = trace.borrow();

@@ -298,6 +298,9 @@ pub struct QuorumNode {
     /// Ring mode: whether the lazy hint-retry timer chain is running.
     /// (Classic spares keep a perpetual chain instead.)
     hint_timer_armed: bool,
+    /// Reusable buffer for per-operation home-set walks (one ring walk
+    /// or classic enumeration per read/write — the coordinator hot path).
+    homes_scratch: Vec<NodeId>,
 }
 
 impl QuorumNode {
@@ -317,6 +320,7 @@ impl QuorumNode {
             hints_delivered: 0,
             ring: None,
             hint_timer_armed: false,
+            homes_scratch: Vec::new(),
         }
     }
 
@@ -339,15 +343,26 @@ impl QuorumNode {
     /// preference list in sharded mode, all of `0..n` in classic mode.
     /// Ascending order keeps the fan-out byte-identical to the classic
     /// `peers()` path when the ring degenerates to full replication.
-    fn homes(&self, key: Key) -> Vec<NodeId> {
+    ///
+    /// The home set is computed once per read/write/handoff, so it goes
+    /// through a reusable scratch buffer: take it here, hand it back via
+    /// [`QuorumNode::restore_homes`] (forgetting to merely costs one
+    /// allocation on the next operation).
+    fn take_homes(&mut self, key: Key) -> Vec<NodeId> {
+        let mut out = std::mem::take(&mut self.homes_scratch);
+        out.clear();
         match &self.ring {
             Some(ring) => {
-                let mut owners = ring.owners(key);
-                owners.sort_unstable_by_key(|n| n.0);
-                owners
+                ring.owners_into(key, &mut out);
+                out.sort_unstable_by_key(|n| n.0);
             }
-            None => (0..self.cfg.n).map(NodeId).collect(),
+            None => out.extend((0..self.cfg.n as u32).map(NodeId)),
         }
+        out
+    }
+
+    fn restore_homes(&mut self, buf: Vec<NodeId>) {
+        self.homes_scratch = buf;
     }
 
     fn local_version(&self, key: Key) -> Option<WireVersion> {
@@ -375,7 +390,7 @@ impl QuorumNode {
         // Child of the client's op span: the fan-out sends and the op
         // timeout below all carry this coordinator span.
         let span = ctx.span_open("quorum_read");
-        let homes = self.homes(key);
+        let homes = self.take_homes(key);
         let mut responses = Vec::with_capacity(self.cfg.n);
         if homes.contains(&me) {
             responses.push((me, self.local_version(key)));
@@ -392,9 +407,10 @@ impl QuorumNode {
             span,
         };
         self.pending.insert(req_id, pending);
-        for peer in homes.into_iter().filter(|&p| p != me) {
+        for peer in homes.iter().copied().filter(|&p| p != me) {
             ctx.send(peer, Msg::RGet { req_id, key });
         }
+        self.restore_homes(homes);
         ctx.set_timer(self.cfg.op_timeout, TAG_OPTIMEOUT_BASE + req_id);
         self.try_finish_read(ctx, req_id);
     }
@@ -413,7 +429,7 @@ impl QuorumNode {
         let ts = self.clock.tick(me.0 as u64);
         let version = WireVersion { value, ts, written_at: ctx.now().as_micros() };
         let span = ctx.span_open("quorum_write");
-        let homes = self.homes(key);
+        let homes = self.take_homes(key);
         // A coordinator that happens to own the key stores and acks its
         // own copy; a non-owner coordinator (sharded mode with sticky
         // clients) only fans out.
@@ -438,9 +454,10 @@ impl QuorumNode {
                 span,
             },
         );
-        for peer in homes.into_iter().filter(|&p| p != me) {
+        for peer in homes.iter().copied().filter(|&p| p != me) {
             ctx.send(peer, Msg::RPut { req_id, key, version });
         }
+        self.restore_homes(homes);
         ctx.set_timer(self.cfg.op_timeout, TAG_OPTIMEOUT_BASE + req_id);
         if self.cfg.sloppy && self.cfg.spares > 0 {
             // If home acks don't arrive promptly, hand off to spares.
@@ -569,22 +586,28 @@ impl QuorumNode {
             return;
         }
         *hinted = true;
-        let (key, version, acked) = (*key, *version, acked_from.clone());
-        let missing: Vec<NodeId> =
-            self.homes(key).into_iter().filter(|nid| !acked.contains(nid)).collect();
+        let (key, version) = (*key, *version);
+        // Borrow the entry's ack list while the homes walk needs `&mut
+        // self`, then hand it back — the handoff path used to clone it.
+        let acked = std::mem::take(acked_from);
+        let mut missing = self.take_homes(key);
+        missing.retain(|nid| !acked.contains(nid));
+        if let Some(PendingOp::Write { acked_from, .. }) = self.pending.get_mut(&req_id) {
+            *acked_from = acked;
+        }
         let spares: Vec<NodeId> = match &self.ring {
             // Sharded mode: the next distinct nodes on the key's walk.
             Some(ring) => ring.spares(key, self.cfg.spares),
             // Classic mode: the dedicated spare tail.
-            None => (self.cfg.n..self.cfg.total_nodes()).map(NodeId).collect(),
+            None => (self.cfg.n as u32..self.cfg.total_nodes() as u32).map(NodeId).collect(),
         };
-        if spares.is_empty() {
-            return;
+        if !spares.is_empty() {
+            for (i, &target) in missing.iter().enumerate() {
+                let spare = spares[i % spares.len()];
+                ctx.send(spare, Msg::HintedPut { req_id, target, key, version });
+            }
         }
-        for (i, target) in missing.into_iter().enumerate() {
-            let spare = spares[i % spares.len()];
-            ctx.send(spare, Msg::HintedPut { req_id, target, key, version });
-        }
+        self.restore_homes(missing);
     }
 }
 
@@ -600,7 +623,7 @@ impl Actor<Msg> for QuorumNode {
     }
 
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
-        if self.ring.is_none() && ctx.self_id().0 >= self.cfg.n {
+        if self.ring.is_none() && ctx.self_id().index() >= self.cfg.n {
             // Classic spare role: periodically retry hint delivery. In
             // ring mode any node can hold hints, so the retry chain is
             // armed lazily on the first hint instead.
@@ -637,7 +660,7 @@ impl Actor<Msg> for QuorumNode {
         // A crash killed every pending timer, so the hint-retry chain
         // must be re-armed in both recovery modes.
         if self.ring.is_none() {
-            if me.0 >= self.cfg.n {
+            if me.index() >= self.cfg.n {
                 ctx.set_timer(self.cfg.handoff_interval, TAG_HINT_RETRY);
             }
         } else {
@@ -766,7 +789,10 @@ impl Actor<Msg> for QuorumNode {
                                 // a ring coordinator outside the preference
                                 // list must not grow a stray copy.
                                 let key = *key;
-                                if self.homes(key).contains(&ctx.self_id()) {
+                                let homes = self.take_homes(key);
+                                let is_home = homes.contains(&ctx.self_id());
+                                self.restore_homes(homes);
+                                if is_home {
                                     self.apply_version(ctx, key, v);
                                 }
                             }
@@ -860,7 +886,7 @@ impl QuorumClient {
     }
 
     fn target(&self, ctx: &mut Context<Msg>) -> NodeId {
-        self.home.unwrap_or_else(|| NodeId(ctx.rng().index(self.n)))
+        self.home.unwrap_or_else(|| NodeId(ctx.rng().index(self.n) as u32))
     }
 
     fn send_op(&mut self, ctx: &mut Context<Msg>, op: IssueOp, target: NodeId) {
@@ -1048,7 +1074,7 @@ mod tests {
             Some(NodeId(1)),
         );
         let mut probes = Vec::new();
-        for (s, node) in [(3u64, 0usize), (4, 1), (5, 2)] {
+        for (s, node) in [(3u64, 0u32), (4, 1), (5, 2)] {
             probes.push(QuorumClient::new(
                 s,
                 vec![ScriptOp { gap_us: 400_000, kind: OpKind::Read, key: 3 }],
@@ -1152,7 +1178,7 @@ mod tests {
             };
             let total = cfg.total_nodes();
             // Side A: coordinator 0, the spare (if any), and the client.
-            let mut side_a = vec![NodeId(0), NodeId(total)];
+            let mut side_a = vec![NodeId(0), NodeId(total as u32)];
             if sloppy {
                 side_a.push(NodeId(3));
             }
@@ -1183,7 +1209,7 @@ mod tests {
         let cfg = QuorumConfig { r: 1, w: 2, ..QuorumConfig::sloppy_majority(3, 1) };
         let total = cfg.total_nodes();
         let faults = FaultSchedule::none().partition(
-            vec![NodeId(0), NodeId(3), NodeId(total)],
+            vec![NodeId(0), NodeId(3), NodeId(total as u32)],
             SimTime::ZERO,
             SimTime::from_secs(2),
         );

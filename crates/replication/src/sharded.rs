@@ -55,12 +55,18 @@ impl ShardedConfig {
             self.nodes,
             self.quorum.n
         );
+        assert!(
+            self.nodes <= u32::MAX as usize,
+            "ring cluster of {} nodes exceeds compact u32 NodeId addressing (max {})",
+            self.nodes,
+            u32::MAX
+        );
         assert!(self.vnodes >= 1, "ring needs at least one virtual node per physical node");
     }
 
     /// The initial ring over nodes `0..nodes`.
     pub fn ring(&self) -> Ring {
-        Ring::new(self.quorum.n, self.vnodes, (0..self.nodes).map(NodeId))
+        Ring::new(self.quorum.n, self.vnodes, (0..self.nodes as u32).map(NodeId))
     }
 
     /// Build one [`QuorumNode`] per physical node, all sharing the
@@ -82,6 +88,30 @@ impl ShardedConfig {
 mod tests {
     use super::*;
     use crate::common::{ClientCore, ScriptOp};
+
+    #[test]
+    fn config_accepts_node_count_at_u32_boundary() {
+        // Construction must not panic: u32::MAX nodes are addressable
+        // with compact ids. (Only validates the config; no cluster of
+        // this size is built.)
+        let cfg = ShardedConfig {
+            quorum: QuorumConfig::majority(3),
+            nodes: u32::MAX as usize,
+            vnodes: 8,
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds compact u32 NodeId addressing")]
+    fn config_rejects_node_count_above_u32() {
+        let cfg = ShardedConfig {
+            quorum: QuorumConfig::majority(3),
+            nodes: u32::MAX as usize + 1,
+            vnodes: 8,
+        };
+        cfg.validate();
+    }
     use crate::quorum::{Msg, QuorumClient};
     use kvstore::Key;
     use obs::Counter;
@@ -156,7 +186,7 @@ mod tests {
         // And the stored versions live exactly on the ring owners.
         let ring = cfg.ring();
         for (node, key, _) in sim.key_versions() {
-            if node.0 < cfg.nodes {
+            if node.index() < cfg.nodes {
                 assert!(
                     ring.is_owner(key, node),
                     "node {} stores key {key} it does not own",

@@ -153,6 +153,11 @@ enum Backend<M> {
 pub struct EventQueue<M> {
     backend: Backend<M>,
     next_seq: u64,
+    /// Incremental count of pending `Deliver` events, maintained on
+    /// push/pop so [`EventQueue::deliver_count`] is O(1) instead of a
+    /// whole-heap/slab walk (debug builds assert it against the walked
+    /// count).
+    delivers: usize,
 }
 
 impl<M> Default for EventQueue<M> {
@@ -173,13 +178,16 @@ impl<M> EventQueue<M> {
             QueueKind::BinaryHeap => Backend::Heap(BinaryHeap::new()),
             QueueKind::TimingWheel => Backend::Wheel(TimingWheel::new()),
         };
-        EventQueue { backend, next_seq: 0 }
+        EventQueue { backend, next_seq: 0, delivers: 0 }
     }
 
     /// Schedule `payload` to fire at `at`. The event is stamped with the
     /// next insertion sequence number, which is what makes same-instant
     /// events fire in scheduling order on every backend.
     pub fn push(&mut self, at: SimTime, payload: EventPayload<M>) {
+        if matches!(payload, EventPayload::Deliver { .. }) {
+            self.delivers += 1;
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         match &mut self.backend {
@@ -188,19 +196,30 @@ impl<M> EventQueue<M> {
         }
     }
 
+    /// Debit the incremental deliver count for an event leaving the queue.
+    fn note_popped(&mut self, ev: Option<Event<M>>) -> Option<Event<M>> {
+        if let Some(ev) = &ev {
+            if matches!(ev.payload, EventPayload::Deliver { .. }) {
+                self.delivers -= 1;
+            }
+        }
+        ev
+    }
+
     /// Pop the earliest event, if any.
     pub fn pop(&mut self) -> Option<Event<M>> {
-        match &mut self.backend {
+        let ev = match &mut self.backend {
             Backend::Heap(heap) => heap.pop(),
             Backend::Wheel(wheel) => wheel.pop(),
-        }
+        };
+        self.note_popped(ev)
     }
 
     /// Pop the earliest event if it fires at or before `deadline`. One
     /// queue probe instead of a peek-then-pop pair — the shape of the
     /// simulator's `run_until` hot loop.
     pub fn pop_if_at_most(&mut self, deadline: SimTime) -> Option<Event<M>> {
-        match &mut self.backend {
+        let ev = match &mut self.backend {
             Backend::Heap(heap) => {
                 if heap.peek().is_some_and(|e| e.at <= deadline) {
                     heap.pop()
@@ -215,7 +234,8 @@ impl<M> EventQueue<M> {
                     None
                 }
             }
-        }
+        };
+        self.note_popped(ev)
     }
 
     /// Time of the earliest pending event. (The wheel may pre-drain its
@@ -242,15 +262,22 @@ impl<M> EventQueue<M> {
     }
 
     /// Number of pending `Deliver` events — the messages currently "in
-    /// flight" in the simulated network. O(len); used by low-frequency
-    /// telemetry probes, not the hot path.
+    /// flight" in the simulated network. O(1): maintained incrementally
+    /// on push/pop (debug builds cross-check it against a full walk of
+    /// the backend).
     pub fn deliver_count(&self) -> usize {
-        match &self.backend {
-            Backend::Heap(heap) => {
-                heap.iter().filter(|e| matches!(e.payload, EventPayload::Deliver { .. })).count()
-            }
-            Backend::Wheel(wheel) => wheel.deliver_count(),
-        }
+        debug_assert_eq!(
+            self.delivers,
+            match &self.backend {
+                Backend::Heap(heap) => heap
+                    .iter()
+                    .filter(|e| matches!(e.payload, EventPayload::Deliver { .. }))
+                    .count(),
+                Backend::Wheel(wheel) => wheel.walk_deliver_count(),
+            },
+            "incremental deliver count diverged from the walked count"
+        );
+        self.delivers
     }
 }
 

@@ -215,9 +215,9 @@ impl FaultSchedule {
 #[derive(Debug)]
 pub struct FaultState {
     /// Active partitions, by id, as the side-A membership set.
-    active_partitions: Vec<(usize, HashSet<usize>)>,
+    active_partitions: Vec<(usize, HashSet<u32>)>,
     /// Currently crashed nodes.
-    crashed: HashSet<usize>,
+    crashed: HashSet<u32>,
     /// Current message-loss probability.
     pub loss_rate: f64,
     /// Current latency multiplier in percent (100 = nominal).

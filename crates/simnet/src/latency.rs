@@ -87,8 +87,8 @@ impl LatencyModel {
                 Duration::from_micros(us.round().max(1.0) as u64)
             }
             LatencyModel::GeoMatrix { region_of, rtt_ms, jitter_sigma } => {
-                let ra = region_of[from.0 % region_of.len()];
-                let rb = region_of[to.0 % region_of.len()];
+                let ra = region_of[from.index() % region_of.len()];
+                let rb = region_of[to.index() % region_of.len()];
                 let one_way_ms = rtt_ms[ra][rb] / 2.0;
                 let jittered = if *jitter_sigma > 0.0 {
                     rng.log_normal(one_way_ms, *jitter_sigma)
@@ -103,7 +103,9 @@ impl LatencyModel {
     /// The region a node belongs to, if this is a geo model.
     pub fn region_of(&self, node: NodeId) -> Option<usize> {
         match self {
-            LatencyModel::GeoMatrix { region_of, .. } => Some(region_of[node.0 % region_of.len()]),
+            LatencyModel::GeoMatrix { region_of, .. } => {
+                Some(region_of[node.index() % region_of.len()])
+            }
             _ => None,
         }
     }
@@ -118,8 +120,8 @@ impl LatencyModel {
             }
             LatencyModel::LogNormal { median, .. } => *median,
             LatencyModel::GeoMatrix { region_of, rtt_ms, .. } => {
-                let ra = region_of[from.0 % region_of.len()];
-                let rb = region_of[to.0 % region_of.len()];
+                let ra = region_of[from.index() % region_of.len()];
+                let rb = region_of[to.index() % region_of.len()];
                 Duration::from_millis_f64(rtt_ms[ra][rb] / 2.0)
             }
         }

@@ -28,7 +28,7 @@
 //! use simnet::{Actor, Context, NodeId, Sim, SimConfig, SimTime};
 //!
 //! /// A node that forwards a counter around a ring until it reaches 10.
-//! struct Ring { n: usize }
+//! struct Ring { n: u32 }
 //! impl Actor<u64> for Ring {
 //!     fn on_start(&mut self, ctx: &mut Context<u64>) {
 //!         if ctx.self_id().0 == 0 {

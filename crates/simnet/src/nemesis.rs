@@ -281,16 +281,16 @@ pub fn to_schedule(events: &[NemesisEvent]) -> FaultSchedule {
     for ev in events {
         schedule = match ev {
             NemesisEvent::Partition { side_a, from_ms, to_ms } => schedule.partition(
-                side_a.iter().map(|&n| NodeId(n)).collect(),
+                side_a.iter().map(|&n| NodeId::from_index(n)).collect(),
                 SimTime::from_millis(*from_ms),
                 SimTime::from_millis(*to_ms),
             ),
             NemesisEvent::Crash { node, from_ms, to_ms, amnesia } => {
                 let (at, until) = (SimTime::from_millis(*from_ms), SimTime::from_millis(*to_ms));
                 if *amnesia {
-                    schedule.crash_amnesia(NodeId(*node), at, until)
+                    schedule.crash_amnesia(NodeId::from_index(*node), at, until)
                 } else {
-                    schedule.crash(NodeId(*node), at, until)
+                    schedule.crash(NodeId::from_index(*node), at, until)
                 }
             }
             NemesisEvent::LossBurst { pct, from_ms, to_ms } => schedule

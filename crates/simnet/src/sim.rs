@@ -21,8 +21,37 @@ use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
 /// Identifies an actor in the simulation (replica or client).
+///
+/// Ids are compact `u32`s: actor tables are dense and start at 0, so
+/// four billion nodes is not a practical limit, while halving the id
+/// width shrinks every message envelope, fault record, and per-op
+/// trace record on the hot path. Use [`NodeId::index`] to index
+/// node-keyed slots and [`NodeId::from_index`] to build an id from a
+/// table position (it panics loudly on overflow instead of silently
+/// truncating).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct NodeId(pub usize);
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// This id as a dense table index (node-keyed `Vec` slots).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The id for dense table position `i`. Panics when `i` exceeds
+    /// `u32::MAX` — compact addressing is a hard limit, never a silent
+    /// truncation.
+    #[inline]
+    pub fn from_index(i: usize) -> NodeId {
+        assert!(
+            i <= u32::MAX as usize,
+            "node index {i} exceeds compact u32 NodeId addressing (max {})",
+            u32::MAX
+        );
+        NodeId(i as u32)
+    }
+}
 
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -459,10 +488,13 @@ impl<M> Sim<M> {
     }
 
     /// Add an actor; returns its [`NodeId`] (assigned densely from 0).
+    /// Panics with a clear message when the node count would exceed
+    /// compact `u32` addressing (see [`NodeId::from_index`]).
     pub fn add_node(&mut self, actor: Box<dyn Actor<M>>) -> NodeId {
         assert!(!self.started, "cannot add nodes after the simulation started");
+        let id = NodeId::from_index(self.actors.len());
         self.actors.push(actor);
-        NodeId(self.actors.len() - 1)
+        id
     }
 
     /// Number of actors.
@@ -513,7 +545,7 @@ impl<M> Sim<M> {
         let mut out = Vec::new();
         for (i, actor) in self.actors.iter().enumerate() {
             for (key, version) in actor.key_versions() {
-                out.push((NodeId(i), key, version));
+                out.push((NodeId(i as u32), key, version));
             }
         }
         out
@@ -521,12 +553,12 @@ impl<M> Sim<M> {
 
     /// Borrow an actor (e.g. to read results after the run).
     pub fn node(&self, id: NodeId) -> &dyn Actor<M> {
-        self.actors[id.0].as_ref()
+        self.actors[id.index()].as_ref()
     }
 
     /// Borrow an actor mutably.
     pub fn node_mut(&mut self, id: NodeId) -> &mut dyn Actor<M> {
-        self.actors[id.0].as_mut()
+        self.actors[id.index()].as_mut()
     }
 
     fn start_if_needed(&mut self) {
@@ -536,7 +568,7 @@ impl<M> Sim<M> {
         self.started = true;
         for i in 0..self.actors.len() {
             self.call_actor(
-                NodeId(i),
+                NodeId(i as u32),
                 0,
                 0,
                 self.prof_key(HandlerKind::Start, NO_VARIANT),
@@ -610,11 +642,11 @@ impl<M> Sim<M> {
             active_span: span,
             spans: &mut self.spans,
         };
-        f(self.actors[id.0].as_mut(), &mut ctx);
+        f(self.actors[id.index()].as_mut(), &mut ctx);
         let mut effects = ctx.effects;
         if let (Some((kind, variant)), Some(probe)) = (prof, probe) {
             let sample = probe.finish();
-            self.recorder.prof_record(self.actors[id.0].role(), kind, variant, sample);
+            self.recorder.prof_record(self.actors[id.index()].role(), kind, variant, sample);
         }
         if discard {
             effects.clear();
@@ -832,12 +864,13 @@ impl<M: MsgMeta> Sim<M> {
                         // down node cannot send or arm timers).
                         let prof = self.prof_key(HandlerKind::Membership, NO_VARIANT);
                         for i in 0..self.actors.len() {
-                            if self.faults.is_crashed(NodeId(i)) {
-                                self.call_actor_discard(NodeId(i), prof, |actor, ctx| {
+                            let id = NodeId(i as u32);
+                            if self.faults.is_crashed(id) {
+                                self.call_actor_discard(id, prof, |actor, ctx| {
                                     actor.on_membership(ctx, node, join)
                                 });
                             } else {
-                                self.call_actor(NodeId(i), 0, 0, prof, |actor, ctx| {
+                                self.call_actor(id, 0, 0, prof, |actor, ctx| {
                                     actor.on_membership(ctx, node, join)
                                 });
                             }
@@ -900,7 +933,7 @@ impl<M> Drop for Sim<M> {
             let probe = if self.prof { Some(Probe::start()) } else { None };
             let mut ctx = Context {
                 now: self.now,
-                self_id: NodeId(i),
+                self_id: NodeId(i as u32),
                 rng: &mut self.rng,
                 recorder: &self.recorder,
                 next_timer_id: &mut self.next_timer_id,
@@ -956,6 +989,19 @@ mod tests {
     use super::*;
     use std::cell::RefCell;
     use std::rc::Rc;
+
+    #[test]
+    fn node_id_round_trips_at_u32_boundary() {
+        let id = NodeId::from_index(u32::MAX as usize);
+        assert_eq!(id, NodeId(u32::MAX));
+        assert_eq!(id.index(), u32::MAX as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds compact u32 NodeId addressing")]
+    fn node_id_from_index_rejects_indices_above_u32() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
 
     /// Echoes every message back to its sender, once.
     struct Echo {

@@ -78,29 +78,24 @@ struct Key {
     slot: u32,
 }
 
-/// Compact envelope stored in the slab. Node ids shrink to `u32`
-/// (actor tables are dense and start at 0; see [`crate::sim::Sim`]),
-/// and the rare, bulky fault variant is boxed so it does not inflate
-/// every slot.
+/// Compact envelope stored in the slab. [`NodeId`] is natively `u32`
+/// (actor tables are dense and start at 0; see [`crate::sim::Sim`]) so
+/// ids are stored as-is — no narrow/widen shims — and the rare, bulky
+/// fault variant is boxed so it does not inflate every slot.
 enum Envelope<M> {
-    Deliver { from: u32, to: u32, trace: u64, span: u64, msg: M },
-    Timer { node: u32, timer_id: u64, tag: u64, trace: u64, span: u64 },
+    Deliver { from: NodeId, to: NodeId, trace: u64, span: u64, msg: M },
+    Timer { node: NodeId, timer_id: u64, tag: u64, trace: u64, span: u64 },
     Fault(Box<FaultEvent>),
 }
 
 impl<M> Envelope<M> {
     fn compact(payload: EventPayload<M>) -> Self {
-        #[inline]
-        fn narrow(node: NodeId) -> u32 {
-            debug_assert!(node.0 <= u32::MAX as usize, "actor id exceeds compact u32 addressing");
-            node.0 as u32
-        }
         match payload {
             EventPayload::Deliver { from, to, msg, trace, span } => {
-                Envelope::Deliver { from: narrow(from), to: narrow(to), trace, span, msg }
+                Envelope::Deliver { from, to, trace, span, msg }
             }
             EventPayload::Timer { node, timer_id, tag, trace, span } => {
-                Envelope::Timer { node: narrow(node), timer_id, tag, trace, span }
+                Envelope::Timer { node, timer_id, tag, trace, span }
             }
             EventPayload::Fault(ev) => Envelope::Fault(Box::new(ev)),
         }
@@ -108,15 +103,11 @@ impl<M> Envelope<M> {
 
     fn expand(self) -> EventPayload<M> {
         match self {
-            Envelope::Deliver { from, to, trace, span, msg } => EventPayload::Deliver {
-                from: NodeId(from as usize),
-                to: NodeId(to as usize),
-                msg,
-                trace,
-                span,
-            },
+            Envelope::Deliver { from, to, trace, span, msg } => {
+                EventPayload::Deliver { from, to, msg, trace, span }
+            }
             Envelope::Timer { node, timer_id, tag, trace, span } => {
-                EventPayload::Timer { node: NodeId(node as usize), timer_id, tag, trace, span }
+                EventPayload::Timer { node, timer_id, tag, trace, span }
             }
             Envelope::Fault(ev) => EventPayload::Fault(*ev),
         }
@@ -307,8 +298,9 @@ impl<M> TimingWheel<M> {
     }
 
     /// Count pending `Deliver` envelopes by walking the live slab slots.
-    /// O(slab capacity); telemetry-probe frequency only.
-    pub(crate) fn deliver_count(&self) -> usize {
+    /// O(slab capacity) — only used by the debug assertion that
+    /// cross-checks [`crate::event::EventQueue`]'s incremental count.
+    pub(crate) fn walk_deliver_count(&self) -> usize {
         self.slab.slots.iter().filter(|s| matches!(s, Some(Envelope::Deliver { .. }))).count()
     }
 }

@@ -57,14 +57,14 @@ impl ReplicaView {
 /// The client-side monitor over all replicas.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Monitor {
-    views: BTreeMap<usize, ReplicaView>,
+    views: BTreeMap<u32, ReplicaView>,
 }
 
 impl Monitor {
     /// Create a monitor for `n` replicas, with `primary` marked.
     pub fn new(n: usize, primary: NodeId) -> Self {
         let mut views = BTreeMap::new();
-        for i in 0..n {
+        for i in 0..n as u32 {
             views.insert(
                 i,
                 ReplicaView { is_primary: NodeId(i) == primary, ..ReplicaView::default() },

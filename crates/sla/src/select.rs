@@ -127,7 +127,7 @@ mod tests {
     use super::*;
     use crate::types::SubSla;
 
-    fn monitor_with(rtts_ms: &[(usize, u64)], high_ts_ms: &[(usize, u64)], n: usize) -> Monitor {
+    fn monitor_with(rtts_ms: &[(u32, u64)], high_ts_ms: &[(u32, u64)], n: usize) -> Monitor {
         let mut m = Monitor::new(n, NodeId(0));
         for &(r, ms) in rtts_ms {
             for _ in 0..8 {

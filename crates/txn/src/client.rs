@@ -244,7 +244,7 @@ impl TxnClient {
             if let Some(f) = self.inflight.as_mut() {
                 f.phase = Phase::Registering { commit, acks: 0, needed: rq };
             }
-            for node in 0..rq {
+            for node in 0..rq as u32 {
                 ctx.send(NodeId(node), Msg::Register { txn, commit });
             }
         } else {

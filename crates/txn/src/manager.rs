@@ -24,7 +24,7 @@ impl TxnConfig {
 
     /// The home node of a group.
     pub fn home(&self, group: GroupId) -> NodeId {
-        NodeId((group % self.nodes as u64) as usize)
+        NodeId((group % self.nodes as u64) as u32)
     }
 }
 

@@ -52,7 +52,7 @@ fn synth_trace(seed: u64) -> OpTrace {
                 value_read: vec![],
                 invoked: SimTime::from_millis(now_ms),
                 completed: SimTime::from_millis(now_ms + 1),
-                replica: NodeId((lcg(&mut s) % 3) as usize),
+                replica: NodeId((lcg(&mut s) % 3) as u32),
                 ok: true,
                 version_ts: None,
                 stamp: Some(stamp),
@@ -69,7 +69,7 @@ fn synth_trace(seed: u64) -> OpTrace {
                 value_read: vec![value],
                 invoked: SimTime::from_millis(now_ms),
                 completed: SimTime::from_millis(now_ms + 1),
-                replica: NodeId((lcg(&mut s) % 3) as usize),
+                replica: NodeId((lcg(&mut s) % 3) as u32),
                 ok: true,
                 version_ts: None,
                 stamp: Some(stamp),

@@ -212,7 +212,7 @@ proptest! {
         let mut store = ResolvingStore::new(ResolutionPolicy::CrdtMerge);
         let mut expect = 0i64;
         for (i, &n) in amounts.iter().enumerate() {
-            let me = NodeId(i % 3);
+            let me = NodeId((i % 3) as u32);
             store.write_local(
                 me,
                 key,

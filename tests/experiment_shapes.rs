@@ -180,7 +180,7 @@ fn e6_shape_crdt_counters_lose_nothing() {
             script,
             trace.clone(),
             3,
-            TargetPolicy::Sticky(NodeId((s as usize - 1) % 3)),
+            TargetPolicy::Sticky(NodeId((s as u32 - 1) % 3)),
             Guarantees::none(),
             ConflictMode::Counter,
         )));
@@ -192,7 +192,7 @@ fn e6_shape_crdt_counters_lose_nothing() {
             vec![ScriptOp { gap_us: 2_000_000, kind: OpKind::Read, key: 0 }],
             trace.clone(),
             3,
-            TargetPolicy::Sticky(NodeId(home)),
+            TargetPolicy::Sticky(NodeId(home as u32)),
             Guarantees::none(),
             ConflictMode::Counter,
         )));

@@ -25,7 +25,7 @@ fn partition_side_a(n_replicas: usize, sessions: u32) -> FaultSchedule {
     let mut side_a = vec![NodeId(0)];
     for c in 0..sessions as usize {
         if c % n_replicas == 0 {
-            side_a.push(NodeId(n_replicas + c));
+            side_a.push(NodeId((n_replicas + c) as u32));
         }
     }
     FaultSchedule::none().partition(side_a, SimTime::from_secs(5), SimTime::from_secs(10))
@@ -180,7 +180,7 @@ fn gossip_repairs_divergence_after_partition_heals() {
         sim.add_node(Box::new(EventualReplica::new(cfg.clone())));
     }
     // Two writers hammer the same keys on opposite partition sides.
-    for (session, home) in [(1u64, 0usize), (2, 1)] {
+    for (session, home) in [(1u64, 0u32), (2, 1)] {
         let script: Vec<ScriptOp> =
             (0..40).map(|i| ScriptOp { gap_us: 50_000, kind: OpKind::Write, key: i % 5 }).collect();
         sim.add_node(Box::new(EventualClient::new(
@@ -194,7 +194,7 @@ fn gossip_repairs_divergence_after_partition_heals() {
         )));
     }
     // Late pollers at every replica read every key at t = 8s.
-    for (session, home) in [(10u64, 0usize), (11, 1), (12, 2)] {
+    for (session, home) in [(10u64, 0u32), (11, 1), (12, 2)] {
         let script: Vec<ScriptOp> =
             (0..5).map(|k| ScriptOp { gap_us: 8_000_000, kind: OpKind::Read, key: k }).collect();
         sim.add_node(Box::new(EventualClient::new(
@@ -361,7 +361,7 @@ fn hinted_handoff_conserves_hints_and_lands_them_home() {
     );
     // And the drained hints landed: the cut homes hold every key the
     // always-connected home holds (drain + post-heal read repair).
-    for home in [1usize, 2] {
+    for home in [1u32, 2] {
         for &(node, key, _) in &res.final_versions {
             if node.0 == 0 {
                 assert!(
@@ -386,7 +386,7 @@ fn ring_hinted_handoff_conserves_hints_and_owners_converge() {
     use rethinking_ec::replication::Composition;
 
     let nodes = 8;
-    let ring = Ring::new(3, 16, (0..nodes).map(NodeId));
+    let ring = Ring::new(3, 16, (0..nodes as u32).map(NodeId));
     // Cut two owners of key 0 so writes to it must hint to ring spares.
     let cut = ring.owners(0);
     let res = Experiment::new(Scheme::Sharded {
@@ -428,7 +428,7 @@ fn ring_hinted_handoff_conserves_hints_and_owners_converge() {
     // owners hold the same version (hints drained home, read repair
     // healed the partition-era divergence).
     let server_versions: Vec<_> =
-        res.final_versions.iter().copied().filter(|&(n, _, _)| n.0 < nodes).collect();
+        res.final_versions.iter().copied().filter(|&(n, _, _)| n.index() < nodes).collect();
     let report = check_owner_convergence(&server_versions, |k| ring.owners(k));
     assert!(report.converged(), "ring owners diverged at horizon: {:?}", report.diverged);
 }

@@ -134,3 +134,66 @@ fn simbench_source_accepts_the_documented_flags() {
         assert!(source.contains(&format!("\"{flag}\"")), "simbench lost its `{flag}` flag");
     }
 }
+
+/// The Phase 2 (data-plane) section must exist, carry the before/after
+/// `profquery diff` evidence, and quote only handler cells that exist
+/// in the checked-in profile artifact — the doc's claims stay tied to
+/// measurable reality.
+#[test]
+fn phase_2_section_quotes_real_profile_cells() {
+    let section = DOC
+        .split("\n## Phase 2")
+        .nth(1)
+        .expect("docs/PERFORMANCE.md lost its `Phase 2` data-plane section")
+        .split("\n## ")
+        .next()
+        .unwrap();
+    assert!(
+        section.contains("profquery diff"),
+        "the Phase 2 section must show its profquery diff evidence"
+    );
+    let profile = serde_json::parse_value(include_str!("../results/profile_protos.json"))
+        .expect("results/profile_protos.json parses");
+    let schemes = profile
+        .get("profile")
+        .and_then(|p| p.get("schemes"))
+        .and_then(|s| s.as_array())
+        .expect("profile.schemes array");
+    let mut cells = std::collections::BTreeSet::new();
+    for s in schemes {
+        let scheme = s.get("scheme").and_then(|v| v.as_str()).expect("scheme name");
+        for h in s.get("handlers").and_then(|h| h.as_array()).expect("handlers array") {
+            let role = h.get("role").and_then(|v| v.as_str()).expect("role");
+            let handler = h.get("handler").and_then(|v| v.as_str()).expect("handler");
+            match h.get("variant").and_then(|v| v.as_str()).expect("variant") {
+                "-" => cells.insert(format!("{scheme};{role};{handler}")),
+                v => cells.insert(format!("{scheme};{role};{handler}:{v}")),
+            };
+        }
+    }
+    for cell in section
+        .lines()
+        .filter(|l| l.contains(";on_message:") || l.contains(";on_timer"))
+        .filter_map(|l| l.split_whitespace().last())
+    {
+        assert!(
+            cells.contains(cell),
+            "Phase 2 quotes handler cell `{cell}` that is not in \
+             results/profile_protos.json — regenerate the profile or fix the doc"
+        );
+    }
+}
+
+/// The hot-path clippy gate the Phase 2 section advertises must exist
+/// in CI with the lints it names.
+#[test]
+fn clippy_hotpath_ci_job_matches_the_doc() {
+    let ci = include_str!("../.github/workflows/ci.yml");
+    assert!(ci.contains("clippy-hotpath:"), "ci.yml lost the clippy-hotpath job");
+    for lint in ["clippy::redundant_clone", "clippy::large_enum_variant"] {
+        assert!(
+            ci.contains(&format!("-D {lint}")) && DOC.contains(&format!("`{lint}`")),
+            "the `{lint}` lint must be denied in ci.yml and documented in PERFORMANCE.md"
+        );
+    }
+}

@@ -16,7 +16,7 @@ fn random_ring(seed: u64) -> Ring {
     let replication = 1 + rng.below(4) as usize;
     let nodes = replication + rng.below(20) as usize;
     let vnodes = 1 + rng.below(32) as usize;
-    Ring::new(replication, vnodes, (0..nodes).map(NodeId))
+    Ring::new(replication, vnodes, (0..nodes as u32).map(NodeId))
 }
 
 /// Random keys spread across the hash space (the ring hashes keys
@@ -54,7 +54,7 @@ fn leave_only_remaps_keys_owned_by_the_departed_node() {
         }
         let keys = random_keys(seed);
         let mut rng = SimRng::new(seed ^ 0x1eaf);
-        let departing = NodeId(rng.index(ring.len()));
+        let departing = NodeId(rng.index(ring.len()) as u32);
         let mut after = ring.clone();
         assert!(after.leave(departing));
 
@@ -120,7 +120,7 @@ fn join_leave_rejoin_restores_the_identical_ring() {
             continue;
         }
         let mut rng = SimRng::new(seed ^ 0x0707);
-        let node = NodeId(rng.index(ring.len()));
+        let node = NodeId(rng.index(ring.len()) as u32);
         let mut churned = ring.clone();
         assert!(churned.leave(node));
         assert_ne!(churned, ring);
@@ -128,7 +128,7 @@ fn join_leave_rejoin_restores_the_identical_ring() {
         assert_eq!(churned, ring, "seed {seed}: leave+rejoin must be identity");
 
         // And a brand-new node joining then leaving is also identity.
-        let newcomer = NodeId(ring.len() + 100);
+        let newcomer = NodeId(ring.len() as u32 + 100);
         assert!(churned.join(newcomer));
         assert!(churned.leave(newcomer));
         assert_eq!(churned, ring, "seed {seed}: join+leave of a newcomer must be identity");

@@ -39,7 +39,7 @@ fn sweep_workload() -> WorkloadSpec {
 /// the 30s horizon.
 fn random_faults(seed: u64, replicas: usize) -> FaultSchedule {
     let mut rng = SimRng::new(seed ^ 0xfa57_5eed);
-    let victim = NodeId(rng.range(0, replicas as u64) as usize);
+    let victim = NodeId(rng.range(0, replicas as u64) as u32);
     let start_ms = rng.range(1_000, 5_000);
     let end_ms = start_ms + rng.range(500, 4_000);
     let mut faults = FaultSchedule::none().partition(
@@ -180,7 +180,7 @@ fn eventual_store_converges_after_fault_horizon() {
                 script,
                 trace.clone(),
                 3,
-                TargetPolicy::Sticky(NodeId(home)),
+                TargetPolicy::Sticky(NodeId(home as u32)),
                 Guarantees::none(),
                 ConflictMode::Lww,
             )));
@@ -194,7 +194,7 @@ fn eventual_store_converges_after_fault_horizon() {
                 script,
                 trace.clone(),
                 3,
-                TargetPolicy::Sticky(NodeId(home)),
+                TargetPolicy::Sticky(NodeId(home as u32)),
                 Guarantees::none(),
                 ConflictMode::Lww,
             )));
